@@ -1,0 +1,69 @@
+//! Benchmarks for the threaded collective substrate (`grace-comm`):
+//! allreduce / allgather / broadcast cost versus worker count and payload
+//! size — the real-execution counterpart of the α–β model used for
+//! simulated time.
+//!
+//! Run: `cargo bench -p grace-bench --bench collectives`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grace_comm::{Collective, ThreadedCluster};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_allreduce");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        for elems in [1usize << 10, 1 << 16] {
+            group.throughput(Throughput::Bytes((elems * 4) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{n}workers"), elems * 4),
+                &(n, elems),
+                |b, &(n, elems)| {
+                    b.iter(|| {
+                        ThreadedCluster::run(n, |comm| {
+                            let data = vec![comm.rank() as f32; elems];
+                            std::hint::black_box(comm.allreduce_f32(data))
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_allgather");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let bytes = 64usize << 10;
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                ThreadedCluster::run(n, |comm| {
+                    let data = vec![comm.rank() as u8; bytes];
+                    std::hint::black_box(comm.allgather_bytes(data))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_broadcast");
+    group.sample_size(10);
+    for n in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                ThreadedCluster::run(n, |comm| {
+                    let data = vec![comm.rank() as u8; 64 << 10];
+                    std::hint::black_box(comm.broadcast_bytes(0, data))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_allgather, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion companion to the paper's **Fig. 8**: isolated
+//! compress+decompress latency for every registered method across input
+//! sizes. (The `fig8` binary prints the 30-repetition min/median/max table;
+//! this bench gives Criterion-grade statistics on the same kernels.)
+//!
+//! Run: `cargo bench -p grace-bench --bench compression_latency`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grace_bench::gradient_of_bytes;
+use grace_compressors::registry;
+
+fn bench_compress_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress+decompress");
+    group.sample_size(10);
+    for &(bytes, label) in &[(64usize << 10, "64KB"), (1 << 20, "1MB")] {
+        let g = gradient_of_bytes(bytes, 11);
+        group.throughput(Throughput::Bytes(bytes as u64));
+        for spec in registry::all_specs() {
+            let mut comp = (spec.build)(3);
+            group.bench_with_input(
+                BenchmarkId::new(spec.display, label),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let (payloads, ctx) = comp.compress(g, "bench/w");
+                        std::hint::black_box(comp.decompress(&payloads, &ctx))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compress_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_only_1MB");
+    group.sample_size(10);
+    let g = gradient_of_bytes(1 << 20, 7);
+    for spec in registry::all_specs() {
+        let mut comp = (spec.build)(5);
+        group.bench_function(spec.display, |b| {
+            b.iter(|| std::hint::black_box(comp.compress(&g, "bench/w")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress_decompress, bench_compress_only);
+criterion_main!(benches);

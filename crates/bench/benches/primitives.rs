@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the tensor primitives the compressors are built on —
+//! the ablation data behind the per-method cost differences of Fig. 8:
+//! selection (top-k vs threshold vs random), bit-packing, the quantile
+//! sketch, and Gram–Schmidt.
+//!
+//! Run: `cargo bench -p grace-bench --bench primitives`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grace_bench::gradient_of_bytes;
+use grace_tensor::linalg::orthonormalize_columns;
+use grace_tensor::pack::{pack_bits, pack_signs};
+use grace_tensor::rng::seeded;
+use grace_tensor::select::{random_k_indices, threshold_indices, top_k_indices};
+use grace_tensor::sketch::GkSketch;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_1MB");
+    group.sample_size(20);
+    let g = gradient_of_bytes(1 << 20, 5);
+    let d = g.len();
+    let k = d / 100;
+    group.bench_function("top_k", |b| {
+        b.iter(|| std::hint::black_box(top_k_indices(g.as_slice(), k)))
+    });
+    group.bench_function("threshold", |b| {
+        b.iter(|| std::hint::black_box(threshold_indices(g.as_slice(), 0.005)))
+    });
+    group.bench_function("random_k", |b| {
+        let mut rng = seeded(7);
+        b.iter(|| std::hint::black_box(random_k_indices(&mut rng, d, k)))
+    });
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitpack_1M_values");
+    group.sample_size(20);
+    let values: Vec<u32> = (0..1_000_000u32).map(|i| i % 128).collect();
+    let signs: Vec<bool> = (0..1_000_000).map(|i| i % 3 == 0).collect();
+    for bits in [1u32, 2, 7, 8] {
+        group.bench_with_input(BenchmarkId::new("pack", bits), &bits, |b, &bits| {
+            let vals: Vec<u32> = values.iter().map(|v| v % (1 << bits)).collect();
+            b.iter(|| std::hint::black_box(pack_bits(&vals, bits)))
+        });
+    }
+    group.bench_function("pack_signs", |b| {
+        b.iter(|| std::hint::black_box(pack_signs(&signs)))
+    });
+    group.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gk_sketch");
+    group.sample_size(10);
+    let g = gradient_of_bytes(256 << 10, 9);
+    group.bench_function("insert_64k_values", |b| {
+        b.iter(|| {
+            let mut sk = GkSketch::new(0.01);
+            sk.extend_from_slice(g.as_slice());
+            std::hint::black_box(sk.quantile(0.5))
+        })
+    });
+    group.finish();
+}
+
+fn bench_orthonormalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram_schmidt");
+    group.sample_size(20);
+    for (m, r) in [(1024usize, 4usize), (4096, 4), (1024, 16)] {
+        let src = gradient_of_bytes(m * r * 4, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{r}")),
+            &(m, r),
+            |b, &(m, r)| {
+                b.iter(|| {
+                    let mut a = src.as_slice()[..m * r].to_vec();
+                    orthonormalize_columns(&mut a, m, r);
+                    std::hint::black_box(a)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_packing,
+    bench_sketch,
+    bench_orthonormalize
+);
+criterion_main!(benches);

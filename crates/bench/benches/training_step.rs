@@ -1,0 +1,53 @@
+//! End-to-end training-iteration benchmarks: one full Algorithm-1 epoch
+//! (gradients → compress → exchange → aggregate → update) for the baseline
+//! and representative compressors of each class — the execution-time
+//! counterpart of the simulated clock behind Figs. 1/6/9/10.
+//!
+//! Run: `cargo bench -p grace-bench --bench training_step`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grace_compressors::registry;
+use grace_core::trainer::{run_simulated, CodecTiming};
+use grace_core::{Compressor, Memory, NoCompression, NoMemory, TrainConfig};
+use grace_nn::data::ClassificationDataset;
+use grace_nn::models;
+use grace_nn::optim::Momentum;
+
+fn run_one_epoch(compressor_id: Option<&str>) {
+    let task = ClassificationDataset::synthetic(64, 32, 4, 0.35, 3);
+    let mut net = models::resnet20_analog(32, 4, 3);
+    let mut cfg = TrainConfig::new(4, 16, 1, 3);
+    cfg.codec = CodecTiming::Free;
+    let mut opt = Momentum::new(0.05, 0.9);
+    let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
+        None => (
+            (0..4).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
+            (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+        ),
+        Some(id) => {
+            let spec = registry::find(id).expect("registered");
+            registry::build_fleet(&spec, 4, 3)
+        }
+    };
+    std::hint::black_box(run_simulated(
+        &cfg,
+        &mut net,
+        &task,
+        &mut opt,
+        &mut cs,
+        &mut ms,
+    ));
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_resnet20_analog_4workers");
+    group.sample_size(10);
+    for id in [None, Some("topk"), Some("qsgd"), Some("sketchml"), Some("powersgd")] {
+        let label = id.unwrap_or("baseline");
+        group.bench_function(label, |b| b.iter(|| run_one_epoch(id)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_epoch);
+criterion_main!(benches);

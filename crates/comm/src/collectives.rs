@@ -1,0 +1,394 @@
+//! Multi-threaded collective operations.
+//!
+//! [`ThreadedCluster::run`] spawns one OS thread per worker and gives each a
+//! [`WorkerHandle`] implementing [`Collective`]. The collectives follow SPMD
+//! semantics: **every** worker must call the same sequence of collective
+//! operations in the same order, like MPI ranks.
+//!
+//! The implementation exchanges payloads through a shared deposit board
+//! guarded by a reusable barrier. This is semantically equivalent to
+//! Horovod's ring algorithms (same results, same per-worker payloads); the
+//! *timing* of ring algorithms is modelled analytically by
+//! [`crate::model::NetworkModel`], so the in-memory data path here only needs
+//! to be correct, not network-shaped.
+
+use crate::traffic::TrafficCounter;
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+/// SPMD collective operations available to each worker.
+///
+/// Mirrors the three Horovod primitives GRACE builds on (§IV-B):
+/// `Allreduce`, `Allgather`, `Broadcast`.
+pub trait Collective {
+    /// Total number of workers in the job.
+    fn n_workers(&self) -> usize;
+
+    /// This worker's rank in `0..n_workers()`.
+    fn rank(&self) -> usize;
+
+    /// Elementwise-sum all-reduce of an `f32` buffer.
+    ///
+    /// All workers must pass buffers of identical length; every worker
+    /// receives the elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths differ across workers.
+    fn allreduce_f32(&self, data: Vec<f32>) -> Vec<f32>;
+
+    /// Gathers every worker's byte payload; payload sizes may differ.
+    ///
+    /// Returns the payloads indexed by rank.
+    fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>>;
+
+    /// Broadcasts `root`'s payload to every worker (non-roots pass their own
+    /// payload, which is ignored, mirroring MPI's in-place broadcast).
+    fn broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Vec<u8>;
+
+    /// Blocks until every worker reaches the barrier.
+    fn barrier(&self);
+
+    /// Reduce-scatter: elementwise-sums all buffers and returns this
+    /// worker's contiguous shard of the sum (the first half of a ring
+    /// all-reduce). Shard boundaries follow the balanced partition used for
+    /// data sharding: the first `len % n` shards get one extra element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths differ across workers.
+    fn reduce_scatter_f32(&self, data: Vec<f32>) -> Vec<f32> {
+        let n = self.n_workers();
+        let rank = self.rank();
+        let sum = self.allreduce_f32(data);
+        let len = sum.len();
+        let base = len / n;
+        let extra = len % n;
+        let start = rank * base + rank.min(extra);
+        let shard = base + usize::from(rank < extra);
+        sum[start..start + shard].to_vec()
+    }
+
+    /// Gathers every worker's payload at `root`; non-roots receive an empty
+    /// list.
+    fn gather_bytes(&self, root: usize, data: Vec<u8>) -> Vec<Vec<u8>> {
+        let all = self.allgather_bytes(data);
+        if self.rank() == root {
+            all
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Degenerate single-process "cluster" (rank 0 of 1): every collective is the
+/// identity. Useful for running distributed code paths unmodified in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleWorker;
+
+impl Collective for SingleWorker {
+    fn n_workers(&self) -> usize {
+        1
+    }
+
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn allreduce_f32(&self, data: Vec<f32>) -> Vec<f32> {
+        data
+    }
+
+    fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        vec![data]
+    }
+
+    fn broadcast_bytes(&self, _root: usize, data: Vec<u8>) -> Vec<u8> {
+        data
+    }
+
+    fn barrier(&self) {}
+}
+
+#[derive(Debug)]
+struct Board {
+    f32_slots: Mutex<Vec<Vec<f32>>>,
+    byte_slots: Mutex<Vec<Vec<u8>>>,
+    barrier: Barrier,
+    n: usize,
+}
+
+impl Board {
+    fn new(n: usize) -> Self {
+        Board {
+            f32_slots: Mutex::new(vec![Vec::new(); n]),
+            byte_slots: Mutex::new(vec![Vec::new(); n]),
+            barrier: Barrier::new(n),
+            n,
+        }
+    }
+}
+
+/// A worker's endpoint into a [`ThreadedCluster`]; implements [`Collective`].
+#[derive(Debug, Clone)]
+pub struct WorkerHandle {
+    board: Arc<Board>,
+    rank: usize,
+    traffic: TrafficCounter,
+}
+
+impl WorkerHandle {
+    /// The shared traffic counter recording payload bytes per worker.
+    pub fn traffic(&self) -> &TrafficCounter {
+        &self.traffic
+    }
+}
+
+impl Collective for WorkerHandle {
+    fn n_workers(&self) -> usize {
+        self.board.n
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn allreduce_f32(&self, data: Vec<f32>) -> Vec<f32> {
+        let len = data.len();
+        // Logical wire bytes per worker for a ring all-reduce.
+        let wire = if self.board.n > 1 {
+            (2 * (self.board.n - 1) * len * 4 / self.board.n) as u64
+        } else {
+            0
+        };
+        self.traffic.record(self.rank, wire);
+        self.board.f32_slots.lock()[self.rank] = data;
+        self.board.barrier.wait();
+        let sum = {
+            let slots = self.board.f32_slots.lock();
+            let mut acc = slots[0].clone();
+            for other in slots.iter().skip(1) {
+                assert_eq!(
+                    acc.len(),
+                    other.len(),
+                    "allreduce buffers must have identical lengths"
+                );
+                for (a, b) in acc.iter_mut().zip(other.iter()) {
+                    *a += b;
+                }
+            }
+            acc
+        };
+        // Second barrier: nobody deposits for the next round before all read.
+        self.board.barrier.wait();
+        sum
+    }
+
+    fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        self.traffic.record(self.rank, data.len() as u64);
+        self.board.byte_slots.lock()[self.rank] = data;
+        self.board.barrier.wait();
+        let all = self.board.byte_slots.lock().clone();
+        self.board.barrier.wait();
+        all
+    }
+
+    fn broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        assert!(root < self.board.n, "broadcast root {root} out of range");
+        if self.rank == root {
+            self.traffic.record(self.rank, data.len() as u64);
+            self.board.byte_slots.lock()[root] = data;
+        }
+        self.board.barrier.wait();
+        let out = self.board.byte_slots.lock()[root].clone();
+        self.board.barrier.wait();
+        out
+    }
+
+    fn barrier(&self) {
+        self.board.barrier.wait();
+    }
+}
+
+/// Spawns `n` worker threads running the same SPMD function.
+#[derive(Debug)]
+pub struct ThreadedCluster;
+
+impl ThreadedCluster {
+    /// Runs `f(handle)` on `n` concurrent workers and returns the per-rank
+    /// results in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or propagates the first worker panic.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use grace_comm::{Collective, ThreadedCluster};
+    ///
+    /// let sums = ThreadedCluster::run(4, |c| {
+    ///     let mine = vec![c.rank() as f32 + 1.0];
+    ///     c.allreduce_f32(mine)[0]
+    /// });
+    /// assert_eq!(sums, vec![10.0; 4]); // 1+2+3+4 on every worker
+    /// ```
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(WorkerHandle) -> T + Sync,
+    {
+        assert!(n > 0, "need at least one worker");
+        let board = Arc::new(Board::new(n));
+        let traffic = TrafficCounter::new(n);
+        std::thread::scope(|s| {
+            let mut joins = Vec::with_capacity(n);
+            for rank in 0..n {
+                let handle = WorkerHandle {
+                    board: Arc::clone(&board),
+                    rank,
+                    traffic: traffic.clone(),
+                };
+                let f = &f;
+                joins.push(s.spawn(move || f(handle)));
+            }
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("worker thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_identities() {
+        let c = SingleWorker;
+        assert_eq!(c.n_workers(), 1);
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.allreduce_f32(vec![1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(c.allgather_bytes(vec![7]), vec![vec![7]]);
+        assert_eq!(c.broadcast_bytes(0, vec![9]), vec![9]);
+        c.barrier();
+    }
+
+    #[test]
+    fn allreduce_sums_across_workers() {
+        let results = ThreadedCluster::run(8, |c| {
+            let data = vec![c.rank() as f32, 1.0];
+            c.allreduce_f32(data)
+        });
+        for r in results {
+            assert_eq!(r, vec![28.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_allreduces_do_not_cross_rounds() {
+        let results = ThreadedCluster::run(4, |c| {
+            let mut acc = 0.0;
+            for round in 0..50 {
+                let v = vec![(c.rank() + round) as f32];
+                acc += c.allreduce_f32(v)[0];
+            }
+            acc
+        });
+        // Round r sum = 6 + 4r; total over 50 rounds = 300 + 4*1225.
+        let expect = 300.0 + 4.0 * 1225.0;
+        for r in results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_variable_sized_payloads() {
+        let results = ThreadedCluster::run(3, |c| {
+            let payload = vec![c.rank() as u8; c.rank() + 1];
+            c.allgather_bytes(payload)
+        });
+        for r in results {
+            assert_eq!(r, vec![vec![0], vec![1, 1], vec![2, 2, 2]]);
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_root_payload() {
+        let results = ThreadedCluster::run(4, |c| {
+            let mine = vec![c.rank() as u8];
+            c.broadcast_bytes(2, mine)
+        });
+        for r in results {
+            assert_eq!(r, vec![2]);
+        }
+    }
+
+    #[test]
+    fn mixed_collective_sequence_is_consistent() {
+        let results = ThreadedCluster::run(4, |c| {
+            let s = c.allreduce_f32(vec![1.0])[0];
+            let g = c.allgather_bytes(vec![c.rank() as u8]);
+            c.barrier();
+            let b = c.broadcast_bytes(0, vec![g[3][0] + s as u8]);
+            b[0]
+        });
+        for r in results {
+            assert_eq!(r, 7); // 3 + 4
+        }
+    }
+
+    #[test]
+    fn traffic_counter_accounts_allgather_payloads() {
+        let n = 4;
+        let results = ThreadedCluster::run(n, |c| {
+            let _ = c.allgather_bytes(vec![0u8; 100]);
+            c.traffic().clone()
+        });
+        assert_eq!(results[0].total_bytes(), 400);
+        assert_eq!(results[0].bytes_sent(2), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        let _ = ThreadedCluster::run(0, |_| ());
+    }
+
+    #[test]
+    fn reduce_scatter_shards_cover_the_sum() {
+        let n = 3;
+        let len = 10; // 10 = 4 + 3 + 3 across three workers
+        let shards = ThreadedCluster::run(n, |c| {
+            let data: Vec<f32> = (0..len).map(|i| (i + c.rank()) as f32).collect();
+            c.reduce_scatter_f32(data)
+        });
+        let mut combined = Vec::new();
+        for s in &shards {
+            combined.extend_from_slice(s);
+        }
+        assert_eq!(shards[0].len(), 4);
+        assert_eq!(shards[1].len(), 3);
+        let expect: Vec<f32> = (0..len).map(|i| (3 * i + 3) as f32).collect();
+        assert_eq!(combined, expect);
+    }
+
+    #[test]
+    fn gather_delivers_only_to_root() {
+        let results = ThreadedCluster::run(3, |c| {
+            let mine = vec![c.rank() as u8 + 1];
+            c.gather_bytes(1, mine)
+        });
+        assert!(results[0].is_empty());
+        assert_eq!(results[1], vec![vec![1], vec![2], vec![3]]);
+        assert!(results[2].is_empty());
+    }
+
+    #[test]
+    fn single_worker_extended_collectives() {
+        let c = SingleWorker;
+        assert_eq!(c.reduce_scatter_f32(vec![1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(c.gather_bytes(0, vec![5]), vec![vec![5]]);
+    }
+}

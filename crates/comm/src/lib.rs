@@ -1,0 +1,33 @@
+//! Collective communication substrate for the GRACE reproduction.
+//!
+//! The paper runs Horovod's `Allreduce` / `Allgather` / `Broadcast` over
+//! OpenMPI, NCCL or Gloo on 8 machines with 1/10/25 Gbps links and TCP or
+//! RDMA transports (§V-A, §V-E). This crate provides the two pieces that
+//! substitute for that testbed:
+//!
+//! 1. [`collectives`] — *real* multi-threaded collectives over shared-memory
+//!    channels, so the distributed training loop can execute with genuinely
+//!    concurrent workers (used to validate the deterministic simulator);
+//! 2. [`model`] — an α–β analytic cost model that converts byte-exact message
+//!    sizes into simulated wall-clock time for each collective, parameterised
+//!    by link bandwidth and transport (TCP vs RDMA), which is exactly the
+//!    axis the paper's Figures 1, 6, 9 and 10 vary.
+//!
+//! # Example
+//!
+//! ```
+//! use grace_comm::model::{NetworkModel, Transport};
+//!
+//! let net = NetworkModel::new(10.0, Transport::Tcp); // 10 Gbps, TCP
+//! let t8 = net.allreduce_seconds(8, 100 << 20);
+//! let t2 = net.allreduce_seconds(2, 100 << 20);
+//! assert!(t8 > t2); // more workers, more ring steps
+//! ```
+
+pub mod collectives;
+pub mod model;
+pub mod traffic;
+
+pub use collectives::{Collective, SingleWorker, ThreadedCluster, WorkerHandle};
+pub use model::{NetworkModel, Transport};
+pub use traffic::TrafficCounter;

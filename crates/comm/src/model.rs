@@ -1,0 +1,305 @@
+//! α–β analytic cost model for collective operations.
+//!
+//! The simulated wall-clock time of a collective is derived from the standard
+//! latency–bandwidth (α–β) model used throughout the collective-communication
+//! literature: a point-to-point message of `b` bytes costs `α + b/β`, where
+//! `α` is the per-message latency and `β` the effective link bandwidth.
+//!
+//! Transports differ exactly the way the paper's §V-E observes:
+//! - **TCP** pays a high per-message latency (kernel stack) and loses a
+//!   fraction of the raw link rate to protocol/host overhead;
+//! - **RDMA** has microsecond latency and near-line-rate goodput, so it is
+//!   "consistently better than TCP" (Fig. 9) — by a margin that shrinks as
+//!   messages grow.
+
+/// Transport protocol underneath the collective library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Transport {
+    /// Kernel TCP/IP (the default used for §V-B through §V-D).
+    Tcp,
+    /// Remote direct memory access (the PyTorch experiments of Fig. 9).
+    Rdma,
+}
+
+impl Transport {
+    /// Per-message latency α, in seconds.
+    pub fn latency_seconds(self) -> f64 {
+        match self {
+            // ~50 µs per message through the kernel stack.
+            Transport::Tcp => 50e-6,
+            // ~5 µs kernel-bypass.
+            Transport::Rdma => 5e-6,
+        }
+    }
+
+    /// Fraction of the raw link bandwidth achievable as goodput.
+    pub fn efficiency(self) -> f64 {
+        match self {
+            Transport::Tcp => 0.85,
+            Transport::Rdma => 0.97,
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Tcp => write!(f, "TCP"),
+            Transport::Rdma => write!(f, "RDMA"),
+        }
+    }
+}
+
+/// Analytic network model: link speed + transport.
+///
+/// All collective costs assume the ring algorithms Horovod uses for large
+/// tensors and a binomial tree for broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkModel {
+    /// Raw link bandwidth in gigabits per second (the paper uses 1, 10, 25).
+    pub bandwidth_gbps: f64,
+    /// Transport protocol.
+    pub transport: Transport,
+}
+
+impl NetworkModel {
+    /// Creates a model for a given link speed (Gbps) and transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_gbps` is not positive and finite.
+    pub fn new(bandwidth_gbps: f64, transport: Transport) -> Self {
+        assert!(
+            bandwidth_gbps.is_finite() && bandwidth_gbps > 0.0,
+            "bandwidth must be positive, got {bandwidth_gbps}"
+        );
+        NetworkModel {
+            bandwidth_gbps,
+            transport,
+        }
+    }
+
+    /// The paper's default testbed: 10 Gbps over TCP (§V-A).
+    pub fn paper_default() -> Self {
+        NetworkModel::new(10.0, Transport::Tcp)
+    }
+
+    /// Effective goodput in bytes per second.
+    pub fn goodput_bytes_per_sec(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / 8.0 * self.transport.efficiency()
+    }
+
+    /// Time for one point-to-point message of `bytes` bytes.
+    pub fn p2p_seconds(&self, bytes: usize) -> f64 {
+        self.transport.latency_seconds() + bytes as f64 / self.goodput_bytes_per_sec()
+    }
+
+    /// Ring all-reduce of a `bytes`-sized dense buffer across `n` workers.
+    ///
+    /// Reduce-scatter + all-gather: `2(n−1)` steps, each moving `bytes/n`,
+    /// i.e. `2(n−1)/n · bytes` on the wire per worker plus `2(n−1)` latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn allreduce_seconds(&self, n: usize, bytes: usize) -> f64 {
+        assert!(n > 0, "need at least one worker");
+        if n == 1 {
+            return 0.0;
+        }
+        let steps = 2 * (n - 1);
+        let wire_bytes = 2.0 * (n as f64 - 1.0) / n as f64 * bytes as f64;
+        steps as f64 * self.transport.latency_seconds()
+            + wire_bytes / self.goodput_bytes_per_sec()
+    }
+
+    /// Ring all-gather where each of `n` workers contributes
+    /// `bytes_per_worker`: `(n−1)` steps each moving one contribution.
+    ///
+    /// When contributions differ in size (sparsifiers select different
+    /// elements per worker), pass the **maximum** per-worker payload — the
+    /// ring is bottlenecked by its largest chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn allgather_seconds(&self, n: usize, bytes_per_worker: usize) -> f64 {
+        assert!(n > 0, "need at least one worker");
+        if n == 1 {
+            return 0.0;
+        }
+        (n - 1) as f64 * self.p2p_seconds(bytes_per_worker)
+    }
+
+    /// Binomial-tree broadcast of `bytes` from one root to `n` workers:
+    /// `⌈log₂ n⌉` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn broadcast_seconds(&self, n: usize, bytes: usize) -> f64 {
+        assert!(n > 0, "need at least one worker");
+        if n == 1 {
+            return 0.0;
+        }
+        let rounds = (n as f64).log2().ceil();
+        rounds * self.p2p_seconds(bytes)
+    }
+
+    /// Returns a copy of the model with a different bandwidth.
+    pub fn with_bandwidth(mut self, gbps: f64) -> Self {
+        assert!(gbps.is_finite() && gbps > 0.0, "bandwidth must be positive");
+        self.bandwidth_gbps = gbps;
+        self
+    }
+
+    /// Returns a copy of the model with a different transport.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_collectives_are_free() {
+        let net = NetworkModel::paper_default();
+        assert_eq!(net.allreduce_seconds(1, 1 << 20), 0.0);
+        assert_eq!(net.allgather_seconds(1, 1 << 20), 0.0);
+        assert_eq!(net.broadcast_seconds(1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_dominates_large_messages() {
+        let net = NetworkModel::new(10.0, Transport::Tcp);
+        let bytes = 100 << 20; // 100 MB
+        let t = net.allreduce_seconds(8, bytes);
+        // Wire bytes = 2*(7/8)*100MB = 175 MB at 10Gbps*0.85 goodput.
+        let expect = 175.0 * (1 << 20) as f64 / (10e9 / 8.0 * 0.85);
+        assert!((t - expect).abs() / expect < 0.01, "t={t}, expect≈{expect}");
+    }
+
+    #[test]
+    fn latency_term_dominates_small_messages() {
+        let net = NetworkModel::new(25.0, Transport::Tcp);
+        let t = net.allreduce_seconds(8, 64);
+        let min_latency = 14.0 * 50e-6;
+        assert!(t >= min_latency);
+        assert!(t < min_latency * 1.1);
+    }
+
+    #[test]
+    fn rdma_strictly_faster_than_tcp() {
+        for &bytes in &[64usize, 1 << 10, 1 << 20, 100 << 20] {
+            let tcp = NetworkModel::new(10.0, Transport::Tcp);
+            let rdma = NetworkModel::new(10.0, Transport::Rdma);
+            assert!(
+                rdma.allreduce_seconds(8, bytes) < tcp.allreduce_seconds(8, bytes),
+                "RDMA not faster at {bytes} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_links_reduce_time_sublinearly_with_latency_floor() {
+        let slow = NetworkModel::new(1.0, Transport::Tcp);
+        let fast = NetworkModel::new(25.0, Transport::Tcp);
+        let big = 100 << 20;
+        let ratio = slow.allreduce_seconds(8, big) / fast.allreduce_seconds(8, big);
+        assert!(ratio > 20.0 && ratio < 25.5, "ratio {ratio}");
+        // Tiny messages are latency-bound: link speed barely matters.
+        let small_ratio = slow.allreduce_seconds(8, 16) / fast.allreduce_seconds(8, 16);
+        assert!(small_ratio < 1.1, "small ratio {small_ratio}");
+    }
+
+    #[test]
+    fn allgather_scales_linearly_in_workers() {
+        let net = NetworkModel::paper_default();
+        let t4 = net.allgather_seconds(4, 1 << 20);
+        let t8 = net.allgather_seconds(8, 1 << 20);
+        assert!((t8 / t4 - 7.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn broadcast_scales_logarithmically() {
+        let net = NetworkModel::paper_default();
+        let t2 = net.broadcast_seconds(2, 1 << 20);
+        let t8 = net.broadcast_seconds(8, 1 << 20);
+        assert!((t8 / t2 - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn rejects_nonpositive_bandwidth() {
+        let _ = NetworkModel::new(0.0, Transport::Tcp);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let net = NetworkModel::paper_default()
+            .with_bandwidth(25.0)
+            .with_transport(Transport::Rdma);
+        assert_eq!(net.bandwidth_gbps, 25.0);
+        assert_eq!(net.transport, Transport::Rdma);
+        assert_eq!(Transport::Rdma.to_string(), "RDMA");
+    }
+}
+
+impl NetworkModel {
+    /// Ring reduce-scatter across `n` workers: `(n−1)` steps each moving
+    /// `bytes/n` — exactly half of a ring all-reduce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn reduce_scatter_seconds(&self, n: usize, bytes: usize) -> f64 {
+        assert!(n > 0, "need at least one worker");
+        if n == 1 {
+            return 0.0;
+        }
+        let steps = (n - 1) as f64;
+        let wire_bytes = (n as f64 - 1.0) / n as f64 * bytes as f64;
+        steps * self.transport.latency_seconds() + wire_bytes / self.goodput_bytes_per_sec()
+    }
+
+    /// Linear gather of `n` per-worker contributions at a root over its
+    /// single link (incast): `α + n·bytes_per_worker/β`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gather_seconds(&self, n: usize, bytes_per_worker: usize) -> f64 {
+        assert!(n > 0, "need at least one worker");
+        if n == 1 {
+            return 0.0;
+        }
+        self.p2p_seconds(bytes_per_worker * n)
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn reduce_scatter_is_half_an_allreduce() {
+        let net = NetworkModel::paper_default();
+        let (n, bytes) = (8, 64 << 20);
+        let rs = net.reduce_scatter_seconds(n, bytes);
+        let ar = net.allreduce_seconds(n, bytes);
+        assert!((ar / rs - 2.0).abs() < 0.01, "ratio {}", ar / rs);
+        assert_eq!(net.reduce_scatter_seconds(1, bytes), 0.0);
+    }
+
+    #[test]
+    fn gather_incast_scales_linearly() {
+        let net = NetworkModel::paper_default();
+        let t4 = net.gather_seconds(4, 1 << 20);
+        let t8 = net.gather_seconds(8, 1 << 20);
+        assert!(t8 > 1.9 * t4 && t8 < 2.1 * t4);
+        assert_eq!(net.gather_seconds(1, 1 << 20), 0.0);
+    }
+}

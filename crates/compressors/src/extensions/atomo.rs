@@ -1,0 +1,296 @@
+//! ATOMO (Wang et al., NeurIPS'18) — spectral atomic decomposition.
+
+use grace_core::{Compressor, Context, Payload};
+use grace_tensor::rng::{fill_gaussian, substream};
+use grace_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Spectral ATOMO: decompose the gradient matrix into singular triplets
+/// (the atoms), allocate sampling probabilities `pᵢ` that minimise variance
+/// under the sparsity budget `‖p‖₁ = s`, sample each atom with probability
+/// `pᵢ`, and transmit kept atoms scaled by `1/pᵢ` (unbiased, §III-D).
+///
+/// The top `max_atoms` singular triplets are extracted by power iteration
+/// with deflation; the spectral tail is dropped (the paper's low-rank
+/// approximation step).
+#[derive(Debug)]
+pub struct Atomo {
+    budget: f64,
+    max_atoms: usize,
+    power_iters: usize,
+    rng: StdRng,
+}
+
+impl Atomo {
+    /// Creates spectral ATOMO with sparsity budget `s` (expected number of
+    /// atoms transmitted) over at most `max_atoms` extracted triplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget <= 0` or `max_atoms == 0`.
+    pub fn new(budget: f64, max_atoms: usize, seed: u64) -> Self {
+        assert!(budget > 0.0, "budget must be positive");
+        assert!(max_atoms > 0, "need at least one atom");
+        Atomo {
+            budget,
+            max_atoms,
+            power_iters: 8,
+            rng: substream(seed, 0xa70_40),
+        }
+    }
+
+    /// The sparsity budget `s = ‖p‖₁`.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+}
+
+/// Top-`r` singular triplets of an `m×l` matrix by power iteration with
+/// deflation. Returns `(σ, u, v)` with `‖u‖ = ‖v‖ = 1`, σ descending.
+fn truncated_svd(
+    buf: &[f32],
+    m: usize,
+    l: usize,
+    r: usize,
+    iters: usize,
+    rng: &mut StdRng,
+) -> Vec<(f32, Vec<f32>, Vec<f32>)> {
+    let mut work = buf.to_vec();
+    let mut triplets = Vec::with_capacity(r);
+    for _ in 0..r {
+        // Power-iterate v on (WᵀW).
+        let mut v = vec![0.0f32; l];
+        fill_gaussian(rng, &mut v, 1.0);
+        normalize(&mut v);
+        let mut u = vec![0.0f32; m];
+        for _ in 0..iters {
+            // u = W v
+            for (i, ui) in u.iter_mut().enumerate() {
+                *ui = (0..l).map(|j| work[i * l + j] * v[j]).sum();
+            }
+            let un = normalize(&mut u);
+            if un == 0.0 {
+                break;
+            }
+            // v = Wᵀ u
+            for (j, vj) in v.iter_mut().enumerate() {
+                *vj = (0..m).map(|i| work[i * l + j] * u[i]).sum();
+            }
+            normalize(&mut v);
+        }
+        // σ = uᵀ W v
+        let mut sigma = 0.0f32;
+        for i in 0..m {
+            for j in 0..l {
+                sigma += u[i] * work[i * l + j] * v[j];
+            }
+        }
+        if sigma.abs() < 1e-9 {
+            break;
+        }
+        // Deflate.
+        for i in 0..m {
+            for j in 0..l {
+                work[i * l + j] -= sigma * u[i] * v[j];
+            }
+        }
+        triplets.push((sigma, u.clone(), v.clone()));
+    }
+    triplets
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if n > 1e-12 {
+        v.iter_mut().for_each(|x| *x /= n);
+    }
+    n
+}
+
+/// ATOMO's variance-optimal probability allocation under `‖p‖₁ = s`:
+/// water-filling — `pᵢ ∝ λᵢ`, saturating at 1 and redistributing.
+pub(crate) fn allocate_probabilities(lambdas: &[f32], budget: f64) -> Vec<f64> {
+    let n = lambdas.len();
+    let mut p = vec![0.0f64; n];
+    if n == 0 {
+        return p;
+    }
+    let mut saturated = vec![false; n];
+    loop {
+        let free_mass: f64 = (0..n)
+            .filter(|&i| !saturated[i])
+            .map(|i| f64::from(lambdas[i].abs()))
+            .sum();
+        let remaining = budget - saturated.iter().filter(|&&s| s).count() as f64;
+        if remaining <= 0.0 {
+            break;
+        }
+        if free_mass <= 0.0 {
+            break;
+        }
+        let scale = remaining / free_mass;
+        let mut newly_saturated = false;
+        for i in 0..n {
+            if saturated[i] {
+                p[i] = 1.0;
+                continue;
+            }
+            p[i] = f64::from(lambdas[i].abs()) * scale;
+            if p[i] >= 1.0 {
+                saturated[i] = true;
+                newly_saturated = true;
+            }
+        }
+        if !newly_saturated {
+            break;
+        }
+    }
+    p.iter_mut().for_each(|v| *v = v.clamp(0.0, 1.0));
+    p
+}
+
+impl Compressor for Atomo {
+    fn name(&self) -> String {
+        format!("ATOMO({})", self.budget)
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        let (m, l) = tensor.shape().as_matrix();
+        if m == 1 || l == 1 {
+            // Rank-1-shaped tensors: pass through (as in the low-rank family).
+            return (
+                vec![Payload::F32(tensor.as_slice().to_vec())],
+                Context::with_meta(tensor.shape().clone(), vec![m as f32, l as f32, 0.0]),
+            );
+        }
+        let r = self.max_atoms.min(m).min(l);
+        let triplets = truncated_svd(tensor.as_slice(), m, l, r, self.power_iters, &mut self.rng);
+        let lambdas: Vec<f32> = triplets.iter().map(|(s, _, _)| *s).collect();
+        let probs = allocate_probabilities(&lambdas, self.budget);
+        // Sample atoms; kept atoms are scaled by λ/p (unbiased estimator).
+        let mut flat = Vec::new();
+        let mut kept = 0u32;
+        for ((sigma, u, v), p) in triplets.into_iter().zip(probs) {
+            if p > 0.0 && self.rng.gen::<f64>() < p {
+                kept += 1;
+                flat.push((sigma as f64 / p) as f32);
+                flat.extend_from_slice(&u);
+                flat.extend_from_slice(&v);
+            }
+        }
+        (
+            vec![Payload::F32(flat)],
+            Context::with_meta(
+                tensor.shape().clone(),
+                vec![m as f32, l as f32, kept as f32],
+            ),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let m = ctx.meta[0] as usize;
+        let l = ctx.meta[1] as usize;
+        let kept = ctx.meta[2] as usize;
+        if kept == 0 && ctx.meta[2] == 0.0 && (m == 1 || l == 1) {
+            return Tensor::new(payloads[0].as_f32().to_vec(), ctx.shape.clone());
+        }
+        let flat = payloads[0].as_f32();
+        let stride = 1 + m + l;
+        let mut out = vec![0.0f32; m * l];
+        for a in 0..kept {
+            let base = a * stride;
+            let sigma = flat[base];
+            let u = &flat[base + 1..base + 1 + m];
+            let v = &flat[base + 1 + m..base + stride];
+            for i in 0..m {
+                let su = sigma * u[i];
+                for j in 0..l {
+                    out[i * l + j] += su * v[j];
+                }
+            }
+        }
+        Tensor::new(out, ctx.shape.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use grace_tensor::Shape;
+
+    #[test]
+    fn truncated_svd_recovers_known_spectrum() {
+        // Diagonal-like matrix with singular values 4, 2, 1.
+        let mut buf = vec![0.0f32; 4 * 3];
+        buf[0] = 4.0; // (0,0)
+        buf[4] = 2.0; // (1,1)
+        buf[8] = 1.0; // (2,2)
+        let mut rng = substream(1, 1);
+        let trip = truncated_svd(&buf, 4, 3, 3, 30, &mut rng);
+        assert_eq!(trip.len(), 3);
+        let sigmas: Vec<f32> = trip.iter().map(|(s, _, _)| s.abs()).collect();
+        assert!((sigmas[0] - 4.0).abs() < 1e-3, "{sigmas:?}");
+        assert!((sigmas[1] - 2.0).abs() < 1e-3, "{sigmas:?}");
+        assert!((sigmas[2] - 1.0).abs() < 1e-3, "{sigmas:?}");
+    }
+
+    #[test]
+    fn probability_allocation_respects_budget_and_saturation() {
+        let p = allocate_probabilities(&[10.0, 1.0, 1.0], 2.0);
+        // Dominant atom saturates at 1; the rest split the remaining mass.
+        assert_eq!(p[0], 1.0);
+        assert!((p[1] - 0.5).abs() < 1e-9);
+        assert!((p[2] - 0.5).abs() < 1e-9);
+        let total: f64 = p.iter().sum();
+        assert!((total - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_with_budget_above_count_saturates_all() {
+        let p = allocate_probabilities(&[1.0, 2.0], 5.0);
+        assert_eq!(p, vec![1.0, 1.0]);
+        assert!(allocate_probabilities(&[], 2.0).is_empty());
+    }
+
+    #[test]
+    fn atomo_is_unbiased_over_the_extracted_subspace() {
+        // A rank-2 matrix whose atoms are fully captured: the sampled
+        // estimator must average back to the matrix itself.
+        let mut data = vec![0.0f32; 8 * 6];
+        for i in 0..8 {
+            for j in 0..6 {
+                data[i * 6 + j] = (i as f32 + 1.0) * 0.3 * (j as f32 - 2.5)
+                    + if i % 2 == 0 { 0.5 } else { -0.5 };
+            }
+        }
+        let g = Tensor::new(data, Shape::matrix(8, 6));
+        let mut c = Atomo::new(1.5, 4, 3);
+        assert_unbiased(&mut c, &g, 3000, 0.1);
+    }
+
+    #[test]
+    fn budget_controls_transmitted_atoms() {
+        let g = gradient(32 * 16, 5).reshape(Shape::matrix(32, 16));
+        let mut small = Atomo::new(1.0, 8, 7);
+        let mut large = Atomo::new(6.0, 8, 7);
+        let count = |c: &mut Atomo| {
+            let mut total = 0usize;
+            for _ in 0..30 {
+                let (_, ctx) = c.compress(&g, "w");
+                total += ctx.meta[2] as usize;
+            }
+            total
+        };
+        assert!(count(&mut small) < count(&mut large));
+    }
+
+    #[test]
+    fn vectors_pass_through() {
+        let mut c = Atomo::new(2.0, 4, 9);
+        let g = gradient(21, 8);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        assert_eq!(out.as_slice(), g.as_slice());
+    }
+}

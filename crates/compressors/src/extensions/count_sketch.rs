@@ -1,0 +1,171 @@
+//! A count-sketch: the mergeable frequency summary behind Sketched-SGD.
+
+/// A count-sketch over `d`-dimensional vectors: `rows` independent hash
+/// rows of `cols` counters with ±1 sign hashes. Sketches of two vectors sum
+/// to the sketch of their sum (linearity), which is what lets Sketched-SGD
+/// aggregate worker sketches with a plain all-reduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountSketch {
+    rows: usize,
+    cols: usize,
+    table: Vec<f32>,
+}
+
+/// Cheap deterministic 64-bit mixer for the hash families.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x = (x ^ (x >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+impl CountSketch {
+    /// Creates an empty sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "sketch dimensions must be positive");
+        CountSketch {
+            rows,
+            cols,
+            table: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Rebuilds a sketch from its raw counter table (e.g. after allreduce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table size does not match.
+    pub fn from_table(rows: usize, cols: usize, table: Vec<f32>) -> Self {
+        assert_eq!(table.len(), rows * cols, "table size mismatch");
+        CountSketch { rows, cols, table }
+    }
+
+    /// The raw counters (row-major), for transmission.
+    pub fn table(&self) -> &[f32] {
+        &self.table
+    }
+
+    /// Sketch dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn bucket(&self, row: usize, index: usize) -> (usize, f32) {
+        let h = mix((row as u64) << 32 | index as u64);
+        let col = (h % self.cols as u64) as usize;
+        let sign = if (h >> 63) == 1 { -1.0 } else { 1.0 };
+        (row * self.cols + col, sign)
+    }
+
+    /// Adds `value` at coordinate `index`.
+    pub fn update(&mut self, index: usize, value: f32) {
+        for row in 0..self.rows {
+            let (slot, sign) = self.bucket(row, index);
+            self.table[slot] += sign * value;
+        }
+    }
+
+    /// Sketches an entire dense vector.
+    pub fn insert_dense(&mut self, values: &[f32]) {
+        for (i, &v) in values.iter().enumerate() {
+            if v != 0.0 {
+                self.update(i, v);
+            }
+        }
+    }
+
+    /// Point estimate of coordinate `index` (median of the row estimates —
+    /// the classic heavy-hitter estimator).
+    pub fn estimate(&self, index: usize) -> f32 {
+        let mut est: Vec<f32> = (0..self.rows)
+            .map(|row| {
+                let (slot, sign) = self.bucket(row, index);
+                sign * self.table[slot]
+            })
+            .collect();
+        est.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = est.len() / 2;
+        if est.len() % 2 == 1 {
+            est[mid]
+        } else {
+            0.5 * (est[mid - 1] + est[mid])
+        }
+    }
+
+    /// Merges another sketch (must have identical dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert_eq!(self.dims(), other.dims(), "sketch dimension mismatch");
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_heavy_hitter_recovered_exactly_in_sign_and_scale() {
+        let mut sk = CountSketch::new(5, 64);
+        sk.update(7, 10.0);
+        let est = sk.estimate(7);
+        assert_eq!(est, 10.0, "lone heavy hitter must be exact");
+        // An untouched coordinate estimates (near) zero.
+        assert_eq!(sk.estimate(8), 0.0);
+    }
+
+    #[test]
+    fn heavy_hitters_dominate_noise() {
+        let mut sk = CountSketch::new(7, 256);
+        let d = 2000;
+        let mut dense = vec![0.01f32; d];
+        dense[42] = 5.0;
+        dense[900] = -4.0;
+        sk.insert_dense(&dense);
+        let e42 = sk.estimate(42);
+        let e900 = sk.estimate(900);
+        assert!((e42 - 5.0).abs() < 0.5, "estimate {e42}");
+        assert!((e900 + 4.0).abs() < 0.5, "estimate {e900}");
+        // Most light coordinates estimate small.
+        let light: f32 = (0..20).map(|i| sk.estimate(i).abs()).sum::<f32>() / 20.0;
+        assert!(light < 1.0, "light coordinates too noisy: {light}");
+    }
+
+    #[test]
+    fn linearity_merge_equals_sketch_of_sum() {
+        let mut a = CountSketch::new(3, 32);
+        let mut b = CountSketch::new(3, 32);
+        let mut whole = CountSketch::new(3, 32);
+        a.update(1, 2.0);
+        b.update(1, 3.0);
+        b.update(9, -1.0);
+        whole.update(1, 5.0);
+        whole.update(9, -1.0);
+        a.merge(&b);
+        assert_eq!(a.table(), whole.table());
+    }
+
+    #[test]
+    fn from_table_roundtrip() {
+        let mut sk = CountSketch::new(2, 8);
+        sk.update(3, 1.5);
+        let rebuilt = CountSketch::from_table(2, 8, sk.table().to_vec());
+        assert_eq!(rebuilt.estimate(3), sk.estimate(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn merge_rejects_mismatched_dims() {
+        let mut a = CountSketch::new(2, 8);
+        let b = CountSketch::new(2, 16);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,190 @@
+//! Entropy-coded compression adapter (Gajjala et al., the paper's reference 81).
+
+use grace_core::{CommStrategy, Compressor, Context, Payload};
+use grace_tensor::coding::HuffmanCode;
+use grace_tensor::Tensor;
+
+/// Wraps any compressor and Huffman-recodes its bit-packed payloads.
+///
+/// Quantizer code-words are heavily skewed toward zero, so entropy coding
+/// packs them below their fixed bit-width — the follow-up the paper cites
+/// for "efficiently packing and transmitting the quantized vectors" (§VI).
+/// Non-packed payloads (floats, indices) pass through unchanged, and packed
+/// streams that entropy coding would *inflate* are kept in fixed-width form
+/// (the adapter never loses).
+pub struct EntropyCoded<C> {
+    inner: C,
+}
+
+/// Wire tags distinguishing the two encodings of a formerly-packed payload.
+const TAG_FIXED: u8 = 0;
+const TAG_HUFFMAN: u8 = 1;
+
+impl<C: Compressor> EntropyCoded<C> {
+    /// Wraps an inner compressor.
+    pub fn new(inner: C) -> Self {
+        EntropyCoded { inner }
+    }
+
+    /// A reference to the wrapped compressor.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+fn recode(payload: Payload) -> Payload {
+    match payload {
+        Payload::Packed { data, bits, count } if bits <= 12 && count > 0 => {
+            let symbols = grace_tensor::pack::unpack_bits(&data, bits, count as usize);
+            let (lengths, stream, _) = HuffmanCode::encode_stream(&symbols, 1 << bits);
+            // Self-describing frame: tag, bits, count, lengths, stream.
+            let mut framed = Vec::with_capacity(stream.len() + lengths.len() + 10);
+            framed.push(TAG_HUFFMAN);
+            framed.push(bits as u8);
+            framed.extend_from_slice(&count.to_le_bytes());
+            framed.extend_from_slice(&lengths);
+            framed.extend_from_slice(&stream);
+            if framed.len() < data.len() + 6 {
+                Payload::Bytes(framed)
+            } else {
+                let mut fixed = Vec::with_capacity(data.len() + 6);
+                fixed.push(TAG_FIXED);
+                fixed.push(bits as u8);
+                fixed.extend_from_slice(&count.to_le_bytes());
+                fixed.extend_from_slice(&data);
+                Payload::Bytes(fixed)
+            }
+        }
+        other => other,
+    }
+}
+
+fn decode(payload: &Payload) -> Payload {
+    match payload {
+        Payload::Bytes(framed) if !framed.is_empty() => {
+            let tag = framed[0];
+            let bits = framed[1] as u32;
+            let count = u32::from_le_bytes(framed[2..6].try_into().expect("4 bytes"));
+            match tag {
+                TAG_FIXED => Payload::Packed {
+                    data: framed[6..].to_vec(),
+                    bits,
+                    count,
+                },
+                TAG_HUFFMAN => {
+                    let alphabet = 1usize << bits;
+                    let lengths = &framed[6..6 + alphabet];
+                    let stream = &framed[6 + alphabet..];
+                    let symbols = HuffmanCode::decode_stream(lengths, stream, count as usize);
+                    Payload::packed(&symbols, bits)
+                }
+                other => panic!("unknown entropy-coding tag {other}"),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+impl<C: Compressor> Compressor for EntropyCoded<C> {
+    fn name(&self) -> String {
+        format!("{}+EC", self.inner.name())
+    }
+
+    fn strategy(&self) -> CommStrategy {
+        // Byte payloads are not sum-compatible.
+        CommStrategy::Allgather
+    }
+
+    fn compress(&mut self, tensor: &Tensor, name: &str) -> (Vec<Payload>, Context) {
+        let (payloads, ctx) = self.inner.compress(tensor, name);
+        (payloads.into_iter().map(recode).collect(), ctx)
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let restored: Vec<Payload> = payloads.iter().map(decode).collect();
+        self.inner.decompress(&restored, ctx)
+    }
+
+    fn supports_error_feedback(&self) -> bool {
+        self.inner.supports_error_feedback()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use crate::{Qsgd, TernGrad, TopK};
+    use grace_core::payload::total_bytes;
+
+    #[test]
+    fn recoding_is_lossless_for_qsgd() {
+        let g = gradient(2000, 1);
+        let mut plain = Qsgd::new(64, 9);
+        let mut coded = EntropyCoded::new(Qsgd::new(64, 9));
+        let (pp, pc) = plain.compress(&g, "w");
+        let (ep, ec) = coded.compress(&g, "w");
+        let plain_out = plain.decompress(&pp, &pc);
+        let coded_out = coded.decompress(&ep, &ec);
+        assert_eq!(plain_out.as_slice(), coded_out.as_slice());
+    }
+
+    #[test]
+    fn skewed_codewords_shrink() {
+        // TernGrad on gradient-like data is mostly zeros: entropy coding
+        // must beat the fixed 2-bit packing.
+        let mut g = gradient(20_000, 2);
+        g.scale(0.01);
+        g[7] = 1.0; // dominant element squeezes everything else toward zero
+        let mut plain = TernGrad::new(5);
+        let mut coded = EntropyCoded::new(TernGrad::new(5));
+        let (pp, _) = plain.compress(&g, "w");
+        let (ep, _) = coded.compress(&g, "w");
+        assert!(
+            total_bytes(&ep) < total_bytes(&pp),
+            "entropy-coded {} not below fixed {}",
+            total_bytes(&ep),
+            total_bytes(&pp)
+        );
+    }
+
+    #[test]
+    fn never_inflates_beyond_framing() {
+        // Near-uniform code-words: the adapter falls back to fixed width
+        // plus a 6-byte frame.
+        let g = gradient(5000, 3);
+        let mut plain = Qsgd::new(64, 11);
+        let mut coded = EntropyCoded::new(Qsgd::new(64, 11));
+        let (pp, _) = plain.compress(&g, "w");
+        let (ep, _) = coded.compress(&g, "w");
+        assert!(total_bytes(&ep) <= total_bytes(&pp) + 16 + 128);
+    }
+
+    #[test]
+    fn passes_through_non_packed_payloads() {
+        let g = gradient(500, 4);
+        let mut coded = EntropyCoded::new(TopK::new(0.1));
+        let (out, payloads, _) = roundtrip(&mut coded, &g);
+        // Top-k payloads are F32 + U32: untouched by the adapter.
+        assert!(matches!(payloads[0], Payload::F32(_)));
+        assert!(matches!(payloads[1], Payload::U32(_)));
+        assert_eq!(out.norm0(), 50);
+        assert!(coded.name().ends_with("+EC"));
+        let _ = coded.inner();
+    }
+
+    #[test]
+    fn roundtrip_under_error_feedback() {
+        use grace_core::{Memory, ResidualMemory};
+        let mut c = EntropyCoded::new(Qsgd::new(16, 13));
+        let mut mem = ResidualMemory::new();
+        let g = gradient(256, 5);
+        for _ in 0..3 {
+            let comp = mem.compensate("w", &g);
+            let (p, ctx) = c.compress(&comp, "w");
+            let dec = c.decompress(&p, &ctx);
+            mem.update("w", &comp, &dec);
+        }
+        assert!(mem.residual("w").unwrap().norm2().is_finite());
+    }
+}

@@ -1,0 +1,149 @@
+//! LPC-SVRG's low-precision quantizer (Yu, Wu & Huang, AISTATS'19).
+
+use grace_core::{Compressor, Context, Payload};
+use grace_tensor::rng::substream;
+use grace_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The LPC (low-precision with clipping) quantizer of LPC-SVRG: a uniform
+/// codebook `ε ∈ {−2^{w−1}δ, …, −δ, 0, δ, …, (2^{w−1}−1)δ}` with gradient
+/// clipping to the codebook range and unbiased randomized rounding —
+/// `g[i] ∈ [ε, ε+δ]` rounds to `ε` with probability `(ε+δ−g[i])/δ`
+/// (paper §III-A). The scale δ adapts per tensor from `‖g‖∞`.
+///
+/// (The SVRG variance-reduction outer loop is an optimizer-schedule concern,
+/// orthogonal to the compression operator, as with Qsparse-local-SGD.)
+#[derive(Debug)]
+pub struct LpcSvrg {
+    w: u32,
+    rng: StdRng,
+}
+
+impl LpcSvrg {
+    /// Creates the quantizer with bit-width `w ∈ 2..=16` (levels `2^w`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is outside `2..=16`.
+    pub fn new(w: u32, seed: u64) -> Self {
+        assert!((2..=16).contains(&w), "bit-width must be in 2..=16");
+        LpcSvrg {
+            w,
+            rng: substream(seed, 0x19c),
+        }
+    }
+
+    /// The configured bit-width.
+    pub fn bit_width(&self) -> u32 {
+        self.w
+    }
+}
+
+impl Compressor for LpcSvrg {
+    fn name(&self) -> String {
+        format!("LPC-SVRG({})", self.w)
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        let half = 1i64 << (self.w - 1);
+        // δ sized so the positive range covers ‖g‖∞.
+        let norm = tensor.norm_inf();
+        let delta = if norm > 0.0 {
+            norm / (half - 1) as f32
+        } else {
+            1.0
+        };
+        let codes: Vec<u32> = tensor
+            .as_slice()
+            .iter()
+            .map(|&v| {
+                // Clip into the representable range, then randomized-round
+                // between the two adjacent codebook points.
+                let clipped = (v / delta).clamp(-(half as f32), (half - 1) as f32);
+                let lo = clipped.floor();
+                let p_up = clipped - lo;
+                let level = lo as i64 + i64::from(self.rng.gen::<f32>() < p_up);
+                (level.clamp(-half, half - 1) + half) as u32 // bias to 0..2^w
+            })
+            .collect();
+        (
+            vec![Payload::packed(&codes, self.w)],
+            Context::with_meta(tensor.shape().clone(), vec![delta]),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let delta = ctx.meta[0];
+        let half = 1i64 << (self.w - 1);
+        let data: Vec<f32> = payloads[0]
+            .unpack()
+            .into_iter()
+            .map(|code| (code as i64 - half) as f32 * delta)
+            .collect();
+        Tensor::new(data, ctx.shape.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn values_land_on_the_codebook_grid() {
+        let mut c = LpcSvrg::new(4, 1);
+        let g = gradient(300, 1);
+        let (out, _, ctx) = roundtrip(&mut c, &g);
+        let delta = ctx.meta[0];
+        for v in out.as_slice() {
+            let lv = v / delta;
+            assert!((lv - lv.round()).abs() < 1e-4, "off-grid {v}");
+            assert!((-8.0..=7.0).contains(&lv.round()), "out of codebook {lv}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_unbiased_within_range() {
+        let mut c = LpcSvrg::new(5, 2);
+        let g = gradient(64, 3);
+        assert_unbiased(&mut c, &g, 3000, 0.05);
+    }
+
+    #[test]
+    fn error_is_bounded_by_delta() {
+        let mut c = LpcSvrg::new(8, 3);
+        let g = gradient(500, 4);
+        let (out, _, ctx) = roundtrip(&mut c, &g);
+        let delta = ctx.meta[0];
+        for i in 0..g.len() {
+            assert!(
+                (out[i] - g[i]).abs() <= delta + 1e-6,
+                "elem {i}: err {} > δ {delta}",
+                (out[i] - g[i]).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn payload_is_w_bits_per_element() {
+        let mut c = LpcSvrg::new(4, 5);
+        let g = gradient(800, 6);
+        let (_, payloads, _) = roundtrip(&mut c, &g);
+        assert_eq!(payloads[0].encoded_bytes(), 400); // 4 bits × 800
+    }
+
+    #[test]
+    fn zero_tensor_roundtrips() {
+        let mut c = LpcSvrg::new(3, 7);
+        let g = Tensor::from_vec(vec![0.0; 10]);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        assert_eq!(out.norm_inf(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-width")]
+    fn rejects_one_bit() {
+        let _ = LpcSvrg::new(1, 0);
+    }
+}

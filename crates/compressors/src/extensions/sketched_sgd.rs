@@ -1,0 +1,147 @@
+//! Sketched-SGD (Ivkin et al., NeurIPS'19).
+
+use super::count_sketch::CountSketch;
+use grace_core::{CommStrategy, Compressor, Context, Payload};
+use grace_tensor::Tensor;
+
+/// Sketched-SGD: each worker transmits a fixed-size **count-sketch** of its
+/// gradient. Sketches are linear, so they ride `Allreduce`; the aggregated
+/// sketch is then queried for the "heavy hitters" that approximate the
+/// Top-k of the *summed* gradient (§III-B "Sketched-SGD … uses count-sketch
+/// to select the heavy hitters").
+#[derive(Debug, Clone)]
+pub struct SketchedSgd {
+    rows: usize,
+    cols: usize,
+    ratio: f64,
+}
+
+impl SketchedSgd {
+    /// Creates Sketched-SGD with a `rows × cols` sketch recovering the top
+    /// `ratio` fraction of coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or the ratio is outside `(0, 1]`.
+    pub fn new(rows: usize, cols: usize, ratio: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "sketch dimensions must be positive");
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+        SketchedSgd { rows, cols, ratio }
+    }
+
+    /// Sketch dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Effective column count for a `d`-element tensor: the configured
+    /// width, capped so the whole sketch stays well below the dense tensor
+    /// (fixed-size sketches only pay off on large tensors).
+    fn effective_cols(&self, d: usize) -> usize {
+        self.cols.min((d / (4 * self.rows)).max(2))
+    }
+}
+
+impl Compressor for SketchedSgd {
+    fn name(&self) -> String {
+        format!("SketchedSGD({}x{})", self.rows, self.cols)
+    }
+
+    fn strategy(&self) -> CommStrategy {
+        // Count-sketches are linear: summing tables sketches the summed
+        // gradient.
+        CommStrategy::Allreduce
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        let cols = self.effective_cols(tensor.len());
+        let mut sketch = CountSketch::new(self.rows, cols);
+        sketch.insert_dense(tensor.as_slice());
+        (
+            vec![Payload::F32(sketch.table().to_vec())],
+            Context::shape_only(tensor.shape().clone()),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let d = ctx.shape.len();
+        let cols = self.effective_cols(d);
+        let sketch = CountSketch::from_table(self.rows, cols, payloads[0].as_f32().to_vec());
+        let k = ((d as f64 * self.ratio).ceil() as usize).clamp(1, d);
+        // Estimate every coordinate from the sketch, keep the top-k.
+        let estimates: Vec<f32> = (0..d).map(|i| sketch.estimate(i)).collect();
+        let idx = grace_tensor::select::top_k_indices(&estimates, k);
+        let mut out = Tensor::zeros(ctx.shape.clone());
+        for &i in &idx {
+            out[i as usize] = estimates[i as usize];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn payload_size_saturates_at_the_configured_sketch() {
+        let mut c = SketchedSgd::new(5, 64, 0.05);
+        // Large tensors use the full sketch…
+        let big = gradient(10_000, 1);
+        let (p, _) = c.compress(&big, "w");
+        assert_eq!(p[0].as_f32().len(), 5 * 64);
+        // …small tensors shrink it so the sketch never dwarfs the input.
+        let small = gradient(100, 1);
+        let (p, _) = c.compress(&small, "w");
+        assert!(p[0].as_f32().len() * 4 < 100 * 4 * 2);
+    }
+
+    #[test]
+    fn recovers_dominant_coordinates() {
+        let mut c = SketchedSgd::new(7, 512, 0.01);
+        let mut g = gradient(2000, 2);
+        g.scale(0.01); // background noise
+        g[137] = 8.0;
+        g[1500] = -6.0;
+        let (p, ctx) = c.compress(&g, "w");
+        let out = c.decompress(&p, &ctx);
+        assert!((out[137] - 8.0).abs() < 1.0, "got {}", out[137]);
+        assert!((out[1500] + 6.0).abs() < 1.0, "got {}", out[1500]);
+        assert!(out.norm0() <= 20, "top-k budget exceeded: {}", out.norm0());
+    }
+
+    #[test]
+    fn aggregated_sketches_recover_summed_heavy_hitters() {
+        // Two workers with disjoint heavy hitters: the mean sketch finds
+        // both (the Allreduce path of Algorithm 1).
+        let mut c = SketchedSgd::new(7, 512, 0.005);
+        let mut a = Tensor::from_vec(vec![0.0; 1000]);
+        a[10] = 10.0;
+        let mut b = Tensor::from_vec(vec![0.0; 1000]);
+        b[700] = 12.0;
+        let (pa, ctx) = c.compress(&a, "w");
+        let (pb, _) = c.compress(&b, "w");
+        // Mean of the two tables (what the trainer's allreduce computes).
+        let mean: Vec<f32> = pa[0]
+            .as_f32()
+            .iter()
+            .zip(pb[0].as_f32())
+            .map(|(x, y)| (x + y) / 2.0)
+            .collect();
+        let out = c.decompress(&[Payload::F32(mean)], &ctx);
+        assert!((out[10] - 5.0).abs() < 1.0, "got {}", out[10]);
+        assert!((out[700] - 6.0).abs() < 1.0, "got {}", out[700]);
+    }
+
+    #[test]
+    fn strategy_is_allreduce() {
+        assert_eq!(SketchedSgd::new(3, 16, 0.1).strategy(), CommStrategy::Allreduce);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn rejects_bad_ratio() {
+        let _ = SketchedSgd::new(3, 16, 0.0);
+    }
+}

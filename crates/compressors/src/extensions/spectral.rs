@@ -1,0 +1,163 @@
+//! Spectral low-rank compression (spectral-ATOMO / GradiVeQ style, §III-D).
+
+use grace_core::{CommStrategy, Compressor, Context, Payload};
+use grace_tensor::linalg::{matmul, matmul_transpose_a, orthonormalize_columns};
+use grace_tensor::rng::{fill_gaussian, named_substream};
+use grace_tensor::Tensor;
+
+/// Truncated-SVD low-rank compression: unlike PowerSGD's single warm-started
+/// power step, this runs `iterations` rounds of subspace iteration *per
+/// gradient*, converging to the true top-`rank` singular subspace — the SVD
+/// factorization spectral-ATOMO and GradiVeQ are built on. More compute per
+/// step, better approximation per transmitted byte.
+#[derive(Debug, Clone)]
+pub struct SpectralLowRank {
+    rank: usize,
+    iterations: usize,
+}
+
+impl SpectralLowRank {
+    /// Creates the compressor with a target rank and subspace-iteration
+    /// count (3 is typically within a few percent of exact SVD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` or `iterations` is zero.
+    pub fn new(rank: usize, iterations: usize) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        assert!(iterations > 0, "need at least one iteration");
+        SpectralLowRank { rank, iterations }
+    }
+
+    /// The target rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+impl Compressor for SpectralLowRank {
+    fn name(&self) -> String {
+        format!("Spectral({})", self.rank)
+    }
+
+    fn strategy(&self) -> CommStrategy {
+        CommStrategy::Allreduce
+    }
+
+    fn compress(&mut self, tensor: &Tensor, name: &str) -> (Vec<Payload>, Context) {
+        let (m, l) = tensor.shape().as_matrix();
+        if m == 1 || l == 1 {
+            return (
+                vec![
+                    Payload::F32(tensor.as_slice().to_vec()),
+                    Payload::F32(Vec::new()),
+                ],
+                Context::with_meta(tensor.shape().clone(), vec![m as f32, l as f32, 0.0]),
+            );
+        }
+        let r = self.rank.min(m).min(l);
+        // Deterministic start so all workers iterate in the same subspace.
+        let mut rng = named_substream(0x5bec_7841, name);
+        let mut q = vec![0.0f32; l * r];
+        fill_gaussian(&mut rng, &mut q, 1.0);
+        orthonormalize_columns(&mut q, l, r);
+        let mut p = vec![0.0f32; m * r];
+        for _ in 0..self.iterations {
+            p = matmul(tensor.as_slice(), &q, m, l, r);
+            orthonormalize_columns(&mut p, m, r);
+            q = matmul_transpose_a(tensor.as_slice(), &p, m, l, r);
+            // Orthonormalize Q on all but the final round: the last Q must
+            // carry the singular values so P·Qᵀ reconstructs the gradient.
+        }
+        (
+            vec![Payload::F32(p), Payload::F32(q)],
+            Context::with_meta(tensor.shape().clone(), vec![m as f32, l as f32, r as f32]),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let m = ctx.meta[0] as usize;
+        let l = ctx.meta[1] as usize;
+        let r = ctx.meta[2] as usize;
+        if r == 0 {
+            return Tensor::new(payloads[0].as_f32().to_vec(), ctx.shape.clone());
+        }
+        let p = payloads[0].as_f32();
+        let q = payloads[1].as_f32();
+        let mut qt = vec![0.0f32; r * l];
+        for li in 0..l {
+            for ri in 0..r {
+                qt[ri * l + li] = q[li * r + ri];
+            }
+        }
+        Tensor::new(matmul(p, &qt, m, r, l), ctx.shape.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use grace_tensor::Shape;
+
+    #[test]
+    fn beats_single_step_power_iteration() {
+        // On a generic full-rank matrix, 3-round subspace iteration should
+        // approximate at least as well as PowerSGD's cold single step.
+        let g = gradient(40 * 24, 3).reshape(Shape::matrix(40, 24));
+        let mut spectral = SpectralLowRank::new(4, 3);
+        let (ps, cs) = spectral.compress(&g, "w");
+        let err_s = spectral.decompress(&ps, &cs).sub(&g).norm2();
+        let mut power = crate::PowerSgd::new(4);
+        let (pp, cp) = power.compress(&g, "w");
+        let err_p = power.decompress(&pp, &cp).sub(&g).norm2();
+        assert!(
+            err_s <= err_p * 1.05,
+            "spectral {err_s} worse than single-step power {err_p}"
+        );
+    }
+
+    #[test]
+    fn exact_on_low_rank_inputs() {
+        // Rank-2 matrix, rank-4 budget: reconstruction is (near-)exact.
+        let mut data = vec![0.0f32; 12 * 8];
+        for i in 0..12 {
+            for j in 0..8 {
+                data[i * 8 + j] =
+                    (i as f32) * (j as f32 + 1.0) + ((i * i) as f32) * 0.5 * (j as f32 - 3.0);
+            }
+        }
+        let g = Tensor::new(data, Shape::matrix(12, 8));
+        let mut c = SpectralLowRank::new(4, 4);
+        let (p, ctx) = c.compress(&g, "w");
+        let err = c.decompress(&p, &ctx).sub(&g).norm2() / g.norm2();
+        assert!(err < 1e-3, "rank-2 input not recovered: {err}");
+    }
+
+    #[test]
+    fn payload_matches_factor_sizes() {
+        let g = gradient(32 * 16, 5).reshape(Shape::matrix(32, 16));
+        let mut c = SpectralLowRank::new(4, 2);
+        let (p, _) = c.compress(&g, "w");
+        assert_eq!(p[0].as_f32().len(), 32 * 4);
+        assert_eq!(p[1].as_f32().len(), 16 * 4);
+    }
+
+    #[test]
+    fn vectors_pass_through() {
+        let g = gradient(33, 6);
+        let mut c = SpectralLowRank::new(4, 2);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        assert_eq!(out.as_slice(), g.as_slice());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let g = gradient(16 * 8, 7).reshape(Shape::matrix(16, 8));
+        let mut a = SpectralLowRank::new(2, 3);
+        let mut b = SpectralLowRank::new(2, 3);
+        let (pa, _) = a.compress(&g, "x/w");
+        let (pb, _) = b.compress(&g, "x/w");
+        assert_eq!(pa, pb);
+    }
+}

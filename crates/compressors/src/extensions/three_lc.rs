@@ -1,0 +1,213 @@
+//! 3LC (Lim, Andersen & Kaminsky, MLSys'19).
+
+use grace_core::{Compressor, Context, Payload};
+use grace_tensor::Tensor;
+
+/// 3LC: 3-value quantization with a sparsity multiplier plus aggressive
+/// lossless encoding.
+///
+/// 1. `M = s·‖g‖∞` with sparsity multiplier `s ∈ [1, 2)`: larger `s` pushes
+///    more elements to the zero code (§III-C);
+/// 2. each element quantizes to `round(g/M) ∈ {−1, 0, +1}`;
+/// 3. the trit stream is losslessly packed **5 trits per byte**
+///    (3⁵ = 243 ≤ 256) — 3LC's actual base-3⁵ encoding — after zero-run
+///    squeezing of all-zero groups (a run-length byte-code using the spare
+///    code points 243..255 for runs of up to 13 all-zero groups).
+///
+/// 3LC pairs with error compensation; the framework's
+/// [`grace_core::ResidualMemory`] provides it.
+#[derive(Debug, Clone)]
+pub struct ThreeLc {
+    s: f32,
+}
+
+/// The byte coding five zero-trits (biased code 1): `11111₃` = 121.
+const ZERO_GROUP: u8 = 121;
+const RUN_BASE: u8 = 243;
+const MAX_RUN: usize = 13; // codes 243..=255 encode runs of 1..=13 zero groups
+
+impl ThreeLc {
+    /// Creates 3LC with sparsity multiplier `s ∈ [1, 2)` (paper default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is outside `[1, 2)`.
+    pub fn new(s: f32) -> Self {
+        assert!((1.0..2.0).contains(&s), "sparsity multiplier must be in [1,2)");
+        ThreeLc { s }
+    }
+
+    /// The sparsity multiplier.
+    pub fn multiplier(&self) -> f32 {
+        self.s
+    }
+}
+
+/// Packs trits (0=−1, 1=0, 2=+1) into base-3⁵ bytes with zero-run squeezing.
+fn encode_trits(trits: &[u8]) -> Vec<u8> {
+    let mut groups: Vec<u8> = trits
+        .chunks(5)
+        .map(|chunk| {
+            let mut v: u16 = 0;
+            for i in 0..5 {
+                let t = chunk.get(i).copied().unwrap_or(1); // pad with zero-code
+                v = v * 3 + t as u16;
+            }
+            v as u8
+        })
+        .collect();
+    // Zero-run squeeze: replace runs of the all-zero group with run codes.
+    let mut out = Vec::with_capacity(groups.len());
+    let mut i = 0;
+    while i < groups.len() {
+        if groups[i] == ZERO_GROUP {
+            let mut run = 1;
+            while i + run < groups.len() && groups[i + run] == ZERO_GROUP && run < MAX_RUN {
+                run += 1;
+            }
+            out.push(RUN_BASE + (run as u8 - 1));
+            i += run;
+        } else {
+            out.push(groups[i]);
+            i += 1;
+        }
+    }
+    groups.clear();
+    out
+}
+
+/// Inverse of [`encode_trits`]; `count` is the original trit count.
+fn decode_trits(bytes: &[u8], count: usize) -> Vec<u8> {
+    let mut trits = Vec::with_capacity(count);
+    for &b in bytes {
+        if b >= RUN_BASE {
+            let run = (b - RUN_BASE) as usize + 1;
+            trits.extend(std::iter::repeat(1u8).take(run * 5));
+        } else {
+            let mut v = b as u16;
+            let mut chunk = [0u8; 5];
+            for i in (0..5).rev() {
+                chunk[i] = (v % 3) as u8;
+                v /= 3;
+            }
+            trits.extend_from_slice(&chunk);
+        }
+    }
+    trits.truncate(count);
+    trits
+}
+
+impl Compressor for ThreeLc {
+    fn name(&self) -> String {
+        format!("3LC({})", self.s)
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        let m = self.s * tensor.norm_inf();
+        let trits: Vec<u8> = tensor
+            .as_slice()
+            .iter()
+            .map(|&v| {
+                if m == 0.0 {
+                    1u8
+                } else {
+                    // round(v/M) clamped to {-1,0,1}, biased to {0,1,2}.
+                    ((v / m).round().clamp(-1.0, 1.0) as i8 + 1) as u8
+                }
+            })
+            .collect();
+        (
+            vec![Payload::Bytes(encode_trits(&trits))],
+            Context::with_meta(tensor.shape().clone(), vec![m]),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let m = ctx.meta[0];
+        let bytes = match &payloads[0] {
+            Payload::Bytes(b) => b,
+            other => panic!("expected a byte payload, got {other:?}"),
+        };
+        let data: Vec<f32> = decode_trits(bytes, ctx.shape.len())
+            .into_iter()
+            .map(|t| (t as f32 - 1.0) * m)
+            .collect();
+        Tensor::new(data, ctx.shape.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn trit_codec_roundtrips() {
+        let trits = vec![0u8, 1, 2, 2, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 0];
+        let enc = encode_trits(&trits);
+        assert_eq!(decode_trits(&enc, trits.len()), trits);
+    }
+
+    #[test]
+    fn zero_runs_squeeze_hard() {
+        // 100 all-zero trits = 20 zero groups -> 2 run bytes.
+        let trits = vec![1u8; 100];
+        let enc = encode_trits(&trits);
+        assert_eq!(enc.len(), 2, "got {} bytes", enc.len());
+        assert_eq!(decode_trits(&enc, 100), trits);
+    }
+
+    #[test]
+    fn quantizes_to_three_levels() {
+        let mut c = ThreeLc::new(1.0);
+        let g = Tensor::from_vec(vec![1.0, -0.9, 0.1, -0.2, 0.6]);
+        let (out, _, ctx) = roundtrip(&mut c, &g);
+        let m = ctx.meta[0];
+        assert_eq!(m, 1.0);
+        assert_eq!(out.as_slice(), &[m, -m, 0.0, 0.0, m]);
+    }
+
+    #[test]
+    fn larger_multiplier_zeroes_more() {
+        let g = gradient(2000, 1);
+        let count_nonzero = |s: f32| {
+            let mut c = ThreeLc::new(s);
+            let (p, ctx) = c.compress(&g, "w");
+            c.decompress(&p, &ctx).norm0()
+        };
+        assert!(count_nonzero(1.9) <= count_nonzero(1.0));
+    }
+
+    #[test]
+    fn sparse_gradients_compress_below_two_bits_per_element() {
+        let mut g = gradient(10_000, 2);
+        // Make it realistic: most mass near zero relative to the max.
+        g.scale(1.0);
+        g[17] = 50.0; // a dominant element pushes most trits to the zero code
+        let mut c = ThreeLc::new(1.0);
+        let (p, _) = c.compress(&g, "w");
+        let bytes = p[0].encoded_bytes();
+        assert!(bytes * 8 < 10_000, "not lossless-squeezed: {bytes} bytes");
+    }
+
+    #[test]
+    fn roundtrip_on_random_gradients() {
+        let mut c = ThreeLc::new(1.2);
+        let g = gradient(777, 3);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        // Every output value is in {-M, 0, M}.
+        let m = 1.2 * g.norm_inf();
+        for v in out.as_slice() {
+            assert!(
+                *v == 0.0 || (v.abs() - m).abs() < 1e-5,
+                "non-ternary output {v}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity multiplier")]
+    fn rejects_bad_multiplier() {
+        let _ = ThreeLc::new(2.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Variance-based sparsification (Wangni et al., NeurIPS'18).
+
+use grace_core::{Compressor, Context, Payload};
+use grace_tensor::rng::substream;
+use grace_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Unbiased sparse coding: each element survives with probability
+/// `pᵢ = min(1, |gᵢ|/λ)` and is scaled by `1/pᵢ` when it does, so
+/// `E[g̃] = g`. The scale λ is chosen so the *expected* number of survivors
+/// matches a target budget `k = ⌈ratio·d⌉`, maximising sparsity subject to a
+/// variance bound (§III-B "Variance-based sparsification").
+#[derive(Debug)]
+pub struct VarianceSparsifier {
+    ratio: f64,
+    rng: StdRng,
+}
+
+impl VarianceSparsifier {
+    /// Creates the sparsifier with an expected-survivor ratio in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is outside `(0, 1]`.
+    pub fn new(ratio: f64, seed: u64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+        VarianceSparsifier {
+            ratio,
+            rng: substream(seed, 0x7a2),
+        }
+    }
+
+    /// The expected survivor ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Finds λ such that `Σ min(1, |gᵢ|/λ) ≈ budget` by bisection on λ.
+    fn solve_lambda(values: &[f32], budget: f64) -> f32 {
+        let max = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if max == 0.0 {
+            return 1.0;
+        }
+        let expected = |lambda: f32| -> f64 {
+            values
+                .iter()
+                .map(|v| f64::from((v.abs() / lambda).min(1.0)))
+                .sum()
+        };
+        let mut lo = max * 1e-8;
+        // λ may exceed ‖g‖∞ (all pᵢ < 1): grow the bracket until the
+        // expected count is at or below the budget.
+        let mut hi = max;
+        while expected(hi) > budget && hi < max * 1e9 {
+            hi *= 2.0;
+        }
+        // Expected count is monotone decreasing in λ.
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if expected(mid) > budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+impl Compressor for VarianceSparsifier {
+    fn name(&self) -> String {
+        format!("Variance({})", self.ratio)
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        let d = tensor.len();
+        let budget = (d as f64 * self.ratio).max(1.0);
+        let lambda = Self::solve_lambda(tensor.as_slice(), budget);
+        let mut values = Vec::new();
+        let mut indices = Vec::new();
+        for (i, &v) in tensor.as_slice().iter().enumerate() {
+            if !v.is_finite() {
+                continue; // a diverged coordinate must not flood the wire
+            }
+            let p = (v.abs() / lambda).min(1.0);
+            if p > 0.0 && self.rng.gen::<f32>() < p {
+                values.push(v / p);
+                indices.push(i as u32);
+            }
+        }
+        (
+            vec![Payload::F32(values), Payload::U32(indices)],
+            Context::shape_only(tensor.shape().clone()),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let mut out = Tensor::zeros(ctx.shape.clone());
+        for (&v, &i) in payloads[0].as_f32().iter().zip(payloads[1].as_u32()) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    fn supports_error_feedback(&self) -> bool {
+        false // unbiased: EF is unnecessary by design
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn survivor_count_matches_budget_in_expectation() {
+        let mut c = VarianceSparsifier::new(0.1, 1);
+        let g = gradient(2000, 1);
+        let mut total = 0usize;
+        let reps = 50;
+        for _ in 0..reps {
+            let (p, _) = c.compress(&g, "w");
+            total += p[1].as_u32().len();
+        }
+        let mean = total as f64 / reps as f64;
+        let budget = 200.0;
+        assert!(
+            (mean - budget).abs() < budget * 0.25,
+            "mean survivors {mean} vs budget {budget}"
+        );
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let mut c = VarianceSparsifier::new(0.25, 2);
+        let g = gradient(128, 3);
+        assert_unbiased(&mut c, &g, 3000, 0.1);
+    }
+
+    #[test]
+    fn large_elements_always_survive_unscaled() {
+        // Elements with p=1 are transmitted exactly.
+        let mut c = VarianceSparsifier::new(0.5, 3);
+        let g = Tensor::from_vec(vec![100.0, 0.001, 0.001, 0.001]);
+        for _ in 0..10 {
+            let (p, ctx) = c.compress(&g, "w");
+            let out = c.decompress(&p, &ctx);
+            assert_eq!(out[0], 100.0, "dominant element must be exact");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_sends_nothing() {
+        let mut c = VarianceSparsifier::new(0.1, 4);
+        let g = Tensor::from_vec(vec![0.0; 64]);
+        let (p, ctx) = c.compress(&g, "w");
+        assert!(p[0].as_f32().is_empty());
+        assert_eq!(c.decompress(&p, &ctx).norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn lambda_bisection_is_monotone_correct() {
+        let values = vec![1.0f32, 0.5, 0.25, 0.125];
+        let l = VarianceSparsifier::solve_lambda(&values, 2.0);
+        let expected: f64 = values.iter().map(|v| f64::from((v / l).min(1.0))).sum();
+        assert!((expected - 2.0).abs() < 0.05, "expected count {expected}");
+    }
+}

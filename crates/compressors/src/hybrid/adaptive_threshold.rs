@@ -1,0 +1,145 @@
+//! Adaptive-threshold quantization (Dryden et al., MLHPC'16).
+
+use grace_core::{Compressor, Context, Payload};
+use grace_tensor::Tensor;
+
+/// Adaptive-threshold SGD: instead of a fixed τ, a ratio `α < 1` fixes the
+/// *proportion* of positive and negative elements kept each iteration. Two
+/// thresholds `τ⁺`, `τ⁻` are derived per mini-batch; kept elements are
+/// quantized to the mean of their group (the GRACE implementation sends just
+/// the two means plus the selected index lists — §IV-C "Adaptive").
+#[derive(Debug, Clone)]
+pub struct AdaptiveThreshold {
+    alpha: f64,
+}
+
+impl AdaptiveThreshold {
+    /// Creates the compressor keeping an `alpha` fraction of each sign group
+    /// (paper microbenchmarks use 0.01).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        AdaptiveThreshold { alpha }
+    }
+
+    /// The configured keep ratio.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Selects the `⌈α·len⌉` largest-magnitude entries of one sign group and
+/// returns (indices, mean value).
+fn select_group(entries: &mut Vec<(u32, f32)>, alpha: f64) -> (Vec<u32>, f32) {
+    if entries.is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    let keep = ((entries.len() as f64 * alpha).ceil() as usize).clamp(1, entries.len());
+    entries.sort_by(|a, b| {
+        b.1.abs()
+            .partial_cmp(&a.1.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let kept = &entries[..keep];
+    let mean = kept.iter().map(|(_, v)| *v).sum::<f32>() / keep as f32;
+    let mut idx: Vec<u32> = kept.iter().map(|(i, _)| *i).collect();
+    idx.sort_unstable();
+    (idx, mean)
+}
+
+impl Compressor for AdaptiveThreshold {
+    fn name(&self) -> String {
+        format!("Adaptive({})", self.alpha)
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        let mut pos: Vec<(u32, f32)> = Vec::new();
+        let mut neg: Vec<(u32, f32)> = Vec::new();
+        for (i, &v) in tensor.as_slice().iter().enumerate() {
+            if v > 0.0 {
+                pos.push((i as u32, v));
+            } else if v < 0.0 {
+                neg.push((i as u32, v));
+            }
+        }
+        let (pos_idx, pos_mean) = select_group(&mut pos, self.alpha);
+        let (neg_idx, neg_mean) = select_group(&mut neg, self.alpha);
+        (
+            vec![Payload::U32(pos_idx), Payload::U32(neg_idx)],
+            Context::with_meta(tensor.shape().clone(), vec![pos_mean, neg_mean]),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let (pos_mean, neg_mean) = (ctx.meta[0], ctx.meta[1]);
+        let mut out = Tensor::zeros(ctx.shape.clone());
+        for &i in payloads[0].as_u32() {
+            out[i as usize] = pos_mean;
+        }
+        for &i in payloads[1].as_u32() {
+            out[i as usize] = neg_mean;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn keeps_alpha_fraction_per_sign_group() {
+        let mut c = AdaptiveThreshold::new(0.5);
+        let g = Tensor::from_vec(vec![4.0, 1.0, 2.0, 3.0, -8.0, -1.0, -2.0, -4.0]);
+        let (out, payloads, ctx) = roundtrip(&mut c, &g);
+        // Positive group keeps {4.0, 3.0} -> mean 3.5 at indices 0, 3.
+        assert_eq!(payloads[0].as_u32(), &[0, 3]);
+        assert_eq!(ctx.meta[0], 3.5);
+        // Negative group keeps {-8.0, -4.0} -> mean -6.0 at indices 4, 7.
+        assert_eq!(payloads[1].as_u32(), &[4, 7]);
+        assert_eq!(ctx.meta[1], -6.0);
+        assert_eq!(out[0], 3.5);
+        assert_eq!(out[4], -6.0);
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn handles_single_signed_inputs() {
+        let mut c = AdaptiveThreshold::new(0.5);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let (out, _, ctx) = roundtrip(&mut c, &g);
+        assert_eq!(ctx.meta[1], 0.0, "empty negative group mean is 0");
+        assert!(out.norm0() == 2);
+    }
+
+    #[test]
+    fn zero_tensor_sends_nothing() {
+        let mut c = AdaptiveThreshold::new(0.1);
+        let g = Tensor::from_vec(vec![0.0; 10]);
+        let (out, payloads, _) = roundtrip(&mut c, &g);
+        assert_eq!(out.norm_inf(), 0.0);
+        assert_eq!(payloads[0].encoded_bytes() + payloads[1].encoded_bytes(), 0);
+    }
+
+    #[test]
+    fn volume_scales_with_alpha() {
+        let mut tight = AdaptiveThreshold::new(0.01);
+        let mut loose = AdaptiveThreshold::new(0.5);
+        let g = gradient(2000, 1);
+        let (pt, _) = tight.compress(&g, "w");
+        let (pl, _) = loose.compress(&g, "w");
+        let bt: usize = pt.iter().map(|p| p.encoded_bytes()).sum();
+        let bl: usize = pl.iter().map(|p| p.encoded_bytes()).sum();
+        assert!(bt * 10 < bl, "alpha=0.01 ({bt}B) vs alpha=0.5 ({bl}B)");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = AdaptiveThreshold::new(0.0);
+    }
+}

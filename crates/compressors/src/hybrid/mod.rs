@@ -1,0 +1,7 @@
+//! Hybrid methods (paper §III-C): quantization combined with sparsification.
+
+mod adaptive_threshold;
+mod sketch_ml;
+
+pub use adaptive_threshold::AdaptiveThreshold;
+pub use sketch_ml::SketchMl;

@@ -1,0 +1,194 @@
+//! SketchML (Jiang et al., SIGMOD'18).
+
+use grace_core::{Compressor, Context, Payload};
+use grace_tensor::sketch::{bucket_of, GkSketch};
+use grace_tensor::Tensor;
+
+/// SketchML: sparsify to the non-zero elements, summarize their value
+/// distribution with a Greenwald–Khanna quantile sketch, bucket each value
+/// into equi-depth buckets, and transmit (bucket-index, element-index) pairs
+/// plus the bucket boundaries. Values decode to their bucket's midpoint.
+///
+/// Bucket indices are bit-packed at `⌈log₂ buckets⌉` bits; the boundary list
+/// (buckets + 1 scalars) rides in the context.
+#[derive(Debug, Clone)]
+pub struct SketchMl {
+    buckets: usize,
+    epsilon: f64,
+}
+
+impl SketchMl {
+    /// Creates SketchML with `buckets` quantile buckets (paper default 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets < 2`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 2, "need at least two buckets");
+        SketchMl {
+            buckets,
+            epsilon: 0.01,
+        }
+    }
+
+    /// The configured bucket count.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    fn bucket_bits(&self) -> u32 {
+        usize::BITS - (self.buckets - 1).leading_zeros()
+    }
+}
+
+impl Compressor for SketchMl {
+    fn name(&self) -> String {
+        format!("SketchML({})", self.buckets)
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        let (values, indices) = tensor.nonzero();
+        // Build the quantile sketch over the non-zero values.
+        let mut sketch = GkSketch::new(self.epsilon);
+        sketch.extend_from_slice(&values);
+        let boundaries = if values.is_empty() {
+            vec![0.0; self.buckets + 1]
+        } else {
+            sketch.equi_depth_boundaries(self.buckets)
+        };
+        let codes: Vec<u32> = values
+            .iter()
+            .map(|&v| bucket_of(&boundaries, v) as u32)
+            .collect();
+        // SketchML also compresses the element indices ("hashing" in the
+        // paper); sorted indices delta-encode into few bits per entry.
+        let mut deltas = Vec::with_capacity(indices.len());
+        let mut prev = 0u32;
+        for (pos, &i) in indices.iter().enumerate() {
+            deltas.push(if pos == 0 { i } else { i - prev });
+            prev = i;
+        }
+        let delta_bits = deltas
+            .iter()
+            .map(|d| 32 - d.leading_zeros())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut meta = boundaries;
+        (
+            vec![
+                Payload::packed(&codes, self.bucket_bits()),
+                Payload::packed(&deltas, delta_bits),
+            ],
+            Context::with_meta(tensor.shape().clone(), {
+                meta.shrink_to_fit();
+                meta
+            }),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let boundaries = &ctx.meta;
+        let codes = payloads[0].unpack();
+        let deltas = payloads[1].unpack();
+        let mut out = Tensor::zeros(ctx.shape.clone());
+        let mut index = 0u32;
+        for (pos, code) in codes.into_iter().enumerate() {
+            index = if pos == 0 { deltas[pos] } else { index + deltas[pos] };
+            let b = code as usize;
+            let mid = 0.5 * (boundaries[b] + boundaries[b + 1]);
+            out[index as usize] = mid;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn bucket_bits() {
+        assert_eq!(SketchMl::new(64).bucket_bits(), 6);
+        assert_eq!(SketchMl::new(256).bucket_bits(), 8);
+        assert_eq!(SketchMl::new(2).bucket_bits(), 1);
+    }
+
+    #[test]
+    fn zeros_are_skipped_entirely() {
+        let mut c = SketchMl::new(4);
+        let g = Tensor::from_vec(vec![0.0, 1.0, 0.0, -1.0]);
+        let (out, payloads, _) = roundtrip(&mut c, &g);
+        assert_eq!(payloads[1].unpack(), vec![1, 2]); // delta-coded {1, 3}
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[2], 0.0);
+    }
+
+    #[test]
+    fn reconstruction_error_is_within_bucket_width() {
+        let mut c = SketchMl::new(64);
+        let g = gradient(2000, 1);
+        let (out, _, ctx) = roundtrip(&mut c, &g);
+        // Every reconstructed value lies within its bucket, so the error is
+        // at most the width of the widest bucket containing the value.
+        let bounds = &ctx.meta;
+        for i in 0..g.len() {
+            if g[i] == 0.0 {
+                continue;
+            }
+            let b = grace_tensor::sketch::bucket_of(bounds, g[i]);
+            let width = (bounds[b + 1] - bounds[b]).abs() + 1e-5;
+            assert!(
+                (out[i] - g[i]).abs() <= width,
+                "elem {i}: err {} > bucket width {width}",
+                (out[i] - g[i]).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn volume_is_codes_plus_packed_indices_plus_boundaries() {
+        let mut c = SketchMl::new(64);
+        let g = gradient(1000, 2);
+        let nz = g.norm0();
+        let (_, payloads, ctx) = roundtrip(&mut c, &g);
+        assert_eq!(payloads[0].encoded_bytes(), (nz * 6).div_ceil(8));
+        // Delta-packed indices must beat the raw 4-byte-per-index encoding.
+        assert!(payloads[1].encoded_bytes() < nz * 4);
+        assert_eq!(ctx.meta_bytes(), 65 * 4);
+    }
+
+    #[test]
+    fn empty_and_all_zero_inputs() {
+        let mut c = SketchMl::new(8);
+        let g = Tensor::from_vec(vec![0.0; 12]);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        assert_eq!(out.norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn preserves_value_ordering_statistics() {
+        // Equi-depth bucketing keeps the median roughly right.
+        let mut c = SketchMl::new(32);
+        let g = gradient(5000, 3);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        let mut orig: Vec<f32> = g.as_slice().to_vec();
+        let mut rec: Vec<f32> = out.as_slice().to_vec();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rec.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = orig.len() / 2;
+        assert!(
+            (orig[mid] - rec[mid]).abs() < 0.05,
+            "median drifted: {} vs {}",
+            orig[mid],
+            rec[mid]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two buckets")]
+    fn rejects_one_bucket() {
+        let _ = SketchMl::new(1);
+    }
+}

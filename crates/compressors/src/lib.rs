@@ -1,0 +1,89 @@
+//! The 16 gradient-compression methods of the paper's Table I, implemented
+//! against the GRACE API (`grace-core`).
+//!
+//! | Class | Methods |
+//! |---|---|
+//! | Quantization | [`EightBit`], [`OneBit`], [`SignSgd`], [`Signum`], [`Qsgd`], [`Natural`], [`TernGrad`], [`EfSignSgd`], [`Inceptionn`] |
+//! | Sparsification | [`RandomK`], [`TopK`], [`ThresholdV`], [`Dgc`] |
+//! | Hybrid | [`AdaptiveThreshold`], [`SketchMl`] |
+//! | Low rank | [`PowerSgd`] |
+//!
+//! Every method produces byte-exact payloads (bit-packed where the method
+//! packs) and declares its communication strategy; randomized methods own a
+//! seeded RNG so runs are reproducible. [`registry::all_specs`] exposes the
+//! full Table-I metadata plus per-worker builders.
+//!
+//! # Example
+//!
+//! ```
+//! use grace_compressors::TopK;
+//! use grace_core::Compressor;
+//! use grace_tensor::Tensor;
+//!
+//! let mut topk = TopK::new(0.5); // keep the 2 largest of 4
+//! let g = Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0]);
+//! let (payloads, ctx) = topk.compress(&g, "w");
+//! let restored = topk.decompress(&payloads, &ctx);
+//! assert_eq!(restored.as_slice(), &[0.0, -5.0, 0.0, 3.0]);
+//! ```
+
+pub mod extensions;
+pub mod hybrid;
+pub mod lowrank;
+pub mod quantization;
+pub mod registry;
+pub mod sparsification;
+
+pub use extensions::{QsparseLocal, SketchedSgd, SpectralLowRank, ThreeLc, VarianceSparsifier};
+pub use hybrid::{AdaptiveThreshold, SketchMl};
+pub use lowrank::PowerSgd;
+pub use quantization::{
+    EfSignSgd, EightBit, Inceptionn, Natural, OneBit, Qsgd, SignSgd, Signum, TernGrad,
+};
+pub use sparsification::{Dgc, RandomK, ThresholdV, TopK};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use grace_core::{Compressor, Context, Payload};
+    use grace_tensor::rng::seeded;
+    use grace_tensor::{Shape, Tensor};
+    use rand::Rng;
+
+    /// A reproducible gradient-like tensor (roughly Gaussian magnitudes).
+    pub fn gradient(len: usize, seed: u64) -> Tensor {
+        let mut rng = seeded(seed);
+        let data: Vec<f32> = (0..len)
+            .map(|_| {
+                let u: f32 = rng.gen_range(-1.0..1.0);
+                u * u * u // heavier mass near zero, like real gradients
+            })
+            .collect();
+        Tensor::new(data, Shape::vector(len))
+    }
+
+    /// Round-trips and checks the reconstruction keeps shape and is finite.
+    pub fn roundtrip(c: &mut dyn Compressor, t: &Tensor) -> (Tensor, Vec<Payload>, Context) {
+        let (payloads, ctx) = c.compress(t, "test/w");
+        let out = c.decompress(&payloads, &ctx);
+        assert_eq!(out.shape(), t.shape(), "shape not preserved");
+        assert!(out.is_finite(), "reconstruction has non-finite values");
+        (out, payloads, ctx)
+    }
+
+    /// Statistical unbiasedness check: mean of many compressions ≈ input.
+    pub fn assert_unbiased(c: &mut dyn Compressor, t: &Tensor, reps: usize, tol: f32) {
+        let mut acc = t.zeros_like();
+        for _ in 0..reps {
+            let (p, ctx) = c.compress(t, "test/w");
+            acc.add_assign(&c.decompress(&p, &ctx));
+        }
+        acc.scale(1.0 / reps as f32);
+        let err = acc.sub(t).norm2();
+        let scale = t.norm2().max(1e-6);
+        assert!(
+            err / scale < tol,
+            "bias too large: relative error {} (tol {tol})",
+            err / scale
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Low-rank methods (paper §III-D): factorize the gradient matrix.
+
+mod power_sgd;
+
+pub use power_sgd::PowerSgd;

@@ -1,0 +1,209 @@
+//! PowerSGD (Vogels et al., NeurIPS'19).
+
+use grace_core::{CommStrategy, Compressor, Context, Payload};
+use grace_tensor::linalg::{matmul, matmul_transpose_a, orthonormalize_columns};
+use grace_tensor::rng::{fill_gaussian, named_substream};
+use grace_tensor::Tensor;
+#[cfg(test)]
+use grace_tensor::Shape;
+use std::collections::HashMap;
+
+/// PowerSGD: views each gradient as an `m×l` matrix `M` and maintains a
+/// rank-`r` factorization by one step of power iteration per training step:
+///
+/// ```text
+/// P = M·Q_prev;  orthonormalize(P);  Q = Mᵀ·P;  transmit (P, Q)
+/// ```
+///
+/// Both factors are dense `f32` buffers of identical shape on every worker,
+/// so they ride `Allreduce` (averaged while compressed — Algorithm 1 lines
+/// 8–9); decompression is `P·Qᵀ`. The reused `Q` warm-starts the next power
+/// iteration (per-tensor state, deterministically initialised from the
+/// tensor name so all workers start in the same subspace). The estimator is
+/// biased; the paper pairs it with error feedback.
+#[derive(Debug)]
+pub struct PowerSgd {
+    rank: usize,
+    q_state: HashMap<String, Vec<f32>>,
+}
+
+impl PowerSgd {
+    /// Creates PowerSGD with target rank `rank` (the paper's evaluation uses
+    /// rank 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank == 0`.
+    pub fn new(rank: usize) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        PowerSgd {
+            rank,
+            q_state: HashMap::new(),
+        }
+    }
+
+    /// The configured target rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn effective_rank(&self, m: usize, l: usize) -> usize {
+        self.rank.min(m).min(l).max(1)
+    }
+}
+
+impl Compressor for PowerSgd {
+    fn name(&self) -> String {
+        format!("PowerSGD({})", self.rank)
+    }
+
+    fn strategy(&self) -> CommStrategy {
+        CommStrategy::Allreduce
+    }
+
+    fn compress(&mut self, tensor: &Tensor, name: &str) -> (Vec<Payload>, Context) {
+        let (m, l) = tensor.shape().as_matrix();
+        if m == 1 || l == 1 {
+            // Rank-1-shaped tensors (biases, vectors) cannot be factorized
+            // smaller; the original PowerSGD aggregates them uncompressed.
+            return (
+                vec![
+                    Payload::F32(tensor.as_slice().to_vec()),
+                    Payload::F32(Vec::new()),
+                ],
+                Context::with_meta(tensor.shape().clone(), vec![m as f32, l as f32, 0.0]),
+            );
+        }
+        let r = self.effective_rank(m, l);
+        let q = self.q_state.entry(name.to_string()).or_insert_with(|| {
+            // Deterministic per-name init: every worker starts with the same
+            // Q, keeping the aggregated factors meaningful.
+            let mut rng = named_substream(POWER_SEED, name);
+            let mut q = vec![0.0f32; l * r];
+            fill_gaussian(&mut rng, &mut q, 1.0);
+            orthonormalize_columns(&mut q, l, r);
+            q
+        });
+        // One step of subspace iteration.
+        let mut p = matmul(tensor.as_slice(), q, m, l, r);
+        orthonormalize_columns(&mut p, m, r);
+        let q_new = matmul_transpose_a(tensor.as_slice(), &p, m, l, r); // Q = Mᵀ·P : l×r
+        *q = q_new.clone();
+        (
+            vec![Payload::F32(p), Payload::F32(q_new)],
+            Context::with_meta(
+                tensor.shape().clone(),
+                vec![m as f32, l as f32, r as f32],
+            ),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let m = ctx.meta[0] as usize;
+        let l = ctx.meta[1] as usize;
+        let r = ctx.meta[2] as usize;
+        if r == 0 {
+            // Uncompressed passthrough for rank-1-shaped tensors.
+            return Tensor::new(payloads[0].as_f32().to_vec(), ctx.shape.clone());
+        }
+        let p = payloads[0].as_f32();
+        let q = payloads[1].as_f32();
+        // ĝ = P·Qᵀ : (m×r)·(r×l).
+        let mut qt = vec![0.0f32; r * l];
+        for li in 0..l {
+            for ri in 0..r {
+                qt[ri * l + li] = q[li * r + ri];
+            }
+        }
+        let data = matmul(p, &qt, m, r, l);
+        Tensor::new(data, ctx.shape.clone())
+    }
+
+    fn supports_error_feedback(&self) -> bool {
+        true
+    }
+}
+
+/// Seed constant for the shared Q initialisation (same on all workers).
+const POWER_SEED: u64 = 0x9067_25D4_C0FF_EE00;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn exactly_recovers_rank_one_matrices() {
+        let mut c = PowerSgd::new(2);
+        // M = u·vᵀ is rank 1; rank-2 PowerSGD must capture it (after one
+        // iteration from a random but full-rank Q).
+        let u = [1.0f32, -2.0, 0.5, 3.0];
+        let v = [2.0f32, 1.0, -1.0];
+        let mut data = vec![0.0f32; 12];
+        for i in 0..4 {
+            for j in 0..3 {
+                data[i * 3 + j] = u[i] * v[j];
+            }
+        }
+        let g = Tensor::new(data.clone(), Shape::matrix(4, 3));
+        let (p, ctx) = c.compress(&g, "w");
+        let out = c.decompress(&p, &ctx);
+        let err = out.sub(&g).norm2() / g.norm2();
+        assert!(err < 1e-4, "rank-1 matrix not recovered: rel err {err}");
+    }
+
+    #[test]
+    fn payload_size_is_m_plus_l_times_r() {
+        let mut c = PowerSgd::new(4);
+        let g = gradient(32 * 16, 1).reshape(Shape::matrix(32, 16));
+        let (_, payloads, _) = roundtrip(&mut c, &g);
+        assert_eq!(payloads[0].as_f32().len(), 32 * 4); // P: m×r
+        assert_eq!(payloads[1].as_f32().len(), 16 * 4); // Q: l×r
+        let bytes: usize = payloads.iter().map(|p| p.encoded_bytes()).sum();
+        assert_eq!(bytes, (32 + 16) * 4 * 4);
+        assert!(bytes < 32 * 16 * 4, "must beat the dense gradient");
+    }
+
+    #[test]
+    fn warm_started_q_improves_approximation() {
+        let mut c = PowerSgd::new(2);
+        let g = gradient(24 * 12, 3).reshape(Shape::matrix(24, 12));
+        let mut errs = Vec::new();
+        for _ in 0..6 {
+            let (p, ctx) = c.compress(&g, "w");
+            let out = c.decompress(&p, &ctx);
+            errs.push(out.sub(&g).norm2() / g.norm2());
+        }
+        assert!(
+            errs.last().unwrap() <= errs.first().unwrap(),
+            "power iteration should not regress: {errs:?}"
+        );
+        // Error must approach the best rank-2 approximation (strictly below 1).
+        assert!(errs.last().unwrap() < &0.95);
+    }
+
+    #[test]
+    fn vector_tensors_pass_through_uncompressed() {
+        let mut c = PowerSgd::new(4);
+        let g = gradient(17, 4); // shape [17] -> matrix (17, 1)
+        let (out, payloads, _) = roundtrip(&mut c, &g);
+        assert_eq!(payloads[0].as_f32().len(), 17);
+        assert_eq!(payloads[1].as_f32().len(), 0);
+        assert_eq!(out.as_slice(), g.as_slice(), "passthrough must be exact");
+    }
+
+    #[test]
+    fn two_workers_share_initial_subspace() {
+        let g = gradient(8 * 8, 5).reshape(Shape::matrix(8, 8));
+        let mut a = PowerSgd::new(2);
+        let mut b = PowerSgd::new(2);
+        let (pa, _) = a.compress(&g, "layer/w");
+        let (pb, _) = b.compress(&g, "layer/w");
+        assert_eq!(pa, pb, "same name + same input must give same factors");
+    }
+
+    #[test]
+    fn strategy_is_allreduce() {
+        assert_eq!(PowerSgd::new(1).strategy(), CommStrategy::Allreduce);
+    }
+}

@@ -1,0 +1,150 @@
+//! Natural compression (Horváth et al., 2019).
+
+use grace_core::{Compressor, Context, Payload};
+use grace_tensor::rng::substream;
+use grace_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Exponent bias for the 8-bit exponent code (same convention as IEEE-754
+/// single precision).
+const BIAS: i32 = 127;
+
+/// Natural compression: randomized rounding of each magnitude to one of the
+/// two nearest integer powers of two, keeping the rounding unbiased:
+/// `|v| ∈ [2^e, 2^(e+1))` rounds up with probability `(|v| − 2^e)/2^e`.
+///
+/// Each element is encoded as 1 sign bit + 8 exponent bits (9 bits packed);
+/// zero uses the all-zero exponent code.
+#[derive(Debug)]
+pub struct Natural {
+    rng: StdRng,
+}
+
+impl Natural {
+    /// Creates the compressor with an RNG seed for the randomized rounding.
+    pub fn new(seed: u64) -> Self {
+        Natural {
+            rng: substream(seed, 0x0a70_ca1),
+        }
+    }
+}
+
+impl Compressor for Natural {
+    fn name(&self) -> String {
+        "Natural".to_string()
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        let codes: Vec<u32> = tensor
+            .as_slice()
+            .iter()
+            .map(|&v| {
+                if v == 0.0 || !v.is_finite() {
+                    return 0u32; // code 0 = exact zero
+                }
+                let sign = u32::from(v < 0.0);
+                let mag = v.abs();
+                let e = mag.log2().floor();
+                let lo = 2.0f32.powf(e);
+                let p = (mag - lo) / lo;
+                let exp = e as i32 + i32::from(self.rng.gen::<f32>() < p);
+                // Clamp to the representable exponent range [−126, 127].
+                let stored = (exp + BIAS).clamp(1, 255) as u32;
+                (sign << 8) | stored
+            })
+            .collect();
+        (
+            vec![Payload::packed(&codes, 9)],
+            Context::shape_only(tensor.shape().clone()),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        let data: Vec<f32> = payloads[0]
+            .unpack()
+            .into_iter()
+            .map(|code| {
+                let stored = code & 0xFF;
+                if stored == 0 {
+                    return 0.0;
+                }
+                let sign = if code >> 8 == 1 { -1.0f32 } else { 1.0 };
+                sign * 2.0f32.powi(stored as i32 - BIAS)
+            })
+            .collect();
+        Tensor::new(data, ctx.shape.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn outputs_are_powers_of_two() {
+        let mut c = Natural::new(1);
+        let g = gradient(300, 1);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        for i in 0..out.len() {
+            if out[i] != 0.0 {
+                let l = out[i].abs().log2();
+                assert!((l - l.round()).abs() < 1e-6, "{} is not a power of 2", out[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_brackets_the_input() {
+        let mut c = Natural::new(2);
+        let g = Tensor::from_vec(vec![0.3, -1.7, 5.0, 0.9]);
+        for _ in 0..50 {
+            let (p, ctx) = c.compress(&g, "w");
+            let out = c.decompress(&p, &ctx);
+            for i in 0..g.len() {
+                let mag = g[i].abs();
+                let lo = 2.0f32.powf(mag.log2().floor());
+                let hi = lo * 2.0;
+                assert!(
+                    (out[i].abs() - lo).abs() < 1e-6 || (out[i].abs() - hi).abs() < 1e-6,
+                    "{} not in {{{lo},{hi}}}",
+                    out[i].abs()
+                );
+                assert_eq!(out[i].signum(), g[i].signum());
+            }
+        }
+    }
+
+    #[test]
+    fn natural_is_unbiased() {
+        let mut c = Natural::new(3);
+        let g = gradient(64, 5);
+        assert_unbiased(&mut c, &g, 4000, 0.05);
+    }
+
+    #[test]
+    fn exact_powers_are_preserved() {
+        let mut c = Natural::new(4);
+        let g = Tensor::from_vec(vec![1.0, -0.5, 4.0, 0.0]);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        assert_eq!(out.as_slice(), &[1.0, -0.5, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn payload_is_nine_bits_per_element() {
+        let mut c = Natural::new(5);
+        let g = gradient(800, 6);
+        let (_, payloads, ctx) = roundtrip(&mut c, &g);
+        assert_eq!(payloads[0].encoded_bytes(), 900); // 9 bits × 800
+        assert_eq!(ctx.meta_bytes(), 0);
+    }
+
+    #[test]
+    fn tiny_values_clamp_instead_of_vanishing() {
+        let mut c = Natural::new(6);
+        let g = Tensor::from_vec(vec![1e-45f32.max(f32::MIN_POSITIVE)]);
+        let (out, _, _) = roundtrip(&mut c, &g);
+        assert!(out[0] > 0.0, "subnormal collapsed to zero sign info lost");
+    }
+}

@@ -1,0 +1,208 @@
+//! The compressor API (paper §IV-B).
+
+use crate::payload::Payload;
+use grace_tensor::{Shape, Tensor};
+
+/// Opaque decompression context: everything `decompress` needs to restore a
+/// tensor of the original shape and dtype (paper: "ctx").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Context {
+    /// Shape of the original gradient tensor.
+    pub shape: Shape,
+    /// Method-specific scalar metadata (norms, means, thresholds, …).
+    ///
+    /// These scalars travel with the payload; their bytes are charged to the
+    /// data volume by the trainer (4 bytes each).
+    pub meta: Vec<f32>,
+}
+
+impl Context {
+    /// Context carrying only the original shape.
+    pub fn shape_only(shape: Shape) -> Self {
+        Context {
+            shape,
+            meta: Vec::new(),
+        }
+    }
+
+    /// Context with shape and scalar metadata.
+    pub fn with_meta(shape: Shape, meta: Vec<f32>) -> Self {
+        Context { shape, meta }
+    }
+
+    /// Transmitted bytes of the metadata scalars.
+    pub fn meta_bytes(&self) -> usize {
+        self.meta.len() * 4
+    }
+}
+
+/// Which collective the compressor's payloads travel through (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommStrategy {
+    /// Payloads are dense `f32` buffers of identical size across workers and
+    /// are aggregated by elementwise averaging *while compressed*
+    /// (Algorithm 1 lines 8–9). Only sum-compatible methods qualify.
+    Allreduce,
+    /// Per-worker payloads (possibly different sizes) are gathered, each is
+    /// decompressed, and `Agg` combines the results (lines 11–13).
+    Allgather,
+    /// One-to-all; like `Allgather` but rooted. Supported by the comm layer;
+    /// none of the 16 methods defaults to it.
+    Broadcast,
+}
+
+impl std::fmt::Display for CommStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommStrategy::Allreduce => write!(f, "Allreduce"),
+            CommStrategy::Allgather => write!(f, "Allgather"),
+            CommStrategy::Broadcast => write!(f, "Broadcast"),
+        }
+    }
+}
+
+/// A gradient compression method.
+///
+/// One instance lives on each worker; stateful methods (momentum in SIGNUM,
+/// gradient accumulation in DGC, the reused low-rank factor in PowerSGD) key
+/// their state by tensor name internally. Randomized methods own a seeded
+/// RNG, so whole training runs are reproducible.
+pub trait Compressor: Send {
+    /// Display name including parameters, e.g. `"Topk(0.01)"`.
+    fn name(&self) -> String;
+
+    /// The collective this method's payloads travel through.
+    fn strategy(&self) -> CommStrategy {
+        CommStrategy::Allgather
+    }
+
+    /// Compresses one named gradient tensor into payloads + context.
+    fn compress(&mut self, tensor: &Tensor, name: &str) -> (Vec<Payload>, Context);
+
+    /// Reconstructs a dense tensor of the original shape.
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor;
+
+    /// Aggregates decompressed per-worker gradients (`Agg`, Algorithm 1 line
+    /// 13). The default is the mean, matching `Allreduce` semantics.
+    ///
+    /// # Panics
+    ///
+    /// The default panics if `parts` is empty or sizes mismatch.
+    fn aggregate(&mut self, parts: Vec<Tensor>) -> Tensor {
+        mean_of(parts)
+    }
+
+    /// Whether enabling error feedback is meaningful for this method (false
+    /// for methods with built-in memory such as 1-bit SGD, DGC, EFsignSGD).
+    fn supports_error_feedback(&self) -> bool {
+        true
+    }
+}
+
+/// A per-worker fleet: one compressor and one memory instance per worker.
+pub type Fleet = (
+    Vec<Box<dyn Compressor>>,
+    Vec<Box<dyn crate::memory::Memory>>,
+);
+
+/// Elementwise mean of a non-empty tensor list.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or shapes mismatch.
+pub fn mean_of(parts: Vec<Tensor>) -> Tensor {
+    assert!(!parts.is_empty(), "cannot aggregate zero tensors");
+    let n = parts.len() as f32;
+    let mut it = parts.into_iter();
+    let mut acc = it.next().expect("non-empty");
+    for t in it {
+        acc.add_assign(&t);
+    }
+    acc.scale(1.0 / n);
+    acc
+}
+
+/// The no-compression baseline: ships raw `float32` gradients through
+/// `Allreduce`, exactly the baseline of every figure in §V.
+#[derive(Debug, Default)]
+pub struct NoCompression;
+
+impl NoCompression {
+    /// Creates the baseline "compressor".
+    pub fn new() -> Self {
+        NoCompression
+    }
+}
+
+impl Compressor for NoCompression {
+    fn name(&self) -> String {
+        "Baseline".to_string()
+    }
+
+    fn strategy(&self) -> CommStrategy {
+        CommStrategy::Allreduce
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        (
+            vec![Payload::F32(tensor.as_slice().to_vec())],
+            Context::shape_only(tensor.shape().clone()),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        Tensor::new(payloads[0].as_f32().to_vec(), ctx.shape.clone())
+    }
+
+    fn supports_error_feedback(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_accounting() {
+        let ctx = Context::with_meta(Shape::vector(4), vec![1.0, 2.0]);
+        assert_eq!(ctx.meta_bytes(), 8);
+        assert_eq!(Context::shape_only(Shape::vector(4)).meta_bytes(), 0);
+    }
+
+    #[test]
+    fn baseline_roundtrip_is_lossless() {
+        let mut c = NoCompression::new();
+        let g = Tensor::new(vec![1.0, -2.5, 0.0, 7.5], Shape::matrix(2, 2));
+        let (p, ctx) = c.compress(&g, "w");
+        assert_eq!(crate::payload::total_bytes(&p), 16); // 4 floats
+        let back = c.decompress(&p, &ctx);
+        assert_eq!(back, g);
+        assert_eq!(c.strategy(), CommStrategy::Allreduce);
+        assert!(!c.supports_error_feedback());
+        assert_eq!(c.name(), "Baseline");
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let parts = vec![
+            Tensor::from_vec(vec![1.0, 2.0]),
+            Tensor::from_vec(vec![3.0, 6.0]),
+        ];
+        let m = mean_of(parts);
+        assert_eq!(m.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tensors")]
+    fn mean_rejects_empty() {
+        let _ = mean_of(vec![]);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(CommStrategy::Allreduce.to_string(), "Allreduce");
+        assert_eq!(CommStrategy::Allgather.to_string(), "Allgather");
+        assert_eq!(CommStrategy::Broadcast.to_string(), "Broadcast");
+    }
+}

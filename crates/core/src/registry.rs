@@ -1,0 +1,151 @@
+//! Compressor metadata — the rows of the paper's Table I.
+
+use crate::compressor::Compressor;
+use crate::memory::Memory;
+
+/// Taxonomy class (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressorClass {
+    /// Reduces bits per element (§III-A).
+    Quantization,
+    /// Transmits a subset of elements (§III-B).
+    Sparsification,
+    /// Combines quantization and sparsification (§III-C).
+    Hybrid,
+    /// Low-rank factorization (§III-D).
+    LowRank,
+}
+
+impl std::fmt::Display for CompressorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressorClass::Quantization => write!(f, "Quantization"),
+            CompressorClass::Sparsification => write!(f, "Sparsification"),
+            CompressorClass::Hybrid => write!(f, "Hybrid"),
+            CompressorClass::LowRank => write!(f, "Low Rank"),
+        }
+    }
+}
+
+/// Whether the operator Q is deterministic or randomized (Table I "Nature of
+/// Q").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Nature {
+    /// Same input ⇒ same output.
+    Deterministic,
+    /// Uses randomized rounding / random selection.
+    Random,
+}
+
+impl std::fmt::Display for Nature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Nature::Deterministic => write!(f, "Det"),
+            Nature::Random => write!(f, "Rand"),
+        }
+    }
+}
+
+/// The `‖g̃‖₀` column of Table I: how many elements the compressed gradient
+/// carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputSize {
+    /// Every element survives (all quantizers): `‖g‖₀`.
+    Full,
+    /// A fixed number `k` of elements.
+    K,
+    /// Input-dependent (threshold methods): "Adaptive".
+    Adaptive,
+    /// `(m + l)·r` for an `m×l` gradient at rank `r`.
+    LowRankFactors,
+}
+
+impl std::fmt::Display for OutputSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutputSize::Full => write!(f, "‖g‖₀"),
+            OutputSize::K => write!(f, "k"),
+            OutputSize::Adaptive => write!(f, "Adaptive"),
+            OutputSize::LowRankFactors => write!(f, "(m+L)r"),
+        }
+    }
+}
+
+/// One registered compression method: Table-I metadata plus builders.
+pub struct CompressorSpec {
+    /// Stable identifier, e.g. `"topk"`.
+    pub id: &'static str,
+    /// Display name with default parameters, e.g. `"Topk(0.01)"`.
+    pub display: &'static str,
+    /// Taxonomy class.
+    pub class: CompressorClass,
+    /// Compressed output size.
+    pub output_size: OutputSize,
+    /// Deterministic or randomized operator.
+    pub nature: Nature,
+    /// Whether the paper runs this method with error feedback (EF-On).
+    pub ef_default: bool,
+    /// Training-time codec cost model: tensor ops launched per gradient
+    /// tensor (framework dispatch overhead) — calibrated from the paper's
+    /// Fig. 8 and §V-D profiling notes.
+    pub ops_per_tensor: f64,
+    /// Training-time codec cost model: arithmetic nanoseconds per gradient
+    /// element (the overlappable part).
+    pub ns_per_element: f64,
+    /// Builds a fresh per-worker instance; `seed` derives any internal RNG.
+    pub build: Box<dyn Fn(u64) -> Box<dyn Compressor> + Send + Sync>,
+    /// Builds the per-worker memory the paper pairs with this method
+    /// ([`crate::NoMemory`] when `ef_default` is false or the method has
+    /// built-in memory).
+    pub build_memory: Box<dyn Fn() -> Box<dyn Memory> + Send + Sync>,
+}
+
+impl std::fmt::Debug for CompressorSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressorSpec")
+            .field("id", &self.id)
+            .field("display", &self.display)
+            .field("class", &self.class)
+            .field("output_size", &self.output_size)
+            .field("nature", &self.nature)
+            .field("ef_default", &self.ef_default)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::NoCompression;
+    use crate::memory::NoMemory;
+
+    #[test]
+    fn displays() {
+        assert_eq!(CompressorClass::Quantization.to_string(), "Quantization");
+        assert_eq!(CompressorClass::LowRank.to_string(), "Low Rank");
+        assert_eq!(Nature::Random.to_string(), "Rand");
+        assert_eq!(OutputSize::Full.to_string(), "‖g‖₀");
+        assert_eq!(OutputSize::LowRankFactors.to_string(), "(m+L)r");
+    }
+
+    #[test]
+    fn spec_builds_instances() {
+        let spec = CompressorSpec {
+            id: "baseline",
+            display: "Baseline",
+            class: CompressorClass::Quantization,
+            output_size: OutputSize::Full,
+            nature: Nature::Deterministic,
+            ef_default: false,
+            ops_per_tensor: 0.0,
+            ns_per_element: 0.0,
+            build: Box::new(|_seed| Box::new(NoCompression::new())),
+            build_memory: Box::new(|| Box::new(NoMemory::new())),
+        };
+        let c = (spec.build)(7);
+        assert_eq!(c.name(), "Baseline");
+        let m = (spec.build_memory)();
+        assert!(!m.is_active());
+        assert!(format!("{spec:?}").contains("baseline"));
+    }
+}

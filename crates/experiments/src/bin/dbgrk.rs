@@ -1,0 +1,27 @@
+use grace_compressors::RandomK;
+use grace_core::trainer::{run_simulated, CodecTiming};
+use grace_core::{Compressor, Memory, ResidualMemory, TrainConfig};
+use grace_experiments::suite;
+use grace_nn::optim::Sgd;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = suite::find(&args[1]).unwrap();
+    let lrs: Vec<f32> = args[2..].iter().map(|v| v.parse().unwrap()).collect();
+    for lr in lrs {
+        let task = (bench.build_task)(42);
+        let mut net = (bench.build_net)(42);
+        let mut cfg = TrainConfig::new(8, 32, 16, 42);
+        cfg.codec = CodecTiming::Free;
+        cfg.epochs = bench.epochs;
+        cfg.batch_per_worker = bench.batch;
+        let mut opt = Sgd::new(lr);
+        let opt: &mut dyn grace_nn::optim::Optimizer = &mut opt;
+        let mut cs: Vec<Box<dyn Compressor>> =
+            (0..8).map(|w| Box::new(RandomK::new(0.01, 42 + w as u64)) as Box<dyn Compressor>).collect();
+        let mut ms: Vec<Box<dyn Memory>> =
+            (0..8).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
+        let res = run_simulated(&cfg, &mut net, task.as_ref(), opt, &mut cs, &mut ms);
+        println!("lr {lr}: best {:.4} final {:.4}", res.best_quality, res.final_quality);
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates the paper's **Figure 10**: the ResNet-50 experiment of
+//! Fig. 6(c) re-run on 1 Gbps links. With the network as the bottleneck, "a
+//! large number of compressors obtain a throughput speedup over the
+//! baseline" — the opposite of the 10 Gbps picture.
+//!
+//! Run: `cargo run --release -p grace-experiments --bin fig10`
+
+use grace_comm::{NetworkModel, Transport};
+use grace_experiments::report;
+use grace_experiments::runner::{relative, run_all_compressors, RunnerConfig};
+use grace_experiments::suite;
+
+fn main() {
+    let rc = RunnerConfig {
+        network: NetworkModel::new(1.0, Transport::Tcp),
+        ..RunnerConfig::default()
+    };
+    let bench = suite::find("resnet50").expect("resnet50 registered");
+    eprintln!("[fig10] {} at 1 Gbps — all compressors …", bench.id);
+    let rows = run_all_compressors(&bench, &rc);
+    let rel = relative(&rows);
+    let table: Vec<Vec<String>> = rel
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                report::fmt(r.relative_throughput, 3),
+                report::fmt(r.quality, 4),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Fig. 10 — ResNet-50 analog at 1 Gbps: Top-1 accuracy vs relative throughput",
+        &["Method", "Rel. throughput", "Top-1 Accuracy"],
+        &table,
+    );
+    report::write_csv(
+        "fig10_resnet50_1gbps.csv",
+        &["method", "relative_throughput", "quality"],
+        &table,
+    );
+    let speedups = rel
+        .iter()
+        .skip(1)
+        .filter(|r| r.relative_throughput > 1.0)
+        .count();
+    println!(
+        "\n{speedups}/{} compressors beat the baseline at 1 Gbps \
+         (paper: \"a large number\").",
+        rel.len() - 1
+    );
+}

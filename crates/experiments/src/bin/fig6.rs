@@ -1,0 +1,53 @@
+//! Regenerates the paper's **Figure 6** (panels a–f): model quality versus
+//! training throughput (normalized to the no-compression baseline) for every
+//! implemented compressor, across six benchmarks:
+//! ResNet-20, DenseNet40-K12, ResNet-50, NCF, LSTM and U-Net analogs, on
+//! 8 workers over 10 Gbps TCP.
+//!
+//! Expected shape (paper §V-B): on compute-bound models (ResNet, DenseNet,
+//! U-Net) most compressors fall *below* 1.0 relative throughput; on
+//! communication-bound models (NCF) several exceed it by 1.5–4.5×; no method
+//! wins everywhere.
+//!
+//! Run: `cargo run --release -p grace-experiments --bin fig6`
+//! (`GRACE_SCALE=25` for a quicker pass.)
+
+use grace_experiments::report;
+use grace_experiments::runner::{relative, run_all_compressors, RunnerConfig};
+use grace_experiments::suite;
+
+fn main() {
+    let rc = RunnerConfig::default();
+    for (panel, bench) in suite::fig6_benchmarks().iter().enumerate() {
+        let letter = (b'a' + panel as u8) as char;
+        eprintln!("[fig6{letter}] {} — all compressors …", bench.id);
+        let rows = run_all_compressors(bench, &rc);
+        let rel = relative(&rows);
+        let task = (bench.build_task)(rc.seed);
+        let table: Vec<Vec<String>> = rel
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    report::fmt(r.relative_throughput, 3),
+                    report::fmt(r.quality, 4),
+                ]
+            })
+            .collect();
+        report::print_table(
+            &format!(
+                "Fig. 6({letter}) — {} / {} — {} vs relative throughput",
+                bench.paper_model,
+                bench.paper_dataset,
+                task.quality_name()
+            ),
+            &["Method", "Rel. throughput", task.quality_name()],
+            &table,
+        );
+        report::write_csv(
+            &format!("fig6{letter}_{}.csv", bench.id),
+            &["method", "relative_throughput", "quality"],
+            &table,
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's **Figure 7** (panels a–c): model quality versus
+//! the average transmitted data volume per iteration (normalized to the
+//! baseline), for the ResNet-50 (a), LSTM (b) and NCF (c) analogs.
+//!
+//! Expected shape (paper §V-C): compressors that send more data generally
+//! reach higher quality, with non-trivial exceptions; the trade-off must be
+//! tuned per scenario.
+//!
+//! Run: `cargo run --release -p grace-experiments --bin fig7`
+
+use grace_experiments::report;
+use grace_experiments::runner::{relative, run_all_compressors, RunnerConfig};
+use grace_experiments::suite;
+
+fn main() {
+    let rc = RunnerConfig::default();
+    for (panel, id) in ["resnet50", "lstm", "ncf"].iter().enumerate() {
+        let letter = (b'a' + panel as u8) as char;
+        let bench = suite::find(id).expect("benchmark registered");
+        eprintln!("[fig7{letter}] {} — all compressors …", bench.id);
+        let rows = run_all_compressors(&bench, &rc);
+        let rel = relative(&rows);
+        let task = (bench.build_task)(rc.seed);
+        let table: Vec<Vec<String>> = rel
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    report::fmt(r.relative_volume, 5),
+                    report::fmt(r.quality, 4),
+                ]
+            })
+            .collect();
+        report::print_table(
+            &format!(
+                "Fig. 7({letter}) — {} / {} — {} vs relative data volume/iteration",
+                bench.paper_model,
+                bench.paper_dataset,
+                task.quality_name()
+            ),
+            &["Method", "Rel. volume", task.quality_name()],
+            &table,
+        );
+        report::write_csv(
+            &format!("fig7{letter}_{}.csv", bench.id),
+            &["method", "relative_volume", "quality"],
+            &table,
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Regenerates the paper's **Figure 8**: the combined latency of `compress`
+//! + `decompress` for every method, measured in isolation over a range of
+//! input sizes (the paper uses 1 MB / 10 MB / 100 MB tensors, 30 repetitions
+//! each, shown as violins; we report min / median / max).
+//!
+//! Expected shape (paper §V-D): overheads are non-negligible and highly
+//! method-dependent — Random-k's index generation and 8-bit's bin search are
+//! expensive, threshold methods pay for selection scans, SketchML pays for
+//! sketch construction.
+//!
+//! Run: `cargo run --release -p grace-experiments --bin fig8`
+//! Set `GRACE_FIG8_LARGE=1` to include the 100 MB input size.
+
+use grace_compressors::registry;
+use grace_experiments::report;
+use grace_tensor::rng::seeded;
+use grace_tensor::stats::percentile;
+use grace_tensor::{Shape, Tensor};
+use rand::Rng;
+use std::time::Instant;
+
+const REPS: usize = 30;
+
+fn gradient_of_bytes(bytes: usize, seed: u64) -> Tensor {
+    let elems = bytes / 4;
+    let mut rng = seeded(seed);
+    let data: Vec<f32> = (0..elems)
+        .map(|_| {
+            let u: f32 = rng.gen_range(-1.0f32..1.0);
+            u * u * u * 0.01
+        })
+        .collect();
+    // A wide matrix so PowerSGD factorizes rather than passing through.
+    let cols = 1024.min(elems.max(1));
+    let rows = (elems / cols).max(1);
+    Tensor::new(data[..rows * cols].to_vec(), Shape::matrix(rows, cols))
+}
+
+fn main() {
+    let mut sizes: Vec<(usize, &str)> = vec![(1 << 20, "1MB"), (10 << 20, "10MB")];
+    if std::env::var("GRACE_FIG8_LARGE").is_ok() {
+        sizes.push((100 << 20, "100MB"));
+    }
+    let mut rows = Vec::new();
+    for spec in registry::all_specs() {
+        for &(bytes, label) in &sizes {
+            eprintln!("[fig8] {} @ {label} …", spec.display);
+            let g = gradient_of_bytes(bytes, 11);
+            let mut c = (spec.build)(3);
+            let mut samples = Vec::with_capacity(REPS);
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let (payloads, ctx) = c.compress(&g, "bench/w");
+                let out = c.decompress(&payloads, &ctx);
+                samples.push(t0.elapsed().as_secs_f64());
+                std::hint::black_box(out);
+            }
+            rows.push(vec![
+                spec.display.to_string(),
+                label.to_string(),
+                report::fmt(percentile(&samples, 0.0) * 1e3, 3),
+                report::fmt(percentile(&samples, 50.0) * 1e3, 3),
+                report::fmt(percentile(&samples, 100.0) * 1e3, 3),
+            ]);
+        }
+    }
+    report::print_table(
+        "Fig. 8 — compress+decompress latency (ms), 30 reps per cell",
+        &["Method", "Input", "min", "median", "max"],
+        &rows,
+    );
+    report::write_csv(
+        "fig8.csv",
+        &["method", "input", "min_ms", "median_ms", "max_ms"],
+        &rows,
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerates the paper's **Figure 9**: absolute training throughput
+//! (images/second) for the ResNet-9 / CIFAR-10 analog under TCP versus RDMA
+//! transports, for every compressor plus the baseline (the paper's PyTorch
+//! experiment).
+//!
+//! Expected shape (paper §V-E): RDMA is consistently better than TCP, and
+//! the compressor ranking is broadly preserved across transports.
+//!
+//! Run: `cargo run --release -p grace-experiments --bin fig9`
+
+use grace_comm::{NetworkModel, Transport};
+use grace_compressors::registry;
+use grace_experiments::report;
+use grace_experiments::runner::{run_cell, RunnerConfig};
+use grace_experiments::suite;
+
+fn main() {
+    let bench = suite::find("resnet9").expect("resnet9 registered");
+    let mut labels = vec!["Baseline".to_string()];
+    labels.extend(registry::all_specs().iter().map(|s| s.display.to_string()));
+    let ids: Vec<Option<String>> = std::iter::once(None)
+        .chain(registry::all_specs().iter().map(|s| Some(s.id.to_string())))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (label, id) in labels.iter().zip(&ids) {
+        let mut cells = vec![label.clone()];
+        for transport in [Transport::Tcp, Transport::Rdma] {
+            let rc = RunnerConfig {
+                network: NetworkModel::new(10.0, transport),
+                ..RunnerConfig::default()
+            };
+            eprintln!("[fig9] {label} over {transport} …");
+            let res = run_cell(&bench, id.as_deref(), &rc);
+            cells.push(report::fmt(res.throughput, 1));
+        }
+        rows.push(cells);
+    }
+    report::print_table(
+        "Fig. 9 — ResNet-9 analog throughput (images/s): TCP vs RDMA, 10 Gbps",
+        &["Method", "TCP", "RDMA"],
+        &rows,
+    );
+    report::write_csv(
+        "fig9.csv",
+        &["method", "tcp_imgs_per_s", "rdma_imgs_per_s"],
+        &rows,
+    );
+}

@@ -1,0 +1,128 @@
+//! A practitioner CLI over the evaluation grid: pick a benchmark, a
+//! compressor (or `baseline` / `all`), worker count, link speed and
+//! transport, and get the quality / throughput / volume summary — the
+//! "practitioners investigate the trade-offs and select the method that
+//! suits their model" workflow of §I.
+//!
+//! ```text
+//! cargo run --release -p grace-experiments --bin sweep -- \
+//!     --benchmark ncf --compressor all --workers 8 --gbps 10 --transport tcp
+//! ```
+
+use grace_comm::{NetworkModel, Transport};
+use grace_compressors::registry;
+use grace_experiments::report;
+use grace_experiments::runner::{run_cell, RunnerConfig};
+use grace_experiments::suite;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--benchmark <id>] [--compressor <id>|baseline|all] \
+         [--workers N] [--gbps F] [--transport tcp|rdma] [--seed N]\n\
+         benchmarks: {}\ncompressors: baseline, {}",
+        suite::all_benchmarks()
+            .iter()
+            .map(|b| b.id)
+            .collect::<Vec<_>>()
+            .join(", "),
+        registry::all_specs()
+            .iter()
+            .map(|s| s.id)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut benchmark = "resnet20".to_string();
+    let mut compressor = "all".to_string();
+    let mut workers = 8usize;
+    let mut gbps = 10.0f64;
+    let mut transport = Transport::Tcp;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned();
+        let need = |flag: &str| value.clone().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        });
+        match args[i].as_str() {
+            "--benchmark" => benchmark = need("--benchmark"),
+            "--compressor" => compressor = need("--compressor"),
+            "--workers" => workers = need("--workers").parse().unwrap_or_else(|_| usage()),
+            "--gbps" => gbps = need("--gbps").parse().unwrap_or_else(|_| usage()),
+            "--transport" => {
+                transport = match need("--transport").to_lowercase().as_str() {
+                    "tcp" => Transport::Tcp,
+                    "rdma" => Transport::Rdma,
+                    _ => usage(),
+                }
+            }
+            "--seed" => seed = need("--seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+        i += 2;
+    }
+
+    let Some(bench) = suite::find(&benchmark) else {
+        eprintln!("unknown benchmark '{benchmark}'");
+        usage()
+    };
+    let rc = RunnerConfig {
+        n_workers: workers,
+        network: NetworkModel::new(gbps, transport),
+        seed,
+        ..RunnerConfig::default()
+    };
+
+    let ids: Vec<Option<String>> = match compressor.as_str() {
+        "all" => std::iter::once(None)
+            .chain(registry::all_specs().iter().map(|s| Some(s.id.to_string())))
+            .collect(),
+        "baseline" => vec![None],
+        id => {
+            if registry::find(id).is_none() {
+                eprintln!("unknown compressor '{id}'");
+                usage()
+            }
+            vec![None, Some(id.to_string())]
+        }
+    };
+
+    let task = (bench.build_task)(seed);
+    let mut rows = Vec::new();
+    let mut base_tput = None;
+    for id in &ids {
+        let label = id
+            .as_deref()
+            .and_then(|i| registry::find(i).map(|s| s.display.to_string()))
+            .unwrap_or_else(|| "Baseline".to_string());
+        eprintln!("[sweep] {} / {label} @ {gbps} Gbps {transport} …", bench.id);
+        let res = run_cell(&bench, id.as_deref(), &rc);
+        let base = *base_tput.get_or_insert(res.throughput);
+        rows.push(vec![
+            label,
+            report::fmt(res.best_quality, 4),
+            report::fmt(res.throughput, 1),
+            report::fmt(res.throughput / base, 3),
+            report::fmt_bytes(res.bytes_per_worker_per_iter),
+            report::fmt(res.compression_ratio(), 1),
+        ]);
+    }
+    report::print_table(
+        &format!(
+            "Sweep — {} ({}), {workers} workers, {gbps} Gbps {transport}",
+            bench.paper_model,
+            task.quality_name()
+        ),
+        &["Method", "Quality", "Samples/s", "Rel. tput", "Bytes/iter", "×vol"],
+        &rows,
+    );
+}

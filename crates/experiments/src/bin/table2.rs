@@ -1,0 +1,65 @@
+//! Regenerates the paper's **Table II**: the benchmark suite summary —
+//! paper reference numbers side by side with this reproduction's analog
+//! models, plus the measured baseline quality of each analog.
+//!
+//! Run: `cargo run -p grace-experiments --bin table2`
+//! (`GRACE_SCALE=25` for a quicker pass.)
+
+use grace_experiments::report;
+use grace_experiments::runner::{run_cell, RunnerConfig};
+use grace_experiments::suite;
+
+fn main() {
+    let rc = RunnerConfig::default();
+    let mut rows = Vec::new();
+    for bench in suite::all_benchmarks() {
+        eprintln!("[table2] training baseline for {} …", bench.id);
+        let mut net = (bench.build_net)(rc.seed);
+        let res = run_cell(&bench, None, &rc);
+        rows.push(vec![
+            bench.task.to_string(),
+            format!("{} (analog)", bench.paper_model),
+            bench.paper_dataset.to_string(),
+            format!("{} / {}", bench.paper_params, net.param_count()),
+            format!(
+                "{} / {}",
+                bench.paper_gradient_vectors,
+                net.gradient_tensor_count()
+            ),
+            format!("{} / {}", bench.paper_epochs, bench.epochs),
+            bench.paper_metric.to_string(),
+            bench.paper_baseline.to_string(),
+            report::fmt(res.best_quality, 4),
+        ]);
+    }
+    report::print_table(
+        "Table II — benchmark suite (paper / analog)",
+        &[
+            "Task",
+            "Model",
+            "Dataset (paper)",
+            "Params p/a",
+            "Grad vectors p/a",
+            "Epochs p/a",
+            "Metric",
+            "Paper baseline",
+            "Analog baseline",
+        ],
+        &rows,
+    );
+    report::write_csv(
+        "table2.csv",
+        &[
+            "task",
+            "model",
+            "dataset",
+            "params",
+            "gradient_vectors",
+            "epochs",
+            "metric",
+            "paper_baseline",
+            "analog_baseline",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,103 @@
+//! Fixed-width table printing and CSV output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Prints a fixed-width ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// The results directory (`results/` at the repo root, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results");
+    let _ = fs::create_dir_all(dir);
+    dir.to_path_buf()
+}
+
+/// Writes rows as a CSV file under `results/`, returning the path.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out).expect("write results csv");
+    println!("[written] {}", path.display());
+    path
+}
+
+/// Formats a float with fixed precision.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a byte count with a binary-unit suffix.
+pub fn fmt_bytes(v: f64) -> String {
+    if v >= (1 << 20) as f64 {
+        format!("{:.2} MiB", v / (1 << 20) as f64)
+    } else if v >= 1024.0 {
+        format!("{:.2} KiB", v / 1024.0)
+    } else {
+        format!("{v:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let path = write_csv(
+            "test_report.csv",
+            &["a", "b"],
+            &[vec!["x,y".into(), "he said \"hi\"".into()]],
+        );
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x,y\""));
+        assert!(content.contains("\"he said \"\"hi\"\"\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(2048.0), "2.00 KiB");
+        assert_eq!(fmt_bytes((3 << 20) as f64), "3.00 MiB");
+    }
+}

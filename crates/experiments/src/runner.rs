@@ -1,0 +1,208 @@
+//! Runs one (benchmark × compressor) cell of the evaluation grid.
+
+use crate::suite::Benchmark;
+use grace_comm::NetworkModel;
+use grace_compressors::registry;
+use grace_core::trainer::run_simulated;
+use grace_core::{Compressor, Memory, NoCompression, NoMemory, RunResult, TrainConfig};
+
+/// Experiment-wide knobs shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Number of data-parallel workers (paper: 8).
+    pub n_workers: usize,
+    /// Network model (paper default: 10 Gbps TCP).
+    pub network: NetworkModel,
+    /// Master seed.
+    pub seed: u64,
+    /// Epoch multiplier in percent (100 = benchmark default). The
+    /// `GRACE_SCALE` environment variable overrides this for quicker or more
+    /// thorough runs.
+    pub epoch_scale_pct: u32,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            n_workers: 8,
+            network: NetworkModel::paper_default(),
+            seed: 42,
+            epoch_scale_pct: scale_from_env(),
+        }
+    }
+}
+
+/// Reads `GRACE_SCALE` (percent) from the environment, defaulting to 100.
+pub fn scale_from_env() -> u32 {
+    std::env::var("GRACE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(100)
+}
+
+/// Runs one benchmark with one compressor (`None` = the no-compression
+/// baseline) and returns the trainer's summary.
+pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfig) -> RunResult {
+    let task = (bench.build_task)(rc.seed);
+    let mut net = (bench.build_net)(rc.seed);
+    let epochs = ((bench.epochs as u64 * rc.epoch_scale_pct as u64) / 100).max(1) as usize;
+    // The simulated clock runs at *paper scale*: compute is the paper's
+    // per-example time, byte counts are scaled by paper/analog parameter
+    // ratio, and codec cost follows each method's calibrated op model. This
+    // makes simulated times directly comparable to the paper's figures.
+    let byte_scale = bench.paper_params as f64 / net.param_count() as f64;
+    let codec = match compressor_id {
+        None => grace_core::trainer::CodecTiming::Free,
+        Some(id) => {
+            let spec =
+                registry::find(id).unwrap_or_else(|| panic!("unknown compressor id '{id}'"));
+            grace_core::trainer::CodecTiming::Modeled {
+                per_op_seconds: 1.0e-4,
+                ops_per_tensor: spec.ops_per_tensor,
+                ns_per_element: spec.ns_per_element,
+                tensor_count: bench.paper_gradient_vectors as usize,
+            }
+        }
+    };
+    let cfg = TrainConfig {
+        n_workers: rc.n_workers,
+        batch_per_worker: bench.batch,
+        epochs,
+        seed: rc.seed,
+        network: rc.network,
+        compute: grace_core::ComputeModel::new(bench.paper_sec_per_example),
+        codec,
+        topology: grace_core::trainer::Topology::Peer,
+        byte_scale,
+        evals_per_epoch: 1,
+        lr_schedule: None,
+    };
+    let (mut compressors, mut memories): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) =
+        match compressor_id {
+            None => (
+                (0..rc.n_workers)
+                    .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                    .collect(),
+                (0..rc.n_workers)
+                    .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                    .collect(),
+            ),
+            Some(id) => {
+                let spec = registry::find(id)
+                    .unwrap_or_else(|| panic!("unknown compressor id '{id}'"));
+                registry::build_fleet(&spec, rc.n_workers, rc.seed)
+            }
+        };
+    let mut opt = bench.opt.build(compressor_id.unwrap_or("baseline"));
+    run_simulated(
+        &cfg,
+        &mut net,
+        task.as_ref(),
+        opt.as_mut(),
+        &mut compressors,
+        &mut memories,
+    )
+}
+
+/// Runs the baseline plus every registered compressor on one benchmark,
+/// returning `(display_name, result)` rows; the baseline row comes first.
+pub fn run_all_compressors(bench: &Benchmark, rc: &RunnerConfig) -> Vec<(String, RunResult)> {
+    let mut rows = Vec::new();
+    let base = run_cell(bench, None, rc);
+    rows.push(("Baseline".to_string(), base));
+    for spec in registry::all_specs() {
+        let res = run_cell(bench, Some(spec.id), rc);
+        rows.push((spec.display.to_string(), res));
+    }
+    rows
+}
+
+/// Relative throughput / volume helpers against the baseline row.
+pub fn relative(rows: &[(String, RunResult)]) -> Vec<RelativeRow> {
+    assert!(!rows.is_empty(), "need at least the baseline row");
+    let base = &rows[0].1;
+    rows.iter()
+        .map(|(name, r)| RelativeRow {
+            name: name.clone(),
+            quality: r.best_quality,
+            relative_throughput: r.throughput / base.throughput,
+            relative_volume: r.bytes_per_worker_per_iter / base.bytes_per_worker_per_iter,
+            sim_seconds: r.sim_seconds,
+        })
+        .collect()
+}
+
+/// One normalized row of a Fig. 6 / Fig. 7-style plot.
+#[derive(Debug, Clone)]
+pub struct RelativeRow {
+    /// Compressor display name.
+    pub name: String,
+    /// Best quality witnessed (paper's reporting rule).
+    pub quality: f64,
+    /// Throughput normalized to the baseline.
+    pub relative_throughput: f64,
+    /// Mean per-iteration data volume normalized to the baseline.
+    pub relative_volume: f64,
+    /// Total simulated seconds.
+    pub sim_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    fn quick_rc() -> RunnerConfig {
+        RunnerConfig {
+            n_workers: 2,
+            network: NetworkModel::paper_default(),
+            seed: 7,
+            epoch_scale_pct: 20,
+        }
+    }
+
+    #[test]
+    fn baseline_cell_runs_and_converges_reasonably() {
+        let bench = suite::find("resnet20").unwrap();
+        let res = run_cell(&bench, None, &quick_rc());
+        assert!(res.best_quality > 0.4, "accuracy {}", res.best_quality);
+        assert!(res.sim_seconds > 0.0);
+        assert_eq!(res.compressor, "Baseline");
+    }
+
+    #[test]
+    fn topk_cell_reduces_volume() {
+        let bench = suite::find("resnet20").unwrap();
+        let rc = quick_rc();
+        let base = run_cell(&bench, None, &rc);
+        let topk = run_cell(&bench, Some("topk"), &rc);
+        assert!(
+            topk.bytes_per_worker_per_iter < 0.1 * base.bytes_per_worker_per_iter,
+            "topk volume {} vs baseline {}",
+            topk.bytes_per_worker_per_iter,
+            base.bytes_per_worker_per_iter
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown compressor id")]
+    fn unknown_compressor_panics() {
+        let bench = suite::find("resnet20").unwrap();
+        let _ = run_cell(&bench, Some("bogus"), &quick_rc());
+    }
+
+    #[test]
+    fn relative_rows_normalize_to_baseline() {
+        let bench = suite::find("lstm").unwrap();
+        let rc = quick_rc();
+        let rows = vec![
+            ("Baseline".to_string(), run_cell(&bench, None, &rc)),
+            ("Topk(0.01)".to_string(), run_cell(&bench, Some("topk"), &rc)),
+        ];
+        let rel = relative(&rows);
+        assert!((rel[0].relative_throughput - 1.0).abs() < 1e-9);
+        assert!((rel[0].relative_volume - 1.0).abs() < 1e-9);
+        assert!(rel[1].relative_volume < 1.0);
+    }
+}

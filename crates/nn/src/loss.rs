@@ -1,0 +1,202 @@
+//! Loss functions and training targets.
+
+use crate::layer::sigmoid;
+use grace_tensor::Tensor;
+
+/// Training targets for one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Targets {
+    /// One class index per output row (classification / language modelling).
+    Classes(Vec<u32>),
+    /// A dense target tensor matching the logits' shape (segmentation masks,
+    /// regression values, implicit-feedback labels).
+    Values(Tensor),
+}
+
+/// Loss heads used by the benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Softmax + cross-entropy over class logits, averaged over rows.
+    SoftmaxCrossEntropy,
+    /// Elementwise sigmoid + binary cross-entropy (numerically stable
+    /// logits form), averaged over all elements.
+    BinaryCrossEntropy,
+    /// Half mean-squared error.
+    Mse,
+}
+
+impl Loss {
+    /// Computes the scalar loss and `∂loss/∂logits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targets do not match the logits (wrong row count, class
+    /// index out of range, or shape mismatch).
+    pub fn loss_and_grad(self, logits: &Tensor, targets: &Targets) -> (f32, Tensor) {
+        match (self, targets) {
+            (Loss::SoftmaxCrossEntropy, Targets::Classes(labels)) => {
+                softmax_cross_entropy(logits, labels)
+            }
+            (Loss::BinaryCrossEntropy, Targets::Values(t)) => binary_cross_entropy(logits, t),
+            (Loss::Mse, Targets::Values(t)) => mse(logits, t),
+            (l, t) => panic!("loss {l:?} incompatible with targets {t:?}"),
+        }
+    }
+}
+
+fn softmax_cross_entropy(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
+    let (rows, classes) = logits.shape().as_matrix();
+    assert_eq!(rows, labels.len(), "one label per logit row required");
+    let mut grad = logits.zeros_like();
+    let mut total = 0.0f64;
+    for r in 0..rows {
+        let row = &logits.as_slice()[r * classes..(r + 1) * classes];
+        let label = labels[r] as usize;
+        assert!(label < classes, "label {label} out of range ({classes} classes)");
+        let m = row.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - m).exp();
+        }
+        let log_denom = denom.ln();
+        total += f64::from(log_denom - (row[label] - m));
+        let g = &mut grad.as_mut_slice()[r * classes..(r + 1) * classes];
+        for (j, &v) in row.iter().enumerate() {
+            let p = (v - m).exp() / denom;
+            g[j] = (p - if j == label { 1.0 } else { 0.0 }) / rows as f32;
+        }
+    }
+    ((total / rows as f64) as f32, grad)
+}
+
+fn binary_cross_entropy(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.len(), targets.len(), "BCE target shape mismatch");
+    let n = logits.len().max(1) as f32;
+    let mut grad = logits.zeros_like();
+    let mut total = 0.0f64;
+    for i in 0..logits.len() {
+        let x = logits[i];
+        let z = targets[i];
+        debug_assert!((0.0..=1.0).contains(&z), "BCE targets must be in [0,1]");
+        // Stable: max(x,0) − x·z + ln(1 + e^{−|x|})
+        total += f64::from(x.max(0.0) - x * z + (1.0 + (-x.abs()).exp()).ln());
+        grad[i] = (sigmoid(x) - z) / n;
+    }
+    ((total / f64::from(n)) as f32, grad)
+}
+
+fn mse(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.len(), targets.len(), "MSE target shape mismatch");
+    let n = logits.len().max(1) as f32;
+    let mut grad = logits.zeros_like();
+    let mut total = 0.0f64;
+    for i in 0..logits.len() {
+        let d = logits[i] - targets[i];
+        total += f64::from(0.5 * d * d);
+        grad[i] = d / n;
+    }
+    ((total / f64::from(n)) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grace_tensor::Shape;
+
+    fn finite_diff_check(loss: Loss, logits: &Tensor, targets: &Targets) {
+        let (_, grad) = loss.loss_and_grad(logits, targets);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut p = logits.clone();
+            p[i] += eps;
+            let mut m = logits.clone();
+            m[i] -= eps;
+            let (lp, _) = loss.loss_and_grad(&p, targets);
+            let (lm, _) = loss.loss_and_grad(&m, targets);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 2e-3,
+                "{loss:?} grad[{i}]: numeric {numeric}, analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_ce_perfect_prediction_is_near_zero() {
+        let logits = Tensor::new(vec![10.0, -10.0, -10.0], Shape::matrix(1, 3));
+        let (l, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &Targets::Classes(vec![0]));
+        assert!(l < 1e-6, "loss {l}");
+    }
+
+    #[test]
+    fn softmax_ce_uniform_is_log_classes() {
+        let logits = Tensor::zeros(Shape::matrix(2, 4));
+        let (l, _) =
+            Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &Targets::Classes(vec![1, 3]));
+        assert!((l - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_finite_difference() {
+        let logits = Tensor::new(vec![0.3, -0.7, 1.1, 0.2, 0.0, -0.5], Shape::matrix(2, 3));
+        finite_diff_check(
+            Loss::SoftmaxCrossEntropy,
+            &logits,
+            &Targets::Classes(vec![2, 0]),
+        );
+    }
+
+    #[test]
+    fn softmax_ce_is_stable_for_huge_logits() {
+        let logits = Tensor::new(vec![1000.0, 0.0], Shape::matrix(1, 2));
+        let (l, g) = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &Targets::Classes(vec![1]));
+        assert!(l.is_finite() && l > 100.0);
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = Tensor::new(vec![0.5, -1.2, 2.0, 0.0], Shape::matrix(2, 2));
+        let targets = Tensor::new(vec![1.0, 0.0, 1.0, 0.0], Shape::matrix(2, 2));
+        finite_diff_check(Loss::BinaryCrossEntropy, &logits, &Targets::Values(targets));
+    }
+
+    #[test]
+    fn bce_is_stable_for_huge_logits() {
+        let logits = Tensor::new(vec![500.0, -500.0], Shape::matrix(1, 2));
+        let targets = Tensor::new(vec![1.0, 0.0], Shape::matrix(1, 2));
+        let (l, g) = Loss::BinaryCrossEntropy.loss_and_grad(&logits, &Targets::Values(targets));
+        assert!(l.is_finite() && l < 1e-3);
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let logits = Tensor::new(vec![1.0, -2.0, 0.5], Shape::matrix(1, 3));
+        let targets = Tensor::new(vec![0.0, 1.0, 0.5], Shape::matrix(1, 3));
+        finite_diff_check(Loss::Mse, &logits, &Targets::Values(targets));
+    }
+
+    #[test]
+    fn mse_zero_at_target() {
+        let t = Tensor::from_vec(vec![1.0, 2.0]);
+        let (l, g) = Loss::Mse.loss_and_grad(&t, &Targets::Values(t.clone()));
+        assert_eq!(l, 0.0);
+        assert_eq!(g.norm_inf(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn mismatched_loss_and_targets_panic() {
+        let t = Tensor::from_vec(vec![1.0]);
+        let _ = Loss::SoftmaxCrossEntropy.loss_and_grad(&t, &Targets::Values(t.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        let logits = Tensor::zeros(Shape::matrix(1, 2));
+        let _ = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &Targets::Classes(vec![5]));
+    }
+}

@@ -1,0 +1,176 @@
+//! Quality metrics matching Table II of the paper.
+//!
+//! | Task | Metric |
+//! |---|---|
+//! | Image classification | Top-1 accuracy |
+//! | Recommendation | Best hit rate (HR@k) |
+//! | Language modelling | Test perplexity |
+//! | Image segmentation | Intersection-over-Union at a fixed threshold |
+
+use crate::layer::sigmoid;
+use grace_tensor::Tensor;
+
+/// Fraction of rows whose arg-max logit equals the label.
+///
+/// # Panics
+///
+/// Panics if the label count does not match the row count.
+pub fn top1_accuracy(logits: &Tensor, labels: &[u32]) -> f64 {
+    let (rows, classes) = logits.shape().as_matrix();
+    assert_eq!(rows, labels.len(), "one label per row required");
+    if rows == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for r in 0..rows {
+        let row = &logits.as_slice()[r * classes..(r + 1) * classes];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == labels[r] as usize {
+            correct += 1;
+        }
+    }
+    correct as f64 / rows as f64
+}
+
+/// Hit rate at `k`: each row scores one positive candidate (column 0) against
+/// negatives (remaining columns); a hit means the positive ranks within the
+/// top `k`.
+///
+/// This is the NCF evaluation protocol (1 held-out positive vs. sampled
+/// negatives).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or rows are empty.
+pub fn hit_rate_at_k(scores: &Tensor, k: usize) -> f64 {
+    let (rows, cands) = scores.shape().as_matrix();
+    assert!(k > 0, "k must be positive");
+    assert!(cands > 0, "need at least one candidate per row");
+    if rows == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for r in 0..rows {
+        let row = &scores.as_slice()[r * cands..(r + 1) * cands];
+        let pos = row[0];
+        // Rank = number of negatives strictly above the positive.
+        let rank = row[1..].iter().filter(|&&v| v > pos).count();
+        if rank < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / rows as f64
+}
+
+/// Perplexity from a mean cross-entropy (nats): `exp(ce)`.
+pub fn perplexity(mean_cross_entropy: f64) -> f64 {
+    mean_cross_entropy.exp()
+}
+
+/// Intersection-over-Union of a thresholded sigmoid prediction against a
+/// binary mask.
+///
+/// `threshold` applies to the sigmoid probability (the paper's U-Net plots
+/// use threshold = 0.125). Returns 1.0 when both prediction and mask are
+/// empty.
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn iou(logits: &Tensor, mask: &Tensor, threshold: f32) -> f64 {
+    assert_eq!(logits.len(), mask.len(), "IoU shape mismatch");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for i in 0..logits.len() {
+        let p = sigmoid(logits[i]) >= threshold;
+        let m = mask[i] >= 0.5;
+        if p && m {
+            inter += 1;
+        }
+        if p || m {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grace_tensor::Shape;
+
+    #[test]
+    fn top1_counts_argmax_matches() {
+        let logits = Tensor::new(
+            vec![2.0, 1.0, 0.0, 0.0, 1.0, 2.0, 1.0, 3.0, 0.0],
+            Shape::matrix(3, 3),
+        );
+        assert_eq!(top1_accuracy(&logits, &[0, 2, 1]), 1.0);
+        assert!((top1_accuracy(&logits, &[1, 2, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top1_empty_is_zero() {
+        let logits = Tensor::new(vec![], Shape::matrix(0, 3));
+        assert_eq!(top1_accuracy(&logits, &[]), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_ranks_positive() {
+        // Row 0: positive 0.9 beats both negatives (rank 0) -> hit at any k.
+        // Row 1: positive 0.1 loses to both (rank 2) -> hit only at k>=3.
+        let scores = Tensor::new(vec![0.9, 0.5, 0.1, 0.1, 0.5, 0.9], Shape::matrix(2, 3));
+        assert_eq!(hit_rate_at_k(&scores, 1), 0.5);
+        assert_eq!(hit_rate_at_k(&scores, 2), 0.5);
+        assert_eq!(hit_rate_at_k(&scores, 3), 1.0);
+    }
+
+    #[test]
+    fn perplexity_of_uniform_distribution() {
+        let ce = (10.0f64).ln();
+        assert!((perplexity(ce) - 10.0).abs() < 1e-9);
+        assert_eq!(perplexity(0.0), 1.0);
+    }
+
+    #[test]
+    fn iou_perfect_and_disjoint() {
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.0]);
+        let perfect = Tensor::from_vec(vec![10.0, 10.0, -10.0, -10.0]);
+        assert_eq!(iou(&perfect, &mask, 0.5), 1.0);
+        let disjoint = Tensor::from_vec(vec![-10.0, -10.0, 10.0, 10.0]);
+        assert_eq!(iou(&disjoint, &mask, 0.5), 0.0);
+    }
+
+    #[test]
+    fn iou_partial_overlap() {
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.0]);
+        let pred = Tensor::from_vec(vec![10.0, -10.0, 10.0, -10.0]);
+        // intersection 1, union 3.
+        assert!((iou(&pred, &mask, 0.5) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_empty_is_one() {
+        let z = Tensor::from_vec(vec![-10.0; 4]);
+        let mask = Tensor::from_vec(vec![0.0; 4]);
+        assert_eq!(iou(&z, &mask, 0.5), 1.0);
+    }
+
+    #[test]
+    fn iou_threshold_sensitivity() {
+        let mask = Tensor::from_vec(vec![1.0]);
+        // sigmoid(-1) ≈ 0.27: above a 0.125 threshold, below 0.5.
+        let logit = Tensor::from_vec(vec![-1.0]);
+        assert_eq!(iou(&logit, &mask, 0.125), 1.0);
+        assert_eq!(iou(&logit, &mask, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Feed-forward network container producing named per-layer gradients.
+
+use crate::layer::Layer;
+use crate::loss::{Loss, Targets};
+use crate::optim::Optimizer;
+use grace_tensor::Tensor;
+
+/// A stack of layers with a loss head.
+///
+/// `Network` is the unit the distributed trainer replicates per worker. After
+/// [`forward_backward`](Network::forward_backward), each parameter holds its
+/// gradient; [`take_gradients`](Network::take_gradients) exposes them as
+/// *named tensors* — the layer-wise gradient stream that GRACE compresses
+/// (paper Fig. 2). [`apply_gradients`](Network::apply_gradients) consumes the
+/// aggregated (decompressed) gradients and performs the optimizer update of
+/// Algorithm 1 line 15.
+pub struct Network {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+    loss: Loss,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Network({}, {} layers, loss {:?})",
+            self.name,
+            self.layers.len(),
+            self.loss
+        )
+    }
+}
+
+impl Network {
+    /// Assembles a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two parameters share a name (error-feedback memory is keyed
+    /// by name, so names must be unique).
+    pub fn new(name: impl Into<String>, layers: Vec<Box<dyn Layer>>, loss: Loss) -> Self {
+        let mut net = Network {
+            name: name.into(),
+            layers,
+            loss,
+        };
+        let names = net.gradient_names();
+        let mut seen = std::collections::HashSet::new();
+        for n in &names {
+            assert!(seen.insert(n.clone()), "duplicate parameter name '{n}'");
+        }
+        net
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loss head.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// Runs the forward pass in **inference mode** (dropout off, batch-norm
+    /// running statistics) and returns the logits.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.set_training(false);
+        self.forward_raw(x)
+    }
+
+    fn forward_raw(&mut self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Switches every layer between training and inference behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        for layer in &mut self.layers {
+            layer.set_training(training);
+        }
+    }
+
+    /// Runs forward + loss + backward in **training mode**, filling every
+    /// parameter gradient, and returns the scalar loss.
+    pub fn forward_backward(&mut self, x: &Tensor, targets: &Targets) -> f32 {
+        self.set_training(true);
+        let logits = self.forward_raw(x);
+        let (loss, mut grad) = self.loss.loss_and_grad(&logits, targets);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        loss
+    }
+
+    /// Evaluates the loss in inference mode, without computing gradients.
+    pub fn evaluate_loss(&mut self, x: &Tensor, targets: &Targets) -> f32 {
+        let logits = self.forward(x);
+        self.loss.loss_and_grad(&logits, targets).0
+    }
+
+    /// Returns the current gradients as `(name, tensor)` pairs, in layer
+    /// order.
+    pub fn take_gradients(&mut self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p| out.push((p.name.clone(), p.grad.clone())));
+        }
+        out
+    }
+
+    /// Applies aggregated gradients through an optimizer (Algorithm 1 line
+    /// 15: `x ← x − η·g` plus optimizer state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient list does not match the parameter list.
+    pub fn apply_gradients(&mut self, grads: &[(String, Tensor)], opt: &mut dyn Optimizer) {
+        let mut idx = 0;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p| {
+                let (name, g) = grads
+                    .get(idx)
+                    .unwrap_or_else(|| panic!("missing gradient for '{}'", p.name));
+                assert_eq!(name, &p.name, "gradient order mismatch at '{}'", p.name);
+                assert_eq!(g.len(), p.value.len(), "gradient size mismatch at '{}'", p.name);
+                opt.update(&p.name, &mut p.value, g);
+                idx += 1;
+            });
+        }
+        assert_eq!(idx, grads.len(), "extra gradients supplied");
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.param_count()).sum()
+    }
+
+    /// Number of gradient tensors communicated per iteration ("Gradient
+    /// vectors" column of the paper's Table II).
+    pub fn gradient_tensor_count(&mut self) -> usize {
+        let mut n = 0;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |_| n += 1);
+        }
+        n
+    }
+
+    /// The parameter names in layer order.
+    pub fn gradient_names(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p| out.push(p.name.clone()));
+        }
+        out
+    }
+
+    /// Snapshots all parameter values (for replication / convergence checks).
+    pub fn export_params(&mut self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p| out.push((p.name.clone(), p.value.clone())));
+        }
+        out
+    }
+
+    /// Restores parameter values from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any name/size mismatch.
+    pub fn import_params(&mut self, params: &[(String, Tensor)]) {
+        let mut idx = 0;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p| {
+                let (name, v) = &params[idx];
+                assert_eq!(name, &p.name, "param order mismatch");
+                assert_eq!(v.len(), p.value.len(), "param size mismatch");
+                p.value = v.clone();
+                idx += 1;
+            });
+        }
+        assert_eq!(idx, params.len(), "extra parameters supplied");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, ActivationKind, Dense};
+    use crate::optim::Sgd;
+    use grace_tensor::rng::seeded;
+    use grace_tensor::Shape;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = seeded(seed);
+        Network::new(
+            "tiny",
+            vec![
+                Box::new(Dense::new("fc1", 4, 8, &mut rng)),
+                Box::new(Activation::new("act1", ActivationKind::Tanh)),
+                Box::new(Dense::new("fc2", 8, 3, &mut rng)),
+            ],
+            Loss::SoftmaxCrossEntropy,
+        )
+    }
+
+    fn tiny_batch() -> (Tensor, Targets) {
+        let x = Tensor::new(
+            vec![0.5, -0.2, 0.1, 0.9, -0.5, 0.3, 0.7, -0.1],
+            Shape::matrix(2, 4),
+        );
+        (x, Targets::Classes(vec![0, 2]))
+    }
+
+    #[test]
+    fn counts_and_names() {
+        let mut net = tiny_net(1);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(net.gradient_tensor_count(), 4);
+        assert_eq!(net.gradient_names(), vec!["fc1/w", "fc1/b", "fc2/w", "fc2/b"]);
+    }
+
+    #[test]
+    fn sgd_step_reduces_loss() {
+        let mut net = tiny_net(2);
+        let (x, y) = tiny_batch();
+        let mut opt = Sgd::new(0.5);
+        let l0 = net.forward_backward(&x, &y);
+        let grads = net.take_gradients();
+        net.apply_gradients(&grads, &mut opt);
+        let l1 = net.evaluate_loss(&x, &y);
+        assert!(l1 < l0, "loss did not decrease: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut a = tiny_net(3);
+        let mut b = tiny_net(4);
+        let (x, y) = tiny_batch();
+        let la = a.evaluate_loss(&x, &y);
+        let snapshot = a.export_params();
+        b.import_params(&snapshot);
+        let lb = b.evaluate_loss(&x, &y);
+        assert_eq!(la, lb, "imported network must match exactly");
+    }
+
+    #[test]
+    fn same_seed_networks_are_identical() {
+        let mut a = tiny_net(9);
+        let mut b = tiny_net(9);
+        let (x, y) = tiny_batch();
+        assert_eq!(a.evaluate_loss(&x, &y), b.evaluate_loss(&x, &y));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut rng = seeded(5);
+        let _ = Network::new(
+            "dup",
+            vec![
+                Box::new(Dense::new("fc", 2, 2, &mut rng)),
+                Box::new(Dense::new("fc", 2, 2, &mut rng)),
+            ],
+            Loss::Mse,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient order mismatch")]
+    fn apply_rejects_reordered_gradients() {
+        let mut net = tiny_net(6);
+        let (x, y) = tiny_batch();
+        let _ = net.forward_backward(&x, &y);
+        let mut grads = net.take_gradients();
+        grads.swap(0, 2);
+        let mut opt = Sgd::new(0.1);
+        net.apply_gradients(&grads, &mut opt);
+    }
+
+    #[test]
+    fn gradients_are_deterministic() {
+        let mut a = tiny_net(7);
+        let mut b = tiny_net(7);
+        let (x, y) = tiny_batch();
+        let _ = a.forward_backward(&x, &y);
+        let _ = b.forward_backward(&x, &y);
+        let (ga, gb) = (a.take_gradients(), b.take_gradients());
+        for ((na, ta), (nb, tb)) in ga.iter().zip(gb.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(ta.as_slice(), tb.as_slice());
+        }
+    }
+}

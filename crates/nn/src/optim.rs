@@ -1,0 +1,418 @@
+//! Stochastic optimizers.
+//!
+//! The paper's benchmarks use SGD with momentum (image classification),
+//! RMSProp (segmentation), ADAM (recommendation) and vanilla SGD (language
+//! modelling, and for several compressors that prefer it — §V-A). All state
+//! is keyed by parameter name so the same optimizer instance serves a whole
+//! network.
+
+use grace_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A stateful first-order optimizer.
+///
+/// `update` applies one step for one named parameter given its (aggregated)
+/// gradient — Algorithm 1 line 15 generalised beyond plain SGD (§IV-A,
+/// "Different optimizers").
+pub trait Optimizer: Send {
+    /// Applies one update step in place.
+    fn update(&mut self, name: &str, value: &mut Tensor, grad: &Tensor);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Changes the learning rate (for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Vanilla SGD: `x ← x − η·g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, _name: &str, value: &mut Tensor, grad: &Tensor) {
+        value.axpy(-self.lr, grad);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// SGD with (optionally Nesterov) momentum:
+/// `z ← γ·z + g`; `x ← x − η·(z)` or `x ← x − η·(g + γ·z)` for Nesterov.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f32,
+    gamma: f32,
+    nesterov: bool,
+    velocity: HashMap<String, Tensor>,
+}
+
+impl Momentum {
+    /// Creates heavy-ball momentum SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `gamma` outside `[0, 1)`.
+    pub fn new(lr: f32, gamma: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&gamma), "momentum must be in [0,1)");
+        Momentum {
+            lr,
+            gamma,
+            nesterov: false,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Switches to the Nesterov look-ahead variant (§II).
+    pub fn nesterov(mut self) -> Self {
+        self.nesterov = true;
+        self
+    }
+}
+
+impl Optimizer for Momentum {
+    fn update(&mut self, name: &str, value: &mut Tensor, grad: &Tensor) {
+        let v = self
+            .velocity
+            .entry(name.to_string())
+            .or_insert_with(|| grad.zeros_like());
+        v.scale(self.gamma);
+        v.add_assign(grad);
+        if self.nesterov {
+            value.axpy(-self.lr, grad);
+            value.axpy(-self.lr * self.gamma, v);
+        } else {
+            value.axpy(-self.lr, v);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// ADAM (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: HashMap<String, u64>,
+    m: HashMap<String, Tensor>,
+    v: HashMap<String, Tensor>,
+}
+
+impl Adam {
+    /// Creates ADAM with the standard `β₁=0.9, β₂=0.999, ε=1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: HashMap::new(),
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, name: &str, value: &mut Tensor, grad: &Tensor) {
+        let t = self.t.entry(name.to_string()).or_insert(0);
+        *t += 1;
+        let step = *t;
+        let m = self
+            .m
+            .entry(name.to_string())
+            .or_insert_with(|| grad.zeros_like());
+        let v = self
+            .v
+            .entry(name.to_string())
+            .or_insert_with(|| grad.zeros_like());
+        let bc1 = 1.0 - self.beta1.powi(step as i32);
+        let bc2 = 1.0 - self.beta2.powi(step as i32);
+        for i in 0..grad.len() {
+            let g = grad[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            value[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// RMSProp with the standard decay 0.9.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    decay: f32,
+    eps: f32,
+    mean_sq: HashMap<String, Tensor>,
+}
+
+impl RmsProp {
+    /// Creates RMSProp with decay 0.9 and `ε=1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        RmsProp {
+            lr,
+            decay: 0.9,
+            eps: 1e-8,
+            mean_sq: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn update(&mut self, name: &str, value: &mut Tensor, grad: &Tensor) {
+        let s = self
+            .mean_sq
+            .entry(name.to_string())
+            .or_insert_with(|| grad.zeros_like());
+        for i in 0..grad.len() {
+            let g = grad[i];
+            s[i] = self.decay * s[i] + (1.0 - self.decay) * g * g;
+            value[i] -= self.lr * g / (s[i].sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// AdaGrad (Duchi et al., 2011).
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    accum: HashMap<String, Tensor>,
+}
+
+impl Adagrad {
+    /// Creates AdaGrad with `ε=1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adagrad {
+            lr,
+            eps: 1e-8,
+            accum: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn update(&mut self, name: &str, value: &mut Tensor, grad: &Tensor) {
+        let a = self
+            .accum
+            .entry(name.to_string())
+            .or_insert_with(|| grad.zeros_like());
+        for i in 0..grad.len() {
+            let g = grad[i];
+            a[i] += g * g;
+            value[i] -= self.lr * g / (a[i].sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = ½‖x − c‖² whose gradient is x − c.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let c = Tensor::from_vec(vec![1.0, -2.0, 3.0]);
+        let mut x = Tensor::from_vec(vec![10.0, 10.0, 10.0]);
+        for _ in 0..steps {
+            let g = x.sub(&c);
+            opt.update("x", &mut x, &g);
+        }
+        x.sub(&c).norm2()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(run_quadratic(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_converges_faster_than_sgd() {
+        let mut sgd = Sgd::new(0.05);
+        let mut mom = Momentum::new(0.05, 0.9);
+        let r_sgd = run_quadratic(&mut sgd, 60);
+        let r_mom = run_quadratic(&mut mom, 60);
+        assert!(r_mom < r_sgd, "momentum {r_mom} not faster than sgd {r_sgd}");
+    }
+
+    #[test]
+    fn nesterov_converges_on_quadratic() {
+        let mut opt = Momentum::new(0.05, 0.9).nesterov();
+        assert!(run_quadratic(&mut opt, 200) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.5);
+        assert!(run_quadratic(&mut opt, 300) < 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        let mut opt = RmsProp::new(0.5);
+        assert!(run_quadratic(&mut opt, 300) < 1e-1);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        let mut opt = Adagrad::new(2.0);
+        assert!(run_quadratic(&mut opt, 500) < 1e-1);
+    }
+
+    #[test]
+    fn state_is_per_parameter_name() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        let g = Tensor::from_vec(vec![1.0]);
+        let mut a = Tensor::from_vec(vec![0.0]);
+        let mut b = Tensor::from_vec(vec![0.0]);
+        opt.update("a", &mut a, &g);
+        opt.update("a", &mut a, &g);
+        opt.update("b", &mut b, &g);
+        // b saw only one step, so it has no accumulated velocity.
+        assert!((b[0] - (-0.1)).abs() < 1e-7);
+        assert!(a[0] < -0.2, "a should have accumulated velocity: {}", a[0]);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_lr() {
+        let _ = Adam::new(-1.0);
+    }
+}
+
+/// Clips a set of gradients to a maximum global ℓ₂ norm (in place),
+/// returning the pre-clip norm. Standard practice for recurrent models
+/// (the paper's PTB recipe).
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive and finite.
+pub fn clip_global_norm(grads: &mut [(String, Tensor)], max_norm: f32) -> f32 {
+    assert!(
+        max_norm.is_finite() && max_norm > 0.0,
+        "max norm must be positive"
+    );
+    let total: f32 = grads
+        .iter()
+        .map(|(_, g)| {
+            let n = g.norm2();
+            n * n
+        })
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for (_, g) in grads.iter_mut() {
+            g.scale(scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod clip_tests {
+    use super::*;
+
+    #[test]
+    fn clips_only_when_above_threshold() {
+        let mut grads = vec![
+            ("a".to_string(), Tensor::from_vec(vec![3.0, 0.0])),
+            ("b".to_string(), Tensor::from_vec(vec![0.0, 4.0])),
+        ];
+        // Global norm = 5; clip at 10 leaves everything unchanged.
+        let pre = clip_global_norm(&mut grads, 10.0);
+        assert_eq!(pre, 5.0);
+        assert_eq!(grads[0].1.as_slice(), &[3.0, 0.0]);
+        // Clip at 1: everything scales by 1/5.
+        let pre = clip_global_norm(&mut grads, 1.0);
+        assert_eq!(pre, 5.0);
+        assert!((grads[0].1[0] - 0.6).abs() < 1e-6);
+        assert!((grads[1].1[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "max norm")]
+    fn rejects_zero_max_norm() {
+        let mut grads = vec![("a".to_string(), Tensor::from_vec(vec![1.0]))];
+        let _ = clip_global_norm(&mut grads, 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Learning-rate schedules.
+//!
+//! The paper's benchmarks follow each suite's standard schedules (step decay
+//! for the CIFAR/ImageNet recipes, constant for the rest). Schedules are
+//! composable with any [`crate::optim::Optimizer`] via
+//! [`Schedule::apply`].
+
+use crate::optim::Optimizer;
+
+/// A learning-rate schedule: maps (epoch, base-lr) to the lr for that epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` at every milestone epoch (classic step decay,
+    /// e.g. the ResNet paper's ÷10 at epochs 150/225).
+    StepDecay {
+        /// Epochs at which decay triggers.
+        milestones: Vec<usize>,
+        /// Multiplicative factor per milestone.
+        gamma: f32,
+    },
+    /// Cosine annealing from the base lr to `min_lr` over `total_epochs`.
+    Cosine {
+        /// Total schedule length.
+        total_epochs: usize,
+        /// Final learning rate.
+        min_lr: f32,
+    },
+    /// Linear warmup over `warmup_epochs`, then constant.
+    Warmup {
+        /// Epochs to ramp from 0 to the base lr.
+        warmup_epochs: usize,
+    },
+}
+
+impl Schedule {
+    /// The learning rate for `epoch` given a base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base lr is not positive and finite.
+    pub fn lr_at(&self, epoch: usize, base_lr: f32) -> f32 {
+        assert!(
+            base_lr.is_finite() && base_lr > 0.0,
+            "base learning rate must be positive"
+        );
+        match self {
+            Schedule::Constant => base_lr,
+            Schedule::StepDecay { milestones, gamma } => {
+                let hits = milestones.iter().filter(|&&m| epoch >= m).count();
+                base_lr * gamma.powi(hits as i32)
+            }
+            Schedule::Cosine {
+                total_epochs,
+                min_lr,
+            } => {
+                let t = (epoch as f32 / (*total_epochs).max(1) as f32).min(1.0);
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            Schedule::Warmup { warmup_epochs } => {
+                if *warmup_epochs == 0 || epoch >= *warmup_epochs {
+                    base_lr
+                } else {
+                    base_lr * (epoch + 1) as f32 / *warmup_epochs as f32
+                }
+            }
+        }
+    }
+
+    /// Applies the epoch's rate to an optimizer.
+    pub fn apply(&self, optimizer: &mut dyn Optimizer, epoch: usize, base_lr: f32) {
+        optimizer.set_learning_rate(self.lr_at(epoch, base_lr));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Schedule::Constant;
+        assert_eq!(s.lr_at(0, 0.1), 0.1);
+        assert_eq!(s.lr_at(100, 0.1), 0.1);
+    }
+
+    #[test]
+    fn step_decay_multiplies_at_milestones() {
+        let s = Schedule::StepDecay {
+            milestones: vec![10, 20],
+            gamma: 0.1,
+        };
+        assert_eq!(s.lr_at(9, 1.0), 1.0);
+        assert!((s.lr_at(10, 1.0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(25, 1.0) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_anneals_monotonically_to_min() {
+        let s = Schedule::Cosine {
+            total_epochs: 50,
+            min_lr: 0.001,
+        };
+        let start = s.lr_at(0, 0.1);
+        let mid = s.lr_at(25, 0.1);
+        let end = s.lr_at(50, 0.1);
+        assert!((start - 0.1).abs() < 1e-6);
+        assert!(mid < start && mid > end);
+        assert!((end - 0.001).abs() < 1e-6);
+        // Clamped past the end.
+        assert_eq!(s.lr_at(99, 0.1), end);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = Schedule::Warmup { warmup_epochs: 4 };
+        assert!((s.lr_at(0, 0.4) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(1, 0.4) - 0.2).abs() < 1e-7);
+        assert_eq!(s.lr_at(4, 0.4), 0.4);
+        assert_eq!(s.lr_at(100, 0.4), 0.4);
+        // Degenerate zero-length warmup.
+        assert_eq!(Schedule::Warmup { warmup_epochs: 0 }.lr_at(0, 0.4), 0.4);
+    }
+
+    #[test]
+    fn apply_updates_the_optimizer() {
+        let mut opt = Sgd::new(1.0);
+        let s = Schedule::StepDecay {
+            milestones: vec![1],
+            gamma: 0.5,
+        };
+        s.apply(&mut opt, 2, 1.0);
+        use crate::optim::Optimizer;
+        assert_eq!(opt.learning_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_base_lr() {
+        let _ = Schedule::Constant.lr_at(0, 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Small dense linear algebra for low-rank compressors (§III-D).
+//!
+//! PowerSGD views each gradient tensor as an `m × l` matrix `M`, maintains a
+//! rank-`r` sketch via one step of subspace (power) iteration, and transmits
+//! the two factors `P = M Q` and `Qᵀ M`. The primitives required are plain
+//! matmuls with optional transposes and Gram–Schmidt orthonormalization.
+//!
+//! Matrices are row-major `&[f32]` buffers with explicit dimensions, matching
+//! [`crate::Tensor`] layout so gradients can be viewed without copies.
+
+/// `C (m×n) = A (m×k) · B (k×n)`.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the dimensions.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A buffer size mismatch");
+    assert_eq!(b.len(), k * n, "B buffer size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// `C (k×n) = Aᵀ · B` where `A` is `m×k` and `B` is `m×n`.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the dimensions.
+pub fn matmul_transpose_a(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A buffer size mismatch");
+    assert_eq!(b.len(), m * n, "B buffer size mismatch");
+    let mut c = vec![0.0f32; k * n];
+    for row in 0..m {
+        let arow = &a[row * k..(row + 1) * k];
+        let brow = &b[row * n..(row + 1) * n];
+        for i in 0..k {
+            let av = arow[i];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// `C (m×k) = A (m×n) · Bᵀ` where `B` is `k×n`.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the dimensions.
+pub fn matmul_transpose_b(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * n, "A buffer size mismatch");
+    assert_eq!(b.len(), k * n, "B buffer size mismatch");
+    let mut c = vec![0.0f32; m * k];
+    for i in 0..m {
+        let arow = &a[i * n..(i + 1) * n];
+        for j in 0..k {
+            let brow = &b[j * n..(j + 1) * n];
+            let mut acc = 0.0f32;
+            for p in 0..n {
+                acc += arow[p] * brow[p];
+            }
+            c[i * k + j] = acc;
+        }
+    }
+    c
+}
+
+/// Transposes an `m×n` row-major matrix.
+pub fn transpose(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * n, "buffer size mismatch");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+    out
+}
+
+/// Orthonormalizes the `r` columns of an `m×r` matrix in place via modified
+/// Gram–Schmidt (the orthogonalization step of PowerSGD).
+///
+/// Columns that collapse to (near-)zero norm are replaced with a deterministic
+/// unit basis vector so the result always has orthonormal columns when
+/// `m >= r`.
+pub fn orthonormalize_columns(a: &mut [f32], m: usize, r: usize) {
+    assert_eq!(a.len(), m * r, "buffer size mismatch");
+    for col in 0..r {
+        let mut pre_norm = 0.0f32;
+        for row in 0..m {
+            pre_norm += a[row * r + col] * a[row * r + col];
+        }
+        let pre_norm = pre_norm.sqrt();
+        // Subtract projections onto previous columns.
+        for prev in 0..col {
+            let mut dot = 0.0f32;
+            for row in 0..m {
+                dot += a[row * r + col] * a[row * r + prev];
+            }
+            for row in 0..m {
+                a[row * r + col] -= dot * a[row * r + prev];
+            }
+        }
+        let mut norm = 0.0f32;
+        for row in 0..m {
+            norm += a[row * r + col] * a[row * r + col];
+        }
+        let norm = norm.sqrt();
+        // A column that collapses under projection (relative to its original
+        // magnitude) is linearly dependent: normalizing it would amplify f32
+        // cancellation noise into a bogus direction.
+        if norm > 1e-4 * pre_norm.max(1e-30) && norm > 1e-12 {
+            for row in 0..m {
+                a[row * r + col] /= norm;
+            }
+        } else {
+            // Degenerate column: fall back to the col-th unit vector.
+            for row in 0..m {
+                a[row * r + col] = if row == col % m { 1.0 } else { 0.0 };
+            }
+            // Re-orthogonalize the fallback against previous columns once.
+            for prev in 0..col {
+                let mut dot = 0.0f32;
+                for row in 0..m {
+                    dot += a[row * r + col] * a[row * r + prev];
+                }
+                for row in 0..m {
+                    a[row * r + col] -= dot * a[row * r + prev];
+                }
+            }
+            let mut n2 = 0.0f32;
+            for row in 0..m {
+                n2 += a[row * r + col] * a[row * r + col];
+            }
+            let n2 = n2.sqrt().max(1e-8);
+            for row in 0..m {
+                a[row * r + col] /= n2;
+            }
+        }
+    }
+}
+
+/// Frobenius norm of a matrix buffer.
+pub fn frobenius_norm(a: &[f32]) -> f32 {
+    a.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // 2x2
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(matmul(&a, &eye, 2, 2, 2), a);
+        assert_eq!(matmul(&eye, &a, 2, 2, 2), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // A: 2x3, B: 3x2
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let c = matmul(&a, &b, 2, 3, 2);
+        assert_eq!(c, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let a = vec![1.0, -2.0, 0.5, 3.0, 4.0, -1.0]; // 3x2
+        let b = vec![2.0, 0.0, 1.0, -1.0, 0.5, 2.0]; // 3x2
+        let at = transpose(&a, 3, 2);
+        let expect = matmul(&at, &b, 2, 3, 2);
+        assert_eq!(matmul_transpose_a(&a, &b, 3, 2, 2), expect);
+
+        let bt = transpose(&b, 3, 2);
+        let expect2 = matmul(&a, &bt, 3, 2, 3);
+        // a: 3x2 times bᵀ: 2x3 -> 3x3; matmul_transpose_b takes (m,n,k)=(3,2,3)
+        assert_eq!(matmul_transpose_b(&a, &b, 3, 2, 3), expect2);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        assert_eq!(transpose(&transpose(&a, 3, 4), 4, 3), a);
+    }
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_columns() {
+        let mut a = vec![
+            1.0, 1.0, //
+            1.0, 0.0, //
+            0.0, 1.0, //
+            2.0, -1.0,
+        ]; // 4x2
+        orthonormalize_columns(&mut a, 4, 2);
+        let mut dot01 = 0.0;
+        let mut n0 = 0.0;
+        let mut n1 = 0.0;
+        for row in 0..4 {
+            dot01 += a[row * 2] * a[row * 2 + 1];
+            n0 += a[row * 2] * a[row * 2];
+            n1 += a[row * 2 + 1] * a[row * 2 + 1];
+        }
+        assert!(dot01.abs() < 1e-5);
+        assert!((n0 - 1.0).abs() < 1e-5);
+        assert!((n1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gram_schmidt_handles_degenerate_columns() {
+        // Second column is a multiple of the first.
+        let mut a = vec![
+            1.0, 2.0, //
+            0.0, 0.0, //
+            0.0, 0.0,
+        ]; // 3x2
+        orthonormalize_columns(&mut a, 3, 2);
+        let mut dot01 = 0.0;
+        let mut n1 = 0.0;
+        for row in 0..3 {
+            dot01 += a[row * 2] * a[row * 2 + 1];
+            n1 += a[row * 2 + 1] * a[row * 2 + 1];
+        }
+        assert!(dot01.abs() < 1e-5, "columns not orthogonal: {dot01}");
+        assert!((n1 - 1.0).abs() < 1e-5, "second column not unit: {n1}");
+    }
+
+    #[test]
+    fn frobenius() {
+        assert_eq!(frobenius_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(frobenius_norm(&[]), 0.0);
+    }
+}

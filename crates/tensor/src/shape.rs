@@ -1,0 +1,156 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension sizes.
+///
+/// A scalar has the empty shape `[]`, a vector of length `d` has shape `[d]`,
+/// and a matrix with `m` rows and `l` columns has shape `[m, l]`.
+///
+/// # Example
+///
+/// ```
+/// use grace_tensor::Shape;
+///
+/// let s = Shape::new(vec![4, 3]);
+/// assert_eq!(s.len(), 12);
+/// assert_eq!(s.rank(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The shape of a vector with `d` elements.
+    pub fn vector(d: usize) -> Self {
+        Shape(vec![d])
+    }
+
+    /// The shape of a matrix with `rows` rows and `cols` columns.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Interprets the shape as a 2-D matrix `(rows, cols)`.
+    ///
+    /// Rank-2 shapes map directly; a rank-1 shape `[d]` maps to `(d, 1)`;
+    /// higher-rank shapes fold all trailing dimensions into the column count.
+    /// This is how low-rank compressors (PowerSGD, §III-D) view gradients as
+    /// matrices.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use grace_tensor::Shape;
+    /// assert_eq!(Shape::new(vec![4, 3, 2]).as_matrix(), (4, 6));
+    /// assert_eq!(Shape::vector(7).as_matrix(), (7, 1));
+    /// ```
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.0.len() {
+            0 => (1, 1),
+            1 => (self.0[0], 1),
+            _ => (self.0[0], self.0[1..].iter().product()),
+        }
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn vector_and_matrix_constructors() {
+        assert_eq!(Shape::vector(5).dims(), &[5]);
+        assert_eq!(Shape::matrix(2, 3).dims(), &[2, 3]);
+        assert_eq!(Shape::matrix(2, 3).len(), 6);
+    }
+
+    #[test]
+    fn as_matrix_folds_trailing_dims() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).as_matrix(), (2, 12));
+        assert_eq!(Shape::matrix(5, 7).as_matrix(), (5, 7));
+        assert_eq!(Shape::scalar().as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        assert!(Shape::new(vec![0, 3]).is_empty());
+        assert_eq!(Shape::new(vec![0, 3]).len(), 0);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(vec![4, 3]).to_string(), "[4x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions_from_slices() {
+        let s: Shape = vec![1, 2].into();
+        assert_eq!(s, Shape::new(vec![1, 2]));
+        let s2: Shape = (&[3usize, 4][..]).into();
+        assert_eq!(s2.dims(), &[3, 4]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Greenwald–Khanna ε-approximate quantile sketch.
+//!
+//! SketchML (§III-C) buckets non-zero gradient values with a *non-uniform
+//! quantile sketch* (the paper cites Greenwald & Khanna, SIGMOD'01) and
+//! transmits each value as its bucket index. This module implements the GK
+//! summary with the standard `2εn` capacity invariant plus the derived
+//! equi-depth bucketizer used by our SketchML compressor.
+
+/// One entry of the GK summary.
+#[derive(Debug, Clone, Copy)]
+struct GkEntry {
+    value: f32,
+    /// g: difference between the minimum ranks of this and the previous entry.
+    g: u64,
+    /// Δ: uncertainty of this entry's rank.
+    delta: u64,
+}
+
+/// A Greenwald–Khanna sketch answering rank/quantile queries within `ε·n`.
+///
+/// # Example
+///
+/// ```
+/// use grace_tensor::sketch::GkSketch;
+///
+/// let mut sk = GkSketch::new(0.01);
+/// for i in 0..1000 {
+///     sk.insert(i as f32);
+/// }
+/// let median = sk.quantile(0.5);
+/// assert!((median - 500.0).abs() <= 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GkSketch {
+    epsilon: f64,
+    entries: Vec<GkEntry>,
+    count: u64,
+}
+
+impl GkSketch {
+    /// Creates a sketch with rank-error tolerance `epsilon` in `(0, 0.5)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is out of range.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 0.5,
+            "epsilon must be in (0, 0.5), got {epsilon}"
+        );
+        GkSketch {
+            epsilon,
+            entries: Vec::new(),
+            count: 0,
+        }
+    }
+
+    /// Number of values inserted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of summary entries currently retained (the sketch's size).
+    pub fn summary_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts one value.
+    ///
+    /// Non-finite values are ignored (gradients are expected to be finite; a
+    /// NaN would poison every comparison).
+    pub fn insert(&mut self, value: f32) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let pos = self
+            .entries
+            .partition_point(|e| e.value < value);
+        let delta = if pos == 0 || pos == self.entries.len() {
+            0
+        } else {
+            ((2.0 * self.epsilon * self.count as f64).floor() as u64).saturating_sub(1)
+        };
+        self.entries.insert(
+            pos,
+            GkEntry {
+                value,
+                g: 1,
+                delta,
+            },
+        );
+        // Compress periodically to keep the summary small.
+        let cap = (1.0 / (2.0 * self.epsilon)).ceil() as usize;
+        if self.entries.len() > 3 * cap {
+            self.compress();
+        }
+    }
+
+    /// Inserts every value of a slice.
+    pub fn extend_from_slice(&mut self, values: &[f32]) {
+        for &v in values {
+            self.insert(v);
+        }
+    }
+
+    fn compress(&mut self) {
+        if self.entries.len() < 3 {
+            return;
+        }
+        let threshold = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let mut out: Vec<GkEntry> = Vec::with_capacity(self.entries.len());
+        out.push(self.entries[0]);
+        for i in 1..self.entries.len() {
+            let e = self.entries[i];
+            // Merge `last` into `e` when the band condition allows; keep first
+            // and last entries exact so min/max queries stay exact.
+            let is_edge = i == self.entries.len() - 1 || out.len() == 1;
+            let last = out.last_mut().expect("out is non-empty");
+            if !is_edge && last.g + e.g + e.delta < threshold {
+                let merged_g = last.g + e.g;
+                *last = GkEntry {
+                    value: e.value,
+                    g: merged_g,
+                    delta: e.delta,
+                };
+            } else {
+                out.push(e);
+            }
+        }
+        self.entries = out;
+    }
+
+    /// Returns a value whose rank is within `ε·n` of `q·n`, for `q ∈ [0, 1]`.
+    ///
+    /// Returns `0.0` if the sketch is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f32 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0);
+        let target = rank + self.epsilon * self.count as f64;
+        let mut rmin = 0u64;
+        let mut prev = self.entries[0].value;
+        for e in &self.entries {
+            if (rmin + e.g + e.delta) as f64 > target {
+                return prev;
+            }
+            rmin += e.g;
+            prev = e.value;
+        }
+        prev
+    }
+
+    /// Returns `buckets + 1` boundary values splitting the distribution into
+    /// (approximately) equi-depth buckets: `boundaries[0] = min`,
+    /// `boundaries[buckets] = max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn equi_depth_boundaries(&self, buckets: usize) -> Vec<f32> {
+        assert!(buckets > 0, "need at least one bucket");
+        (0..=buckets)
+            .map(|i| self.quantile(i as f64 / buckets as f64))
+            .collect()
+    }
+}
+
+/// Maps a value to its bucket in a sorted boundary list produced by
+/// [`GkSketch::equi_depth_boundaries`]; values outside the range clamp to the
+/// first/last bucket.
+pub fn bucket_of(boundaries: &[f32], value: f32) -> usize {
+    debug_assert!(boundaries.len() >= 2);
+    let buckets = boundaries.len() - 1;
+    let pos = boundaries[1..buckets].partition_point(|b| *b <= value);
+    pos.min(buckets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn quantiles_on_uniform_stream() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..10_000 {
+            sk.insert(i as f32);
+        }
+        for &(q, expect) in &[(0.1, 1000.0), (0.5, 5000.0), (0.9, 9000.0)] {
+            let got = sk.quantile(q);
+            assert!(
+                (got - expect).abs() <= 0.02 * 10_000.0,
+                "q={q}: got {got}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_shuffled_gaussianlike_stream() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sk = GkSketch::new(0.02);
+        let mut values: Vec<f32> = (0..5000).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        sk.extend_from_slice(&values);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact_median = values[2500];
+        let approx = sk.quantile(0.5);
+        let rank = values.partition_point(|v| *v < approx);
+        assert!(
+            (rank as i64 - 2500).unsigned_abs() <= (0.04 * 5000.0) as u64,
+            "median rank error too large: rank={rank}, exact median {exact_median}, got {approx}"
+        );
+    }
+
+    #[test]
+    fn summary_stays_sublinear() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..100_000 {
+            sk.insert((i % 977) as f32);
+        }
+        assert!(
+            sk.summary_len() < 2000,
+            "summary too large: {}",
+            sk.summary_len()
+        );
+        assert_eq!(sk.count(), 100_000);
+    }
+
+    #[test]
+    fn min_and_max_are_exact() {
+        let mut sk = GkSketch::new(0.05);
+        let values = [4.0, -7.5, 3.0, 100.0, -2.0, 0.5];
+        sk.extend_from_slice(&values);
+        assert_eq!(sk.quantile(0.0), -7.5);
+        assert_eq!(sk.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn empty_sketch_returns_zero() {
+        let sk = GkSketch::new(0.1);
+        assert_eq!(sk.quantile(0.5), 0.0);
+        assert_eq!(sk.count(), 0);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut sk = GkSketch::new(0.1);
+        sk.insert(f32::NAN);
+        sk.insert(f32::INFINITY);
+        sk.insert(1.0);
+        assert_eq!(sk.count(), 1);
+        assert_eq!(sk.quantile(0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = GkSketch::new(0.7);
+    }
+
+    #[test]
+    fn equi_depth_bucketing() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..1000 {
+            sk.insert(i as f32);
+        }
+        let bounds = sk.equi_depth_boundaries(4);
+        assert_eq!(bounds.len(), 5);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(bucket_of(&bounds, -100.0), 0);
+        assert_eq!(bucket_of(&bounds, 2000.0), 3);
+        let b_mid = bucket_of(&bounds, 510.0);
+        assert!(b_mid == 1 || b_mid == 2, "mid bucket was {b_mid}");
+    }
+}

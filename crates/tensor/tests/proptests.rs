@@ -1,0 +1,118 @@
+//! Property-based tests for the tensor substrate's invariants.
+
+use grace_tensor::coding::HuffmanCode;
+use grace_tensor::linalg::{matmul, matmul_transpose_a, matmul_transpose_b, transpose};
+use grace_tensor::pack::{pack_bits, packed_len, unpack_bits};
+use grace_tensor::select::{desparsify, sparsify, top_k_indices};
+use grace_tensor::sketch::GkSketch;
+use grace_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_length_formula_is_exact(
+        values in proptest::collection::vec(0u32..256, 0..200),
+        bits in 8u32..=8,
+    ) {
+        let packed = pack_bits(&values, bits);
+        prop_assert_eq!(packed.len(), packed_len(values.len(), bits));
+        prop_assert_eq!(unpack_bits(&packed, bits, values.len()), values);
+    }
+
+    #[test]
+    fn topk_keeps_the_heaviest_mass(
+        data in proptest::collection::vec(-100.0f32..100.0, 1..150),
+        k_frac in 0.1f64..1.0,
+    ) {
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        let idx = top_k_indices(&data, k);
+        prop_assert_eq!(idx.len(), k);
+        // The kept mass is at least k/d of the total absolute mass (the
+        // heaviest k elements can't carry less than the average share).
+        let kept: f32 = idx.iter().map(|&i| data[i as usize].abs()).sum();
+        let total: f32 = data.iter().map(|v| v.abs()).sum();
+        prop_assert!(kept + 1e-4 >= total * (k as f32 / data.len() as f32) - 1e-4);
+    }
+
+    #[test]
+    fn sparsify_preserves_selected_mass(
+        data in proptest::collection::vec(-10.0f32..10.0, 1..100),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let t = Tensor::from_vec(data.clone());
+        let k = ((data.len() as f64 * k_frac) as usize).min(data.len());
+        let idx = top_k_indices(&data, k);
+        let sel = sparsify(&t, idx);
+        let restored = desparsify(&sel);
+        // desparsify(sparsify(x)) never adds mass.
+        prop_assert!(restored.norm1() <= t.norm1() + 1e-3);
+        prop_assert_eq!(restored.norm0().min(k), restored.norm0());
+    }
+
+    #[test]
+    fn matmul_transposes_agree(
+        a in proptest::collection::vec(-5.0f32..5.0, 12),
+        b in proptest::collection::vec(-5.0f32..5.0, 12),
+    ) {
+        // A: 3x4, B: 3x4. Aᵀ·B via helper == via explicit transpose.
+        let direct = matmul_transpose_a(&a, &b, 3, 4, 4);
+        let at = transpose(&a, 3, 4);
+        let explicit = matmul(&at, &b, 4, 3, 4);
+        for (x, y) in direct.iter().zip(&explicit) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        // A·Bᵀ via helper == via explicit transpose (A: 3x4, B: 3x4 -> 3x3).
+        let direct2 = matmul_transpose_b(&a, &b, 3, 4, 3);
+        let bt = transpose(&b, 3, 4);
+        let explicit2 = matmul(&a, &bt, 3, 4, 3);
+        for (x, y) in direct2.iter().zip(&explicit2) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gk_sketch_rank_error_is_bounded(
+        mut values in proptest::collection::vec(-1000.0f32..1000.0, 50..400),
+    ) {
+        let eps = 0.05;
+        let mut sk = GkSketch::new(eps);
+        sk.extend_from_slice(&values);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = values.len();
+        for &q in &[0.25f64, 0.5, 0.75] {
+            let est = sk.quantile(q);
+            let rank = values.partition_point(|v| *v < est);
+            let target = q * n as f64;
+            prop_assert!(
+                (rank as f64 - target).abs() <= (2.0 * eps * n as f64) + 2.0,
+                "q={q}: rank {rank} vs target {target} (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn huffman_never_expands_past_fixed_width_plus_header(
+        symbols in proptest::collection::vec(0u32..16, 1..500),
+    ) {
+        let (lengths, bits, nbits) = HuffmanCode::encode_stream(&symbols, 16);
+        prop_assert_eq!(HuffmanCode::decode_stream(&lengths, &bits, symbols.len()), symbols.clone());
+        // Optimal prefix code over a 16-symbol alphabet never needs more
+        // than 15 bits per symbol.
+        prop_assert!(nbits <= 15 * symbols.len() as u64);
+        prop_assert!(bits.len() as u64 <= nbits.div_ceil(8));
+    }
+
+    #[test]
+    fn tensor_norm_inequalities_hold(
+        data in proptest::collection::vec(-50.0f32..50.0, 1..100),
+    ) {
+        let t = Tensor::from_vec(data);
+        let d = t.len() as f32;
+        // ‖x‖∞ ≤ ‖x‖₂ ≤ ‖x‖₁ ≤ √d·‖x‖₂ ≤ d·‖x‖∞
+        prop_assert!(t.norm_inf() <= t.norm2() + 1e-3);
+        prop_assert!(t.norm2() <= t.norm1() + 1e-2);
+        prop_assert!(t.norm1() <= d.sqrt() * t.norm2() + 1e-1);
+    }
+}

@@ -1,0 +1,83 @@
+//! The practitioner question the paper closes on: *given my network, should
+//! I compress at all — and with what?* This example sweeps link bandwidth
+//! (1 / 10 / 25 Gbps, as in the paper's testbed) for the communication-heavy
+//! VGG16 analog and prints which methods beat the no-compression baseline at
+//! each speed — reproducing the §V-F takeaway that "at higher bandwidths,
+//! avoiding compression typically results in faster training".
+//!
+//! Run: `cargo run --release --example bandwidth_sweep`
+
+use grace::comm::{NetworkModel, Transport};
+use grace::compressors::registry;
+use grace::core::trainer::run_simulated;
+use grace::core::{Compressor, Memory, NoCompression, NoMemory, TrainConfig};
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::optim::Momentum;
+
+fn throughput(gbps: f64, compressor_id: Option<&str>) -> f64 {
+    let task = ClassificationDataset::synthetic(512, 64, 10, 0.35, 3);
+    let mut net = models::vgg16_analog(64, 10, 3);
+    let mut cfg = TrainConfig::new(8, 32, 2, 3);
+    cfg.network = NetworkModel::new(gbps, Transport::Tcp);
+    // Paper-scale clock, as in the experiment harness (DESIGN.md §6):
+    // paper compute time, paper-sized bytes, calibrated codec model.
+    cfg.compute = grace::core::ComputeModel::new(1.2e-3);
+    cfg.byte_scale = 14_982_987.0 / net.param_count() as f64;
+    cfg.codec = match compressor_id {
+        None => grace::core::trainer::CodecTiming::Free,
+        Some(id) => {
+            let spec = registry::find(id).expect("registered");
+            grace::core::trainer::CodecTiming::Modeled {
+                per_op_seconds: 1.0e-4,
+                ops_per_tensor: spec.ops_per_tensor,
+                ns_per_element: spec.ns_per_element,
+                tensor_count: 30,
+            }
+        }
+    };
+    let mut opt = Momentum::new(0.03, 0.9);
+    let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
+        None => (
+            (0..8).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
+            (0..8).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+        ),
+        Some(id) => {
+            let spec = registry::find(id).expect("registered");
+            registry::build_fleet(&spec, 8, 3)
+        }
+    };
+    run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms).throughput
+}
+
+fn main() {
+    let methods: [(&str, Option<&str>); 4] = [
+        ("Baseline", None),
+        ("Topk(0.01)", Some("topk")),
+        ("QSGD(64)", Some("qsgd")),
+        ("8-bit", Some("eightbit")),
+    ];
+    println!("VGG16 analog, 8 workers — throughput (images/s) vs link speed:\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "Method", "1 Gbps", "10 Gbps", "25 Gbps"
+    );
+    let mut base = [0.0f64; 3];
+    for (row, (label, id)) in methods.iter().enumerate() {
+        let mut cells = Vec::new();
+        for (col, gbps) in [1.0, 10.0, 25.0].into_iter().enumerate() {
+            let t = throughput(gbps, *id);
+            if row == 0 {
+                base[col] = t;
+            }
+            cells.push(format!("{t:>8.0} ({:>4.2}x)", t / base[col]));
+        }
+        println!("{label:<12} {}", cells.join(" "));
+    }
+    println!(
+        "\nReading: at 1 Gbps the sparsifier wins 6x; dense quantizers stay \
+         near the baseline because Allgather ships every worker's payload \
+         (n-1) times (paper §IV-B). As bandwidth grows, codec overhead \
+         erodes even Top-k's win (paper Fig. 10 vs Fig. 6c)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: compress a gradient tensor, inspect the payload, and run a
+//! few error-feedback iterations — the core GRACE API in 60 lines.
+//!
+//! Run: `cargo run --example quickstart`
+
+use grace::compressors::{Qsgd, TopK};
+use grace::core::payload::total_bytes;
+use grace::core::{Compressor, Memory, ResidualMemory};
+use grace::tensor::Tensor;
+
+fn main() {
+    // A fake layer gradient: 10k elements, mostly small values.
+    let grad: Tensor = (0..10_000)
+        .map(|i| {
+            let x = (i as f32 * 0.37).sin();
+            0.01 * x * x * x
+        })
+        .collect();
+    println!("gradient: {} elements = {} bytes raw", grad.len(), grad.len() * 4);
+
+    // --- Top-k sparsification: keep the 1% largest-magnitude elements ---
+    let mut topk = TopK::new(0.01);
+    let (payloads, ctx) = topk.compress(&grad, "layer0/w");
+    let bytes = total_bytes(&payloads) + ctx.meta_bytes();
+    println!(
+        "{}: {} bytes on the wire ({:.1}x smaller)",
+        topk.name(),
+        bytes,
+        (grad.len() * 4) as f64 / bytes as f64
+    );
+    let restored = topk.decompress(&payloads, &ctx);
+    println!(
+        "  reconstruction keeps {} non-zeros, relative error {:.3}",
+        restored.norm0(),
+        restored.sub(&grad).norm2() / grad.norm2()
+    );
+
+    // --- QSGD quantization: every element survives at ~8 bits ---
+    let mut qsgd = Qsgd::new(64, 7);
+    let (payloads, ctx) = qsgd.compress(&grad, "layer0/w");
+    let bytes = total_bytes(&payloads) + ctx.meta_bytes();
+    println!(
+        "{}: {} bytes on the wire ({:.1}x smaller)",
+        qsgd.name(),
+        bytes,
+        (grad.len() * 4) as f64 / bytes as f64
+    );
+
+    // --- Error feedback: the residual of each iteration is re-injected ---
+    // With a 25% keep-ratio, four iterations rotate through every
+    // coordinate: the cumulative transmitted mass converges to the cumulative
+    // true gradient — nothing is permanently lost.
+    let mut rotating = TopK::new(0.25);
+    let mut memory = ResidualMemory::new();
+    let mut total_sent = grad.zeros_like();
+    let iters = 8;
+    for iter in 0..iters {
+        let compensated = memory.compensate("layer0/w", &grad);
+        let (payloads, ctx) = rotating.compress(&compensated, "layer0/w");
+        let decompressed = rotating.decompress(&payloads, &ctx);
+        memory.update("layer0/w", &compensated, &decompressed);
+        total_sent.add_assign(&decompressed);
+        let residual = memory.residual("layer0/w").expect("stored").norm1();
+        println!("iter {iter}: residual mass {residual:.5}");
+    }
+    let mut ideal = grad.clone();
+    ideal.scale(iters as f32);
+    println!(
+        "after {iters} iterations at 25% sparsity: sent/ideal mass = {:.3}",
+        total_sent.norm1() / ideal.norm1()
+    );
+}

@@ -1,0 +1,53 @@
+//! Running the distributed loop on **real concurrent workers**: one OS
+//! thread per worker exchanging compressed gradients through the collective
+//! layer — the execution mode that validates the deterministic simulator.
+//!
+//! Run: `cargo run --release --example threaded_cluster`
+
+use grace::core::threaded::run_threaded;
+use grace::core::trainer::{run_simulated, CodecTiming};
+use grace::core::{Compressor, Memory, ResidualMemory, TrainConfig};
+use grace::compressors::TopK;
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::optim::{Momentum, Optimizer};
+
+fn main() {
+    let n_workers = 4;
+    let task = ClassificationDataset::synthetic(512, 16, 4, 0.35, 99);
+    let mut cfg = TrainConfig::new(n_workers, 16, 4, 99);
+    cfg.codec = CodecTiming::Free;
+
+    println!("Training the ResNet-20 analog with Topk(0.05) on {n_workers} real threads …");
+    let threaded = run_threaded(&cfg, &task, |rank| {
+        // Every worker builds an identical replica from the same seed; only
+        // its data shard (by rank) differs.
+        let net = models::resnet20_analog(16, 4, 99);
+        let opt: Box<dyn Optimizer> = Box::new(Momentum::new(0.05, 0.9));
+        let compressor: Box<dyn Compressor> = Box::new(TopK::new(0.05));
+        let memory: Box<dyn Memory> = Box::new(ResidualMemory::new());
+        let _ = rank; // the schedule derives shard + batches from the rank
+        (net, opt, compressor, memory)
+    });
+    println!(
+        "threaded run:  accuracy {:.4}, {} compressed bytes sent by rank 0",
+        threaded.final_quality, threaded.bytes_sent
+    );
+
+    // The deterministic simulator replays the identical schedule…
+    let mut net = models::resnet20_analog(16, 4, 99);
+    let mut opt = Momentum::new(0.05, 0.9);
+    let mut cs: Vec<Box<dyn Compressor>> = (0..n_workers)
+        .map(|_| Box::new(TopK::new(0.05)) as Box<dyn Compressor>)
+        .collect();
+    let mut ms: Vec<Box<dyn Memory>> = (0..n_workers)
+        .map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>)
+        .collect();
+    let sim = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+    println!("simulated run: accuracy {:.4}", sim.final_quality);
+
+    // …and produces the same model, bit for bit.
+    let same = sim.final_quality == threaded.final_quality;
+    println!("bit-identical results: {same}");
+    assert!(same, "the two execution modes must agree");
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the GRACE reproduction: re-exports every subsystem.
+//!
+//! See the individual crates for details:
+//! - [`tensor`] — dense tensor substrate
+//! - [`nn`] — from-scratch deep-learning library
+//! - [`comm`] — collective communication + network cost model
+//! - [`core`] — the GRACE framework (compressor API, error feedback, Algorithm 1)
+//! - [`compressors`] — the 16 compression methods of Table I
+
+pub use grace_comm as comm;
+pub use grace_compressors as compressors;
+pub use grace_core as core;
+pub use grace_nn as nn;
+pub use grace_tensor as tensor;

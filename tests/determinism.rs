@@ -1,0 +1,81 @@
+//! Reproducibility: every experiment is a pure function of its seed.
+
+use grace::compressors::registry;
+use grace::core::trainer::{run_simulated, CodecTiming};
+use grace::core::TrainConfig;
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::optim::Sgd;
+
+fn run_once(id: &str, seed: u64) -> (f64, Vec<f32>) {
+    let task = ClassificationDataset::synthetic(128, 8, 2, 0.3, seed);
+    let mut net = models::mlp_classifier("m", 8, &[16], 2, seed);
+    let mut cfg = TrainConfig::new(3, 8, 2, seed);
+    cfg.codec = CodecTiming::Free;
+    let mut opt = Sgd::new(0.05);
+    let spec = registry::find(id).expect("registered");
+    let (mut cs, mut ms) = registry::build_fleet(&spec, 3, seed);
+    let res = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+    let params: Vec<f32> = net
+        .export_params()
+        .into_iter()
+        .flat_map(|(_, t)| t.into_vec())
+        .collect();
+    (res.final_quality, params)
+}
+
+#[test]
+fn randomized_compressors_reproduce_exactly_under_same_seed() {
+    for id in ["qsgd", "randomk", "terngrad", "natural"] {
+        let (q1, p1) = run_once(id, 5);
+        let (q2, p2) = run_once(id, 5);
+        assert_eq!(q1, q2, "{id}: quality differs across runs");
+        assert_eq!(p1, p2, "{id}: parameters differ across runs");
+    }
+}
+
+#[test]
+fn different_seeds_change_randomized_trajectories() {
+    let (_, p1) = run_once("randomk", 5);
+    let (_, p2) = run_once("randomk", 6);
+    assert_ne!(p1, p2, "different seeds must differ");
+}
+
+#[test]
+fn deterministic_compressors_are_seed_invariant_given_fixed_data() {
+    // Top-k has no RNG: with the same data/model seed but different
+    // compressor fleet seeds, results must be identical.
+    let task = ClassificationDataset::synthetic(128, 8, 2, 0.3, 9);
+    let run = |fleet_seed: u64| {
+        let mut net = models::mlp_classifier("m", 8, &[16], 2, 9);
+        let mut cfg = TrainConfig::new(3, 8, 2, 9);
+        cfg.codec = CodecTiming::Free;
+        let mut opt = Sgd::new(0.05);
+        let spec = registry::find("topk").expect("registered");
+        let (mut cs, mut ms) = registry::build_fleet(&spec, 3, fleet_seed);
+        run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms).final_quality
+    };
+    assert_eq!(run(1), run(2));
+}
+
+#[test]
+fn simulated_times_are_deterministic_with_modeled_codec() {
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 4);
+    let run = || {
+        let mut net = models::mlp_classifier("m", 8, &[16], 2, 4);
+        let mut cfg = TrainConfig::new(2, 8, 1, 4);
+        cfg.codec = CodecTiming::Modeled {
+            per_op_seconds: 1e-4,
+            ops_per_tensor: 4.0,
+            ns_per_element: 4.0,
+            tensor_count: 30,
+        };
+        cfg.byte_scale = 50.0;
+        let mut opt = Sgd::new(0.05);
+        let spec = registry::find("topk").expect("registered");
+        let (mut cs, mut ms) = registry::build_fleet(&spec, 2, 4);
+        let res = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+        (res.sim_seconds, res.codec_seconds, res.comm_seconds)
+    };
+    assert_eq!(run(), run(), "modeled clock must be exactly reproducible");
+}

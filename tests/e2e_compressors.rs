@@ -1,0 +1,126 @@
+//! End-to-end: every registered compressor trains the classification analog
+//! through the full distributed loop without crashing, and the key methods
+//! converge.
+
+use grace::compressors::registry;
+use grace::core::trainer::{run_simulated, CodecTiming};
+use grace::core::{Compressor, Memory, NoCompression, NoMemory, TrainConfig};
+use grace::nn::data::{ClassificationDataset, Task};
+use grace::nn::models;
+use grace::nn::optim::{Momentum, Optimizer, Sgd};
+
+fn train(
+    task: &dyn Task,
+    compressor_id: Option<&str>,
+    epochs: usize,
+) -> grace::core::RunResult {
+    let mut net = models::mlp_classifier("m", 16, &[48, 48], 4, 77);
+    let mut cfg = TrainConfig::new(4, 16, epochs, 77);
+    cfg.codec = CodecTiming::Free;
+    let mut opt: Box<dyn Optimizer> = match compressor_id {
+        Some("signsgd") | Some("signum") => Box::new(Sgd::new(0.005)),
+        Some("randomk") => Box::new(Sgd::new(0.5)),
+        Some("powersgd") | Some("dgc") => Box::new(Sgd::new(0.05)),
+        _ => Box::new(Momentum::new(0.05, 0.9)),
+    };
+    let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
+        None => (
+            (0..4).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
+            (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+        ),
+        Some(id) => {
+            let spec = registry::find(id).expect("registered");
+            registry::build_fleet(&spec, 4, 77)
+        }
+    };
+    run_simulated(&cfg, &mut net, task, opt.as_mut(), &mut cs, &mut ms)
+}
+
+#[test]
+fn every_compressor_survives_the_full_loop() {
+    let task = ClassificationDataset::synthetic(256, 16, 4, 0.35, 77);
+    for spec in registry::all_specs() {
+        let res = train(&task, Some(spec.id), 2);
+        assert!(
+            res.best_quality.is_finite(),
+            "{}: non-finite quality",
+            spec.id
+        );
+        assert!(res.bytes_per_worker_per_iter > 0.0, "{}: no bytes", spec.id);
+        assert!(
+            res.bytes_per_worker_per_iter <= res.uncompressed_bytes_per_iter * 1.05,
+            "{}: volume {} exceeds raw {}",
+            spec.id,
+            res.bytes_per_worker_per_iter,
+            res.uncompressed_bytes_per_iter
+        );
+    }
+}
+
+#[test]
+fn key_methods_converge_near_baseline() {
+    let task = ClassificationDataset::synthetic(512, 16, 4, 0.35, 77);
+    let base = train(&task, None, 10);
+    assert!(base.best_quality > 0.85, "baseline {}", base.best_quality);
+    for id in ["topk", "qsgd", "eightbit", "terngrad", "efsignsgd", "onebit"] {
+        let res = train(&task, Some(id), 10);
+        assert!(
+            res.best_quality > base.best_quality - 0.15,
+            "{id}: {} vs baseline {}",
+            res.best_quality,
+            base.best_quality
+        );
+    }
+}
+
+#[test]
+fn sparsifiers_cut_volume_by_orders_of_magnitude() {
+    let task = ClassificationDataset::synthetic(128, 16, 4, 0.35, 77);
+    for id in ["topk", "randomk"] {
+        let res = train(&task, Some(id), 1);
+        assert!(
+            res.compression_ratio() > 30.0,
+            "{id}: only {}x",
+            res.compression_ratio()
+        );
+    }
+    // Quantizers land near their per-element bit budget.
+    let q = train(&task, Some("qsgd"), 1);
+    assert!(
+        q.compression_ratio() > 3.0 && q.compression_ratio() < 5.0,
+        "qsgd: {}x (expected ~4x at 8 bits/element)",
+        q.compression_ratio()
+    );
+    let s = train(&task, Some("signsgd"), 1);
+    assert!(
+        s.compression_ratio() > 25.0,
+        "signsgd: {}x (expected ~32x at 1 bit/element)",
+        s.compression_ratio()
+    );
+}
+
+#[test]
+fn quality_monotonicity_under_heavier_sparsification() {
+    // Very heavy compression (0.001) must not beat light compression (0.1)
+    // on final quality in a short run — the paper's Fig. 6d inset trend.
+    use grace::compressors::TopK;
+    use grace::core::ResidualMemory;
+    let task = ClassificationDataset::synthetic(512, 16, 4, 0.35, 77);
+    let run = |ratio: f64| {
+        let mut net = models::mlp_classifier("m", 16, &[48, 48], 4, 77);
+        let mut cfg = TrainConfig::new(4, 16, 6, 77);
+        cfg.codec = CodecTiming::Free;
+        let mut opt = Momentum::new(0.05, 0.9);
+        let mut cs: Vec<Box<dyn Compressor>> =
+            (0..4).map(|_| Box::new(TopK::new(ratio)) as Box<dyn Compressor>).collect();
+        let mut ms: Vec<Box<dyn Memory>> =
+            (0..4).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
+        run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms).best_quality
+    };
+    let light = run(0.1);
+    let heavy = run(0.001);
+    assert!(
+        light >= heavy - 0.02,
+        "light {light} should not lose clearly to heavy {heavy}"
+    );
+}

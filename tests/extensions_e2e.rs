@@ -1,0 +1,118 @@
+//! End-to-end coverage for the extension methods (DESIGN.md §7): full
+//! distributed-loop runs, convergence sanity, and mode equivalence.
+
+use grace::compressors::extensions::{extension_specs, SketchedSgd, SpectralLowRank};
+use grace::core::threaded::run_threaded;
+use grace::core::trainer::{run_simulated, CodecTiming};
+use grace::core::{Compressor, Memory, NoMemory, ResidualMemory, TrainConfig};
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::optim::{Momentum, Optimizer};
+
+fn config(n: usize, epochs: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::new(n, 16, epochs, 55);
+    cfg.codec = CodecTiming::Free;
+    cfg
+}
+
+#[test]
+fn every_extension_survives_the_full_loop() {
+    let task = ClassificationDataset::synthetic(256, 16, 4, 0.35, 55);
+    for spec in extension_specs() {
+        let mut net = models::mlp_classifier("m", 16, &[48], 4, 55);
+        let cfg = config(4, 2);
+        let mut opt = Momentum::new(0.05, 0.9);
+        let (mut cs, mut ms) = grace::compressors::registry::build_fleet(&spec, 4, 55);
+        let res = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+        assert!(res.best_quality.is_finite(), "{}", spec.id);
+        assert!(
+            res.bytes_per_worker_per_iter < res.uncompressed_bytes_per_iter,
+            "{}: no volume reduction",
+            spec.id
+        );
+    }
+}
+
+#[test]
+fn qsparse_and_threelc_converge_near_baseline() {
+    let task = ClassificationDataset::synthetic(512, 16, 4, 0.35, 55);
+    let run = |id: Option<&str>| {
+        let mut net = models::mlp_classifier("m", 16, &[48, 48], 4, 55);
+        let cfg = config(4, 8);
+        let mut opt = Momentum::new(0.05, 0.9);
+        let (mut cs, mut ms) = match id {
+            None => (
+                (0..4)
+                    .map(|_| {
+                        Box::new(grace::core::NoCompression::new()) as Box<dyn Compressor>
+                    })
+                    .collect(),
+                (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+            ),
+            Some(id) => {
+                let spec = extension_specs().into_iter().find(|s| s.id == id).unwrap();
+                grace::compressors::registry::build_fleet(&spec, 4, 55)
+            }
+        };
+        run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms).best_quality
+    };
+    let base = run(None);
+    for id in ["qsparselocal", "threelc", "variance", "spectral"] {
+        let q = run(Some(id));
+        assert!(
+            q > base - 0.2,
+            "{id}: {q} too far below baseline {base}"
+        );
+    }
+}
+
+#[test]
+fn sketched_sgd_threaded_matches_simulated() {
+    // The only extension with an Allreduce strategy and non-trivial
+    // aggregation semantics: validate it across execution modes.
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 41);
+    let mut cfg = TrainConfig::new(3, 8, 2, 41);
+    cfg.codec = CodecTiming::Free;
+    let make_c = || Box::new(SketchedSgd::new(5, 128, 0.05)) as Box<dyn Compressor>;
+    let make_m = || Box::new(ResidualMemory::new()) as Box<dyn Memory>;
+
+    let mut net = models::mlp_classifier("m", 8, &[12], 2, 41);
+    let mut opt = Momentum::new(0.05, 0.9);
+    let mut cs: Vec<Box<dyn Compressor>> = (0..3).map(|_| make_c()).collect();
+    let mut ms: Vec<Box<dyn Memory>> = (0..3).map(|_| make_m()).collect();
+    let sim = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+    let sim_params = net.export_params();
+
+    let threaded = run_threaded(&cfg, &task, |_rank| {
+        (
+            models::mlp_classifier("m", 8, &[12], 2, 41),
+            Box::new(Momentum::new(0.05, 0.9)) as Box<dyn Optimizer>,
+            make_c(),
+            make_m(),
+        )
+    });
+    assert_eq!(threaded.final_quality, sim.final_quality);
+    for ((na, ta), (_, tb)) in sim_params.iter().zip(threaded.final_params.iter()) {
+        assert_eq!(ta.as_slice(), tb.as_slice(), "diverged at {na}");
+    }
+}
+
+#[test]
+fn spectral_outperforms_powersgd_in_per_step_fidelity() {
+    use grace::tensor::{Shape, Tensor};
+    use grace::tensor::rng::seeded;
+    use rand::Rng;
+    let mut rng = seeded(8);
+    let data: Vec<f32> = (0..48 * 32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let g = Tensor::new(data, Shape::matrix(48, 32));
+    let mut spectral = SpectralLowRank::new(4, 4);
+    let (p, ctx) = spectral.compress(&g, "w");
+    let err = spectral.decompress(&p, &ctx).sub(&g).norm2() / g.norm2();
+    let mut power = grace::compressors::PowerSgd::new(4);
+    let (pp, pc) = power.compress(&g, "w");
+    let perr = power.decompress(&pp, &pc).sub(&g).norm2() / g.norm2();
+    assert!(
+        err <= perr + 1e-4,
+        "spectral ({err}) should not trail cold PowerSGD ({perr})"
+    );
+}

@@ -1,0 +1,131 @@
+//! End-to-end properties of the simulated clock: how network bandwidth,
+//! transport, compression ratio and codec modeling interact — the causal
+//! mechanisms behind the paper's Figures 1, 6, 9 and 10.
+
+use grace::comm::{NetworkModel, Transport};
+use grace::compressors::{registry, TopK};
+use grace::core::trainer::{run_simulated, CodecTiming};
+use grace::core::{Compressor, Memory, NoCompression, NoMemory, ResidualMemory, TrainConfig};
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::optim::Momentum;
+
+fn run(
+    gbps: f64,
+    transport: Transport,
+    compressor_id: Option<&str>,
+    codec: CodecTiming,
+) -> grace::core::RunResult {
+    let task = ClassificationDataset::synthetic(128, 16, 4, 0.3, 19);
+    let mut net = models::mlp_classifier("m", 16, &[256, 128], 4, 19);
+    let mut cfg = TrainConfig::new(4, 16, 2, 19);
+    cfg.network = NetworkModel::new(gbps, transport);
+    cfg.codec = codec;
+    cfg.byte_scale = 100.0; // paper-scale gradients
+    cfg.compute = grace::core::ComputeModel::new(1e-4);
+    let mut opt = Momentum::new(0.05, 0.9);
+    let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
+        None => (
+            (0..4).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
+            (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+        ),
+        Some(id) => {
+            let spec = registry::find(id).expect("registered");
+            registry::build_fleet(&spec, 4, 19)
+        }
+    };
+    run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms)
+}
+
+#[test]
+fn sparsification_wins_at_low_bandwidth() {
+    // Fig. 10's mechanism: at 1 Gbps the baseline is communication-bound and
+    // Top-k's tiny payloads dominate even with codec cost charged.
+    let codec = CodecTiming::Modeled {
+        per_op_seconds: 1e-4,
+        ops_per_tensor: 4.0,
+        ns_per_element: 4.0,
+        tensor_count: 30,
+    };
+    let base = run(1.0, Transport::Tcp, None, CodecTiming::Free);
+    let topk = run(1.0, Transport::Tcp, Some("topk"), codec);
+    assert!(
+        topk.throughput > 1.5 * base.throughput,
+        "topk {} vs baseline {}",
+        topk.throughput,
+        base.throughput
+    );
+}
+
+#[test]
+fn codec_cost_can_erase_the_win_at_high_bandwidth() {
+    // Fig. 1's 8-bit lesson: same method, same volume — at 25 Gbps a heavy
+    // codec makes it slower than no compression.
+    let heavy_codec = CodecTiming::Modeled {
+        per_op_seconds: 1e-4,
+        ops_per_tensor: 8.0,
+        ns_per_element: 6.0,
+        tensor_count: 30,
+    };
+    let base = run(25.0, Transport::Tcp, None, CodecTiming::Free);
+    let eightbit = run(25.0, Transport::Tcp, Some("eightbit"), heavy_codec);
+    assert!(
+        eightbit.throughput < base.throughput,
+        "8-bit {} should lose to baseline {} at 25 Gbps",
+        eightbit.throughput,
+        base.throughput
+    );
+    // But the identical run wins once codec time is free — the overhead is
+    // the whole story.
+    let free = run(25.0, Transport::Tcp, Some("eightbit"), CodecTiming::Free);
+    assert!(free.throughput > base.throughput);
+}
+
+#[test]
+fn rdma_beats_tcp_for_every_method() {
+    for id in [None, Some("topk"), Some("qsgd")] {
+        let tcp = run(10.0, Transport::Tcp, id, CodecTiming::Free);
+        let rdma = run(10.0, Transport::Rdma, id, CodecTiming::Free);
+        assert!(
+            rdma.throughput > tcp.throughput,
+            "{id:?}: rdma {} <= tcp {}",
+            rdma.throughput,
+            tcp.throughput
+        );
+    }
+}
+
+#[test]
+fn bandwidth_changes_time_but_not_learning() {
+    let slow = run(1.0, Transport::Tcp, Some("topk"), CodecTiming::Free);
+    let fast = run(25.0, Transport::Tcp, Some("topk"), CodecTiming::Free);
+    assert_eq!(slow.final_quality, fast.final_quality);
+    assert_eq!(slow.bytes_per_worker_per_iter, fast.bytes_per_worker_per_iter);
+    assert!(slow.sim_seconds > fast.sim_seconds);
+}
+
+#[test]
+fn volume_metric_tracks_sparsity_ratio() {
+    let task = ClassificationDataset::synthetic(64, 16, 4, 0.3, 23);
+    let volume = |ratio: f64| {
+        let mut net = models::mlp_classifier("m", 16, &[64], 4, 23);
+        let mut cfg = TrainConfig::new(2, 16, 1, 23);
+        cfg.codec = CodecTiming::Free;
+        let mut opt = Momentum::new(0.05, 0.9);
+        let mut cs: Vec<Box<dyn Compressor>> =
+            (0..2).map(|_| Box::new(TopK::new(ratio)) as Box<dyn Compressor>).collect();
+        let mut ms: Vec<Box<dyn Memory>> =
+            (0..2).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
+        run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms)
+            .bytes_per_worker_per_iter
+    };
+    let v1 = volume(0.01);
+    let v10 = volume(0.1);
+    // Values + 4-byte indices: volume scales near-linearly with the kept
+    // count (ceil-per-tensor rounding keeps small tensors above the ratio).
+    let ratio = v10 / v1;
+    assert!(
+        (7.0..=11.0).contains(&ratio),
+        "volume should scale ~10x: {v1} -> {v10} ({ratio}x)"
+    );
+}

@@ -1,0 +1,136 @@
+//! The deterministic simulator and the real multi-threaded SPMD runtime must
+//! produce bit-identical models for every communication strategy.
+
+use grace::compressors::{PowerSgd, Qsgd, TopK};
+use grace::core::threaded::run_threaded;
+use grace::core::trainer::{run_simulated, CodecTiming};
+use grace::core::{Compressor, Memory, NoMemory, ResidualMemory, TrainConfig};
+use grace::nn::data::{ClassificationDataset, Task};
+use grace::nn::models;
+use grace::nn::network::Network;
+use grace::nn::optim::{Momentum, Optimizer};
+use grace::tensor::Tensor;
+
+fn config(n: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::new(n, 8, 2, 31);
+    cfg.codec = CodecTiming::Free;
+    cfg
+}
+
+fn net() -> Network {
+    models::mlp_classifier("m", 8, &[12], 2, 31)
+}
+
+fn opt() -> Box<dyn Optimizer> {
+    Box::new(Momentum::new(0.05, 0.9))
+}
+
+fn simulate(
+    task: &ClassificationDataset,
+    n: usize,
+    make_c: impl Fn(usize) -> Box<dyn Compressor>,
+    make_m: impl Fn() -> Box<dyn Memory>,
+) -> (f64, Vec<(String, Tensor)>) {
+    let cfg = config(n);
+    let mut network = net();
+    let mut optimizer = opt();
+    let mut cs: Vec<Box<dyn Compressor>> = (0..n).map(&make_c).collect();
+    let mut ms: Vec<Box<dyn Memory>> = (0..n).map(|_| make_m()).collect();
+    let res = run_simulated(
+        &cfg,
+        &mut network,
+        task,
+        optimizer.as_mut(),
+        &mut cs,
+        &mut ms,
+    );
+    (res.final_quality, network.export_params())
+}
+
+fn check_equivalence(
+    make_c: impl Fn(usize) -> Box<dyn Compressor> + Sync + Copy,
+    make_m: impl Fn() -> Box<dyn Memory> + Sync + Copy,
+) {
+    let n = 3;
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+    let (sim_q, sim_params) = simulate(&task, n, |w| make_c(w), make_m);
+    let threaded = run_threaded(&config(n), &task, |rank| {
+        (net(), opt(), make_c(rank), make_m())
+    });
+    assert_eq!(threaded.final_quality, sim_q, "quality diverged");
+    assert_eq!(sim_params.len(), threaded.final_params.len());
+    for ((na, ta), (nb, tb)) in sim_params.iter().zip(threaded.final_params.iter()) {
+        assert_eq!(na, nb);
+        assert_eq!(ta.as_slice(), tb.as_slice(), "replica diverged at {na}");
+    }
+}
+
+#[test]
+fn topk_allgather_matches() {
+    check_equivalence(
+        |_w| Box::new(TopK::new(0.05)),
+        || Box::new(ResidualMemory::new()),
+    );
+}
+
+#[test]
+fn qsgd_randomized_matches_with_per_worker_seeds() {
+    // Randomized compressors agree across modes because worker `rank` uses
+    // the same derived seed in both.
+    check_equivalence(
+        |w| Box::new(Qsgd::new(16, 1000 + w as u64)),
+        || Box::new(NoMemory::new()),
+    );
+}
+
+#[test]
+fn powersgd_allreduce_matches() {
+    check_equivalence(
+        |_w| Box::new(PowerSgd::new(2)),
+        || Box::new(ResidualMemory::new()),
+    );
+}
+
+#[test]
+fn threaded_traffic_matches_simulated_volume_up_to_codec_framing() {
+    use grace::core::trainer::steps_per_epoch;
+    let n = 3;
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+    let cfg = config(n);
+    // Simulated per-worker volume.
+    let mut network = net();
+    let mut optimizer = opt();
+    let mut cs: Vec<Box<dyn Compressor>> =
+        (0..n).map(|_| Box::new(TopK::new(0.05)) as Box<dyn Compressor>).collect();
+    let mut ms: Vec<Box<dyn Memory>> =
+        (0..n).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
+    let sim = run_simulated(
+        &cfg,
+        &mut network,
+        &task,
+        optimizer.as_mut(),
+        &mut cs,
+        &mut ms,
+    );
+    let threaded = run_threaded(&cfg, &task, |_rank| {
+        (
+            net(),
+            opt(),
+            Box::new(TopK::new(0.05)) as Box<dyn Compressor>,
+            Box::new(ResidualMemory::new()) as Box<dyn Memory>,
+        )
+    });
+    let steps = (cfg.epochs * steps_per_epoch(task.train_len(), n, cfg.batch_per_worker)) as f64;
+    let sim_total = sim.bytes_per_worker_per_iter * steps;
+    // The threaded wire adds self-describing codec framing (tags + lengths
+    // + the meta payload header); allow a modest margin.
+    let threaded_total = threaded.bytes_sent as f64;
+    assert!(
+        threaded_total >= sim_total,
+        "threaded {threaded_total} < simulated {sim_total}"
+    );
+    assert!(
+        threaded_total < sim_total * 1.5 + 1024.0,
+        "framing overhead too large: {threaded_total} vs {sim_total}"
+    );
+}
