@@ -17,16 +17,12 @@ fn bench_compress_decompress(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(bytes as u64));
         for spec in registry::all_specs() {
             let mut comp = (spec.build)(3);
-            group.bench_with_input(
-                BenchmarkId::new(spec.display, label),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let (payloads, ctx) = comp.compress(g, "bench/w");
-                        std::hint::black_box(comp.decompress(&payloads, &ctx))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(spec.display, label), &g, |b, g| {
+                b.iter(|| {
+                    let (payloads, ctx) = comp.compress(g, "bench/w");
+                    std::hint::black_box(comp.decompress(&payloads, &ctx))
+                })
+            });
         }
     }
     group.finish();

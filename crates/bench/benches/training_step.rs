@@ -21,8 +21,12 @@ fn run_one_epoch(compressor_id: Option<&str>) {
     let mut opt = Momentum::new(0.05, 0.9);
     let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
         None => (
-            (0..4).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
-            (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+            (0..4)
+                .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                .collect(),
+            (0..4)
+                .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                .collect(),
         ),
         Some(id) => {
             let spec = registry::find(id).expect("registered");
@@ -30,19 +34,20 @@ fn run_one_epoch(compressor_id: Option<&str>) {
         }
     };
     std::hint::black_box(run_simulated(
-        &cfg,
-        &mut net,
-        &task,
-        &mut opt,
-        &mut cs,
-        &mut ms,
+        &cfg, &mut net, &task, &mut opt, &mut cs, &mut ms,
     ));
 }
 
 fn bench_training_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("epoch_resnet20_analog_4workers");
     group.sample_size(10);
-    for id in [None, Some("topk"), Some("qsgd"), Some("sketchml"), Some("powersgd")] {
+    for id in [
+        None,
+        Some("topk"),
+        Some("qsgd"),
+        Some("sketchml"),
+        Some("powersgd"),
+    ] {
         let label = id.unwrap_or("baseline");
         group.bench_function(label, |b| b.iter(|| run_one_epoch(id)));
     }

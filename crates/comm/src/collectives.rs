@@ -11,15 +11,56 @@
 //! *timing* of ring algorithms is modelled analytically by
 //! [`crate::model::NetworkModel`], so the in-memory data path here only needs
 //! to be correct, not network-shaped.
+//!
+//! # Fault tolerance
+//!
+//! The barrier supports **dynamic membership**: a worker that leaves the
+//! cluster ([`Collective::leave`], used by the fault layer in
+//! [`crate::fault`]) shrinks the expected arrival count and releases any
+//! current waiters, so survivors keep making progress instead of
+//! deadlocking. A per-cluster [`ClusterOptions::timeout`] bounds every
+//! barrier wait; expiry surfaces as [`ClusterError::Timeout`] rather than a
+//! hang. The fallible `try_*` methods report which ranks actually
+//! contributed to each collective, which is what lets callers rescale
+//! aggregates by the surviving-worker count.
 
+use crate::error::ClusterError;
 use crate::traffic::TrafficCounter;
-use parking_lot::Mutex;
-use std::sync::{Arc, Barrier};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Logical wire bytes one worker sends for a ring all-reduce of `elems`
+/// `f32` elements across `n` workers: `2·(n−1)/n · 4·elems` (reduce-scatter
+/// plus all-gather phase). The single source of truth for all-reduce traffic
+/// accounting — [`WorkerHandle`] records exactly this, and the traffic tests
+/// recompute it.
+pub fn ring_allreduce_wire_bytes(n: usize, elems: usize) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        (2 * (n - 1) * elems * 4 / n) as u64
+    }
+}
+
+/// An all-reduce result plus how many workers actually contributed — the
+/// denominator for mean-style rescaling under degraded membership.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reduction {
+    /// Elementwise sum over the contributing workers.
+    pub sum: Vec<f32>,
+    /// Number of live workers whose buffers were summed.
+    pub contributors: usize,
+}
 
 /// SPMD collective operations available to each worker.
 ///
 /// Mirrors the three Horovod primitives GRACE builds on (§IV-B):
-/// `Allreduce`, `Allgather`, `Broadcast`.
+/// `Allreduce`, `Allgather`, `Broadcast`. The `try_*` variants surface
+/// membership and timeout failures as [`ClusterError`] instead of
+/// panicking/deadlocking, and report degraded membership; implementations
+/// without failure modes get them for free from the infallible defaults.
 pub trait Collective {
     /// Total number of workers in the job.
     fn n_workers(&self) -> usize;
@@ -48,6 +89,42 @@ pub trait Collective {
 
     /// Blocks until every worker reaches the barrier.
     fn barrier(&self);
+
+    /// Fallible all-reduce: the sum over live workers plus the contributor
+    /// count (fault-free implementations report all workers).
+    fn try_allreduce_f32(&self, data: Vec<f32>) -> Result<Reduction, ClusterError> {
+        let contributors = self.n_workers();
+        Ok(Reduction {
+            sum: self.allreduce_f32(data),
+            contributors,
+        })
+    }
+
+    /// Fallible all-gather: `None` marks ranks that have left the cluster.
+    fn try_allgather_bytes(&self, data: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>, ClusterError> {
+        Ok(self.allgather_bytes(data).into_iter().map(Some).collect())
+    }
+
+    /// Fallible broadcast.
+    fn try_broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, ClusterError> {
+        Ok(self.broadcast_bytes(root, data))
+    }
+
+    /// Fallible barrier.
+    fn try_barrier(&self) -> Result<(), ClusterError> {
+        self.barrier();
+        Ok(())
+    }
+
+    /// Number of workers still participating (≤ [`Collective::n_workers`]).
+    fn live_workers(&self) -> usize {
+        self.n_workers()
+    }
+
+    /// Permanently removes this worker from the cluster, shrinking the
+    /// barrier membership so the survivors keep making progress. Idempotent;
+    /// a no-op for implementations without membership.
+    fn leave(&self) {}
 
     /// Reduce-scatter: elementwise-sums all buffers and returns this
     /// worker's contiguous shard of the sum (the first half of a ring
@@ -110,11 +187,91 @@ impl Collective for SingleWorker {
     fn barrier(&self) {}
 }
 
+/// A reusable barrier with dynamic membership and timeout support.
+///
+/// Unlike `std::sync::Barrier`, the expected arrival count can shrink while
+/// waiters are blocked ([`DynBarrier::leave`]) — the survivors are released
+/// as soon as the remaining membership has fully arrived — and waits can be
+/// bounded by a deadline.
+#[derive(Debug)]
+struct DynBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    expected: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+impl DynBarrier {
+    fn new(expected: usize) -> Self {
+        DynBarrier {
+            state: Mutex::new(BarrierState {
+                expected,
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Waits for the current membership to arrive. `Err(())` on timeout, in
+    /// which case this waiter has withdrawn its arrival.
+    fn wait(&self, timeout: Option<Duration>) -> Result<(), ()> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut s = self.state.lock();
+        s.arrived += 1;
+        if s.arrived >= s.expected {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        loop {
+            match deadline {
+                None => self.cv.wait(&mut s),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d || self.cv.wait_for(&mut s, d - now).timed_out() {
+                        if s.generation != gen {
+                            return Ok(());
+                        }
+                        s.arrived -= 1;
+                        return Err(());
+                    }
+                }
+            }
+            if s.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Removes one member. Releases current waiters if the shrunk
+    /// membership has now fully arrived.
+    fn leave(&self) {
+        let mut s = self.state.lock();
+        s.expected = s.expected.saturating_sub(1);
+        if s.expected > 0 && s.arrived >= s.expected {
+            s.arrived = 0;
+            s.generation += 1;
+        }
+        self.cv.notify_all();
+    }
+}
+
 #[derive(Debug)]
 struct Board {
     f32_slots: Mutex<Vec<Vec<f32>>>,
     byte_slots: Mutex<Vec<Vec<u8>>>,
-    barrier: Barrier,
+    /// Which ranks are still cluster members; stale slots of departed ranks
+    /// are excluded from every aggregation.
+    alive: Mutex<Vec<bool>>,
+    barrier: DynBarrier,
     n: usize,
 }
 
@@ -123,8 +280,28 @@ impl Board {
         Board {
             f32_slots: Mutex::new(vec![Vec::new(); n]),
             byte_slots: Mutex::new(vec![Vec::new(); n]),
-            barrier: Barrier::new(n),
+            alive: Mutex::new(vec![true; n]),
+            barrier: DynBarrier::new(n),
             n,
+        }
+    }
+}
+
+/// Options for [`ThreadedCluster::run_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterOptions {
+    /// Upper bound on any single barrier/collective wait. `None` waits
+    /// forever (the fault-free default); with a timeout, a worker stuck
+    /// waiting on a dead peer gets [`ClusterError::Timeout`] instead of
+    /// deadlocking.
+    pub timeout: Option<Duration>,
+}
+
+impl ClusterOptions {
+    /// Options with a collective timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        ClusterOptions {
+            timeout: Some(timeout),
         }
     }
 }
@@ -135,12 +312,35 @@ pub struct WorkerHandle {
     board: Arc<Board>,
     rank: usize,
     traffic: TrafficCounter,
+    timeout: Option<Duration>,
+    /// Per-worker collective-op counter, for error context.
+    ops: Arc<AtomicU64>,
 }
 
 impl WorkerHandle {
     /// The shared traffic counter recording payload bytes per worker.
     pub fn traffic(&self) -> &TrafficCounter {
         &self.traffic
+    }
+
+    /// Collective operations this worker has started.
+    pub fn ops_started(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    fn next_op(&self) -> u64 {
+        self.ops.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn wait_barrier(&self, op: u64) -> Result<(), ClusterError> {
+        self.board
+            .barrier
+            .wait(self.timeout)
+            .map_err(|()| ClusterError::Timeout {
+                rank: self.rank,
+                op,
+                waited: self.timeout.unwrap_or_default(),
+            })
     }
 }
 
@@ -153,60 +353,122 @@ impl Collective for WorkerHandle {
         self.rank
     }
 
-    fn allreduce_f32(&self, data: Vec<f32>) -> Vec<f32> {
+    fn live_workers(&self) -> usize {
+        self.board.alive.lock().iter().filter(|a| **a).count()
+    }
+
+    fn leave(&self) {
+        let mut alive = self.board.alive.lock();
+        if alive[self.rank] {
+            alive[self.rank] = false;
+            // Mark membership before shrinking the barrier: any waiter the
+            // shrink releases must already see this rank as dead.
+            drop(alive);
+            self.board.barrier.leave();
+        }
+    }
+
+    fn try_allreduce_f32(&self, data: Vec<f32>) -> Result<Reduction, ClusterError> {
+        let op = self.next_op();
         let len = data.len();
-        // Logical wire bytes per worker for a ring all-reduce.
-        let wire = if self.board.n > 1 {
-            (2 * (self.board.n - 1) * len * 4 / self.board.n) as u64
-        } else {
-            0
-        };
-        self.traffic.record(self.rank, wire);
+        self.traffic.record(
+            self.rank,
+            ring_allreduce_wire_bytes(self.live_workers(), len),
+        );
         self.board.f32_slots.lock()[self.rank] = data;
-        self.board.barrier.wait();
-        let sum = {
+        self.wait_barrier(op)?;
+        let reduction = {
             let slots = self.board.f32_slots.lock();
-            let mut acc = slots[0].clone();
-            for other in slots.iter().skip(1) {
-                assert_eq!(
-                    acc.len(),
-                    other.len(),
-                    "allreduce buffers must have identical lengths"
-                );
-                for (a, b) in acc.iter_mut().zip(other.iter()) {
-                    *a += b;
+            let alive = self.board.alive.lock();
+            let mut contributors = 0usize;
+            let mut acc: Option<Vec<f32>> = None;
+            for (slot, live) in slots.iter().zip(alive.iter()) {
+                if !live {
+                    continue;
+                }
+                contributors += 1;
+                match &mut acc {
+                    None => acc = Some(slot.clone()),
+                    Some(acc) => {
+                        assert_eq!(
+                            acc.len(),
+                            slot.len(),
+                            "allreduce buffers must have identical lengths"
+                        );
+                        for (a, b) in acc.iter_mut().zip(slot.iter()) {
+                            *a += b;
+                        }
+                    }
                 }
             }
-            acc
+            Reduction {
+                sum: acc.expect("at least the caller is alive"),
+                contributors,
+            }
         };
         // Second barrier: nobody deposits for the next round before all read.
-        self.board.barrier.wait();
-        sum
+        self.wait_barrier(op)?;
+        Ok(reduction)
     }
 
-    fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+    fn try_allgather_bytes(&self, data: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>, ClusterError> {
+        let op = self.next_op();
         self.traffic.record(self.rank, data.len() as u64);
         self.board.byte_slots.lock()[self.rank] = data;
-        self.board.barrier.wait();
-        let all = self.board.byte_slots.lock().clone();
-        self.board.barrier.wait();
-        all
+        self.wait_barrier(op)?;
+        let all = {
+            let slots = self.board.byte_slots.lock();
+            let alive = self.board.alive.lock();
+            slots
+                .iter()
+                .zip(alive.iter())
+                .map(|(slot, live)| live.then(|| slot.clone()))
+                .collect()
+        };
+        self.wait_barrier(op)?;
+        Ok(all)
     }
 
-    fn broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+    fn try_broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, ClusterError> {
         assert!(root < self.board.n, "broadcast root {root} out of range");
+        let op = self.next_op();
         if self.rank == root {
             self.traffic.record(self.rank, data.len() as u64);
             self.board.byte_slots.lock()[root] = data;
         }
-        self.board.barrier.wait();
+        self.wait_barrier(op)?;
+        if !self.board.alive.lock()[root] {
+            return Err(ClusterError::Dropped { rank: root, op });
+        }
         let out = self.board.byte_slots.lock()[root].clone();
-        self.board.barrier.wait();
-        out
+        self.wait_barrier(op)?;
+        Ok(out)
+    }
+
+    fn try_barrier(&self) -> Result<(), ClusterError> {
+        let op = self.next_op();
+        self.wait_barrier(op)
+    }
+
+    fn allreduce_f32(&self, data: Vec<f32>) -> Vec<f32> {
+        self.try_allreduce_f32(data).expect("collective failed").sum
+    }
+
+    fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        self.try_allgather_bytes(data)
+            .expect("collective failed")
+            .into_iter()
+            .map(|slot| slot.expect("allgather with departed workers needs try_allgather_bytes"))
+            .collect()
+    }
+
+    fn broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        self.try_broadcast_bytes(root, data)
+            .expect("collective failed")
     }
 
     fn barrier(&self) {
-        self.board.barrier.wait();
+        self.try_barrier().expect("collective failed");
     }
 }
 
@@ -238,6 +500,16 @@ impl ThreadedCluster {
         T: Send,
         F: Fn(WorkerHandle) -> T + Sync,
     {
+        Self::run_with(n, ClusterOptions::default(), f)
+    }
+
+    /// Like [`ThreadedCluster::run`], with explicit [`ClusterOptions`]
+    /// (notably a collective timeout for fault-tolerant runs).
+    pub fn run_with<T, F>(n: usize, options: ClusterOptions, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(WorkerHandle) -> T + Sync,
+    {
         assert!(n > 0, "need at least one worker");
         let board = Arc::new(Board::new(n));
         let traffic = TrafficCounter::new(n);
@@ -248,6 +520,8 @@ impl ThreadedCluster {
                     board: Arc::clone(&board),
                     rank,
                     traffic: traffic.clone(),
+                    timeout: options.timeout,
+                    ops: Arc::new(AtomicU64::new(0)),
                 };
                 let f = &f;
                 joins.push(s.spawn(move || f(handle)));
@@ -273,6 +547,9 @@ mod tests {
         assert_eq!(c.allgather_bytes(vec![7]), vec![vec![7]]);
         assert_eq!(c.broadcast_bytes(0, vec![9]), vec![9]);
         c.barrier();
+        assert_eq!(c.live_workers(), 1);
+        let r = c.try_allreduce_f32(vec![3.0]).unwrap();
+        assert_eq!((r.sum, r.contributors), (vec![3.0], 1));
     }
 
     #[test]
@@ -351,6 +628,21 @@ mod tests {
     }
 
     #[test]
+    fn traffic_counter_uses_ring_formula_for_allreduce() {
+        let n = 4;
+        let elems = 1000;
+        let results = ThreadedCluster::run(n, |c| {
+            let _ = c.allreduce_f32(vec![0.0; elems]);
+            c.traffic().clone()
+        });
+        let per_worker = ring_allreduce_wire_bytes(n, elems);
+        assert!(per_worker > 0);
+        for rank in 0..n {
+            assert_eq!(results[0].bytes_sent(rank), per_worker);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker")]
     fn rejects_zero_workers() {
         let _ = ThreadedCluster::run(0, |_| ());
@@ -390,5 +682,108 @@ mod tests {
         let c = SingleWorker;
         assert_eq!(c.reduce_scatter_f32(vec![1.0, 2.0]), vec![1.0, 2.0]);
         assert_eq!(c.gather_bytes(0, vec![5]), vec![vec![5]]);
+    }
+
+    #[test]
+    fn departed_worker_is_excluded_from_collectives() {
+        let results = ThreadedCluster::run(4, |c| {
+            if c.rank() == 2 {
+                c.leave();
+                return (Vec::new(), Vec::new());
+            }
+            let r = c.try_allreduce_f32(vec![c.rank() as f32 + 1.0]).unwrap();
+            assert_eq!(r.contributors, 3);
+            let g = c.try_allgather_bytes(vec![c.rank() as u8]).unwrap();
+            (r.sum, g)
+        });
+        for (rank, (sum, gathered)) in results.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            assert_eq!(sum, &vec![1.0 + 2.0 + 4.0], "rank {rank}");
+            assert_eq!(gathered.len(), 4);
+            assert!(gathered[2].is_none(), "dead slot must be masked");
+            assert_eq!(gathered[0].as_deref(), Some(&[0u8][..]));
+        }
+    }
+
+    #[test]
+    fn leave_mid_run_releases_current_waiters() {
+        // Rank 1 leaves after a few rounds; the survivors keep reducing and
+        // observe the shrunk membership, with no deadlock.
+        let results = ThreadedCluster::run_with(
+            3,
+            ClusterOptions::with_timeout(Duration::from_secs(10)),
+            |c| {
+                let mut sums = Vec::new();
+                for round in 0..6 {
+                    if c.rank() == 1 && round == 3 {
+                        c.leave();
+                        return sums;
+                    }
+                    let r = c.try_allreduce_f32(vec![1.0]).unwrap();
+                    sums.push((r.sum[0], r.contributors));
+                }
+                sums
+            },
+        );
+        for rank in [0, 2] {
+            let sums = &results[rank];
+            assert_eq!(sums[..3], [(3.0, 3), (3.0, 3), (3.0, 3)], "rank {rank}");
+            assert_eq!(sums[3..], [(2.0, 2), (2.0, 2), (2.0, 2)], "rank {rank}");
+        }
+        assert_eq!(results[1].len(), 3);
+    }
+
+    #[test]
+    fn dead_worker_without_leave_times_out_with_structured_error() {
+        let results = ThreadedCluster::run_with(
+            3,
+            ClusterOptions::with_timeout(Duration::from_millis(100)),
+            |c| {
+                if c.rank() == 0 {
+                    // Dies silently: never reaches the collective, never
+                    // calls leave().
+                    return Ok(Reduction {
+                        sum: Vec::new(),
+                        contributors: 0,
+                    });
+                }
+                c.try_allreduce_f32(vec![1.0])
+            },
+        );
+        for rank in [1, 2] {
+            match &results[rank] {
+                Err(ClusterError::Timeout { rank: r, op, .. }) => {
+                    assert_eq!(*r, rank);
+                    assert_eq!(*op, 0);
+                }
+                other => panic!("rank {rank}: expected timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_departed_root_errors() {
+        let results = ThreadedCluster::run_with(
+            2,
+            ClusterOptions::with_timeout(Duration::from_secs(5)),
+            |c| {
+                if c.rank() == 0 {
+                    c.leave();
+                    return Ok(Vec::new());
+                }
+                c.try_broadcast_bytes(0, vec![1])
+            },
+        );
+        assert_eq!(results[1], Err(ClusterError::Dropped { rank: 0, op: 0 }));
+    }
+
+    #[test]
+    fn ring_formula_edge_cases() {
+        assert_eq!(ring_allreduce_wire_bytes(1, 1000), 0);
+        assert_eq!(ring_allreduce_wire_bytes(2, 100), 400);
+        // 2*(4-1)*1000*4/4 = 6000
+        assert_eq!(ring_allreduce_wire_bytes(4, 1000), 6000);
     }
 }

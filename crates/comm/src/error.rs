@@ -1,0 +1,92 @@
+//! Structured failures of the threaded collective layer.
+//!
+//! Before the fault-injection layer existed, a dead or wedged worker meant a
+//! deadlocked barrier and a hung test. Every failure mode now surfaces as a
+//! [`ClusterError`] carrying the rank and the collective-op index at which it
+//! happened, so chaos tests can assert on exact failure sites.
+
+use std::time::Duration;
+
+/// A structured failure of a collective operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A barrier (or the barrier phase of a collective) did not complete
+    /// within the configured timeout — typically because another worker died
+    /// without calling [`crate::Collective::leave`].
+    Timeout {
+        /// Rank that observed the timeout.
+        rank: usize,
+        /// Collective-op index (per-worker, 0-based) that timed out.
+        op: u64,
+        /// The timeout that elapsed.
+        waited: Duration,
+    },
+    /// This worker was removed from the cluster (by a fault plan or an
+    /// explicit [`crate::Collective::leave`]) and can no longer participate.
+    Dropped {
+        /// Rank that was dropped.
+        rank: usize,
+        /// Collective-op index at which it was dropped.
+        op: u64,
+    },
+    /// A payload failed integrity checks and no usable contribution
+    /// remained.
+    Corrupted {
+        /// Rank that detected the corruption.
+        rank: usize,
+        /// Collective-op index at which it was detected.
+        op: u64,
+        /// Human-readable detail (e.g. the checksum mismatch).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Timeout { rank, op, waited } => write!(
+                f,
+                "rank {rank} timed out after {waited:?} at collective op {op}"
+            ),
+            ClusterError::Dropped { rank, op } => {
+                write!(
+                    f,
+                    "rank {rank} dropped from the cluster at collective op {op}"
+                )
+            }
+            ClusterError::Corrupted { rank, op, detail } => {
+                write!(
+                    f,
+                    "rank {rank} hit corrupted data at collective op {op}: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_rank_and_op() {
+        let t = ClusterError::Timeout {
+            rank: 2,
+            op: 7,
+            waited: Duration::from_millis(50),
+        };
+        let s = t.to_string();
+        assert!(s.contains("rank 2") && s.contains("op 7"), "{s}");
+        let d = ClusterError::Dropped { rank: 1, op: 3 }.to_string();
+        assert!(d.contains("rank 1") && d.contains("op 3"), "{d}");
+        let c = ClusterError::Corrupted {
+            rank: 0,
+            op: 9,
+            detail: "checksum".into(),
+        }
+        .to_string();
+        assert!(c.contains("checksum"), "{c}");
+    }
+}

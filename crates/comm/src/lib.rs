@@ -25,9 +25,18 @@
 //! ```
 
 pub mod collectives;
+pub mod error;
+pub mod fault;
 pub mod model;
 pub mod traffic;
 
-pub use collectives::{Collective, SingleWorker, ThreadedCluster, WorkerHandle};
+pub use collectives::{
+    ring_allreduce_wire_bytes, ClusterOptions, Collective, Reduction, SingleWorker,
+    ThreadedCluster, WorkerHandle,
+};
+pub use error::ClusterError;
+pub use fault::{
+    FaultConfig, FaultKind, FaultPlan, FaultRates, FaultStats, FaultSummary, FaultyCollective,
+};
 pub use model::{NetworkModel, Transport};
 pub use traffic::TrafficCounter;

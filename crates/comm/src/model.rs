@@ -13,7 +13,7 @@
 //!   messages grow.
 
 /// Transport protocol underneath the collective library.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transport {
     /// Kernel TCP/IP (the default used for §V-B through §V-D).
     Tcp,
@@ -54,7 +54,7 @@ impl std::fmt::Display for Transport {
 ///
 /// All collective costs assume the ring algorithms Horovod uses for large
 /// tensors and a binomial tree for broadcast.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkModel {
     /// Raw link bandwidth in gigabits per second (the paper uses 1, 10, 25).
     pub bandwidth_gbps: f64,
@@ -109,8 +109,7 @@ impl NetworkModel {
         }
         let steps = 2 * (n - 1);
         let wire_bytes = 2.0 * (n as f64 - 1.0) / n as f64 * bytes as f64;
-        steps as f64 * self.transport.latency_seconds()
-            + wire_bytes / self.goodput_bytes_per_sec()
+        steps as f64 * self.transport.latency_seconds() + wire_bytes / self.goodput_bytes_per_sec()
     }
 
     /// Ring all-gather where each of `n` workers contributes

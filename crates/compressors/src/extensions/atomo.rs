@@ -36,7 +36,7 @@ impl Atomo {
             budget,
             max_atoms,
             power_iters: 8,
-            rng: substream(seed, 0xa70_40),
+            rng: substream(seed, 0xa7040),
         }
     }
 
@@ -261,8 +261,8 @@ mod tests {
         let mut data = vec![0.0f32; 8 * 6];
         for i in 0..8 {
             for j in 0..6 {
-                data[i * 6 + j] = (i as f32 + 1.0) * 0.3 * (j as f32 - 2.5)
-                    + if i % 2 == 0 { 0.5 } else { -0.5 };
+                data[i * 6 + j] =
+                    (i as f32 + 1.0) * 0.3 * (j as f32 - 2.5) + if i % 2 == 0 { 0.5 } else { -0.5 };
             }
         }
         let g = Tensor::new(data, Shape::matrix(8, 6));

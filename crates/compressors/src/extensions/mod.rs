@@ -44,6 +44,7 @@ use grace_core::{
     ResidualMemory,
 };
 
+#[allow(clippy::too_many_arguments)]
 fn make_spec(
     id: &'static str,
     display: &'static str,

@@ -128,7 +128,8 @@ mod tests {
         let mut qsparse = QsparseLocal::new(0.01, 8, 3);
         let mut topk = crate::TopK::new(0.01);
         let mut qsgd = crate::Qsgd::new(8, 3);
-        let bytes = |p: &[Payload], c: &Context| grace_core::payload::total_bytes(p) + c.meta_bytes();
+        let bytes =
+            |p: &[Payload], c: &Context| grace_core::payload::total_bytes(p) + c.meta_bytes();
         let (pq, cq) = qsparse.compress(&g, "w");
         let (pt, ct) = topk.compress(&g, "w");
         let (pg, cg) = qsgd.compress(&g, "w");

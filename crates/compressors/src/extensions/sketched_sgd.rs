@@ -136,7 +136,10 @@ mod tests {
 
     #[test]
     fn strategy_is_allreduce() {
-        assert_eq!(SketchedSgd::new(3, 16, 0.1).strategy(), CommStrategy::Allreduce);
+        assert_eq!(
+            SketchedSgd::new(3, 16, 0.1).strategy(),
+            CommStrategy::Allreduce
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl ThreeLc {
     ///
     /// Panics if `s` is outside `[1, 2)`.
     pub fn new(s: f32) -> Self {
-        assert!((1.0..2.0).contains(&s), "sparsity multiplier must be in [1,2)");
+        assert!(
+            (1.0..2.0).contains(&s),
+            "sparsity multiplier must be in [1,2)"
+        );
         ThreeLc { s }
     }
 
@@ -82,7 +85,7 @@ fn decode_trits(bytes: &[u8], count: usize) -> Vec<u8> {
     for &b in bytes {
         if b >= RUN_BASE {
             let run = (b - RUN_BASE) as usize + 1;
-            trits.extend(std::iter::repeat(1u8).take(run * 5));
+            trits.extend(std::iter::repeat_n(1u8, run * 5));
         } else {
             let mut v = b as u16;
             let mut chunk = [0u8; 5];

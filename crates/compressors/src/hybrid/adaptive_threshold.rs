@@ -33,7 +33,7 @@ impl AdaptiveThreshold {
 
 /// Selects the `⌈α·len⌉` largest-magnitude entries of one sign group and
 /// returns (indices, mean value).
-fn select_group(entries: &mut Vec<(u32, f32)>, alpha: f64) -> (Vec<u32>, f32) {
+fn select_group(entries: &mut [(u32, f32)], alpha: f64) -> (Vec<u32>, f32) {
     if entries.is_empty() {
         return (Vec::new(), 0.0);
     }

@@ -94,7 +94,11 @@ impl Compressor for SketchMl {
         let mut out = Tensor::zeros(ctx.shape.clone());
         let mut index = 0u32;
         for (pos, code) in codes.into_iter().enumerate() {
-            index = if pos == 0 { deltas[pos] } else { index + deltas[pos] };
+            index = if pos == 0 {
+                deltas[pos]
+            } else {
+                index + deltas[pos]
+            };
             let b = code as usize;
             let mid = 0.5 * (boundaries[b] + boundaries[b + 1]);
             out[index as usize] = mid;

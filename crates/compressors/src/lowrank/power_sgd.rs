@@ -3,9 +3,9 @@
 use grace_core::{CommStrategy, Compressor, Context, Payload};
 use grace_tensor::linalg::{matmul, matmul_transpose_a, orthonormalize_columns};
 use grace_tensor::rng::{fill_gaussian, named_substream};
-use grace_tensor::Tensor;
 #[cfg(test)]
 use grace_tensor::Shape;
+use grace_tensor::Tensor;
 use std::collections::HashMap;
 
 /// PowerSGD: views each gradient as an `m×l` matrix `M` and maintains a
@@ -91,10 +91,7 @@ impl Compressor for PowerSgd {
         *q = q_new.clone();
         (
             vec![Payload::F32(p), Payload::F32(q_new)],
-            Context::with_meta(
-                tensor.shape().clone(),
-                vec![m as f32, l as f32, r as f32],
-            ),
+            Context::with_meta(tensor.shape().clone(), vec![m as f32, l as f32, r as f32]),
         )
     }
 

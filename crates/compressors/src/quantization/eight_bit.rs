@@ -149,7 +149,12 @@ mod tests {
             // Worst case: half a code-book step at the value's octave, plus
             // the floor of the smallest code-word.
             let bound = (g[i].abs() / 16.0).max(scale * 0.01) + 1e-7;
-            assert!(err <= bound, "elem {i}: {} vs {} (bound {bound})", out[i], g[i]);
+            assert!(
+                err <= bound,
+                "elem {i}: {} vs {} (bound {bound})",
+                out[i],
+                g[i]
+            );
         }
     }
 

@@ -25,7 +25,7 @@ impl Natural {
     /// Creates the compressor with an RNG seed for the randomized rounding.
     pub fn new(seed: u64) -> Self {
         Natural {
-            rng: substream(seed, 0x0a70_ca1),
+            rng: substream(seed, 0xa70ca1),
         }
     }
 }
@@ -90,7 +90,11 @@ mod tests {
         for i in 0..out.len() {
             if out[i] != 0.0 {
                 let l = out[i].abs().log2();
-                assert!((l - l.round()).abs() < 1e-6, "{} is not a power of 2", out[i]);
+                assert!(
+                    (l - l.round()).abs() < 1e-6,
+                    "{} is not a power of 2",
+                    out[i]
+                );
             }
         }
     }

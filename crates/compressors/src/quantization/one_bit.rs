@@ -63,8 +63,16 @@ impl Compressor for OneBit {
                 }
             })
             .collect();
-        let lo_mean = if lo_n > 0 { (lo_sum / lo_n as f64) as f32 } else { 0.0 };
-        let hi_mean = if hi_n > 0 { (hi_sum / hi_n as f64) as f32 } else { 0.0 };
+        let lo_mean = if lo_n > 0 {
+            (lo_sum / lo_n as f64) as f32
+        } else {
+            0.0
+        };
+        let hi_mean = if hi_n > 0 {
+            (hi_sum / hi_n as f64) as f32
+        } else {
+            0.0
+        };
         (
             vec![Payload::Packed {
                 data: pack_signs(&bits),
@@ -110,7 +118,12 @@ mod tests {
         let mut c = OneBit::new();
         let g = gradient(333, 4);
         let (out, _, _) = roundtrip(&mut c, &g);
-        assert!((out.sum() - g.sum()).abs() < 1e-3, "{} vs {}", out.sum(), g.sum());
+        assert!(
+            (out.sum() - g.sum()).abs() < 1e-3,
+            "{} vs {}",
+            out.sum(),
+            g.sum()
+        );
     }
 
     #[test]

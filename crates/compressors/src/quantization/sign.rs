@@ -1,8 +1,8 @@
 //! The sign family: SignSGD, SIGNUM, EFsignSGD (§III-A).
 
-use grace_core::{Compressor, Context, Payload};
 #[cfg(test)]
 use grace_core::CommStrategy;
+use grace_core::{Compressor, Context, Payload};
 use grace_tensor::pack::{pack_signs, unpack_signs};
 use grace_tensor::Tensor;
 use std::collections::HashMap;
@@ -75,6 +75,12 @@ impl Compressor for SignSgd {
 pub struct Signum {
     beta: f32,
     momentum: HashMap<String, Tensor>,
+}
+
+impl Default for Signum {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Signum {
@@ -181,7 +187,11 @@ mod tests {
         assert_eq!(c.decompress(&p1, &ctx1)[0], 1.0);
         let small_neg = Tensor::from_vec(vec![-0.1]);
         let (p2, ctx2) = c.compress(&small_neg, "w");
-        assert_eq!(c.decompress(&p2, &ctx2)[0], 1.0, "momentum should hold sign");
+        assert_eq!(
+            c.decompress(&p2, &ctx2)[0],
+            1.0,
+            "momentum should hold sign"
+        );
         // But repeated negatives eventually flip it.
         let mut flipped = false;
         for _ in 0..60 {

@@ -59,57 +59,169 @@ pub fn all_specs() -> Vec<CompressorSpec> {
     use OutputSize::*;
     vec![
         // --- Quantization ---
-        spec("eightbit", "8-bit", Quantization, Full, Deterministic, true, (8.0, 6.0), |_| {
-            Box::new(EightBit::new())
-        }),
-        spec("onebit", "1-bit SGD", Quantization, Full, Deterministic, true, (6.0, 3.0), |_| {
-            Box::new(OneBit::new())
-        }),
-        spec("signsgd", "SignSGD", Quantization, Full, Deterministic, false, (2.0, 1.5), |_| {
-            Box::new(SignSgd::new())
-        }),
-        spec("signum", "SIGNUM", Quantization, Full, Deterministic, false, (3.0, 2.0), |_| {
-            Box::new(Signum::new())
-        }),
-        spec("qsgd", "QSGD(64)", Quantization, Full, Random, false, (5.0, 4.0), |seed| {
-            Box::new(Qsgd::new(64, seed))
-        }),
-        spec("natural", "Natural", Quantization, Full, Random, true, (4.0, 3.0), |seed| {
-            Box::new(Natural::new(seed))
-        }),
-        spec("terngrad", "TernGrad", Quantization, Full, Random, false, (5.0, 3.0), |seed| {
-            Box::new(TernGrad::new(seed))
-        }),
-        spec("efsignsgd", "EFsignSGD", Quantization, Full, Deterministic, true, (3.0, 2.0), |_| {
-            Box::new(EfSignSgd::new())
-        }),
-        spec("inceptionn", "INCEPTIONN", Quantization, Full, Deterministic, false, (6.0, 6.0), |_| {
-            Box::new(Inceptionn::new())
-        }),
+        spec(
+            "eightbit",
+            "8-bit",
+            Quantization,
+            Full,
+            Deterministic,
+            true,
+            (8.0, 6.0),
+            |_| Box::new(EightBit::new()),
+        ),
+        spec(
+            "onebit",
+            "1-bit SGD",
+            Quantization,
+            Full,
+            Deterministic,
+            true,
+            (6.0, 3.0),
+            |_| Box::new(OneBit::new()),
+        ),
+        spec(
+            "signsgd",
+            "SignSGD",
+            Quantization,
+            Full,
+            Deterministic,
+            false,
+            (2.0, 1.5),
+            |_| Box::new(SignSgd::new()),
+        ),
+        spec(
+            "signum",
+            "SIGNUM",
+            Quantization,
+            Full,
+            Deterministic,
+            false,
+            (3.0, 2.0),
+            |_| Box::new(Signum::new()),
+        ),
+        spec(
+            "qsgd",
+            "QSGD(64)",
+            Quantization,
+            Full,
+            Random,
+            false,
+            (5.0, 4.0),
+            |seed| Box::new(Qsgd::new(64, seed)),
+        ),
+        spec(
+            "natural",
+            "Natural",
+            Quantization,
+            Full,
+            Random,
+            true,
+            (4.0, 3.0),
+            |seed| Box::new(Natural::new(seed)),
+        ),
+        spec(
+            "terngrad",
+            "TernGrad",
+            Quantization,
+            Full,
+            Random,
+            false,
+            (5.0, 3.0),
+            |seed| Box::new(TernGrad::new(seed)),
+        ),
+        spec(
+            "efsignsgd",
+            "EFsignSGD",
+            Quantization,
+            Full,
+            Deterministic,
+            true,
+            (3.0, 2.0),
+            |_| Box::new(EfSignSgd::new()),
+        ),
+        spec(
+            "inceptionn",
+            "INCEPTIONN",
+            Quantization,
+            Full,
+            Deterministic,
+            false,
+            (6.0, 6.0),
+            |_| Box::new(Inceptionn::new()),
+        ),
         // --- Sparsification ---
-        spec("randomk", "Randk(0.01)", Sparsification, K, Random, true, (2.0, 1.5), |seed| {
-            Box::new(RandomK::new(0.01, seed))
-        }),
-        spec("topk", "Topk(0.01)", Sparsification, K, Deterministic, true, (4.0, 4.0), |_| {
-            Box::new(TopK::new(0.01))
-        }),
-        spec("thresholdv", "Thresh(0.01)", Sparsification, Adaptive, Deterministic, true, (4.0, 5.0), |_| {
-            Box::new(ThresholdV::new(0.01))
-        }),
-        spec("dgc", "DGC(0.01)", Sparsification, Adaptive, Deterministic, false, (10.0, 8.0), |seed| {
-            Box::new(Dgc::new(0.01, seed))
-        }),
+        spec(
+            "randomk",
+            "Randk(0.01)",
+            Sparsification,
+            K,
+            Random,
+            true,
+            (2.0, 1.5),
+            |seed| Box::new(RandomK::new(0.01, seed)),
+        ),
+        spec(
+            "topk",
+            "Topk(0.01)",
+            Sparsification,
+            K,
+            Deterministic,
+            true,
+            (4.0, 4.0),
+            |_| Box::new(TopK::new(0.01)),
+        ),
+        spec(
+            "thresholdv",
+            "Thresh(0.01)",
+            Sparsification,
+            Adaptive,
+            Deterministic,
+            true,
+            (4.0, 5.0),
+            |_| Box::new(ThresholdV::new(0.01)),
+        ),
+        spec(
+            "dgc",
+            "DGC(0.01)",
+            Sparsification,
+            Adaptive,
+            Deterministic,
+            false,
+            (10.0, 8.0),
+            |seed| Box::new(Dgc::new(0.01, seed)),
+        ),
         // --- Hybrid ---
-        spec("adaptive", "Adaptive(0.01)", Hybrid, Adaptive, Deterministic, true, (10.0, 8.0), |_| {
-            Box::new(AdaptiveThreshold::new(0.01))
-        }),
-        spec("sketchml", "SketchML(64)", Hybrid, Adaptive, Random, true, (12.0, 25.0), |_| {
-            Box::new(SketchMl::new(64))
-        }),
+        spec(
+            "adaptive",
+            "Adaptive(0.01)",
+            Hybrid,
+            Adaptive,
+            Deterministic,
+            true,
+            (10.0, 8.0),
+            |_| Box::new(AdaptiveThreshold::new(0.01)),
+        ),
+        spec(
+            "sketchml",
+            "SketchML(64)",
+            Hybrid,
+            Adaptive,
+            Random,
+            true,
+            (12.0, 25.0),
+            |_| Box::new(SketchMl::new(64)),
+        ),
         // --- Low rank ---
-        spec("powersgd", "PowerSGD(4)", LowRank, LowRankFactors, Deterministic, true, (6.0, 2.0), |_| {
-            Box::new(PowerSgd::new(4))
-        }),
+        spec(
+            "powersgd",
+            "PowerSGD(4)",
+            LowRank,
+            LowRankFactors,
+            Deterministic,
+            true,
+            (6.0, 2.0),
+            |_| Box::new(PowerSgd::new(4)),
+        ),
     ]
 }
 

@@ -98,7 +98,11 @@ mod tests {
         let g = gradient(400, 2);
         let (p1, _) = c.compress(&g, "w");
         let (p2, _) = c.compress(&g, "w");
-        assert_ne!(p1[1].as_u32(), p2[1].as_u32(), "indices should re-randomize");
+        assert_ne!(
+            p1[1].as_u32(),
+            p2[1].as_u32(),
+            "indices should re-randomize"
+        );
     }
 
     #[test]

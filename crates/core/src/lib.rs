@@ -46,6 +46,6 @@ pub mod trainer;
 
 pub use compressor::{CommStrategy, Compressor, Context, Fleet, NoCompression};
 pub use memory::{Memory, NoMemory, ResidualMemory};
-pub use payload::Payload;
+pub use payload::{Payload, PayloadError};
 pub use registry::{CompressorClass, CompressorSpec, Nature, OutputSize};
 pub use trainer::{ComputeModel, EvalPoint, RunResult, Topology, TrainConfig};

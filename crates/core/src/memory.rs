@@ -77,7 +77,10 @@ impl ResidualMemory {
             beta.is_finite() && gamma.is_finite() && beta >= 0.0 && gamma >= 0.0,
             "beta/gamma must be non-negative"
         );
-        assert!(beta > 0.0 || gamma > 0.0, "beta and gamma cannot both be zero");
+        assert!(
+            beta > 0.0 || gamma > 0.0,
+            "beta and gamma cannot both be zero"
+        );
         ResidualMemory {
             beta,
             gamma,

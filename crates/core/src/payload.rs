@@ -8,9 +8,41 @@
 //! volumes are not inflated.
 //!
 //! Payloads serialize to a self-describing byte stream so the threaded
-//! runtime can ship them through `Allgather`.
+//! runtime can ship them through `Allgather`. The stream ends with a CRC32
+//! trailer ([`grace_tensor::pack::crc32`]): a corrupted stream surfaces as a
+//! [`PayloadError`] from [`decode_checked`] instead of silently diverging
+//! replicas.
 
 use grace_tensor::pack;
+
+/// Why a payload stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadError {
+    /// The CRC32 trailer did not match the stream contents.
+    ChecksumMismatch {
+        /// Checksum carried in the trailer.
+        expected: u32,
+        /// Checksum recomputed over the received bytes.
+        actual: u32,
+    },
+    /// The stream is structurally invalid (truncated, unknown tag, trailing
+    /// bytes).
+    Malformed(String),
+}
+
+impl std::fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload checksum mismatch: trailer {expected:#010x}, computed {actual:#010x}"
+            ),
+            PayloadError::Malformed(why) => write!(f, "malformed payload stream: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PayloadError {}
 
 /// One unit of compressed data.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,8 +138,13 @@ const TAG_U32: u8 = 1;
 const TAG_PACKED: u8 = 2;
 const TAG_BYTES: u8 = 3;
 
+/// Bytes the self-describing codec adds around one payload list: the count
+/// word plus the CRC32 trailer (per-payload tag/length framing comes on top).
+pub const FRAME_OVERHEAD: usize = 8;
+
 /// Serializes a payload list to a self-describing byte stream (used by the
-/// threaded runtime's `Allgather`).
+/// threaded runtime's `Allgather`), ending with a CRC32 trailer over
+/// everything before it.
 pub fn encode(payloads: &[Payload]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
@@ -137,57 +174,101 @@ pub fn encode(payloads: &[Payload]) -> Vec<u8> {
             }
         }
     }
+    let crc = pack::crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
+}
+
+/// Decodes a byte stream produced by [`encode`], verifying the CRC32
+/// trailer first.
+///
+/// # Errors
+///
+/// Returns [`PayloadError::ChecksumMismatch`] when the trailer disagrees
+/// with the received bytes (wire corruption), and
+/// [`PayloadError::Malformed`] when the stream structure is invalid.
+pub fn decode_checked(bytes: &[u8]) -> Result<Vec<Payload>, PayloadError> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(PayloadError::Malformed(format!(
+            "stream of {} bytes is shorter than the {FRAME_OVERHEAD}-byte frame",
+            bytes.len()
+        )));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let actual = pack::crc32(body);
+    if expected != actual {
+        return Err(PayloadError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], PayloadError> {
+        if *pos + n > body.len() {
+            return Err(PayloadError::Malformed(format!(
+                "truncated stream: need {n} bytes at offset {pos}"
+            )));
+        }
+        let s = &body[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let read_u32 = |pos: &mut usize| -> Result<u32, PayloadError> {
+        let s = take(pos, 4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    };
+    let n = read_u32(&mut pos)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tag = take(&mut pos, 1)?[0];
+        match tag {
+            TAG_F32 => {
+                let len = read_u32(&mut pos)? as usize;
+                out.push(Payload::F32(pack::bytes_to_f32s(take(&mut pos, len * 4)?)));
+            }
+            TAG_U32 => {
+                let len = read_u32(&mut pos)? as usize;
+                out.push(Payload::U32(pack::bytes_to_u32s(take(&mut pos, len * 4)?)));
+            }
+            TAG_PACKED => {
+                let bits = read_u32(&mut pos)?;
+                let count = read_u32(&mut pos)?;
+                let len = read_u32(&mut pos)? as usize;
+                out.push(Payload::Packed {
+                    data: take(&mut pos, len)?.to_vec(),
+                    bits,
+                    count,
+                });
+            }
+            TAG_BYTES => {
+                let len = read_u32(&mut pos)? as usize;
+                out.push(Payload::Bytes(take(&mut pos, len)?.to_vec()));
+            }
+            other => {
+                return Err(PayloadError::Malformed(format!(
+                    "unknown payload tag {other}"
+                )));
+            }
+        }
+    }
+    if pos != body.len() {
+        return Err(PayloadError::Malformed(
+            "trailing bytes in payload stream".to_string(),
+        ));
+    }
+    Ok(out)
 }
 
 /// Decodes a byte stream produced by [`encode`].
 ///
 /// # Panics
 ///
-/// Panics on a malformed stream (truncated or unknown tag).
+/// Panics on a malformed or corrupted stream; fault-tolerant callers use
+/// [`decode_checked`] instead.
 pub fn decode(bytes: &[u8]) -> Vec<Payload> {
-    let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> &[u8] {
-        let s = &bytes[*pos..*pos + n];
-        *pos += n;
-        s
-    };
-    let read_u32 = |pos: &mut usize| -> u32 {
-        let s = take(pos, 4);
-        u32::from_le_bytes([s[0], s[1], s[2], s[3]])
-    };
-    let n = read_u32(&mut pos) as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let tag = take(&mut pos, 1)[0];
-        match tag {
-            TAG_F32 => {
-                let len = read_u32(&mut pos) as usize;
-                out.push(Payload::F32(pack::bytes_to_f32s(take(&mut pos, len * 4))));
-            }
-            TAG_U32 => {
-                let len = read_u32(&mut pos) as usize;
-                out.push(Payload::U32(pack::bytes_to_u32s(take(&mut pos, len * 4))));
-            }
-            TAG_PACKED => {
-                let bits = read_u32(&mut pos);
-                let count = read_u32(&mut pos);
-                let len = read_u32(&mut pos) as usize;
-                out.push(Payload::Packed {
-                    data: take(&mut pos, len).to_vec(),
-                    bits,
-                    count,
-                });
-            }
-            TAG_BYTES => {
-                let len = read_u32(&mut pos) as usize;
-                out.push(Payload::Bytes(take(&mut pos, len).to_vec()));
-            }
-            other => panic!("unknown payload tag {other}"),
-        }
+    match decode_checked(bytes) {
+        Ok(payloads) => payloads,
+        Err(e) => panic!("{e}"),
     }
-    assert_eq!(pos, bytes.len(), "trailing bytes in payload stream");
-    out
 }
 
 #[cfg(test)]
@@ -243,11 +324,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown payload tag")]
-    fn decode_rejects_bad_tag() {
+    #[should_panic(expected = "payload checksum mismatch")]
+    fn decode_panics_on_corruption() {
         let mut bytes = encode(&[Payload::Bytes(vec![1])]);
-        bytes[4] = 99; // corrupt the tag
+        bytes[4] = 99; // corrupt the tag; the CRC trailer catches it first
         let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn decode_checked_flags_any_flipped_bit() {
+        let clean = encode(&[
+            Payload::F32(vec![1.0, -2.5]),
+            Payload::packed(&[1, 2, 3], 2),
+        ]);
+        assert!(decode_checked(&clean).is_ok());
+        for byte in 0..clean.len() {
+            let mut corrupted = clean.clone();
+            corrupted[byte] ^= 0x10;
+            match decode_checked(&corrupted) {
+                Err(PayloadError::ChecksumMismatch { expected, actual }) => {
+                    assert_ne!(expected, actual)
+                }
+                other => panic!("flip at byte {byte} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_checked_reports_structural_errors() {
+        // Recompute a valid CRC over a structurally-bad body so the parser
+        // itself must reject it.
+        let mut bytes = encode(&[Payload::Bytes(vec![1])]);
+        bytes[4] = 99; // unknown tag
+        let body_len = bytes.len() - 4;
+        let crc = grace_tensor::pack::crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        match decode_checked(&bytes) {
+            Err(PayloadError::Malformed(why)) => assert!(why.contains("unknown payload tag")),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        // Far too short to even carry a frame.
+        assert!(matches!(
+            decode_checked(&[0u8; 3]),
+            Err(PayloadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_overhead_is_exact_for_empty_list() {
+        assert_eq!(encode(&[]).len(), FRAME_OVERHEAD);
     }
 
     #[test]

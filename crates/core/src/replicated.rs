@@ -325,8 +325,12 @@ mod tests {
 
     fn baseline_fleet(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
         (
-            (0..n).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
-            (0..n).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+            (0..n)
+                .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                .collect(),
+            (0..n)
+                .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                .collect(),
         )
     }
 
@@ -344,8 +348,7 @@ mod tests {
         sync_cfg.codec = CodecTiming::Free;
         let mut opt = Sgd::new(0.05);
         let (mut cs2, mut ms2) = baseline_fleet(3);
-        let sync =
-            run_simulated(&sync_cfg, &mut sync_net, &t, &mut opt, &mut cs2, &mut ms2);
+        let sync = run_simulated(&sync_cfg, &mut sync_net, &t, &mut opt, &mut cs2, &mut ms2);
         assert!(
             (local.final_quality - sync.final_quality).abs() < 1e-9,
             "H=1 local SGD {} vs synchronous {}",
@@ -411,10 +414,12 @@ mod tests {
         let t = task();
         let mut cfg = ReplicatedConfig::new(2, 8, 4, 61);
         cfg.sync_every = 2;
-        let mut cs: Vec<Box<dyn Compressor>> =
-            (0..2).map(|_| Box::new(TopKStub) as Box<dyn Compressor>).collect();
-        let mut ms: Vec<Box<dyn Memory>> =
-            (0..2).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
+        let mut cs: Vec<Box<dyn Compressor>> = (0..2)
+            .map(|_| Box::new(TopKStub) as Box<dyn Compressor>)
+            .collect();
+        let mut ms: Vec<Box<dyn Memory>> = (0..2)
+            .map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>)
+            .collect();
         let res = run_local_sgd(&cfg, net, sgd, &t, &mut cs, &mut ms);
         assert!(res.final_quality > 0.8, "quality {}", res.final_quality);
         // Compressed deltas move fewer bytes than dense ones.
@@ -427,8 +432,9 @@ mod tests {
         let t = task();
         let mut cfg = ReplicatedConfig::new(4, 8, 4, 61);
         cfg.gossip_gamma = 0.6;
-        let mut cs: Vec<Box<dyn Compressor>> =
-            (0..4).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect();
+        let mut cs: Vec<Box<dyn Compressor>> = (0..4)
+            .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+            .collect();
         let res = run_gossip(&cfg, net, sgd, &t, &mut cs);
         assert!(res.final_quality > 0.8, "quality {}", res.final_quality);
         // Consensus is approximate but bounded.
@@ -445,8 +451,9 @@ mod tests {
         let mut cfg = ReplicatedConfig::new(2, 8, 1, 61);
         cfg.gossip_gamma = 0.0;
         let t = task();
-        let mut cs: Vec<Box<dyn Compressor>> =
-            (0..2).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect();
+        let mut cs: Vec<Box<dyn Compressor>> = (0..2)
+            .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+            .collect();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_gossip(&cfg, net, sgd, &t, &mut cs)
         }));

@@ -7,26 +7,49 @@
 //! bit-identical parameters — which the integration tests assert. This is the
 //! execution mode that validates that the deterministic simulator is not
 //! quietly diverging from a real SPMD run.
+//!
+//! # Fault tolerance
+//!
+//! When [`TrainConfig::fault`] is set, each worker's endpoint is wrapped in a
+//! [`FaultyCollective`] and the run degrades gracefully instead of dying:
+//!
+//! * a **dropped** worker returns [`ClusterError::Dropped`] from its loop and
+//!   the survivors rescale every aggregate by the live-worker count;
+//! * a **corrupted** payload is caught by the CRC32 trailer
+//!   ([`crate::payload::decode_checked`]); since the sender's bytes are
+//!   corrupted *before* deposit, every receiver rejects the identical stream
+//!   and drops that contribution in lockstep — replicas stay bit-identical;
+//! * a worker stuck waiting on a dead peer times out with a structured
+//!   [`ClusterError::Timeout`] rather than deadlocking.
 
 use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::memory::Memory;
 use crate::payload::{self, Payload};
 use crate::trainer::{steps_per_epoch, wire_bytes, worker_batch_indices, TrainConfig};
-use grace_comm::{Collective, ThreadedCluster};
+use grace_comm::{
+    ClusterError, ClusterOptions, Collective, FaultStats, FaultSummary, FaultyCollective,
+    ThreadedCluster,
+};
 use grace_nn::data::Task;
 use grace_nn::network::Network;
 use grace_nn::optim::Optimizer;
 use grace_tensor::Tensor;
+use std::sync::Arc;
 
-/// Result of a threaded run (per worker; all workers agree).
+/// Result of a threaded run (as observed by the lowest surviving rank; in a
+/// fault-free run all workers agree).
 #[derive(Debug)]
 pub struct ThreadedResult {
-    /// Final model parameters (identical across workers).
+    /// Final model parameters (identical across surviving workers).
     pub final_params: Vec<(String, Tensor)>,
     /// Final quality on the task's held-out set.
     pub final_quality: f64,
     /// Compressed bytes this worker generated in total.
     pub bytes_sent: u64,
+    /// Workers still alive at the end of the run.
+    pub survivors: usize,
+    /// Injected/detected fault counters (all zero in fault-free runs).
+    pub faults: FaultSummary,
 }
 
 /// Runs data-parallel training with one thread per worker.
@@ -35,111 +58,205 @@ pub struct ThreadedResult {
 /// (network, optimizer, compressor, memory) — typically from the same seed so
 /// replicas start identical.
 ///
+/// With [`TrainConfig::fault`] set, planned faults are injected and the run
+/// returns the lowest surviving rank's view plus fault counters.
+///
 /// # Panics
 ///
-/// Panics if configuration is inconsistent or a worker thread panics.
+/// Panics if configuration is inconsistent, a worker thread panics, or no
+/// worker survives the fault plan.
 pub fn run_threaded<F>(cfg: &TrainConfig, task: &dyn Task, make_worker: F) -> ThreadedResult
 where
-    F: Fn(usize) -> (Network, Box<dyn Optimizer>, Box<dyn Compressor>, Box<dyn Memory>) + Sync,
+    F: Fn(
+            usize,
+        ) -> (
+            Network,
+            Box<dyn Optimizer>,
+            Box<dyn Compressor>,
+            Box<dyn Memory>,
+        ) + Sync,
 {
     let n = cfg.n_workers;
-    let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
-    let mut results = ThreadedCluster::run(n, |comm| {
-        let rank = comm.rank();
-        let (mut net, mut opt, mut compressor, mut memory) = make_worker(rank);
-        let strategy = compressor.strategy();
-        let base_lr = opt.learning_rate();
-        for epoch in 0..cfg.epochs {
-            if let Some(schedule) = &cfg.lr_schedule {
-                schedule.apply(opt.as_mut(), epoch, base_lr);
-            }
-            for step in 0..spe {
-                let idx = worker_batch_indices(
-                    task.train_len(),
-                    rank,
-                    n,
-                    epoch,
-                    step,
-                    cfg.batch_per_worker,
-                    cfg.seed,
-                );
-                let (x, y) = task.train_batch(&idx);
-                let _ = net.forward_backward(&x, &y);
-                let grads = net.take_gradients();
-                let mut aggregated = Vec::with_capacity(grads.len());
-                for (name, grad) in &grads {
-                    let compensated = memory.compensate(name, grad);
-                    let (payloads, ctx) = compressor.compress(&compensated, name);
-                    if memory.is_active() {
-                        let own = compressor.decompress(&payloads, &ctx);
-                        memory.update(name, &compensated, &own);
-                    }
-                    let agg = exchange(
-                        &comm,
-                        strategy,
-                        compressor.as_mut(),
-                        payloads,
-                        &ctx,
-                        grad.shape().clone(),
-                    );
-                    aggregated.push((name.clone(), agg));
-                }
-                net.apply_gradients(&aggregated, opt.as_mut());
-            }
+    let stats = FaultStats::new(n);
+    let (plan, options) = match &cfg.fault {
+        Some(fc) => (
+            Arc::new(fc.plan.clone()),
+            ClusterOptions {
+                timeout: fc.timeout,
+            },
+        ),
+        None => (
+            Arc::new(grace_comm::FaultPlan::empty()),
+            ClusterOptions::default(),
+        ),
+    };
+    let results = ThreadedCluster::run_with(n, options, |handle| {
+        let comm = FaultyCollective::new(handle, Arc::clone(&plan), stats.clone());
+        let out = worker_loop(cfg, task, &make_worker, &comm);
+        if out.is_err() {
+            // Dead or wedged: withdraw from the barrier so survivors keep
+            // making progress instead of timing out behind us.
+            comm.leave();
         }
-        let quality = task.quality(&mut net);
-        ThreadedResult {
-            final_params: net.export_params(),
-            final_quality: quality,
-            bytes_sent: comm.traffic().bytes_sent(rank),
-        }
+        out
     });
-    // All replicas agree; return rank 0's view.
-    results.remove(0)
+    let survivors = results.iter().filter(|r| r.is_ok()).count();
+    let first_ok = results
+        .into_iter()
+        .flatten()
+        .next()
+        .unwrap_or_else(|| panic!("no worker survived the fault plan"));
+    ThreadedResult {
+        final_params: first_ok.final_params,
+        final_quality: first_ok.final_quality,
+        bytes_sent: first_ok.bytes_sent,
+        survivors,
+        faults: stats.summary(),
+    }
+}
+
+struct WorkerOut {
+    final_params: Vec<(String, Tensor)>,
+    final_quality: f64,
+    bytes_sent: u64,
+}
+
+fn worker_loop<F>(
+    cfg: &TrainConfig,
+    task: &dyn Task,
+    make_worker: &F,
+    comm: &FaultyCollective<grace_comm::WorkerHandle>,
+) -> Result<WorkerOut, ClusterError>
+where
+    F: Fn(
+            usize,
+        ) -> (
+            Network,
+            Box<dyn Optimizer>,
+            Box<dyn Compressor>,
+            Box<dyn Memory>,
+        ) + Sync,
+{
+    let n = cfg.n_workers;
+    let rank = comm.rank();
+    let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
+    let (mut net, mut opt, mut compressor, mut memory) = make_worker(rank);
+    let strategy = compressor.strategy();
+    let base_lr = opt.learning_rate();
+    for epoch in 0..cfg.epochs {
+        if let Some(schedule) = &cfg.lr_schedule {
+            schedule.apply(opt.as_mut(), epoch, base_lr);
+        }
+        for step in 0..spe {
+            let idx = worker_batch_indices(
+                task.train_len(),
+                rank,
+                n,
+                epoch,
+                step,
+                cfg.batch_per_worker,
+                cfg.seed,
+            );
+            let (x, y) = task.train_batch(&idx);
+            let _ = net.forward_backward(&x, &y);
+            let grads = net.take_gradients();
+            let mut aggregated = Vec::with_capacity(grads.len());
+            for (name, grad) in &grads {
+                let compensated = memory.compensate(name, grad);
+                let (payloads, ctx) = compressor.compress(&compensated, name);
+                if memory.is_active() {
+                    let own = compressor.decompress(&payloads, &ctx);
+                    memory.update(name, &compensated, &own);
+                }
+                let agg = exchange(
+                    comm,
+                    strategy,
+                    compressor.as_mut(),
+                    payloads,
+                    &ctx,
+                    grad.shape().clone(),
+                )?;
+                aggregated.push((name.clone(), agg));
+            }
+            net.apply_gradients(&aggregated, opt.as_mut());
+        }
+    }
+    let quality = task.quality(&mut net);
+    Ok(WorkerOut {
+        final_params: net.export_params(),
+        final_quality: quality,
+        bytes_sent: comm.inner().traffic().bytes_sent(rank),
+    })
 }
 
 /// Performs the collective exchange for one tensor and returns the
-/// aggregated gradient.
+/// aggregated gradient, degrading gracefully on dropped workers and
+/// corrupted payloads.
 fn exchange(
-    comm: &impl Collective,
+    comm: &FaultyCollective<grace_comm::WorkerHandle>,
     strategy: CommStrategy,
     compressor: &mut dyn Compressor,
     payloads: Vec<Payload>,
     ctx: &Context,
     shape: grace_tensor::Shape,
-) -> Tensor {
+) -> Result<Tensor, ClusterError> {
     match strategy {
         CommStrategy::Allreduce => {
-            // Average each F32 payload across workers while compressed.
-            let n = comm.n_workers() as f32;
-            let mean: Vec<Payload> = payloads
-                .into_iter()
-                .map(|p| {
-                    let mut summed = comm.allreduce_f32(p.as_f32().to_vec());
-                    for v in &mut summed {
-                        *v /= n;
-                    }
-                    Payload::F32(summed)
-                })
-                .collect();
-            compressor.decompress(&mean, ctx)
+            // Average each F32 payload across the live workers while
+            // compressed; the contributor count the collective reports is
+            // the degraded-membership denominator.
+            let mut mean = Vec::with_capacity(payloads.len());
+            for p in payloads {
+                let reduction = comm.try_allreduce_f32(p.as_f32().to_vec())?;
+                let denom = reduction.contributors as f32;
+                let mut summed = reduction.sum;
+                for v in &mut summed {
+                    *v /= denom;
+                }
+                mean.push(Payload::F32(summed));
+            }
+            Ok(compressor.decompress(&mean, ctx))
         }
         CommStrategy::Allgather | CommStrategy::Broadcast => {
             // Ship payloads + context scalars; decompress every worker's
-            // contribution; aggregate.
+            // contribution; aggregate. Contributions that fail the CRC32
+            // check are dropped by every receiver identically (the sender
+            // corrupted the stream before deposit), and `aggregate`'s mean
+            // over the surviving parts is the rescaled estimate.
             let mut wire = payloads;
             wire.push(Payload::F32(ctx.meta.clone()));
-            let gathered = comm.allgather_bytes(payload::encode(&wire));
-            let parts: Vec<Tensor> = gathered
-                .iter()
-                .map(|bytes| {
-                    let mut list = payload::decode(bytes);
-                    let meta = list.pop().expect("wire format includes meta").as_f32().to_vec();
-                    let ctx_i = Context::with_meta(shape.clone(), meta);
-                    compressor.decompress(&list, &ctx_i)
-                })
-                .collect();
-            compressor.aggregate(parts)
+            let op = comm.inner().ops_started();
+            let rank = comm.rank();
+            let gathered = comm.try_allgather_bytes(payload::encode(&wire))?;
+            let mut parts: Vec<Tensor> = Vec::with_capacity(gathered.len());
+            let mut last_error = None;
+            for bytes in gathered.iter().flatten() {
+                match payload::decode_checked(bytes) {
+                    Ok(mut list) => {
+                        let meta = list
+                            .pop()
+                            .expect("wire format includes meta")
+                            .as_f32()
+                            .to_vec();
+                        let ctx_i = Context::with_meta(shape.clone(), meta);
+                        parts.push(compressor.decompress(&list, &ctx_i));
+                    }
+                    Err(e) => {
+                        comm.stats().record_detected(rank);
+                        last_error = Some(e);
+                    }
+                }
+            }
+            if parts.is_empty() {
+                return Err(ClusterError::Corrupted {
+                    rank,
+                    op,
+                    detail: last_error
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "no live contributions".to_string()),
+                });
+            }
+            Ok(compressor.aggregate(parts))
         }
     }
 }
@@ -170,10 +287,12 @@ mod tests {
         // Simulated mode.
         let mut net = models::mlp_classifier("m", 8, &[12], 2, 21);
         let mut opt = Momentum::new(0.05, 0.9);
-        let mut cs: Vec<Box<dyn Compressor>> =
-            (0..3).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect();
-        let mut ms: Vec<Box<dyn Memory>> =
-            (0..3).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect();
+        let mut cs: Vec<Box<dyn Compressor>> = (0..3)
+            .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+            .collect();
+        let mut ms: Vec<Box<dyn Memory>> = (0..3)
+            .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+            .collect();
         let sim = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
         let sim_params = net.export_params();
 
@@ -192,5 +311,7 @@ mod tests {
             assert_eq!(ta.as_slice(), tb.as_slice(), "replica diverged at {na}");
         }
         assert!(threaded.bytes_sent > 0);
+        assert_eq!(threaded.survivors, 3);
+        assert_eq!(threaded.faults.total_injected(), 0);
     }
 }

@@ -64,7 +64,9 @@ impl ComputeModel {
             seconds_per_example.is_finite() && seconds_per_example >= 0.0,
             "compute time must be non-negative"
         );
-        ComputeModel { seconds_per_example }
+        ComputeModel {
+            seconds_per_example,
+        }
     }
 
     /// Scales a paper-reported per-example time by the ratio of gradient
@@ -166,6 +168,10 @@ pub struct TrainConfig {
     /// Optional learning-rate schedule, applied at the start of every epoch
     /// against the optimizer's initial rate.
     pub lr_schedule: Option<grace_nn::schedule::Schedule>,
+    /// Optional fault injection for the threaded execution mode: a
+    /// deterministic fault plan plus collective timeout. Ignored by
+    /// [`run_simulated`], which models a fault-free cluster.
+    pub fault: Option<grace_comm::FaultConfig>,
 }
 
 impl TrainConfig {
@@ -184,6 +190,7 @@ impl TrainConfig {
             byte_scale: 1.0,
             evals_per_epoch: 1,
             lr_schedule: None,
+            fault: None,
         }
     }
 
@@ -200,7 +207,7 @@ impl TrainConfig {
 }
 
 /// One quality measurement during training.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalPoint {
     /// Global iteration index at measurement time.
     pub step: u64,
@@ -215,7 +222,7 @@ pub struct EvalPoint {
 }
 
 /// Summary of a training run.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Compressor display name.
     pub compressor: String,
@@ -367,6 +374,7 @@ pub fn run_simulated(
             // tensor: accumulate bytes and charge one collective.
             let mut iter_wire_bytes = 0usize;
             let mut iter_elements = 0usize;
+            #[allow(clippy::needless_range_loop)] // `t` indexes per-worker grads too
             for t in 0..n_tensors {
                 let tensor_name = worker_grads[0][t].0.clone();
                 let mut per_worker: Vec<(Vec<Payload>, Context)> = Vec::with_capacity(n);
@@ -438,8 +446,9 @@ pub fn run_simulated(
                         CommStrategy::Allreduce => scaled_bytes,
                         // The server sends whichever is smaller: the dense
                         // aggregated gradient or the forwarded uploads.
-                        _ => ((uncompressed * cfg.byte_scale).round() as usize)
-                            .min(scaled_bytes * n),
+                        _ => {
+                            ((uncompressed * cfg.byte_scale).round() as usize).min(scaled_bytes * n)
+                        }
                     };
                     cfg.network.p2p_seconds(up) + cfg.network.p2p_seconds(down_each * n)
                 }
@@ -458,8 +467,7 @@ pub fn run_simulated(
                     tensor_count,
                 } => {
                     let dispatch = per_op_seconds * ops_per_tensor * tensor_count as f64;
-                    let arithmetic =
-                        ns_per_element * 1e-9 * iter_elements as f64 * cfg.byte_scale;
+                    let arithmetic = ns_per_element * 1e-9 * iter_elements as f64 * cfg.byte_scale;
                     // The framework overlaps elementwise codec arithmetic
                     // with the tail of the backward pass (§V-D (ii)).
                     dispatch + (arithmetic - 0.75 * compute_t).max(0.0)
@@ -551,15 +559,22 @@ fn summarize(
     cfg: &TrainConfig,
 ) -> RunResult {
     let best_quality = if higher_is_better {
-        history.iter().map(|e| e.quality).fold(f64::NEG_INFINITY, f64::max)
+        history
+            .iter()
+            .map(|e| e.quality)
+            .fold(f64::NEG_INFINITY, f64::max)
     } else {
-        history.iter().map(|e| e.quality).fold(f64::INFINITY, f64::min)
+        history
+            .iter()
+            .map(|e| e.quality)
+            .fold(f64::INFINITY, f64::min)
     };
     let final_quality = history.last().map(|e| e.quality).unwrap_or(f64::NAN);
-    let tail = iter_times.len().min(100).max(1);
-    let tail_mean: f64 =
-        iter_times[iter_times.len() - tail.min(iter_times.len())..].iter().sum::<f64>()
-            / tail as f64;
+    let tail = iter_times.len().clamp(1, 100);
+    let tail_mean: f64 = iter_times[iter_times.len() - tail.min(iter_times.len())..]
+        .iter()
+        .sum::<f64>()
+        / tail as f64;
     let throughput = if tail_mean > 0.0 {
         (cfg.n_workers * cfg.batch_per_worker) as f64 / tail_mean
     } else {
@@ -593,10 +608,12 @@ mod tests {
     use grace_nn::optim::Momentum;
 
     fn fleet_baseline(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
-        let cs: Vec<Box<dyn Compressor>> =
-            (0..n).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect();
-        let ms: Vec<Box<dyn Memory>> =
-            (0..n).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect();
+        let cs: Vec<Box<dyn Compressor>> = (0..n)
+            .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+            .collect();
+        let ms: Vec<Box<dyn Memory>> = (0..n)
+            .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+            .collect();
         (cs, ms)
     }
 
@@ -679,7 +696,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for w in 0..n {
             for i in worker_batch_indices(len, w, n, 0, 0, 5, 42) {
-                assert!(seen.insert((w, i)) , "duplicate within worker");
+                assert!(seen.insert((w, i)), "duplicate within worker");
                 assert!(i < len);
             }
         }
@@ -704,8 +721,9 @@ mod tests {
             let mut opt = Momentum::new(0.05, 0.9);
             let mut cfg = TrainConfig::new(2, 8, 2, 9);
             cfg.codec = CodecTiming::Free;
-            let mut cs: Vec<Box<dyn Compressor>> =
-                (0..2).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect();
+            let mut cs: Vec<Box<dyn Compressor>> = (0..2)
+                .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                .collect();
             let mut ms: Vec<Box<dyn Memory>> = (0..2)
                 .map(|_| {
                     if ef {
@@ -751,10 +769,12 @@ mod topology_tests {
         cfg.topology = topology;
         cfg.byte_scale = 100.0;
         let mut opt = Momentum::new(0.05, 0.9);
-        let mut cs: Vec<Box<dyn Compressor>> =
-            (0..4).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect();
-        let mut ms: Vec<Box<dyn Memory>> =
-            (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect();
+        let mut cs: Vec<Box<dyn Compressor>> = (0..4)
+            .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+            .collect();
+        let mut ms: Vec<Box<dyn Memory>> = (0..4)
+            .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+            .collect();
         run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms)
     }
 
@@ -772,9 +792,6 @@ mod topology_tests {
         );
         // Identical learning outcome: topology is a cost knob only.
         assert_eq!(ps.final_quality, peer.final_quality);
-        assert_eq!(
-            ps.bytes_per_worker_per_iter,
-            peer.bytes_per_worker_per_iter
-        );
+        assert_eq!(ps.bytes_per_worker_per_iter, peer.bytes_per_worker_per_iter);
     }
 }

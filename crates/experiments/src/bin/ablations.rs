@@ -12,19 +12,13 @@
 
 use grace_compressors::{RandomK, TopK};
 use grace_core::trainer::run_simulated;
-use grace_core::{
-    Compressor, Memory, NoMemory, ResidualMemory, TrainConfig,
-};
+use grace_core::{Compressor, Memory, NoMemory, ResidualMemory, TrainConfig};
 use grace_experiments::report;
 use grace_experiments::runner::{run_cell, RunnerConfig};
 use grace_experiments::suite;
 use grace_nn;
 
-fn fleet_topk(
-    ratio: f64,
-    n: usize,
-    ef: bool,
-) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
+fn fleet_topk(ratio: f64, n: usize, ef: bool) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
     let cs = (0..n)
         .map(|_| Box::new(TopK::new(ratio)) as Box<dyn Compressor>)
         .collect();
@@ -71,10 +65,18 @@ fn run_custom(
             milestones: vec![(bench.epochs * 2) / 3],
             gamma: 0.1,
         }),
+        fault: None,
     };
     let (mut cs, mut ms) = make(rc.n_workers);
     let mut opt = bench.opt.build("topk");
-    run_simulated(&cfg, &mut net, task.as_ref(), opt.as_mut(), &mut cs, &mut ms)
+    run_simulated(
+        &cfg,
+        &mut net,
+        task.as_ref(),
+        opt.as_mut(),
+        &mut cs,
+        &mut ms,
+    )
 }
 
 fn main() {
@@ -133,7 +135,13 @@ fn main() {
     );
     report::write_csv(
         "ablation_ratio.csv",
-        &["ratio", "topk_acc", "topk_compression", "randk_acc", "randk_compression"],
+        &[
+            "ratio",
+            "topk_acc",
+            "topk_compression",
+            "randk_acc",
+            "randk_compression",
+        ],
         &rows,
     );
 

@@ -17,11 +17,16 @@ fn main() {
         cfg.batch_per_worker = bench.batch;
         let mut opt = Sgd::new(lr);
         let opt: &mut dyn grace_nn::optim::Optimizer = &mut opt;
-        let mut cs: Vec<Box<dyn Compressor>> =
-            (0..8).map(|w| Box::new(RandomK::new(0.01, 42 + w as u64)) as Box<dyn Compressor>).collect();
-        let mut ms: Vec<Box<dyn Memory>> =
-            (0..8).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
+        let mut cs: Vec<Box<dyn Compressor>> = (0..8)
+            .map(|w| Box::new(RandomK::new(0.01, 42 + w as u64)) as Box<dyn Compressor>)
+            .collect();
+        let mut ms: Vec<Box<dyn Memory>> = (0..8)
+            .map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>)
+            .collect();
         let res = run_simulated(&cfg, &mut net, task.as_ref(), opt, &mut cs, &mut ms);
-        println!("lr {lr}: best {:.4} final {:.4}", res.best_quality, res.final_quality);
+        println!(
+            "lr {lr}: best {:.4} final {:.4}",
+            res.best_quality, res.final_quality
+        );
     }
 }

@@ -38,6 +38,7 @@ fn run_spec(spec: Option<&CompressorSpec>, rc: &RunnerConfig) -> grace_core::Run
         byte_scale,
         evals_per_epoch: 1,
         lr_schedule: None,
+        fault: None,
     };
     let mut opt = bench.opt.build(spec.map(|s| s.id).unwrap_or("baseline"));
     let (mut cs, mut ms) = match spec {
@@ -51,7 +52,14 @@ fn run_spec(spec: Option<&CompressorSpec>, rc: &RunnerConfig) -> grace_core::Run
         ),
         Some(s) => registry::build_fleet(s, rc.n_workers, rc.seed),
     };
-    run_simulated(&cfg, &mut net, task.as_ref(), opt.as_mut(), &mut cs, &mut ms)
+    run_simulated(
+        &cfg,
+        &mut net,
+        task.as_ref(),
+        opt.as_mut(),
+        &mut cs,
+        &mut ms,
+    )
 }
 
 fn main() {
@@ -83,7 +91,9 @@ fn main() {
         let vol = res.bytes_per_worker_per_iter / base.bytes_per_worker_per_iter;
         rows.push(vec![
             spec.display.to_string(),
-            registry::find(core_id).map(|s| s.display.to_string()).unwrap_or_default(),
+            registry::find(core_id)
+                .map(|s| s.display.to_string())
+                .unwrap_or_default(),
             report::fmt(res.best_quality, 4),
             report::fmt(relative, 3),
             report::fmt(vol, 5),
@@ -91,12 +101,24 @@ fn main() {
     }
     report::print_table(
         "Extension methods on the ResNet-20 analog (10 Gbps, 8 workers)",
-        &["Method", "Closest core method", "Top-1 acc", "Rel. tput", "Rel. volume"],
+        &[
+            "Method",
+            "Closest core method",
+            "Top-1 acc",
+            "Rel. tput",
+            "Rel. volume",
+        ],
         &rows,
     );
     report::write_csv(
         "extensions.csv",
-        &["method", "relative_of", "accuracy", "relative_throughput", "relative_volume"],
+        &[
+            "method",
+            "relative_of",
+            "accuracy",
+            "relative_throughput",
+            "relative_volume",
+        ],
         &rows,
     );
 }

@@ -23,8 +23,11 @@ fn main() {
     // iterations to cycle through coordinates (the paper trains 328 epochs).
     rc.epoch_scale_pct = rc.epoch_scale_pct.saturating_mul(5) / 2;
     let bench = suite::find("vgg16").expect("vgg16 benchmark registered");
-    let methods: [(&str, Option<&str>); 3] =
-        [("Baseline", None), ("Randk(0.01)", Some("randomk")), ("8-bit", Some("eightbit"))];
+    let methods: [(&str, Option<&str>); 3] = [
+        ("Baseline", None),
+        ("Randk(0.01)", Some("randomk")),
+        ("8-bit", Some("eightbit")),
+    ];
 
     let mut results = Vec::new();
     for (label, id) in methods {
@@ -47,7 +50,11 @@ fn main() {
         &["Epoch", "Baseline", "Randk(0.01)", "8-bit"],
         &rows_a,
     );
-    report::write_csv("fig1a.csv", &["epoch", "baseline", "randk", "eightbit"], &rows_a);
+    report::write_csv(
+        "fig1a.csv",
+        &["epoch", "baseline", "randk", "eightbit"],
+        &rows_a,
+    );
 
     // (b) accuracy vs simulated wall-time.
     let mut rows_b = Vec::new();
@@ -87,7 +94,12 @@ fn main() {
     }
     report::print_table(
         "Fig. 1 headline — time to target accuracy",
-        &["Method", "Target acc", "Time-to-target (s)", "Total sim time (s)"],
+        &[
+            "Method",
+            "Target acc",
+            "Time-to-target (s)",
+            "Total sim time (s)",
+        ],
         &summary,
     );
     report::write_csv(

@@ -33,8 +33,12 @@ fn opt(_w: usize) -> Box<dyn Optimizer> {
 
 fn topk_fleet(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
     (
-        (0..n).map(|_| Box::new(TopK::new(0.05)) as Box<dyn Compressor>).collect(),
-        (0..n).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect(),
+        (0..n)
+            .map(|_| Box::new(TopK::new(0.05)) as Box<dyn Compressor>)
+            .collect(),
+        (0..n)
+            .map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>)
+            .collect(),
     )
 }
 
@@ -97,12 +101,24 @@ fn main() {
 
     report::print_table(
         "Communication schedules — ResNet-20 analog, 4 workers",
-        &["Schedule", "Top-1 acc", "Comm rounds", "Total bytes/worker", "Consensus gap"],
+        &[
+            "Schedule",
+            "Top-1 acc",
+            "Comm rounds",
+            "Total bytes/worker",
+            "Consensus gap",
+        ],
         &rows,
     );
     report::write_csv(
         "schedules.csv",
-        &["schedule", "accuracy", "rounds", "total_bytes", "consensus_gap"],
+        &[
+            "schedule",
+            "accuracy",
+            "rounds",
+            "total_bytes",
+            "consensus_gap",
+        ],
         &rows,
     );
     println!(

@@ -45,10 +45,12 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         let value = args.get(i + 1).cloned();
-        let need = |flag: &str| value.clone().unwrap_or_else(|| {
-            eprintln!("missing value for {flag}");
-            usage()
-        });
+        let need = |flag: &str| {
+            value.clone().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
         match args[i].as_str() {
             "--benchmark" => benchmark = need("--benchmark"),
             "--compressor" => compressor = need("--compressor"),
@@ -122,7 +124,14 @@ fn main() {
             bench.paper_model,
             task.quality_name()
         ),
-        &["Method", "Quality", "Samples/s", "Rel. tput", "Bytes/iter", "×vol"],
+        &[
+            "Method",
+            "Quality",
+            "Samples/s",
+            "Rel. tput",
+            "Bytes/iter",
+            "×vol",
+        ],
         &rows,
     );
 }

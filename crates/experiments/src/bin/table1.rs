@@ -27,12 +27,26 @@ fn main() {
         .collect();
     report::print_table(
         "Table I — classification of implemented gradient compression methods",
-        &["Class", "Method", "‖g̃‖₀", "Nature of Q", "EF-On", "Strategy"],
+        &[
+            "Class",
+            "Method",
+            "‖g̃‖₀",
+            "Nature of Q",
+            "EF-On",
+            "Strategy",
+        ],
         &rows,
     );
     report::write_csv(
         "table1.csv",
-        &["class", "method", "output_size", "nature", "ef_on", "strategy"],
+        &[
+            "class",
+            "method",
+            "output_size",
+            "nature",
+            "ef_on",
+            "strategy",
+        ],
         &rows,
     );
     println!("\n{} methods implemented (paper Table I: 16).", specs.len());

@@ -16,7 +16,11 @@ use grace_experiments::report;
 use grace_experiments::runner::RunnerConfig;
 use grace_experiments::suite;
 
-fn run(topology: Topology, compressor_id: Option<&str>, rc: &RunnerConfig) -> grace_core::RunResult {
+fn run(
+    topology: Topology,
+    compressor_id: Option<&str>,
+    rc: &RunnerConfig,
+) -> grace_core::RunResult {
     let bench = suite::find("vgg16").expect("registered");
     let task = (bench.build_task)(rc.seed);
     let mut net = (bench.build_net)(rc.seed);
@@ -45,6 +49,7 @@ fn run(topology: Topology, compressor_id: Option<&str>, rc: &RunnerConfig) -> gr
         byte_scale,
         evals_per_epoch: 1,
         lr_schedule: None,
+        fault: None,
     };
     let mut opt = bench.opt.build(compressor_id.unwrap_or("baseline"));
     let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
@@ -61,7 +66,14 @@ fn run(topology: Topology, compressor_id: Option<&str>, rc: &RunnerConfig) -> gr
             registry::build_fleet(&spec, rc.n_workers, rc.seed)
         }
     };
-    run_simulated(&cfg, &mut net, task.as_ref(), opt.as_mut(), &mut cs, &mut ms)
+    run_simulated(
+        &cfg,
+        &mut net,
+        task.as_ref(),
+        opt.as_mut(),
+        &mut cs,
+        &mut ms,
+    )
 }
 
 fn main() {

@@ -55,8 +55,7 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
     let codec = match compressor_id {
         None => grace_core::trainer::CodecTiming::Free,
         Some(id) => {
-            let spec =
-                registry::find(id).unwrap_or_else(|| panic!("unknown compressor id '{id}'"));
+            let spec = registry::find(id).unwrap_or_else(|| panic!("unknown compressor id '{id}'"));
             grace_core::trainer::CodecTiming::Modeled {
                 per_op_seconds: 1.0e-4,
                 ops_per_tensor: spec.ops_per_tensor,
@@ -77,6 +76,7 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
         byte_scale,
         evals_per_epoch: 1,
         lr_schedule: None,
+        fault: None,
     };
     let (mut compressors, mut memories): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) =
         match compressor_id {
@@ -89,8 +89,8 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
                     .collect(),
             ),
             Some(id) => {
-                let spec = registry::find(id)
-                    .unwrap_or_else(|| panic!("unknown compressor id '{id}'"));
+                let spec =
+                    registry::find(id).unwrap_or_else(|| panic!("unknown compressor id '{id}'"));
                 registry::build_fleet(&spec, rc.n_workers, rc.seed)
             }
         };
@@ -198,7 +198,10 @@ mod tests {
         let rc = quick_rc();
         let rows = vec![
             ("Baseline".to_string(), run_cell(&bench, None, &rc)),
-            ("Topk(0.01)".to_string(), run_cell(&bench, Some("topk"), &rc)),
+            (
+                "Topk(0.01)".to_string(),
+                run_cell(&bench, Some("topk"), &rc),
+            ),
         ];
         let rel = relative(&rows);
         assert!((rel[0].relative_throughput - 1.0).abs() < 1e-9);

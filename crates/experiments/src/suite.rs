@@ -198,7 +198,9 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
                 vanilla_lr: 0.03,
             },
             build_task: |seed| {
-                Box::new(ClassificationDataset::synthetic_images(320, 2, 8, 8, 3, 0.3, seed))
+                Box::new(ClassificationDataset::synthetic_images(
+                    320, 2, 8, 8, 3, 0.3, seed,
+                ))
             },
             build_net: |seed| models::resnet9_analog(2, 8, 8, 3, seed),
         },
@@ -278,9 +280,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
             epochs: 8,
             batch: 64,
             opt: OptPolicy::Adam { lr: 0.01 },
-            build_task: |seed| {
-                Box::new(RecommendationDataset::synthetic(48, 200, 4, 4, 40, seed))
-            },
+            build_task: |seed| Box::new(RecommendationDataset::synthetic(48, 200, 4, 4, 40, seed)),
             build_net: |seed| {
                 // vocab = users + items from the dataset above.
                 models::ncf_analog(248, 16, seed)
@@ -344,8 +344,7 @@ mod tests {
     fn nine_benchmarks_cover_table_two() {
         let benches = all_benchmarks();
         assert_eq!(benches.len(), 9, "Table II lists 9 rows");
-        let tasks: std::collections::HashSet<&str> =
-            benches.iter().map(|b| b.task).collect();
+        let tasks: std::collections::HashSet<&str> = benches.iter().map(|b| b.task).collect();
         assert_eq!(tasks.len(), 4, "four ML tasks");
     }
 
@@ -397,7 +396,10 @@ mod tests {
     #[test]
     fn fig6_panel_order() {
         let ids: Vec<&str> = fig6_benchmarks().iter().map(|b| b.id).collect();
-        assert_eq!(ids, vec!["resnet20", "densenet40", "resnet50", "ncf", "lstm", "unet"]);
+        assert_eq!(
+            ids,
+            vec!["resnet20", "densenet40", "resnet50", "ncf", "lstm", "unet"]
+        );
     }
 
     #[test]

@@ -58,8 +58,7 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
     let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let name_len =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
             .map_err(|_| bad("parameter name is not UTF-8"))?;
         let rank = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
@@ -68,9 +67,7 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(
-                u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize,
-            );
+            dims.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize);
         }
         let shape = Shape::new(dims);
         let data = bytes_to_f32s(take(&mut pos, shape.len() * 4)?);

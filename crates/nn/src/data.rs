@@ -225,7 +225,9 @@ impl RecommendationDataset {
         fill_gaussian(&mut rng, &mut p, 1.0);
         fill_gaussian(&mut rng, &mut q, 1.0);
         let score = |u: usize, i: usize| -> f32 {
-            (0..factors).map(|f| p[u * factors + f] * q[i * factors + f]).sum()
+            (0..factors)
+                .map(|f| p[u * factors + f] * q[i * factors + f])
+                .sum()
         };
         let mut train_pairs = Vec::new();
         let mut eval_candidates = Vec::with_capacity(n_users);
@@ -237,8 +239,14 @@ impl RecommendationDataset {
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             // Held-out positive = best item; train positives = next best.
             let heldout = ranked[0].0 as u32;
-            let positives: Vec<u32> = ranked[1..=pos_per_user].iter().map(|r| r.0 as u32).collect();
-            let tail: Vec<u32> = ranked[pos_per_user + 1..].iter().map(|r| r.0 as u32).collect();
+            let positives: Vec<u32> = ranked[1..=pos_per_user]
+                .iter()
+                .map(|r| r.0 as u32)
+                .collect();
+            let tail: Vec<u32> = ranked[pos_per_user + 1..]
+                .iter()
+                .map(|r| r.0 as u32)
+                .collect();
             for &pos in &positives {
                 train_pairs.push((u as u32, pos, 1.0));
                 for _ in 0..4 {
@@ -346,7 +354,13 @@ impl TextDataset {
     /// # Panics
     ///
     /// Panics if `vocab < 2`, `branching == 0` or `seq == 0`.
-    pub fn synthetic(n_train: usize, vocab: usize, branching: usize, seq: usize, seed: u64) -> Self {
+    pub fn synthetic(
+        n_train: usize,
+        vocab: usize,
+        branching: usize,
+        seq: usize,
+        seed: u64,
+    ) -> Self {
         assert!(vocab >= 2, "vocabulary must have at least two tokens");
         assert!(branching > 0 && branching <= vocab, "invalid branching");
         assert!(seq > 0, "sequence length must be positive");
@@ -396,7 +410,10 @@ impl TextDataset {
     }
 
     fn window(&self, tokens: &[u32], start: usize) -> (Vec<f32>, Vec<u32>) {
-        let input: Vec<f32> = tokens[start..start + self.seq].iter().map(|&t| t as f32).collect();
+        let input: Vec<f32> = tokens[start..start + self.seq]
+            .iter()
+            .map(|&t| t as f32)
+            .collect();
         let labels: Vec<u32> = tokens[start + 1..start + self.seq + 1].to_vec();
         (input, labels)
     }

@@ -28,7 +28,12 @@ impl Residual {
 
 impl std::fmt::Debug for Residual {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Residual({}, {} inner layers)", self.name, self.inner.len())
+        write!(
+            f,
+            "Residual({}, {} inner layers)",
+            self.name,
+            self.inner.len()
+        )
     }
 }
 
@@ -88,7 +93,12 @@ impl DenseConcat {
 
 impl std::fmt::Debug for DenseConcat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DenseConcat({}, {} inner layers)", self.name, self.inner.len())
+        write!(
+            f,
+            "DenseConcat({}, {} inner layers)",
+            self.name,
+            self.inner.len()
+        )
     }
 }
 
@@ -190,10 +200,15 @@ impl Layer for Reshape {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let (rows, f) = grad_output.shape().as_matrix();
-        assert_eq!(rows % self.cached_batch, 0, "reshape backward shape mismatch");
-        grad_output
-            .clone()
-            .reshape(Shape::matrix(self.cached_batch, rows / self.cached_batch * f))
+        assert_eq!(
+            rows % self.cached_batch,
+            0,
+            "reshape backward shape mismatch"
+        );
+        grad_output.clone().reshape(Shape::matrix(
+            self.cached_batch,
+            rows / self.cached_batch * f,
+        ))
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

@@ -48,9 +48,15 @@ impl Conv2d {
         pad: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(in_ch > 0 && h > 0 && w > 0 && out_ch > 0 && k > 0, "conv dims must be positive");
+        assert!(
+            in_ch > 0 && h > 0 && w > 0 && out_ch > 0 && k > 0,
+            "conv dims must be positive"
+        );
         assert!(stride > 0, "stride must be positive");
-        assert!(h + 2 * pad >= k && w + 2 * pad >= k, "kernel larger than padded input");
+        assert!(
+            h + 2 * pad >= k && w + 2 * pad >= k,
+            "kernel larger than padded input"
+        );
         let name = name.into();
         let fan_in = in_ch * k * k;
         let weight = Param::new(
@@ -167,7 +173,13 @@ impl Layer for Conv2d {
             let item = &input.as_slice()[bi * in_len..(bi + 1) * in_len];
             let col = self.im2col(item);
             // [out_ch, rows] x [rows, cols] -> [out_ch, cols]
-            let y = matmul(self.weight.value.as_slice(), &col, self.out_ch, rows, cols_n);
+            let y = matmul(
+                self.weight.value.as_slice(),
+                &col,
+                self.out_ch,
+                rows,
+                cols_n,
+            );
             let dst = &mut out[bi * self.out_len()..(bi + 1) * self.out_len()];
             dst.copy_from_slice(&y);
             for oc in 0..self.out_ch {
@@ -207,13 +219,8 @@ impl Layer for Conv2d {
                 db[oc] += dy[oc * cols_n..(oc + 1) * cols_n].iter().sum::<f32>();
             }
             // dcol = Wᵀ · dY : [rows, cols]
-            let dcol = matmul_transpose_a(
-                self.weight.value.as_slice(),
-                dy,
-                self.out_ch,
-                rows,
-                cols_n,
-            );
+            let dcol =
+                matmul_transpose_a(self.weight.value.as_slice(), dy, self.out_ch, rows, cols_n);
             let img = self.col2im(&dcol);
             dx[bi * in_len..(bi + 1) * in_len].copy_from_slice(&img);
         }
@@ -295,7 +302,10 @@ mod tests {
             }
         });
         // channel0 = [1,1,1,1], channel1 = [2,2,2,2] -> out = 1 + 4 = 5.
-        let x = Tensor::new(vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], Shape::matrix(1, 8));
+        let x = Tensor::new(
+            vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0],
+            Shape::matrix(1, 8),
+        );
         let y = c.forward(&x);
         assert_eq!(y.as_slice(), &[5.0, 5.0, 5.0, 5.0]);
     }

@@ -93,7 +93,11 @@ impl Layer for Dense {
         let (batch, feat) = self.cached_input.shape().as_matrix();
         let (gb, gf) = grad_output.shape().as_matrix();
         assert_eq!(gb, batch, "backward batch mismatch in '{}'", self.name);
-        assert_eq!(gf, self.out_dim, "backward feature mismatch in '{}'", self.name);
+        assert_eq!(
+            gf, self.out_dim,
+            "backward feature mismatch in '{}'",
+            self.name
+        );
         // dW = Xᵀ · dY
         let dw = matmul_transpose_a(
             self.cached_input.as_slice(),

@@ -29,14 +29,14 @@ pub struct Lstm {
 
 #[derive(Debug, Default, Clone)]
 struct StepCache {
-    x: Vec<f32>,       // [batch, in_dim]
-    h_prev: Vec<f32>,  // [batch, hidden]
-    c_prev: Vec<f32>,  // [batch, hidden]
-    i: Vec<f32>,       // post-sigmoid
-    f: Vec<f32>,       // post-sigmoid
-    g: Vec<f32>,       // post-tanh
-    o: Vec<f32>,       // post-sigmoid
-    c_tanh: Vec<f32>,  // tanh(c_t)
+    x: Vec<f32>,      // [batch, in_dim]
+    h_prev: Vec<f32>, // [batch, hidden]
+    c_prev: Vec<f32>, // [batch, hidden]
+    i: Vec<f32>,      // post-sigmoid
+    f: Vec<f32>,      // post-sigmoid
+    g: Vec<f32>,      // post-tanh
+    o: Vec<f32>,      // post-sigmoid
+    c_tanh: Vec<f32>, // tanh(c_t)
 }
 
 impl Lstm {
@@ -53,7 +53,10 @@ impl Lstm {
         seq: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(in_dim > 0 && hidden > 0 && seq > 0, "lstm dims must be positive");
+        assert!(
+            in_dim > 0 && hidden > 0 && seq > 0,
+            "lstm dims must be positive"
+        );
         let name = name.into();
         let wx = Param::new(
             format!("{name}/wx"),
@@ -222,8 +225,8 @@ impl Layer for Lstm {
             // Input and recurrent gradients.
             let dx = matmul_transpose_b(&dpre, self.wx.value.as_slice(), batch, h4, self.in_dim);
             for bi in 0..batch {
-                let dst = &mut dx_all
-                    [bi * feat + t * self.in_dim..bi * feat + (t + 1) * self.in_dim];
+                let dst =
+                    &mut dx_all[bi * feat + t * self.in_dim..bi * feat + (t + 1) * self.in_dim];
                 dst.copy_from_slice(&dx[bi * self.in_dim..(bi + 1) * self.in_dim]);
             }
             dh_next = matmul_transpose_b(&dpre, self.wh.value.as_slice(), batch, h4, self.hidden);
@@ -255,7 +258,10 @@ mod tests {
         let y = l.forward(&x);
         assert_eq!(y.shape(), &Shape::matrix(2, 20));
         assert!(y.is_finite());
-        assert!(y.norm_inf() <= 1.0 + 1e-6, "LSTM outputs are bounded by tanh");
+        assert!(
+            y.norm_inf() <= 1.0 + 1e-6,
+            "LSTM outputs are bounded by tanh"
+        );
     }
 
     #[test]

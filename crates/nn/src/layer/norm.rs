@@ -29,7 +29,10 @@ impl LayerNorm {
         assert!(dim > 0, "dimension must be positive");
         let name = name.into();
         LayerNorm {
-            gamma: Param::new(format!("{name}/gamma"), Tensor::filled(Shape::vector(dim), 1.0)),
+            gamma: Param::new(
+                format!("{name}/gamma"),
+                Tensor::filled(Shape::vector(dim), 1.0),
+            ),
             beta: Param::new(format!("{name}/beta"), Tensor::zeros(Shape::vector(dim))),
             name,
             dim,
@@ -54,8 +57,7 @@ impl Layer for LayerNorm {
         for b in 0..batch {
             let row = &input.as_slice()[b * feat..(b + 1) * feat];
             let mean: f32 = row.iter().sum::<f32>() / feat as f32;
-            let var: f32 =
-                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / feat as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / feat as f32;
             let inv_std = 1.0 / (var + self.eps).sqrt();
             self.cached_inv_std.push(inv_std);
             for j in 0..feat {
@@ -308,7 +310,10 @@ impl BatchNorm {
         assert!(dim > 0, "dimension must be positive");
         let name = name.into();
         BatchNorm {
-            gamma: Param::new(format!("{name}/gamma"), Tensor::filled(Shape::vector(dim), 1.0)),
+            gamma: Param::new(
+                format!("{name}/gamma"),
+                Tensor::filled(Shape::vector(dim), 1.0),
+            ),
             beta: Param::new(format!("{name}/beta"), Tensor::zeros(Shape::vector(dim))),
             name,
             dim,
@@ -360,8 +365,7 @@ impl Layer for BatchNorm {
                 for b in 0..batch {
                     let c = x[b * feat + j] - mean;
                     centered[b * feat + j] = c;
-                    out[b * feat + j] =
-                        self.gamma.value[j] * c * inv_std + self.beta.value[j];
+                    out[b * feat + j] = self.gamma.value[j] * c * inv_std + self.beta.value[j];
                 }
             }
             self.cached_centered = Tensor::new(centered, Shape::matrix(batch, feat));
@@ -369,10 +373,9 @@ impl Layer for BatchNorm {
             for j in 0..feat {
                 let inv_std = 1.0 / (self.running_var[j] + self.eps).sqrt();
                 for b in 0..batch {
-                    out[b * feat + j] = self.gamma.value[j]
-                        * (x[b * feat + j] - self.running_mean[j])
-                        * inv_std
-                        + self.beta.value[j];
+                    out[b * feat + j] =
+                        self.gamma.value[j] * (x[b * feat + j] - self.running_mean[j]) * inv_std
+                            + self.beta.value[j];
                 }
             }
         }
@@ -407,8 +410,7 @@ impl Layer for BatchNorm {
             for b in 0..batch {
                 let xhat = c[b * feat + j] * inv_std;
                 let dxhat = go[b * feat + j] * self.gamma.value[j];
-                dx[b * feat + j] =
-                    inv_std / n * (n * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+                dx[b * feat + j] = inv_std / n * (n * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
             }
         }
         self.gamma.grad = Tensor::new(dgamma, Shape::vector(feat));

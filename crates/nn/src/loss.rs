@@ -49,10 +49,13 @@ fn softmax_cross_entropy(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
     assert_eq!(rows, labels.len(), "one label per logit row required");
     let mut grad = logits.zeros_like();
     let mut total = 0.0f64;
-    for r in 0..rows {
+    for (r, &raw_label) in labels.iter().enumerate() {
         let row = &logits.as_slice()[r * classes..(r + 1) * classes];
-        let label = labels[r] as usize;
-        assert!(label < classes, "label {label} out of range ({classes} classes)");
+        let label = raw_label as usize;
+        assert!(
+            label < classes,
+            "label {label} out of range ({classes} classes)"
+        );
         let m = row.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
         let mut denom = 0.0f32;
         for &v in row {

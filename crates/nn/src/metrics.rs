@@ -22,7 +22,7 @@ pub fn top1_accuracy(logits: &Tensor, labels: &[u32]) -> f64 {
         return 0.0;
     }
     let mut correct = 0usize;
-    for r in 0..rows {
+    for (r, &label) in labels.iter().enumerate() {
         let row = &logits.as_slice()[r * classes..(r + 1) * classes];
         let mut best = 0usize;
         for (j, &v) in row.iter().enumerate() {
@@ -30,7 +30,7 @@ pub fn top1_accuracy(logits: &Tensor, labels: &[u32]) -> f64 {
                 best = j;
             }
         }
-        if best == labels[r] as usize {
+        if best == label as usize {
             correct += 1;
         }
     }

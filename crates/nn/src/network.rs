@@ -127,7 +127,12 @@ impl Network {
                     .get(idx)
                     .unwrap_or_else(|| panic!("missing gradient for '{}'", p.name));
                 assert_eq!(name, &p.name, "gradient order mismatch at '{}'", p.name);
-                assert_eq!(g.len(), p.value.len(), "gradient size mismatch at '{}'", p.name);
+                assert_eq!(
+                    g.len(),
+                    p.value.len(),
+                    "gradient size mismatch at '{}'",
+                    p.name
+                );
                 opt.update(&p.name, &mut p.value, g);
                 idx += 1;
             });
@@ -222,7 +227,10 @@ mod tests {
         let mut net = tiny_net(1);
         assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
         assert_eq!(net.gradient_tensor_count(), 4);
-        assert_eq!(net.gradient_names(), vec!["fc1/w", "fc1/b", "fc2/w", "fc2/b"]);
+        assert_eq!(
+            net.gradient_names(),
+            vec!["fc1/w", "fc1/b", "fc2/w", "fc2/b"]
+        );
     }
 
     #[test]

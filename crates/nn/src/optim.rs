@@ -303,7 +303,10 @@ mod tests {
         let mut mom = Momentum::new(0.05, 0.9);
         let r_sgd = run_quadratic(&mut sgd, 60);
         let r_mom = run_quadratic(&mut mom, 60);
-        assert!(r_mom < r_sgd, "momentum {r_mom} not faster than sgd {r_sgd}");
+        assert!(
+            r_mom < r_sgd,
+            "momentum {r_mom} not faster than sgd {r_sgd}"
+        );
     }
 
     #[test]

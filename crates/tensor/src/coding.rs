@@ -47,10 +47,7 @@ impl HuffmanCode {
         impl Ord for Node {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                 // Reverse for a min-heap; tie-break on id for determinism.
-                other
-                    .weight
-                    .cmp(&self.weight)
-                    .then(other.id.cmp(&self.id))
+                other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
             }
         }
         impl PartialOrd for Node {
@@ -260,10 +257,7 @@ mod tests {
         let symbols = vec![3u32; 100];
         let (lengths, bits, nbits) = HuffmanCode::encode_stream(&symbols, 4);
         assert_eq!(nbits, 100);
-        assert_eq!(
-            HuffmanCode::decode_stream(&lengths, &bits, 100),
-            symbols
-        );
+        assert_eq!(HuffmanCode::decode_stream(&lengths, &bits, 100), symbols);
     }
 
     #[test]
@@ -287,10 +281,7 @@ mod tests {
                 let (la, lb) = (code.lengths[a], code.lengths[b]);
                 if la <= lb {
                     let prefix = code.codes[b] >> (lb - la);
-                    assert!(
-                        prefix != code.codes[a],
-                        "code {a} is a prefix of code {b}"
-                    );
+                    assert!(prefix != code.codes[a], "code {a} is a prefix of code {b}");
                 }
             }
         }

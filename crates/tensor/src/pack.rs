@@ -27,16 +27,17 @@
 /// assert_eq!(unpack_bits(&packed, 2, 4), words);
 /// ```
 pub fn pack_bits(values: &[u32], bits: u32) -> Vec<u8> {
-    assert!(bits >= 1 && bits <= 32, "bit width must be in 1..=32");
+    assert!((1..=32).contains(&bits), "bit width must be in 1..=32");
     let total_bits = values.len() * bits as usize;
     let mut out = vec![0u8; total_bits.div_ceil(8)];
-    let mask: u64 = if bits == 32 { u32::MAX as u64 } else { (1u64 << bits) - 1 };
+    let mask: u64 = if bits == 32 {
+        u32::MAX as u64
+    } else {
+        (1u64 << bits) - 1
+    };
     let mut bitpos = 0usize;
     for &v in values {
-        assert!(
-            (v as u64) <= mask,
-            "value {v} does not fit in {bits} bits"
-        );
+        assert!((v as u64) <= mask, "value {v} does not fit in {bits} bits");
         let mut remaining = bits as usize;
         let mut val = v as u64;
         while remaining > 0 {
@@ -59,7 +60,7 @@ pub fn pack_bits(values: &[u32], bits: u32) -> Vec<u8> {
 ///
 /// Panics if the buffer is too short to contain `count` values.
 pub fn unpack_bits(packed: &[u8], bits: u32, count: usize) -> Vec<u32> {
-    assert!(bits >= 1 && bits <= 32, "bit width must be in 1..=32");
+    assert!((1..=32).contains(&bits), "bit width must be in 1..=32");
     let need = (count * bits as usize).div_ceil(8);
     assert!(
         packed.len() >= need,
@@ -96,7 +97,10 @@ pub fn pack_signs(signs: &[bool]) -> Vec<u8> {
 
 /// Unpacks a sign bitmap produced by [`pack_signs`].
 pub fn unpack_signs(packed: &[u8], count: usize) -> Vec<bool> {
-    unpack_bits(packed, 1, count).into_iter().map(|v| v != 0).collect()
+    unpack_bits(packed, 1, count)
+        .into_iter()
+        .map(|v| v != 0)
+        .collect()
 }
 
 /// Number of bytes needed to pack `count` values of width `bits`.
@@ -119,7 +123,10 @@ pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
 ///
 /// Panics if the byte length is not a multiple of 4.
 pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len() % 4 == 0, "byte length must be a multiple of 4");
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "byte length must be a multiple of 4"
+    );
     bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -141,11 +148,32 @@ pub fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
 ///
 /// Panics if the byte length is not a multiple of 4.
 pub fn bytes_to_u32s(bytes: &[u8]) -> Vec<u32> {
-    assert!(bytes.len() % 4 == 0, "byte length must be a multiple of 4");
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "byte length must be a multiple of 4"
+    );
     bytes
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect()
+}
+
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+///
+/// Used by the payload codec to detect wire corruption: a flipped bit in a
+/// framed payload stream must surface as an explicit decode error, never as
+/// silently divergent replicas. Matches the common `crc32`/zlib checksum, so
+/// values can be cross-checked with external tools.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 #[cfg(test)]
@@ -153,9 +181,37 @@ mod tests {
     use super::*;
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard zlib/IEEE reference values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"gradient payload bytes".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
     fn roundtrip_small_widths() {
         for bits in 1..=8u32 {
-            let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let max = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            };
             let values: Vec<u32> = (0..100).map(|i| (i * 7) as u32 % (max + 1)).collect();
             let packed = pack_bits(&values, bits);
             assert_eq!(packed.len(), packed_len(values.len(), bits));

@@ -16,7 +16,7 @@ use std::fmt;
 /// assert_eq!(s.len(), 12);
 /// assert_eq!(s.rank(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

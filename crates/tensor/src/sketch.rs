@@ -74,22 +74,13 @@ impl GkSketch {
             return;
         }
         self.count += 1;
-        let pos = self
-            .entries
-            .partition_point(|e| e.value < value);
+        let pos = self.entries.partition_point(|e| e.value < value);
         let delta = if pos == 0 || pos == self.entries.len() {
             0
         } else {
             ((2.0 * self.epsilon * self.count as f64).floor() as u64).saturating_sub(1)
         };
-        self.entries.insert(
-            pos,
-            GkEntry {
-                value,
-                g: 1,
-                delta,
-            },
-        );
+        self.entries.insert(pos, GkEntry { value, g: 1, delta });
         // Compress periodically to keep the summary small.
         let cap = (1.0 / (2.0 * self.epsilon)).ceil() as usize;
         if self.entries.len() > 3 * cap {

@@ -18,7 +18,7 @@ use std::ops::{Index, IndexMut};
 /// t.as_mut_slice()[1] = 2.0;
 /// assert_eq!(t.as_slice(), &[0.0, 2.0, 0.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
@@ -197,7 +197,11 @@ impl Tensor {
     ///
     /// Panics if the lengths differ.
     pub fn hadamard(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.len(), other.len(), "tensor length mismatch in hadamard");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "tensor length mismatch in hadamard"
+        );
         let data = self
             .data
             .iter()

@@ -70,11 +70,7 @@ impl Compressor for MeanTop {
     }
 }
 
-fn train_with(
-    label: &str,
-    task: &dyn Task,
-    make: impl Fn() -> Box<dyn Compressor>,
-) -> (f64, f64) {
+fn train_with(label: &str, task: &dyn Task, make: impl Fn() -> Box<dyn Compressor>) -> (f64, f64) {
     let mut net = models::resnet20_analog(32, 4, 5);
     let mut cfg = TrainConfig::new(4, 16, 8, 5);
     cfg.network = NetworkModel::paper_default();
@@ -97,9 +93,7 @@ fn main() {
     let task = ClassificationDataset::synthetic(640, 32, 4, 0.35, 5);
     println!("Custom method vs Top-k on the ResNet-20 analog, 4 workers:\n");
     let (_, topk_vol) = train_with("Topk(0.01)", &task, || Box::new(TopK::new(0.01)));
-    let (_, mean_vol) = train_with("MeanTop(0.01)", &task, || {
-        Box::new(MeanTop { ratio: 0.01 })
-    });
+    let (_, mean_vol) = train_with("MeanTop(0.01)", &task, || Box::new(MeanTop { ratio: 0.01 }));
     println!(
         "\nMeanTop transmits {:.1}% of Top-k's bytes by replacing float values \
          with one mean + sign bits.",

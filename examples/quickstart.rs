@@ -16,7 +16,11 @@ fn main() {
             0.01 * x * x * x
         })
         .collect();
-    println!("gradient: {} elements = {} bytes raw", grad.len(), grad.len() * 4);
+    println!(
+        "gradient: {} elements = {} bytes raw",
+        grad.len(),
+        grad.len() * 4
+    );
 
     // --- Top-k sparsification: keep the 1% largest-magnitude elements ---
     let mut topk = TopK::new(0.01);

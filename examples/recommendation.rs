@@ -14,6 +14,8 @@ use grace::nn::data::{RecommendationDataset, Task};
 use grace::nn::models;
 use grace::nn::optim::Adam;
 
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
 fn main() {
     let task = RecommendationDataset::synthetic(48, 200, 4, 4, 40, 9);
     println!(
@@ -29,10 +31,14 @@ fn main() {
         let mut net = models::ncf_analog(task.vocab(), 16, 9);
         let cfg = TrainConfig::new(8, 64, 6, 9);
         let mut opt = Adam::new(0.01);
-        let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match id {
+        let (mut cs, mut ms): Fleet = match id {
             None => (
-                (0..8).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
-                (0..8).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+                (0..8)
+                    .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                    .collect(),
+                (0..8)
+                    .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                    .collect(),
             ),
             Some(id) => {
                 let spec = registry::find(id).expect("registered");

@@ -4,10 +4,10 @@
 //!
 //! Run: `cargo run --release --example threaded_cluster`
 
+use grace::compressors::TopK;
 use grace::core::threaded::run_threaded;
 use grace::core::trainer::{run_simulated, CodecTiming};
 use grace::core::{Compressor, Memory, ResidualMemory, TrainConfig};
-use grace::compressors::TopK;
 use grace::nn::data::ClassificationDataset;
 use grace::nn::models;
 use grace::nn::optim::{Momentum, Optimizer};

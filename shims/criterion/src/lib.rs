@@ -1,0 +1,254 @@
+//! Offline drop-in subset of the `criterion` benchmark crate.
+//!
+//! Provides the API surface this workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId` and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! min/median/max timing harness instead of criterion's full statistical
+//! machinery. Good enough to compare implementations on one machine; not a
+//! substitute for criterion's confidence intervals.
+//!
+//! When compiled into `cargo test` (criterion benches run with `--test`), the
+//! harness detects the flag and performs a single smoke iteration per
+//! benchmark so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver passed to the closure.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations (one sample = one closure call).
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up call (not recorded).
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    harness: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the amount of data processed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.harness.smoke {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut b = Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b.times);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = if self.harness.smoke {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut b = Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b.times);
+        self
+    }
+
+    /// Finishes the group (upstream API parity; prints nothing extra).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, times: &[Duration]) {
+        if times.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let mut sorted: Vec<Duration> = times.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let line = format!(
+            "{}/{id}: min {:?}  median {:?}  max {:?}  ({} samples)",
+            self.name,
+            sorted[0],
+            median,
+            sorted[sorted.len() - 1],
+            sorted.len()
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if median > Duration::ZERO => {
+                let gbps = bytes as f64 / median.as_secs_f64() / 1e9;
+                println!("{line}  [{gbps:.3} GB/s]");
+            }
+            Some(Throughput::Elements(elems)) if median > Duration::ZERO => {
+                let meps = elems as f64 / median.as_secs_f64() / 1e6;
+                println!("{line}  [{meps:.3} Melem/s]");
+            }
+            _ => println!("{line}"),
+        }
+    }
+}
+
+/// Top-level benchmark harness (subset of `criterion::Criterion`).
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, bench targets are invoked with `--test`: run a
+        // single smoke iteration so the suite stays fast.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            harness: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (upstream macro parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (upstream macro parity).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { smoke: true };
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Bytes(1024));
+            g.bench_function("f", |b| b.iter(|| calls += 1));
+            g.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        // smoke mode: warm-up + 1 sample.
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

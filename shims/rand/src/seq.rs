@@ -1,0 +1,119 @@
+//! Sequence-related sampling helpers.
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices (upstream `rand::seq::SliceRandom` subset).
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates), deterministically for a
+    /// seeded generator.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::bounded_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Index sampling (upstream `rand::seq::index` subset).
+pub mod index {
+    use super::RngCore;
+
+    /// A set of sampled indices (upstream `rand::seq::index::IndexVec`
+    /// lookalike).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consumes the sample into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, in sampling order.
+    ///
+    /// Uses a partial Fisher–Yates shuffle: `O(length)` memory, `O(amount)`
+    /// swaps — the honest cost model for Random-k selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R>(rng: &mut R, length: usize, amount: usize) -> IndexVec
+    where
+        R: RngCore + ?Sized,
+    {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from {length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        let mut out = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = i + (crate::bounded_u64(rng, (length - i) as u64) as usize);
+            pool.swap(i, j);
+            out.push(pool[i]);
+        }
+        IndexVec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index::sample;
+    use super::SliceRandom;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle should move things");
+    }
+
+    #[test]
+    fn sample_yields_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample(&mut rng, 50, 20).into_vec();
+        assert_eq!(s.len(), 20);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 20, "indices must be distinct");
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = sample(&mut rng, 3, 4);
+    }
+}

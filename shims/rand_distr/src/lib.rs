@@ -1,0 +1,147 @@
+//! Offline drop-in subset of the `rand_distr` crate: the [`Distribution`]
+//! trait and a Box–Muller [`Normal`] distribution, which is all this
+//! workspace uses (Gaussian weight init and data synthesis).
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid [`Normal`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Floating-point scalars the [`Normal`] distribution is generic over.
+pub trait Float: Copy + PartialOrd {
+    /// Converts from `f64` (used internally by Box–Muller).
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+    /// Whether the value is finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`, sampled via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `std_dev` is negative/non-finite or `mean`
+    /// is non-finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev.to_f64() < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller: one fresh standard-normal draw per sample (the cosine
+        // branch only, so each sample consumes exactly two u64s and
+        // substreams stay aligned).
+        let u1 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Guard against ln(0).
+        let r = (-2.0 * (1.0 - u1).max(f64::MIN_POSITIVE).ln()).sqrt();
+        let z = r * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = Normal::new(1.0f64, 2.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+
+    #[test]
+    fn zero_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = Normal::new(3.5f32, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 3.5);
+        }
+    }
+}

@@ -9,11 +9,9 @@ use grace::nn::data::{ClassificationDataset, Task};
 use grace::nn::models;
 use grace::nn::optim::{Momentum, Optimizer, Sgd};
 
-fn train(
-    task: &dyn Task,
-    compressor_id: Option<&str>,
-    epochs: usize,
-) -> grace::core::RunResult {
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
+fn train(task: &dyn Task, compressor_id: Option<&str>, epochs: usize) -> grace::core::RunResult {
     let mut net = models::mlp_classifier("m", 16, &[48, 48], 4, 77);
     let mut cfg = TrainConfig::new(4, 16, epochs, 77);
     cfg.codec = CodecTiming::Free;
@@ -23,10 +21,14 @@ fn train(
         Some("powersgd") | Some("dgc") => Box::new(Sgd::new(0.05)),
         _ => Box::new(Momentum::new(0.05, 0.9)),
     };
-    let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
+    let (mut cs, mut ms): Fleet = match compressor_id {
         None => (
-            (0..4).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
-            (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+            (0..4)
+                .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                .collect(),
+            (0..4)
+                .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                .collect(),
         ),
         Some(id) => {
             let spec = registry::find(id).expect("registered");
@@ -62,7 +64,14 @@ fn key_methods_converge_near_baseline() {
     let task = ClassificationDataset::synthetic(512, 16, 4, 0.35, 77);
     let base = train(&task, None, 10);
     assert!(base.best_quality > 0.85, "baseline {}", base.best_quality);
-    for id in ["topk", "qsgd", "eightbit", "terngrad", "efsignsgd", "onebit"] {
+    for id in [
+        "topk",
+        "qsgd",
+        "eightbit",
+        "terngrad",
+        "efsignsgd",
+        "onebit",
+    ] {
         let res = train(&task, Some(id), 10);
         assert!(
             res.best_quality > base.best_quality - 0.15,
@@ -111,10 +120,12 @@ fn quality_monotonicity_under_heavier_sparsification() {
         let mut cfg = TrainConfig::new(4, 16, 6, 77);
         cfg.codec = CodecTiming::Free;
         let mut opt = Momentum::new(0.05, 0.9);
-        let mut cs: Vec<Box<dyn Compressor>> =
-            (0..4).map(|_| Box::new(TopK::new(ratio)) as Box<dyn Compressor>).collect();
-        let mut ms: Vec<Box<dyn Memory>> =
-            (0..4).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
+        let mut cs: Vec<Box<dyn Compressor>> = (0..4)
+            .map(|_| Box::new(TopK::new(ratio)) as Box<dyn Compressor>)
+            .collect();
+        let mut ms: Vec<Box<dyn Memory>> = (0..4)
+            .map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>)
+            .collect();
         run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms).best_quality
     };
     let light = run(0.1);

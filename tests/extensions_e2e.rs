@@ -43,11 +43,11 @@ fn qsparse_and_threelc_converge_near_baseline() {
         let (mut cs, mut ms) = match id {
             None => (
                 (0..4)
-                    .map(|_| {
-                        Box::new(grace::core::NoCompression::new()) as Box<dyn Compressor>
-                    })
+                    .map(|_| Box::new(grace::core::NoCompression::new()) as Box<dyn Compressor>)
                     .collect(),
-                (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+                (0..4)
+                    .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                    .collect(),
             ),
             Some(id) => {
                 let spec = extension_specs().into_iter().find(|s| s.id == id).unwrap();
@@ -59,10 +59,7 @@ fn qsparse_and_threelc_converge_near_baseline() {
     let base = run(None);
     for id in ["qsparselocal", "threelc", "variance", "spectral"] {
         let q = run(Some(id));
-        assert!(
-            q > base - 0.2,
-            "{id}: {q} too far below baseline {base}"
-        );
+        assert!(q > base - 0.2, "{id}: {q} too far below baseline {base}");
     }
 }
 
@@ -99,8 +96,8 @@ fn sketched_sgd_threaded_matches_simulated() {
 
 #[test]
 fn spectral_outperforms_powersgd_in_per_step_fidelity() {
-    use grace::tensor::{Shape, Tensor};
     use grace::tensor::rng::seeded;
+    use grace::tensor::{Shape, Tensor};
     use rand::Rng;
     let mut rng = seeded(8);
     let data: Vec<f32> = (0..48 * 32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();

@@ -1,0 +1,166 @@
+//! Seeded chaos matrix for the fault-injection layer.
+//!
+//! Acceptance properties of the fault subsystem, exercised end-to-end
+//! through `run_threaded`:
+//!
+//! * a corrupted payload is **detected** via the CRC32 trailer and dropped
+//!   from the aggregate with explicit accounting — never silently folded in;
+//! * a dropped worker surfaces as degraded membership (survivors rescale),
+//!   not a deadlock — every test runs under a hard deadline;
+//! * the same `FaultPlan` seed yields the identical injected-fault counters
+//!   across runs;
+//! * faults that only delay (stragglers) leave the trained model
+//!   bit-identical to a fault-free run.
+
+use grace::comm::{FaultConfig, FaultPlan, FaultRates};
+use grace::compressors::TopK;
+use grace::core::threaded::{run_threaded, ThreadedResult};
+use grace::core::trainer::CodecTiming;
+use grace::core::{Compressor, Memory, ResidualMemory, TrainConfig};
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::network::Network;
+use grace::nn::optim::{Momentum, Optimizer};
+use std::time::Duration;
+
+const N: usize = 3;
+
+fn config(fault: Option<FaultConfig>) -> TrainConfig {
+    let mut cfg = TrainConfig::new(N, 8, 2, 31);
+    cfg.codec = CodecTiming::Free;
+    cfg.fault = fault;
+    cfg
+}
+
+type Worker = (
+    Network,
+    Box<dyn Optimizer>,
+    Box<dyn Compressor>,
+    Box<dyn Memory>,
+);
+
+fn worker(_rank: usize) -> Worker {
+    (
+        models::mlp_classifier("m", 8, &[12], 2, 31),
+        Box::new(Momentum::new(0.05, 0.9)) as Box<dyn Optimizer>,
+        Box::new(TopK::new(0.05)) as Box<dyn Compressor>,
+        Box::new(ResidualMemory::new()) as Box<dyn Memory>,
+    )
+}
+
+/// Runs a faulty training job under a hard test-level deadline, so a
+/// deadlock in the degraded path fails the test instead of hanging it.
+fn run_with_deadline(fault: FaultConfig, limit: Duration) -> ThreadedResult {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+        let result = run_threaded(&config(Some(fault)), &task, worker);
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => {
+            handle.join().expect("worker panicked after reporting");
+            result
+        }
+        Err(_) => panic!("faulty run exceeded its {limit:?} deadline: deadlock"),
+    }
+}
+
+fn assert_params_finite(result: &ThreadedResult) {
+    for (name, t) in &result.final_params {
+        assert!(t.is_finite(), "non-finite parameters in {name}");
+    }
+}
+
+#[test]
+fn dropped_worker_degrades_without_deadlock() {
+    let fault = FaultConfig {
+        plan: FaultPlan::empty().with_drop(1, 6),
+        timeout: Some(Duration::from_secs(10)),
+    };
+    let result = run_with_deadline(fault, Duration::from_secs(60));
+    assert_eq!(result.survivors, N - 1, "exactly one worker drops");
+    assert_eq!(result.faults.injected_drops, vec![0, 1, 0]);
+    assert_eq!(result.faults.injected_corruptions, vec![0; N]);
+    assert_params_finite(&result);
+    assert!(result.final_quality.is_finite());
+}
+
+#[test]
+fn corrupted_payload_is_detected_by_every_receiver_and_excluded() {
+    let fault = FaultConfig {
+        plan: FaultPlan::empty().with_bit_flip(0, 5, 12_345),
+        timeout: Some(Duration::from_secs(10)),
+    };
+    let result = run_with_deadline(fault, Duration::from_secs(60));
+    assert_eq!(result.survivors, N, "corruption must not kill anyone");
+    assert_eq!(result.faults.injected_corruptions, vec![1, 0, 0]);
+    // The sender corrupts its stream before deposit, so all N receivers
+    // (the sender included) reject the identical bytes via the checksum.
+    assert_eq!(result.faults.detected_corruptions, vec![1; N]);
+    assert_params_finite(&result);
+}
+
+#[test]
+fn straggler_only_plan_is_bit_transparent() {
+    let plan = FaultPlan::empty()
+        .with_straggler(0, 2, Duration::from_millis(2))
+        .with_straggler(2, 7, Duration::from_millis(1))
+        .with_straggler(1, 11, Duration::from_millis(1));
+    let fault = FaultConfig {
+        plan,
+        timeout: Some(Duration::from_secs(10)),
+    };
+    let delayed = run_with_deadline(fault, Duration::from_secs(60));
+    assert_eq!(delayed.survivors, N);
+    assert_eq!(delayed.faults.injected_stragglers, vec![1, 1, 1]);
+    assert_eq!(delayed.faults.detected_corruptions, vec![0; N]);
+
+    // Delays reorder nothing: the trained model matches a fault-free run
+    // bit for bit.
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+    let clean = run_threaded(&config(None), &task, worker);
+    assert_eq!(clean.final_quality, delayed.final_quality);
+    for ((na, ta), (nb, tb)) in clean.final_params.iter().zip(delayed.final_params.iter()) {
+        assert_eq!(na, nb);
+        assert_eq!(ta.as_slice(), tb.as_slice(), "straggler altered {na}");
+    }
+}
+
+#[test]
+fn same_fault_seed_yields_identical_counters_across_runs() {
+    let rates = FaultRates {
+        straggler: 0.06,
+        drop: 0.02,
+        corrupt: 0.12,
+        max_delay: Duration::from_micros(500),
+    };
+    // 2 epochs × 4 steps × 4 tensors = 32 collective ops per worker.
+    let plan = FaultPlan::seeded(0xC0FFEE, N, 32, &rates);
+    assert!(!plan.is_empty(), "rates this high must schedule faults");
+    assert_eq!(
+        plan,
+        FaultPlan::seeded(0xC0FFEE, N, 32, &rates),
+        "plan must be a pure function of its seed"
+    );
+
+    let run = |plan: FaultPlan| {
+        run_with_deadline(
+            FaultConfig {
+                plan,
+                timeout: Some(Duration::from_secs(10)),
+            },
+            Duration::from_secs(60),
+        )
+    };
+    let first = run(plan.clone());
+    let second = run(plan);
+    assert_eq!(
+        first.faults, second.faults,
+        "same seed, same injected and detected counters"
+    );
+    assert_eq!(first.survivors, second.survivors);
+    assert!(first.faults.total_injected() > 0, "the matrix must inject");
+    assert_params_finite(&first);
+    assert_params_finite(&second);
+}

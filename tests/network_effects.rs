@@ -10,6 +10,8 @@ use grace::nn::data::ClassificationDataset;
 use grace::nn::models;
 use grace::nn::optim::Momentum;
 
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
 fn run(
     gbps: f64,
     transport: Transport,
@@ -24,10 +26,14 @@ fn run(
     cfg.byte_scale = 100.0; // paper-scale gradients
     cfg.compute = grace::core::ComputeModel::new(1e-4);
     let mut opt = Momentum::new(0.05, 0.9);
-    let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
+    let (mut cs, mut ms): Fleet = match compressor_id {
         None => (
-            (0..4).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
-            (0..4).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+            (0..4)
+                .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                .collect(),
+            (0..4)
+                .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                .collect(),
         ),
         Some(id) => {
             let spec = registry::find(id).expect("registered");
@@ -100,7 +106,10 @@ fn bandwidth_changes_time_but_not_learning() {
     let slow = run(1.0, Transport::Tcp, Some("topk"), CodecTiming::Free);
     let fast = run(25.0, Transport::Tcp, Some("topk"), CodecTiming::Free);
     assert_eq!(slow.final_quality, fast.final_quality);
-    assert_eq!(slow.bytes_per_worker_per_iter, fast.bytes_per_worker_per_iter);
+    assert_eq!(
+        slow.bytes_per_worker_per_iter,
+        fast.bytes_per_worker_per_iter
+    );
     assert!(slow.sim_seconds > fast.sim_seconds);
 }
 
@@ -112,12 +121,13 @@ fn volume_metric_tracks_sparsity_ratio() {
         let mut cfg = TrainConfig::new(2, 16, 1, 23);
         cfg.codec = CodecTiming::Free;
         let mut opt = Momentum::new(0.05, 0.9);
-        let mut cs: Vec<Box<dyn Compressor>> =
-            (0..2).map(|_| Box::new(TopK::new(ratio)) as Box<dyn Compressor>).collect();
-        let mut ms: Vec<Box<dyn Memory>> =
-            (0..2).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
-        run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms)
-            .bytes_per_worker_per_iter
+        let mut cs: Vec<Box<dyn Compressor>> = (0..2)
+            .map(|_| Box::new(TopK::new(ratio)) as Box<dyn Compressor>)
+            .collect();
+        let mut ms: Vec<Box<dyn Memory>> = (0..2)
+            .map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>)
+            .collect();
+        run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms).bytes_per_worker_per_iter
     };
     let v1 = volume(0.01);
     let v10 = volume(0.1);

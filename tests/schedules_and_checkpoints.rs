@@ -11,10 +11,16 @@ use grace::nn::models;
 use grace::nn::optim::{Momentum, Optimizer, Sgd};
 use grace::nn::schedule::Schedule;
 
-fn baseline_fleet(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
+fn baseline_fleet(n: usize) -> Fleet {
     (
-        (0..n).map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>).collect(),
-        (0..n).map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>).collect(),
+        (0..n)
+            .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+            .collect(),
+        (0..n)
+            .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+            .collect(),
     )
 }
 
@@ -77,7 +83,11 @@ fn checkpoint_resumes_training_bit_exactly() {
     run_epochs(&mut reference, 2);
     run_epochs(&mut reference, 2);
     run_epochs(&mut resumed, 2);
-    for ((na, a), (_, b)) in reference.export_params().iter().zip(resumed.export_params()) {
+    for ((na, a), (_, b)) in reference
+        .export_params()
+        .iter()
+        .zip(resumed.export_params())
+    {
         assert_eq!(a.as_slice(), b.as_slice(), "resume diverged at {na}");
     }
     let _ = std::fs::remove_file(path);

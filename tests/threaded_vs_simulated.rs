@@ -92,6 +92,103 @@ fn powersgd_allreduce_matches() {
 }
 
 #[test]
+fn empty_fault_plan_is_bit_transparent() {
+    // Satellite acceptance: wrapping every worker in a FaultyCollective
+    // with an empty plan must change nothing — final parameters stay
+    // bit-identical to both the unwrapped threaded run and the simulator.
+    use grace::comm::{FaultConfig, FaultPlan};
+    use std::time::Duration;
+
+    let n = 3;
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+    let make = |_rank: usize| {
+        (
+            net(),
+            opt(),
+            Box::new(TopK::new(0.05)) as Box<dyn Compressor>,
+            Box::new(ResidualMemory::new()) as Box<dyn Memory>,
+        )
+    };
+    let (sim_q, sim_params) = simulate(
+        &task,
+        n,
+        |_w| Box::new(TopK::new(0.05)),
+        || Box::new(ResidualMemory::new()),
+    );
+    let plain = run_threaded(&config(n), &task, make);
+    let mut cfg = config(n);
+    cfg.fault = Some(FaultConfig {
+        plan: FaultPlan::empty(),
+        timeout: Some(Duration::from_secs(30)),
+    });
+    let wrapped = run_threaded(&cfg, &task, make);
+
+    assert_eq!(wrapped.final_quality, sim_q);
+    assert_eq!(wrapped.final_quality, plain.final_quality);
+    assert_eq!(wrapped.survivors, n);
+    assert_eq!(wrapped.faults.total_injected(), 0);
+    assert_eq!(wrapped.faults.detected_corruptions, vec![0; n]);
+    for (((na, ta), (nb, tb)), (nc, tc)) in sim_params
+        .iter()
+        .zip(plain.final_params.iter())
+        .zip(wrapped.final_params.iter())
+    {
+        assert_eq!(na, nb);
+        assert_eq!(na, nc);
+        assert_eq!(ta.as_slice(), tb.as_slice(), "plain run diverged at {na}");
+        assert_eq!(ta.as_slice(), tc.as_slice(), "wrapped run diverged at {na}");
+    }
+}
+
+#[test]
+fn traffic_counter_totals_equal_shipped_wire_bytes_exactly() {
+    // Satellite acceptance: TrafficCounter::total_bytes() equals the sum of
+    // the wire bytes of every payload actually shipped — byte-exact, both
+    // for allgathered codec frames and the ring all-reduce formula.
+    use grace::comm::{ring_allreduce_wire_bytes, Collective, ThreadedCluster};
+    use grace::core::payload::{encode, Payload};
+
+    let n = 3;
+    let rounds = 5;
+    let per_worker = ThreadedCluster::run(n, |c| {
+        let mut compressor = TopK::new(0.25);
+        let mut expected = 0u64;
+        for round in 0..rounds {
+            // A deterministic per-(rank, round) gradient; no RNG needed.
+            let g = Tensor::from_vec(
+                (0..64)
+                    .map(|i| ((i * (c.rank() + 2) + round * 7) as f32).sin())
+                    .collect(),
+            );
+            let (payloads, ctx) = compressor.compress(&g, "t");
+            let mut wire = payloads;
+            wire.push(Payload::F32(ctx.meta.clone()));
+            let bytes = encode(&wire);
+            expected += bytes.len() as u64;
+            let gathered = c.allgather_bytes(bytes);
+            assert_eq!(gathered.len(), n);
+
+            // And an uncompressed all-reduce leg, accounted by the ring
+            // formula.
+            let dense = vec![c.rank() as f32; 50];
+            expected += ring_allreduce_wire_bytes(c.live_workers(), dense.len());
+            let _ = c.allreduce_f32(dense);
+        }
+        (expected, c.traffic().clone())
+    });
+    let mut grand_total = 0u64;
+    for (rank, (expected, traffic)) in per_worker.iter().enumerate() {
+        assert_eq!(
+            traffic.bytes_sent(rank),
+            *expected,
+            "rank {rank}: counter must equal shipped bytes exactly"
+        );
+        grand_total += expected;
+    }
+    assert_eq!(per_worker[0].1.total_bytes(), grand_total);
+}
+
+#[test]
 fn threaded_traffic_matches_simulated_volume_up_to_codec_framing() {
     use grace::core::trainer::steps_per_epoch;
     let n = 3;
@@ -100,10 +197,12 @@ fn threaded_traffic_matches_simulated_volume_up_to_codec_framing() {
     // Simulated per-worker volume.
     let mut network = net();
     let mut optimizer = opt();
-    let mut cs: Vec<Box<dyn Compressor>> =
-        (0..n).map(|_| Box::new(TopK::new(0.05)) as Box<dyn Compressor>).collect();
-    let mut ms: Vec<Box<dyn Memory>> =
-        (0..n).map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>).collect();
+    let mut cs: Vec<Box<dyn Compressor>> = (0..n)
+        .map(|_| Box::new(TopK::new(0.05)) as Box<dyn Compressor>)
+        .collect();
+    let mut ms: Vec<Box<dyn Memory>> = (0..n)
+        .map(|_| Box::new(ResidualMemory::new()) as Box<dyn Memory>)
+        .collect();
     let sim = run_simulated(
         &cfg,
         &mut network,
