@@ -1,0 +1,58 @@
+//! Criterion bench for the [`grace_core::GradientExchange`] engine: one full
+//! compensate → compress → aggregate → decode round at 8 workers with
+//! conv-scale gradients, sequential (`threads = 1`) vs parallel
+//! (`threads = 8`) per-worker compression. The two configurations are
+//! bit-identical (asserted by `tests/exchange_equivalence.rs`); this bench
+//! measures only the wall-clock gap. `exchange_speedup` is the plain binary
+//! that records the same comparison to `results/`.
+//!
+//! Run: `cargo bench -p grace-bench --bench exchange_engine`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grace_bench::gradient_of_bytes;
+use grace_compressors::registry;
+use grace_core::GradientExchange;
+use grace_tensor::Tensor;
+
+const WORKERS: usize = 8;
+const TENSORS: usize = 3;
+const TENSOR_BYTES: usize = 256 << 10;
+
+/// One step's named gradients for every worker (distinct seeds per lane so
+/// compression does real work on real-looking data).
+fn worker_grads(seed: u64) -> Vec<Vec<(String, Tensor)>> {
+    (0..WORKERS)
+        .map(|w| {
+            (0..TENSORS)
+                .map(|t| {
+                    let g = gradient_of_bytes(TENSOR_BYTES, seed + (w * TENSORS + t) as u64);
+                    (format!("conv{t}/weight"), g)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_exchange_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_engine_8workers");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((WORKERS * TENSORS * TENSOR_BYTES) as u64));
+    for id in ["powersgd", "qsgd", "dgc"] {
+        let spec = registry::find(id).expect("compressor registered");
+        for &(threads, label) in &[(1usize, "seq"), (WORKERS, "par")] {
+            let (mut cs, mut ms) = registry::build_fleet(&spec, WORKERS, 3);
+            let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(threads);
+            let grads = worker_grads(13);
+            group.bench_function(BenchmarkId::new(spec.display, label), |b| {
+                b.iter(|| {
+                    let (out, report) = engine.exchange(grads.clone());
+                    std::hint::black_box((out, report.wire_bytes()))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange_engine);
+criterion_main!(benches);

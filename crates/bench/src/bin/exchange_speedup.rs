@@ -1,0 +1,81 @@
+//! Records the sequential-vs-parallel wall-clock comparison of the
+//! [`grace_core::GradientExchange`] engine to
+//! `results/bench_exchange_engine.json`.
+//!
+//! Same workload as the `exchange_engine` Criterion bench: 8 workers, three
+//! conv-scale (256 KiB) gradients per worker, one full exchange round per
+//! iteration. `host_cpus` is recorded alongside the timings because the
+//! achievable speedup is bounded by the machine: on a single-core host the
+//! parallel executor degenerates to sequential order (by design — results
+//! are bit-identical at any width) and the ratio stays ~1.
+//!
+//! Run: `cargo run --release -p grace-bench --bin exchange_speedup`
+
+use grace_bench::gradient_of_bytes;
+use grace_compressors::registry;
+use grace_core::GradientExchange;
+use grace_tensor::Tensor;
+use std::time::Instant;
+
+const WORKERS: usize = 8;
+const TENSORS: usize = 3;
+const TENSOR_BYTES: usize = 256 << 10;
+const WARMUP: usize = 2;
+const ITERS: usize = 10;
+
+fn worker_grads(seed: u64) -> Vec<Vec<(String, Tensor)>> {
+    (0..WORKERS)
+        .map(|w| {
+            (0..TENSORS)
+                .map(|t| {
+                    let g = gradient_of_bytes(TENSOR_BYTES, seed + (w * TENSORS + t) as u64);
+                    (format!("conv{t}/weight"), g)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean milliseconds per exchange round at the given executor width.
+fn time_exchange(id: &str, threads: usize) -> f64 {
+    let spec = registry::find(id).expect("compressor registered");
+    let (mut cs, mut ms) = registry::build_fleet(&spec, WORKERS, 3);
+    let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(threads);
+    let grads = worker_grads(13);
+    for _ in 0..WARMUP {
+        std::hint::black_box(engine.exchange(grads.clone()));
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(engine.exchange(grads.clone()));
+    }
+    start.elapsed().as_secs_f64() * 1e3 / ITERS as f64
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for id in ["powersgd", "qsgd", "dgc"] {
+        let seq_ms = time_exchange(id, 1);
+        let par_ms = time_exchange(id, WORKERS);
+        let speedup = seq_ms / par_ms;
+        println!("{id:>10}  seq {seq_ms:8.3} ms  par {par_ms:8.3} ms  speedup {speedup:.2}x");
+        rows.push(format!(
+            "    {{\"codec\": \"{id}\", \"seq_ms\": {seq_ms:.3}, \"par_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"exchange_engine\",\n  \"workers\": {WORKERS},\n  \
+         \"tensors_per_worker\": {TENSORS},\n  \"tensor_bytes\": {TENSOR_BYTES},\n  \
+         \"host_cpus\": {host_cpus},\n  \"threads_parallel\": {WORKERS},\n  \
+         \"iters\": {ITERS},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("bench_exchange_engine.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("[written] {} (host_cpus = {host_cpus})", path.display());
+}

@@ -1,0 +1,841 @@
+//! The shared gradient-exchange engine: one implementation of Algorithm 1's
+//! compress → memory-update → exchange → aggregate sequence for every
+//! execution mode.
+//!
+//! Before this module existed the sequence was hand-inlined three times —
+//! [`crate::trainer::run_simulated`], the worker loop of
+//! [`crate::threaded::run_threaded`], and the local-SGD/gossip schedules in
+//! [`crate::replicated`] — with drift-prone variations. [`GradientExchange`]
+//! now owns the per-worker fleet (one [`Compressor`] + one [`Memory`] per
+//! worker) and exposes the whole sequence as single calls returning the
+//! aggregated tensors plus a structured [`ExchangeReport`]: wire bytes per
+//! fused bucket, per-stage compress/decompress/aggregate timings and element
+//! counts. Aggregation *structure* — not just ratio — determines end-to-end
+//! behaviour (THC; "Beyond Throughput and Compression Ratios"), so the fused
+//! bucket is a first-class type here ([`BucketReport`]) rather than a loose
+//! byte tally.
+//!
+//! # Parallel per-worker compression
+//!
+//! The per-worker stage (compensate → compress → own-decompress → memory
+//! update) is embarrassingly parallel: lane state never crosses workers, and
+//! every randomized method owns a per-worker seeded RNG. The engine runs
+//! lanes on a scoped-thread executor ([`std::thread::scope`]; no external
+//! dependencies) and collects results **rank-ordered**, so the outcome is
+//! bit-identical for any thread count — asserted by
+//! `tests/exchange_equivalence.rs`. The simulated clock always charged the
+//! *max* over workers because real workers compress concurrently; with the
+//! executor the wall clock finally agrees with the model.
+
+use crate::compressor::{CommStrategy, Compressor, Context};
+use crate::memory::Memory;
+use crate::payload::{self, Payload};
+use grace_comm::TrafficCounter;
+use grace_tensor::Tensor;
+use std::time::Instant;
+
+/// One worker's compressed tensor, ready for the wire: payloads plus the
+/// decompression context whose scalar metadata travels with them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedTensor {
+    /// Compressed payload list.
+    pub payloads: Vec<Payload>,
+    /// Decompression context (shape + transmitted scalar metadata).
+    pub ctx: Context,
+}
+
+impl EncodedTensor {
+    /// Transmitted bytes: payload bytes plus context scalars (4 bytes each).
+    pub fn wire_bytes(&self) -> usize {
+        wire_bytes(&self.payloads, &self.ctx)
+    }
+}
+
+/// Wire bytes of one worker's compressed tensor: payloads + context scalars.
+pub fn wire_bytes(payloads: &[Payload], ctx: &Context) -> usize {
+    payload::total_bytes(payloads) + ctx.meta_bytes()
+}
+
+/// Accounting for one fused collective buffer.
+///
+/// Horovod fuses gradient tensors into large buckets before the collective,
+/// so per-message latency (α) is paid per bucket, not per tensor; the
+/// trainer charges one collective per bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BucketReport {
+    /// Gradient tensors fused into this bucket.
+    pub tensors: usize,
+    /// Gradient elements across the fused tensors.
+    pub elements: usize,
+    /// Bytes the collective moves for this bucket: one worker's payload for
+    /// `Allreduce` (workers contribute symmetric dense buffers), the largest
+    /// contribution for `Allgather` (the ring drains at the slowest member).
+    pub wire_bytes: usize,
+}
+
+/// Structured outcome of one exchange step.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeReport {
+    /// Fused-bucket accounting (currently one bucket per step).
+    pub buckets: Vec<BucketReport>,
+    /// Wall-clock seconds each worker spent in compress + own-decompress
+    /// (the memory-update decode), indexed by rank.
+    pub compress_seconds: Vec<f64>,
+    /// Wall-clock seconds spent decompressing for aggregation.
+    pub decompress_seconds: f64,
+    /// Wall-clock seconds spent in `Agg` proper.
+    pub aggregate_seconds: f64,
+    /// Payload bytes each worker generated this step, indexed by rank.
+    pub payload_bytes: Vec<u64>,
+}
+
+impl ExchangeReport {
+    /// Total bytes the collective moves (sum over fused buckets).
+    pub fn wire_bytes(&self) -> usize {
+        self.buckets.iter().map(|b| b.wire_bytes).sum()
+    }
+
+    /// Gradient elements exchanged this step.
+    pub fn elements(&self) -> usize {
+        self.buckets.iter().map(|b| b.elements).sum()
+    }
+
+    /// Slowest worker's compress time — what the step costs when workers
+    /// run concurrently.
+    pub fn max_compress_seconds(&self) -> f64 {
+        self.compress_seconds.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Wall codec cost of the step under concurrent workers: slowest
+    /// compress lane plus the (serial) aggregation decode.
+    pub fn codec_wall_seconds(&self) -> f64 {
+        self.max_compress_seconds() + self.decompress_seconds + self.aggregate_seconds
+    }
+
+    /// Payload bytes generated across all workers this step.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.payload_bytes.iter().sum()
+    }
+}
+
+/// Per-stage wall-clock totals accumulated over a whole run — the breakdown
+/// the experiment runner reports next to the simulated clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTotals {
+    /// Σ over steps of the slowest lane's compress + own-decompress time.
+    pub compress_seconds: f64,
+    /// Σ aggregation decompress time.
+    pub decompress_seconds: f64,
+    /// Σ `Agg` time.
+    pub aggregate_seconds: f64,
+}
+
+impl StageTotals {
+    /// Folds one step's report into the totals.
+    pub fn add(&mut self, report: &ExchangeReport) {
+        self.compress_seconds += report.max_compress_seconds();
+        self.decompress_seconds += report.decompress_seconds;
+        self.aggregate_seconds += report.aggregate_seconds;
+    }
+}
+
+/// One worker's private compression lane: its compressor, its (optional)
+/// error-feedback memory, and its codec-time accumulator.
+///
+/// The threaded runtime drives a single lane per OS thread; the engine owns
+/// one lane per worker and runs them on the scoped-thread executor.
+pub struct WorkerLane<'a> {
+    rank: usize,
+    compressor: &'a mut dyn Compressor,
+    memory: Option<&'a mut dyn Memory>,
+    codec_seconds: f64,
+}
+
+impl<'a> WorkerLane<'a> {
+    /// Creates a lane. `memory: None` skips compensate/update entirely
+    /// (the gossip schedule compresses raw parameters).
+    pub fn new(
+        rank: usize,
+        compressor: &'a mut dyn Compressor,
+        memory: Option<&'a mut dyn Memory>,
+    ) -> Self {
+        WorkerLane {
+            rank,
+            compressor,
+            memory,
+            codec_seconds: 0.0,
+        }
+    }
+
+    /// This lane's worker rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The lane's communication strategy.
+    pub fn strategy(&self) -> CommStrategy {
+        self.compressor.strategy()
+    }
+
+    /// Direct access to the compressor (the threaded runtime decompresses
+    /// gathered peer contributions with it).
+    pub fn compressor_mut(&mut self) -> &mut dyn Compressor {
+        self.compressor
+    }
+
+    /// Accumulated compress + own-decompress wall seconds.
+    pub fn codec_seconds(&self) -> f64 {
+        self.codec_seconds
+    }
+
+    /// Algorithm 1 lines 5–7 for one tensor: compensate, compress, and — if
+    /// the memory is active — decompress the lane's own payload and update
+    /// the residual. Only compress/decompress are timed (compensate and the
+    /// memory update are elementwise bookkeeping, as before the refactor).
+    pub fn encode(&mut self, name: &str, grad: &Tensor) -> EncodedTensor {
+        match self.memory.as_mut() {
+            Some(mem) => {
+                let compensated = mem.compensate(name, grad);
+                let t0 = Instant::now();
+                let (payloads, ctx) = self.compressor.compress(&compensated, name);
+                self.codec_seconds += t0.elapsed().as_secs_f64();
+                if mem.is_active() {
+                    let t1 = Instant::now();
+                    let own = self.compressor.decompress(&payloads, &ctx);
+                    self.codec_seconds += t1.elapsed().as_secs_f64();
+                    mem.update(name, &compensated, &own);
+                }
+                EncodedTensor { payloads, ctx }
+            }
+            None => {
+                let t0 = Instant::now();
+                let (payloads, ctx) = self.compressor.compress(grad, name);
+                self.codec_seconds += t0.elapsed().as_secs_f64();
+                EncodedTensor { payloads, ctx }
+            }
+        }
+    }
+
+    /// Like [`encode`](Self::encode) but always decompresses and returns the
+    /// lane's own reconstruction — the replicated schedules exchange the
+    /// *decoded* view, and the memory update (when present) reuses it.
+    pub fn encode_decode(&mut self, name: &str, tensor: &Tensor) -> (EncodedTensor, Tensor) {
+        match self.memory.as_mut() {
+            Some(mem) => {
+                let compensated = mem.compensate(name, tensor);
+                let t0 = Instant::now();
+                let (payloads, ctx) = self.compressor.compress(&compensated, name);
+                let decoded = self.compressor.decompress(&payloads, &ctx);
+                self.codec_seconds += t0.elapsed().as_secs_f64();
+                mem.update(name, &compensated, &decoded);
+                (EncodedTensor { payloads, ctx }, decoded)
+            }
+            None => {
+                let t0 = Instant::now();
+                let (payloads, ctx) = self.compressor.compress(tensor, name);
+                let decoded = self.compressor.decompress(&payloads, &ctx);
+                self.codec_seconds += t0.elapsed().as_secs_f64();
+                (EncodedTensor { payloads, ctx }, decoded)
+            }
+        }
+    }
+}
+
+/// Elementwise mean of one tensor's per-worker payloads while compressed —
+/// `Allreduce` semantics, Algorithm 1 lines 8–9. Only `F32` payloads are
+/// sum-compatible.
+///
+/// # Panics
+///
+/// Panics if `per_worker` is empty, payload counts/lengths differ, or
+/// payloads are not `F32`.
+pub fn mean_payloads(per_worker: &[EncodedTensor]) -> Vec<Payload> {
+    let n = per_worker.len();
+    assert!(n > 0, "no payloads to aggregate");
+    let k = per_worker[0].payloads.len();
+    let mut out = Vec::with_capacity(k);
+    for pi in 0..k {
+        let mut acc = per_worker[0].payloads[pi].as_f32().to_vec();
+        for enc in per_worker.iter().skip(1) {
+            let other = enc.payloads[pi].as_f32();
+            assert_eq!(acc.len(), other.len(), "allreduce payload length mismatch");
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a += b;
+            }
+        }
+        for a in &mut acc {
+            *a /= n as f32;
+        }
+        out.push(Payload::F32(acc));
+    }
+    out
+}
+
+/// Divides a collective's elementwise sum by its contributor count — the
+/// degraded-membership mean the threaded runtime applies after a real
+/// `Allreduce`.
+///
+/// # Panics
+///
+/// Panics if `contributors` is zero.
+pub fn average_sum(mut sum: Vec<f32>, contributors: usize) -> Payload {
+    assert!(contributors > 0, "mean over zero contributors");
+    let denom = contributors as f32;
+    for v in &mut sum {
+        *v /= denom;
+    }
+    Payload::F32(sum)
+}
+
+/// Decompresses every gathered contribution in rank order and applies the
+/// method's `Agg` — `Allgather` semantics, Algorithm 1 lines 11–13.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty.
+pub fn decode_gathered(compressor: &mut dyn Compressor, parts: &[EncodedTensor]) -> Tensor {
+    assert!(!parts.is_empty(), "cannot aggregate zero contributions");
+    let decoded: Vec<Tensor> = parts
+        .iter()
+        .map(|e| compressor.decompress(&e.payloads, &e.ctx))
+        .collect();
+    compressor.aggregate(decoded)
+}
+
+/// The engine: owns the per-worker lanes and performs whole exchange steps.
+///
+/// Construction borrows the fleet, so callers keep ownership of their
+/// compressor/memory boxes across runs (the trainer's public signature is
+/// unchanged).
+pub struct GradientExchange<'a> {
+    lanes: Vec<WorkerLane<'a>>,
+    strategy: CommStrategy,
+    threads: usize,
+    traffic: TrafficCounter,
+}
+
+impl<'a> GradientExchange<'a> {
+    /// Builds the engine over one compressor + one memory per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is empty or the slice lengths differ.
+    pub fn from_fleet(
+        compressors: &'a mut [Box<dyn Compressor>],
+        memories: &'a mut [Box<dyn Memory>],
+    ) -> Self {
+        assert!(!compressors.is_empty(), "need at least one worker");
+        assert_eq!(
+            compressors.len(),
+            memories.len(),
+            "fleet sizes must match: {} compressors vs {} memories",
+            compressors.len(),
+            memories.len()
+        );
+        let strategy = compressors[0].strategy();
+        let lanes: Vec<WorkerLane<'a>> = compressors
+            .iter_mut()
+            .zip(memories.iter_mut())
+            .enumerate()
+            .map(|(rank, (c, m))| WorkerLane::new(rank, c.as_mut(), Some(m.as_mut())))
+            .collect();
+        Self::from_lanes(lanes, strategy)
+    }
+
+    /// Builds the engine over compressors only — no error feedback (the
+    /// gossip schedule compresses raw parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compressors` is empty.
+    pub fn from_compressors(compressors: &'a mut [Box<dyn Compressor>]) -> Self {
+        assert!(!compressors.is_empty(), "need at least one worker");
+        let strategy = compressors[0].strategy();
+        let lanes: Vec<WorkerLane<'a>> = compressors
+            .iter_mut()
+            .enumerate()
+            .map(|(rank, c)| WorkerLane::new(rank, c.as_mut(), None))
+            .collect();
+        Self::from_lanes(lanes, strategy)
+    }
+
+    fn from_lanes(lanes: Vec<WorkerLane<'a>>, strategy: CommStrategy) -> Self {
+        let n = lanes.len();
+        let auto = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        GradientExchange {
+            lanes,
+            strategy,
+            threads: auto,
+            traffic: TrafficCounter::new(n),
+        }
+    }
+
+    /// Overrides the executor width. `1` forces the sequential path; any
+    /// width produces bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one executor thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the engine's traffic counter with a shared one, so exchange
+    /// reports feed an external [`TrafficCounter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter tracks a different worker count.
+    pub fn with_traffic(mut self, counter: TrafficCounter) -> Self {
+        assert_eq!(
+            counter.n_workers(),
+            self.lanes.len(),
+            "traffic counter must track one slot per worker"
+        );
+        self.traffic = counter;
+        self
+    }
+
+    /// Number of worker lanes.
+    pub fn n_workers(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The fleet's communication strategy (taken from worker 0; all lanes
+    /// must share it).
+    pub fn strategy(&self) -> CommStrategy {
+        self.strategy
+    }
+
+    /// Executor width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker 0's compressor display name.
+    pub fn compressor_name(&self) -> String {
+        self.lanes[0].compressor.name()
+    }
+
+    /// The per-rank byte/message accounting every exchange step feeds
+    /// (one fused-bucket message per worker per step).
+    pub fn traffic(&self) -> &TrafficCounter {
+        &self.traffic
+    }
+
+    /// Runs `per_lane` over every lane with its input, on up to
+    /// `self.threads` scoped threads, returning results in rank order.
+    fn run_lanes<I, T, F>(&mut self, inputs: Vec<I>, per_lane: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(&mut WorkerLane<'a>, I) -> T + Sync,
+    {
+        assert_eq!(
+            inputs.len(),
+            self.lanes.len(),
+            "need one input per worker lane"
+        );
+        let threads = self.threads.min(self.lanes.len());
+        if threads <= 1 {
+            return self
+                .lanes
+                .iter_mut()
+                .zip(inputs)
+                .map(|(lane, input)| per_lane(lane, input))
+                .collect();
+        }
+        let chunk = self.lanes.len().div_ceil(threads);
+        let f = &per_lane;
+        std::thread::scope(|scope| {
+            let mut inputs = inputs.into_iter();
+            let handles: Vec<_> = self
+                .lanes
+                .chunks_mut(chunk)
+                .map(|group| {
+                    let group_inputs: Vec<I> = inputs.by_ref().take(group.len()).collect();
+                    scope.spawn(move || {
+                        group
+                            .iter_mut()
+                            .zip(group_inputs)
+                            .map(|(lane, input)| f(lane, input))
+                            .collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            // Joining in spawn order keeps the collection rank-ordered and
+            // therefore deterministic regardless of thread scheduling.
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("exchange lane thread panicked"))
+                .collect()
+        })
+    }
+
+    /// One full Algorithm-1 exchange: encodes every worker's named gradients
+    /// (compensate → compress → own-decode → memory update, lanes in
+    /// parallel), then aggregates per tensor under the fleet's
+    /// [`CommStrategy`]. Returns the aggregated tensors — named from worker
+    /// 0's gradients, no per-worker name cloning — plus the step report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outer length differs from the worker count or workers
+    /// disagree on tensor counts.
+    pub fn exchange(
+        &mut self,
+        worker_grads: Vec<Vec<(String, Tensor)>>,
+    ) -> (Vec<(String, Tensor)>, ExchangeReport) {
+        let n = self.lanes.len();
+        assert_eq!(worker_grads.len(), n, "need one gradient set per worker");
+        let n_tensors = worker_grads[0].len();
+
+        struct LaneOut {
+            encoded: Vec<(String, EncodedTensor)>,
+            seconds: f64,
+            bytes: u64,
+            elements: usize,
+        }
+        let outs: Vec<LaneOut> = self.run_lanes(worker_grads, |lane, grads| {
+            let before = lane.codec_seconds();
+            let mut bytes = 0u64;
+            let mut elements = 0usize;
+            let mut encoded = Vec::with_capacity(grads.len());
+            for (name, grad) in grads {
+                elements += grad.len();
+                let enc = lane.encode(&name, &grad);
+                bytes += enc.wire_bytes() as u64;
+                encoded.push((name, enc));
+            }
+            LaneOut {
+                encoded,
+                seconds: lane.codec_seconds() - before,
+                bytes,
+                elements,
+            }
+        });
+
+        let compress_seconds: Vec<f64> = outs.iter().map(|o| o.seconds).collect();
+        let payload_bytes: Vec<u64> = outs.iter().map(|o| o.bytes).collect();
+        let elements = outs[0].elements;
+        for o in &outs {
+            assert_eq!(
+                o.encoded.len(),
+                n_tensors,
+                "workers produced differing tensor counts"
+            );
+        }
+
+        // Transpose lane-major → tensor-major, moving payloads (names come
+        // from worker 0).
+        let mut iters: Vec<_> = outs.into_iter().map(|o| o.encoded.into_iter()).collect();
+        let mut aggregated = Vec::with_capacity(n_tensors);
+        let mut bucket = BucketReport {
+            tensors: n_tensors,
+            elements,
+            wire_bytes: 0,
+        };
+        let mut decompress_seconds = 0.0f64;
+        let mut aggregate_seconds = 0.0f64;
+        for _ in 0..n_tensors {
+            let mut name = String::new();
+            let mut group: Vec<EncodedTensor> = Vec::with_capacity(n);
+            for (w, it) in iters.iter_mut().enumerate() {
+                let (tensor_name, enc) = it.next().expect("tensor count checked above");
+                if w == 0 {
+                    name = tensor_name;
+                }
+                group.push(enc);
+            }
+            let agg = match self.strategy {
+                CommStrategy::Allreduce => {
+                    bucket.wire_bytes += group[0].wire_bytes();
+                    let mean = mean_payloads(&group);
+                    let t0 = Instant::now();
+                    let out = self.lanes[0].compressor.decompress(&mean, &group[0].ctx);
+                    decompress_seconds += t0.elapsed().as_secs_f64();
+                    out
+                }
+                CommStrategy::Allgather | CommStrategy::Broadcast => {
+                    bucket.wire_bytes += group
+                        .iter()
+                        .map(EncodedTensor::wire_bytes)
+                        .max()
+                        .unwrap_or(0);
+                    let t0 = Instant::now();
+                    let parts: Vec<Tensor> = group
+                        .iter()
+                        .map(|e| self.lanes[0].compressor.decompress(&e.payloads, &e.ctx))
+                        .collect();
+                    decompress_seconds += t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    let out = self.lanes[0].compressor.aggregate(parts);
+                    aggregate_seconds += t1.elapsed().as_secs_f64();
+                    out
+                }
+            };
+            aggregated.push((name, agg));
+        }
+
+        let report = ExchangeReport {
+            buckets: vec![bucket],
+            compress_seconds,
+            decompress_seconds,
+            aggregate_seconds,
+            payload_bytes,
+        };
+        self.record_traffic(&report);
+        (aggregated, report)
+    }
+
+    /// Encodes + decodes every worker's tensors (lanes in parallel) and
+    /// returns each worker's decoded view — the gossip round, where worker
+    /// `i` later averages its neighbours' views.
+    pub fn decoded_views(
+        &mut self,
+        worker_tensors: Vec<Vec<(String, Tensor)>>,
+    ) -> (Vec<Vec<(String, Tensor)>>, ExchangeReport) {
+        let n = self.lanes.len();
+        assert_eq!(worker_tensors.len(), n, "need one tensor set per worker");
+        let n_tensors = worker_tensors[0].len();
+
+        type LaneOut = (Vec<(String, Tensor)>, f64, u64, usize);
+        let outs: Vec<LaneOut> = self.run_lanes(worker_tensors, |lane, tensors| {
+            let before = lane.codec_seconds();
+            let mut bytes = 0u64;
+            let mut elements = 0usize;
+            let mut view = Vec::with_capacity(tensors.len());
+            for (name, t) in tensors {
+                elements += t.len();
+                let (enc, decoded) = lane.encode_decode(&name, &t);
+                bytes += enc.wire_bytes() as u64;
+                view.push((name, decoded));
+            }
+            (view, lane.codec_seconds() - before, bytes, elements)
+        });
+
+        let compress_seconds: Vec<f64> = outs.iter().map(|o| o.1).collect();
+        let payload_bytes: Vec<u64> = outs.iter().map(|o| o.2).collect();
+        let elements = outs[0].3;
+        let views: Vec<Vec<(String, Tensor)>> = outs.into_iter().map(|o| o.0).collect();
+        let report = ExchangeReport {
+            buckets: vec![BucketReport {
+                tensors: n_tensors,
+                elements,
+                // A decoded exchange gathers every worker's compressed
+                // state; the bucket drains at the largest contribution.
+                wire_bytes: payload_bytes.iter().copied().max().unwrap_or(0) as usize,
+            }],
+            compress_seconds,
+            decompress_seconds: 0.0,
+            aggregate_seconds: 0.0,
+            payload_bytes,
+        };
+        self.record_traffic(&report);
+        (views, report)
+    }
+
+    /// The local-SGD delta exchange: encode + decode every worker's tensors
+    /// (lanes in parallel, memory updated on the decoded view), then average
+    /// the decoded views elementwise in rank order.
+    pub fn exchange_decoded_mean(
+        &mut self,
+        worker_tensors: Vec<Vec<(String, Tensor)>>,
+    ) -> (Vec<(String, Tensor)>, ExchangeReport) {
+        let n = self.lanes.len() as f32;
+        let (views, report) = self.decoded_views(worker_tensors);
+        let mut views = views.into_iter();
+        let mut acc = views.next().expect("at least one worker");
+        let mut aggregate_seconds = 0.0f64;
+        let t0 = Instant::now();
+        for view in views {
+            for (slot, (_, t)) in acc.iter_mut().zip(view) {
+                slot.1.add_assign(&t);
+            }
+        }
+        for (_, t) in acc.iter_mut() {
+            t.scale(1.0 / n);
+        }
+        aggregate_seconds += t0.elapsed().as_secs_f64();
+        let report = ExchangeReport {
+            aggregate_seconds,
+            ..report
+        };
+        (acc, report)
+    }
+
+    fn record_traffic(&self, report: &ExchangeReport) {
+        let messages = report.buckets.len() as u64;
+        for (rank, &bytes) in report.payload_bytes.iter().enumerate() {
+            self.traffic.record_bucketed(rank, bytes, messages);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::NoCompression;
+    use crate::memory::{NoMemory, ResidualMemory};
+    use grace_tensor::Shape;
+
+    fn fleet(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
+        (
+            (0..n)
+                .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                .collect(),
+            (0..n)
+                .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                .collect(),
+        )
+    }
+
+    fn grads(n: usize, scale: f32) -> Vec<Vec<(String, Tensor)>> {
+        (0..n)
+            .map(|w| {
+                vec![
+                    (
+                        "a".to_string(),
+                        Tensor::new(vec![w as f32 * scale, 1.0, -1.0, 2.0], Shape::matrix(2, 2)),
+                    ),
+                    ("b".to_string(), Tensor::from_vec(vec![0.5, w as f32])),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_exchange_averages_and_accounts_bytes() {
+        let (mut cs, mut ms) = fleet(2);
+        let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(1);
+        let (agg, report) = engine.exchange(grads(2, 2.0));
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].0, "a");
+        // Mean of worker grads: first element (0 + 2)/2 = 1.
+        assert_eq!(agg[0].1.as_slice(), &[1.0, 1.0, -1.0, 2.0]);
+        assert_eq!(agg[1].1.as_slice(), &[0.5, 0.5]);
+        // 6 f32 elements per worker → 24 payload bytes each.
+        assert_eq!(report.payload_bytes, vec![24, 24]);
+        assert_eq!(report.total_payload_bytes(), 48);
+        // Allreduce bucket carries one worker's dense payload.
+        assert_eq!(report.wire_bytes(), 24);
+        assert_eq!(report.elements(), 6);
+        assert_eq!(report.buckets.len(), 1);
+        assert_eq!(report.buckets[0].tensors, 2);
+        // Reports feed the traffic counter: one bucket message per worker.
+        assert_eq!(engine.traffic().total_bytes(), 48);
+        assert_eq!(engine.traffic().messages(0), 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_exchanges_are_bit_identical() {
+        let run = |threads: usize| {
+            let (mut cs, mut ms) = fleet(3);
+            let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(threads);
+            let mut out = Vec::new();
+            for step in 0..4 {
+                let (agg, report) = engine.exchange(grads(3, step as f32));
+                out.push((agg, report.wire_bytes(), report.total_payload_bytes()));
+            }
+            out
+        };
+        let seq = run(1);
+        let par = run(3);
+        for ((agg_s, wire_s, bytes_s), (agg_p, wire_p, bytes_p)) in seq.iter().zip(par.iter()) {
+            assert_eq!(wire_s, wire_p);
+            assert_eq!(bytes_s, bytes_p);
+            for ((na, ta), (nb, tb)) in agg_s.iter().zip(agg_p.iter()) {
+                assert_eq!(na, nb);
+                assert_eq!(ta.as_slice(), tb.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_views_roundtrip_without_memory() {
+        let mut cs: Vec<Box<dyn Compressor>> = (0..2)
+            .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+            .collect();
+        let mut engine = GradientExchange::from_compressors(&mut cs).with_threads(2);
+        let inputs = grads(2, 1.0);
+        let (views, report) = engine.decoded_views(inputs.clone());
+        // Lossless codec: every worker's view equals its input.
+        for (view, input) in views.iter().zip(&inputs) {
+            for ((na, ta), (nb, tb)) in view.iter().zip(input) {
+                assert_eq!(na, nb);
+                assert_eq!(ta.as_slice(), tb.as_slice());
+            }
+        }
+        assert_eq!(report.payload_bytes, vec![24, 24]);
+        assert_eq!(report.buckets[0].wire_bytes, 24);
+    }
+
+    #[test]
+    fn decoded_mean_matches_manual_average() {
+        let (mut cs, mut ms) = fleet(2);
+        let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms);
+        let (mean, _) = engine.exchange_decoded_mean(grads(2, 4.0));
+        assert_eq!(mean[0].1.as_slice(), &[2.0, 1.0, -1.0, 2.0]);
+        assert_eq!(mean[1].1.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn residual_memory_updates_inside_lane() {
+        let mut comp = NoCompression::new();
+        let mut mem = ResidualMemory::new();
+        let mut lane = WorkerLane::new(0, &mut comp, Some(&mut mem));
+        let g = Tensor::from_vec(vec![1.0, -2.0]);
+        let enc = lane.encode("w", &g);
+        assert_eq!(enc.wire_bytes(), 8);
+        // Lossless codec leaves a zero residual.
+        assert_eq!(mem.residual("w").unwrap().norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn average_sum_divides_by_contributors() {
+        let p = average_sum(vec![3.0, 6.0], 3);
+        assert_eq!(p.as_f32(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn decode_gathered_means_parts() {
+        let mut comp = NoCompression::new();
+        let parts: Vec<EncodedTensor> = [[1.0f32, 2.0], [3.0, 4.0]]
+            .iter()
+            .map(|v| EncodedTensor {
+                payloads: vec![Payload::F32(v.to_vec())],
+                ctx: Context::shape_only(Shape::vector(2)),
+            })
+            .collect();
+        let agg = decode_gathered(&mut comp, &parts);
+        assert_eq!(agg.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient set per worker")]
+    fn mismatched_worker_count_panics() {
+        let (mut cs, mut ms) = fleet(2);
+        let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms);
+        let _ = engine.exchange(grads(3, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet sizes must match")]
+    fn mismatched_fleet_panics() {
+        let (mut cs, _) = fleet(2);
+        let (_, mut ms) = fleet(3);
+        let _ = GradientExchange::from_fleet(&mut cs, &mut ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one executor thread")]
+    fn zero_threads_rejected() {
+        let (mut cs, mut ms) = fleet(1);
+        let _ = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(0);
+    }
+}

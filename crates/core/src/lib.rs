@@ -37,6 +37,7 @@
 //! ```
 
 pub mod compressor;
+pub mod exchange;
 pub mod memory;
 pub mod payload;
 pub mod registry;
@@ -45,6 +46,9 @@ pub mod threaded;
 pub mod trainer;
 
 pub use compressor::{CommStrategy, Compressor, Context, Fleet, NoCompression};
+pub use exchange::{
+    BucketReport, EncodedTensor, ExchangeReport, GradientExchange, StageTotals, WorkerLane,
+};
 pub use memory::{Memory, NoMemory, ResidualMemory};
 pub use payload::{Payload, PayloadError};
 pub use registry::{CompressorClass, CompressorSpec, Nature, OutputSize};

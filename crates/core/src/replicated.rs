@@ -17,8 +17,9 @@
 //! registered method drops in unchanged.
 
 use crate::compressor::Compressor;
+use crate::exchange::GradientExchange;
 use crate::memory::Memory;
-use crate::trainer::{steps_per_epoch, wire_bytes, worker_batch_indices};
+use crate::trainer::{steps_per_epoch, worker_batch_indices};
 use grace_nn::data::Task;
 use grace_nn::network::Network;
 use grace_nn::optim::Optimizer;
@@ -136,6 +137,11 @@ pub fn run_local_sgd(
     let n = cfg.n_workers;
     assert_eq!(compressors.len(), n, "need one compressor per worker");
     assert_eq!(memories.len(), n, "need one memory per worker");
+    // The shared exchange engine drives the compressed delta rounds: the
+    // per-worker compensate → compress → decode → memory-update lanes run
+    // on its scoped-thread executor, the decoded deltas are averaged in
+    // rank order.
+    let mut engine = GradientExchange::from_fleet(compressors, memories);
     let mut replicas: Vec<Network> = (0..n).map(&make_net).collect();
     let mut opts: Vec<Box<dyn Optimizer>> = (0..n).map(&make_opt).collect();
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
@@ -167,33 +173,19 @@ pub fn run_local_sgd(
             }
             since_sync = 0;
             sync_rounds += 1;
-            // Compressed delta exchange.
-            let mut mean_delta: Option<Vec<(String, Tensor)>> = None;
-            for w in 0..n {
-                let params = replicas[w].export_params();
-                let mut decompressed = Vec::with_capacity(params.len());
-                for ((name, p), (_, a)) in params.iter().zip(anchor.iter()) {
-                    let delta = p.sub(a);
-                    let compensated = memories[w].compensate(name, &delta);
-                    let (payloads, ctx) = compressors[w].compress(&compensated, name);
-                    total_bytes += wire_bytes(&payloads, &ctx) as f64 / n as f64;
-                    let out = compressors[w].decompress(&payloads, &ctx);
-                    memories[w].update(name, &compensated, &out);
-                    decompressed.push((name.clone(), out));
-                }
-                match &mut mean_delta {
-                    None => mean_delta = Some(decompressed),
-                    Some(acc) => {
-                        for (slot, (_, t)) in acc.iter_mut().zip(decompressed) {
-                            slot.1.add_assign(&t);
-                        }
-                    }
-                }
-            }
-            let mut mean_delta = mean_delta.expect("at least one worker");
-            for (_, t) in mean_delta.iter_mut() {
-                t.scale(1.0 / n as f32);
-            }
+            // Compressed delta exchange: every worker ships Q(param − anchor).
+            let deltas: Vec<Vec<(String, Tensor)>> = replicas
+                .iter_mut()
+                .map(|r| {
+                    r.export_params()
+                        .into_iter()
+                        .zip(anchor.iter())
+                        .map(|((name, p), (_, a))| (name, p.sub(a)))
+                        .collect()
+                })
+                .collect();
+            let (mean_delta, report) = engine.exchange_decoded_mean(deltas);
+            total_bytes += report.total_payload_bytes() as f64 / n as f64;
             // Rebase every replica on anchor + mean delta (exact consensus).
             for ((_, a), (_, d)) in anchor.iter_mut().zip(mean_delta.iter()) {
                 a.add_assign(d);
@@ -237,6 +229,10 @@ pub fn run_gossip(
     let n = cfg.n_workers;
     assert!(n >= 2, "gossip needs at least two workers");
     assert_eq!(compressors.len(), n, "need one compressor per worker");
+    // Gossip compresses raw parameters (no error feedback), so the engine
+    // runs memory-less lanes; each round's decoded views come back
+    // rank-ordered from the scoped-thread executor.
+    let mut engine = GradientExchange::from_compressors(compressors);
     let mut replicas: Vec<Network> = (0..n).map(&make_net).collect();
     let mut opts: Vec<Box<dyn Optimizer>> = (0..n).map(&make_opt).collect();
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
@@ -262,17 +258,10 @@ pub fn run_gossip(
             // Gossip round: everyone compresses its parameters once; each
             // worker then averages its neighbours' decompressed views.
             rounds += 1;
-            let mut views: Vec<Vec<(String, Tensor)>> = Vec::with_capacity(n);
-            for w in 0..n {
-                let params = replicas[w].export_params();
-                let mut view = Vec::with_capacity(params.len());
-                for (name, p) in &params {
-                    let (payloads, ctx) = compressors[w].compress(p, name);
-                    total_bytes += wire_bytes(&payloads, &ctx) as f64 / n as f64;
-                    view.push((name.clone(), compressors[w].decompress(&payloads, &ctx)));
-                }
-                views.push(view);
-            }
+            let params: Vec<Vec<(String, Tensor)>> =
+                replicas.iter_mut().map(|r| r.export_params()).collect();
+            let (views, report) = engine.decoded_views(params);
+            total_bytes += report.total_payload_bytes() as f64 / n as f64;
             for w in 0..n {
                 let left = (w + n - 1) % n;
                 let right = (w + 1) % n;

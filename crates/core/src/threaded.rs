@@ -23,6 +23,7 @@
 //!   [`ClusterError::Timeout`] rather than deadlocking.
 
 use crate::compressor::{CommStrategy, Compressor, Context};
+use crate::exchange::{self, EncodedTensor, WorkerLane};
 use crate::memory::Memory;
 use crate::payload::{self, Payload};
 use crate::trainer::{steps_per_epoch, wire_bytes, worker_batch_indices, TrainConfig};
@@ -142,6 +143,10 @@ where
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
     let (mut net, mut opt, mut compressor, mut memory) = make_worker(rank);
     let strategy = compressor.strategy();
+    // This worker's compression lane from the shared exchange engine: the
+    // same compensate → compress → own-decode → memory-update sequence the
+    // simulator's engine runs, so both modes stay bit-identical.
+    let mut lane = WorkerLane::new(rank, compressor.as_mut(), Some(memory.as_mut()));
     let base_lr = opt.learning_rate();
     for epoch in 0..cfg.epochs {
         if let Some(schedule) = &cfg.lr_schedule {
@@ -162,20 +167,9 @@ where
             let grads = net.take_gradients();
             let mut aggregated = Vec::with_capacity(grads.len());
             for (name, grad) in &grads {
-                let compensated = memory.compensate(name, grad);
-                let (payloads, ctx) = compressor.compress(&compensated, name);
-                if memory.is_active() {
-                    let own = compressor.decompress(&payloads, &ctx);
-                    memory.update(name, &compensated, &own);
-                }
-                let agg = exchange(
-                    comm,
-                    strategy,
-                    compressor.as_mut(),
-                    payloads,
-                    &ctx,
-                    grad.shape().clone(),
-                )?;
+                let encoded = lane.encode(name, grad);
+                let agg =
+                    exchange_tensor(comm, strategy, &mut lane, encoded, grad.shape().clone())?;
                 aggregated.push((name.clone(), agg));
             }
             net.apply_gradients(&aggregated, opt.as_mut());
@@ -189,15 +183,15 @@ where
     })
 }
 
-/// Performs the collective exchange for one tensor and returns the
+/// Performs the collective exchange for one encoded tensor and returns the
 /// aggregated gradient, degrading gracefully on dropped workers and
-/// corrupted payloads.
-fn exchange(
+/// corrupted payloads. Decompression and `Agg` go through
+/// [`crate::exchange`]'s shared helpers.
+fn exchange_tensor(
     comm: &FaultyCollective<grace_comm::WorkerHandle>,
     strategy: CommStrategy,
-    compressor: &mut dyn Compressor,
-    payloads: Vec<Payload>,
-    ctx: &Context,
+    lane: &mut WorkerLane<'_>,
+    encoded: EncodedTensor,
     shape: grace_tensor::Shape,
 ) -> Result<Tensor, ClusterError> {
     match strategy {
@@ -205,30 +199,25 @@ fn exchange(
             // Average each F32 payload across the live workers while
             // compressed; the contributor count the collective reports is
             // the degraded-membership denominator.
-            let mut mean = Vec::with_capacity(payloads.len());
-            for p in payloads {
+            let mut mean = Vec::with_capacity(encoded.payloads.len());
+            for p in encoded.payloads {
                 let reduction = comm.try_allreduce_f32(p.as_f32().to_vec())?;
-                let denom = reduction.contributors as f32;
-                let mut summed = reduction.sum;
-                for v in &mut summed {
-                    *v /= denom;
-                }
-                mean.push(Payload::F32(summed));
+                mean.push(exchange::average_sum(reduction.sum, reduction.contributors));
             }
-            Ok(compressor.decompress(&mean, ctx))
+            Ok(lane.compressor_mut().decompress(&mean, &encoded.ctx))
         }
         CommStrategy::Allgather | CommStrategy::Broadcast => {
             // Ship payloads + context scalars; decompress every worker's
             // contribution; aggregate. Contributions that fail the CRC32
             // check are dropped by every receiver identically (the sender
-            // corrupted the stream before deposit), and `aggregate`'s mean
-            // over the surviving parts is the rescaled estimate.
-            let mut wire = payloads;
-            wire.push(Payload::F32(ctx.meta.clone()));
+            // corrupted the stream before deposit), and `Agg`'s mean over
+            // the surviving parts is the rescaled estimate.
+            let mut wire = encoded.payloads;
+            wire.push(Payload::F32(encoded.ctx.meta.clone()));
             let op = comm.inner().ops_started();
             let rank = comm.rank();
             let gathered = comm.try_allgather_bytes(payload::encode(&wire))?;
-            let mut parts: Vec<Tensor> = Vec::with_capacity(gathered.len());
+            let mut parts: Vec<EncodedTensor> = Vec::with_capacity(gathered.len());
             let mut last_error = None;
             for bytes in gathered.iter().flatten() {
                 match payload::decode_checked(bytes) {
@@ -238,8 +227,10 @@ fn exchange(
                             .expect("wire format includes meta")
                             .as_f32()
                             .to_vec();
-                        let ctx_i = Context::with_meta(shape.clone(), meta);
-                        parts.push(compressor.decompress(&list, &ctx_i));
+                        parts.push(EncodedTensor {
+                            payloads: list,
+                            ctx: Context::with_meta(shape.clone(), meta),
+                        });
                     }
                     Err(e) => {
                         comm.stats().record_detected(rank);
@@ -256,7 +247,7 @@ fn exchange(
                         .unwrap_or_else(|| "no live contributions".to_string()),
                 });
             }
-            Ok(compressor.aggregate(parts))
+            Ok(exchange::decode_gathered(lane.compressor_mut(), &parts))
         }
     }
 }

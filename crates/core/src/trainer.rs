@@ -30,14 +30,14 @@
 //! compute cost is real and can exceed the communication it saves (§V-D).
 
 use crate::compressor::{CommStrategy, Compressor, Context};
+use crate::exchange::{EncodedTensor, GradientExchange, StageTotals};
 use crate::memory::Memory;
-use crate::payload::{self, Payload};
+use crate::payload::Payload;
 use grace_comm::NetworkModel;
 use grace_nn::data::{epoch_order, shard_range, Task};
 use grace_nn::network::Network;
 use grace_nn::optim::Optimizer;
 use grace_tensor::Tensor;
-use std::time::Instant;
 
 /// Modelled computation time of the training substrate ("GPU" analog).
 ///
@@ -172,6 +172,11 @@ pub struct TrainConfig {
     /// deterministic fault plan plus collective timeout. Ignored by
     /// [`run_simulated`], which models a fault-free cluster.
     pub fault: Option<grace_comm::FaultConfig>,
+    /// Executor width for the exchange engine's per-worker compression
+    /// stage: `None` runs one thread per worker up to the host's
+    /// parallelism, `Some(1)` forces the sequential path. Results are
+    /// bit-identical either way.
+    pub exchange_threads: Option<usize>,
 }
 
 impl TrainConfig {
@@ -191,6 +196,7 @@ impl TrainConfig {
             evals_per_epoch: 1,
             lr_schedule: None,
             fault: None,
+            exchange_threads: None,
         }
     }
 
@@ -252,6 +258,10 @@ pub struct RunResult {
     pub comm_seconds: f64,
     /// Simulated seconds spent computing gradients.
     pub compute_seconds: f64,
+    /// Measured wall-clock per-stage codec breakdown from the exchange
+    /// engine (max-over-workers compress, aggregation decompress, `Agg`),
+    /// regardless of the [`CodecTiming`] charging policy.
+    pub stages: StageTotals,
 }
 
 impl RunResult {
@@ -293,8 +303,9 @@ pub fn steps_per_epoch(train_len: usize, n_workers: usize, batch: usize) -> usiz
 }
 
 /// Wire bytes of one worker's compressed tensor: payloads + context scalars.
+/// (Canonical implementation lives in [`crate::exchange`].)
 pub fn wire_bytes(payloads: &[Payload], ctx: &Context) -> usize {
-    payload::total_bytes(payloads) + ctx.meta_bytes()
+    crate::exchange::wire_bytes(payloads, ctx)
 }
 
 /// Runs Algorithm 1 in the deterministic single-process mode.
@@ -317,8 +328,12 @@ pub fn run_simulated(
     let n = cfg.n_workers;
     assert_eq!(compressors.len(), n, "need one compressor per worker");
     assert_eq!(memories.len(), n, "need one memory per worker");
-    let strategy = compressors[0].strategy();
-    let compressor_name = compressors[0].name();
+    let mut engine = GradientExchange::from_fleet(compressors, memories);
+    if let Some(threads) = cfg.exchange_threads {
+        engine = engine.with_threads(threads);
+    }
+    let strategy = engine.strategy();
+    let compressor_name = engine.compressor_name();
     let uncompressed = 4.0 * net.param_count() as f64;
 
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
@@ -334,6 +349,7 @@ pub fn run_simulated(
     let mut loss_count = 0u64;
     let mut global_step = 0u64;
     let mut iter_times: Vec<f64> = Vec::new();
+    let mut stages = StageTotals::default();
     let base_lr = opt.learning_rate();
 
     for epoch in 0..cfg.epochs {
@@ -364,71 +380,17 @@ pub fn run_simulated(
             compute_seconds += compute_t;
             iter_time += compute_t;
 
-            // --- 2. Per-tensor compress / communicate / aggregate ---
-            let n_tensors = worker_grads[0].len();
-            let mut aggregated: Vec<(String, Tensor)> = Vec::with_capacity(n_tensors);
-            let mut compress_time = vec![0.0f64; n];
-            let mut decompress_time = 0.0f64;
+            // --- 2. Compress / communicate / aggregate (engine) ---
+            // The engine runs the per-worker compensate/compress/update
+            // lanes on scoped threads and reports fused-bucket wire bytes:
             // Horovod fuses gradient tensors into large buffers before the
             // collective, so latency (α) is paid per fused buffer, not per
-            // tensor: accumulate bytes and charge one collective.
-            let mut iter_wire_bytes = 0usize;
-            let mut iter_elements = 0usize;
-            #[allow(clippy::needless_range_loop)] // `t` indexes per-worker grads too
-            for t in 0..n_tensors {
-                let tensor_name = worker_grads[0][t].0.clone();
-                let mut per_worker: Vec<(Vec<Payload>, Context)> = Vec::with_capacity(n);
-                for w in 0..n {
-                    let grad = &worker_grads[w][t].1;
-                    let compensated = memories[w].compensate(&tensor_name, grad);
-                    let t0 = Instant::now();
-                    let (payloads, ctx) = compressors[w].compress(&compensated, &tensor_name);
-                    compress_time[w] += t0.elapsed().as_secs_f64();
-                    total_bytes += wire_bytes(&payloads, &ctx) as f64 / n as f64;
-                    per_worker.push((payloads, ctx));
-                    // Memory update needs this worker's own Q⁻¹(Q(φ)).
-                    if memories[w].is_active() {
-                        let t1 = Instant::now();
-                        let own = {
-                            let (p, c) = &per_worker[w];
-                            compressors[w].decompress(p, c)
-                        };
-                        compress_time[w] += t1.elapsed().as_secs_f64();
-                        memories[w].update(&tensor_name, &compensated, &own);
-                    }
-                }
-                iter_elements += worker_grads[0][t].1.len();
-                let agg = match strategy {
-                    CommStrategy::Allreduce => {
-                        // Elementwise-mean the compressed payloads, then
-                        // decompress once (lines 8–9).
-                        iter_wire_bytes += wire_bytes(&per_worker[0].0, &per_worker[0].1);
-                        let mean = mean_payloads(&per_worker);
-                        let t0 = Instant::now();
-                        let out = compressors[0].decompress(&mean, &per_worker[0].1);
-                        decompress_time += t0.elapsed().as_secs_f64();
-                        out
-                    }
-                    CommStrategy::Allgather | CommStrategy::Broadcast => {
-                        // Gather, decompress each, then Agg (lines 11–13). The
-                        // ring is bottlenecked by the largest contribution.
-                        iter_wire_bytes += per_worker
-                            .iter()
-                            .map(|(p, c)| wire_bytes(p, c))
-                            .max()
-                            .unwrap_or(0);
-                        let t0 = Instant::now();
-                        let parts: Vec<Tensor> = per_worker
-                            .iter()
-                            .map(|(p, c)| compressors[0].decompress(p, c))
-                            .collect();
-                        let out = compressors[0].aggregate(parts);
-                        decompress_time += t0.elapsed().as_secs_f64();
-                        out
-                    }
-                };
-                aggregated.push((tensor_name, agg));
-            }
+            // tensor, and the trainer charges one collective per bucket.
+            let (aggregated, report) = engine.exchange(worker_grads);
+            stages.add(&report);
+            total_bytes += report.total_payload_bytes() as f64 / n as f64;
+            let iter_wire_bytes = report.wire_bytes();
+            let iter_elements = report.elements();
             let scaled_bytes = (iter_wire_bytes as f64 * cfg.byte_scale).round() as usize;
             let iter_comm = match cfg.topology {
                 Topology::Peer => match strategy {
@@ -457,8 +419,9 @@ pub fn run_simulated(
             iter_time += iter_comm;
             let iter_codec = match cfg.codec {
                 CodecTiming::MeasuredWallClock => {
-                    // Workers compress concurrently: charge the slowest.
-                    compress_time.iter().fold(0.0f64, |a, &b| a.max(b)) + decompress_time
+                    // Workers compress concurrently: charge the slowest
+                    // lane plus the serial aggregation decode.
+                    report.codec_wall_seconds()
                 }
                 CodecTiming::Modeled {
                     per_op_seconds,
@@ -510,37 +473,28 @@ pub fn run_simulated(
         codec_seconds,
         comm_seconds,
         compute_seconds,
+        stages,
         &iter_times,
         cfg,
     )
 }
 
-/// Elementwise mean of per-worker payload lists (Allreduce path). Only
-/// `F32` payloads are sum-compatible.
+/// Elementwise mean of per-worker payload lists (Allreduce path), kept here
+/// for backwards compatibility; the implementation lives in
+/// [`crate::exchange::mean_payloads`].
 ///
 /// # Panics
 ///
 /// Panics if payload counts/lengths differ or payloads are not `F32`.
 pub fn mean_payloads(per_worker: &[(Vec<Payload>, Context)]) -> Vec<Payload> {
-    let n = per_worker.len();
-    assert!(n > 0, "no payloads to aggregate");
-    let k = per_worker[0].0.len();
-    let mut out = Vec::with_capacity(k);
-    for pi in 0..k {
-        let mut acc = per_worker[0].0[pi].as_f32().to_vec();
-        for (payloads, _) in per_worker.iter().skip(1) {
-            let other = payloads[pi].as_f32();
-            assert_eq!(acc.len(), other.len(), "allreduce payload length mismatch");
-            for (a, b) in acc.iter_mut().zip(other) {
-                *a += b;
-            }
-        }
-        for a in &mut acc {
-            *a /= n as f32;
-        }
-        out.push(Payload::F32(acc));
-    }
-    out
+    let encoded: Vec<EncodedTensor> = per_worker
+        .iter()
+        .map(|(payloads, ctx)| EncodedTensor {
+            payloads: payloads.clone(),
+            ctx: ctx.clone(),
+        })
+        .collect();
+    crate::exchange::mean_payloads(&encoded)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -555,6 +509,7 @@ fn summarize(
     codec_seconds: f64,
     comm_seconds: f64,
     compute_seconds: f64,
+    stages: StageTotals,
     iter_times: &[f64],
     cfg: &TrainConfig,
 ) -> RunResult {
@@ -594,6 +549,7 @@ fn summarize(
         codec_seconds,
         comm_seconds,
         compute_seconds,
+        stages,
     }
 }
 

@@ -66,6 +66,7 @@ fn run_custom(
             gamma: 0.1,
         }),
         fault: None,
+        exchange_threads: None,
     };
     let (mut cs, mut ms) = make(rc.n_workers);
     let mut opt = bench.opt.build("topk");

@@ -50,6 +50,7 @@ fn run(
         evals_per_epoch: 1,
         lr_schedule: None,
         fault: None,
+        exchange_threads: None,
     };
     let mut opt = bench.opt.build(compressor_id.unwrap_or("baseline"));
     let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {

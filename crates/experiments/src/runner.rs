@@ -41,6 +41,17 @@ pub fn scale_from_env() -> u32 {
         .unwrap_or(100)
 }
 
+/// Reads `GRACE_EXCHANGE_THREADS` from the environment: the exchange
+/// engine's executor width (`1` forces sequential compression; unset lets
+/// the engine match the host's parallelism). Results are bit-identical
+/// either way — this is a wall-clock knob only.
+pub fn exchange_threads_from_env() -> Option<usize> {
+    std::env::var("GRACE_EXCHANGE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+}
+
 /// Runs one benchmark with one compressor (`None` = the no-compression
 /// baseline) and returns the trainer's summary.
 pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfig) -> RunResult {
@@ -77,6 +88,7 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
         evals_per_epoch: 1,
         lr_schedule: None,
         fault: None,
+        exchange_threads: exchange_threads_from_env(),
     };
     let (mut compressors, mut memories): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) =
         match compressor_id {
@@ -129,6 +141,9 @@ pub fn relative(rows: &[(String, RunResult)]) -> Vec<RelativeRow> {
             relative_throughput: r.throughput / base.throughput,
             relative_volume: r.bytes_per_worker_per_iter / base.bytes_per_worker_per_iter,
             sim_seconds: r.sim_seconds,
+            compress_seconds: r.stages.compress_seconds,
+            decompress_seconds: r.stages.decompress_seconds,
+            aggregate_seconds: r.stages.aggregate_seconds,
         })
         .collect()
 }
@@ -146,6 +161,20 @@ pub struct RelativeRow {
     pub relative_volume: f64,
     /// Total simulated seconds.
     pub sim_seconds: f64,
+    /// Measured encode wall-clock summed over the run (exchange engine,
+    /// slowest lane per step).
+    pub compress_seconds: f64,
+    /// Measured decode wall-clock summed over the run.
+    pub decompress_seconds: f64,
+    /// Measured `Agg` wall-clock summed over the run (allgather methods).
+    pub aggregate_seconds: f64,
+}
+
+impl RelativeRow {
+    /// Total measured codec + aggregation wall-clock for this row.
+    pub fn codec_seconds(&self) -> f64 {
+        self.compress_seconds + self.decompress_seconds + self.aggregate_seconds
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! Bit-equivalence regression tests for the `grace_core::exchange` engine.
+//!
+//! The golden checksums below were captured from `run_simulated` *before* the
+//! exchange loops were extracted into [`grace::core::exchange`]; the refactor
+//! (and its scoped-thread executor) must keep the trained parameters
+//! bit-identical for one quantization, one sparsification and one low-rank
+//! method. A second set of tests asserts that running the engine with
+//! `threads = n` produces exactly the same parameters and `ExchangeReport`
+//! byte counts as `threads = 1`.
+
+use grace::compressors::{PowerSgd, Qsgd, TopK};
+use grace::core::trainer::{run_simulated, CodecTiming};
+use grace::core::{Compressor, Memory, NoMemory, ResidualMemory, TrainConfig};
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::optim::Momentum;
+use grace::tensor::pack::crc32;
+
+const SEED: u64 = 17;
+
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
+fn fleet(
+    n: usize,
+    make_c: impl Fn(usize) -> Box<dyn Compressor>,
+    make_m: impl Fn() -> Box<dyn Memory>,
+) -> Fleet {
+    (
+        (0..n).map(make_c).collect(),
+        (0..n).map(|_| make_m()).collect(),
+    )
+}
+
+/// Trains a small MLP with the given fleet and returns a CRC32 over the
+/// little-endian bytes of every final parameter tensor (names included).
+fn golden_run(
+    make_c: impl Fn(usize) -> Box<dyn Compressor>,
+    make_m: impl Fn() -> Box<dyn Memory>,
+) -> u32 {
+    let n = 4;
+    let task = ClassificationDataset::synthetic(128, 8, 2, 0.3, SEED);
+    let mut net = models::mlp_classifier("m", 8, &[16], 2, SEED);
+    let mut opt = Momentum::new(0.05, 0.9);
+    let mut cfg = TrainConfig::new(n, 8, 2, SEED);
+    cfg.codec = CodecTiming::Free;
+    let (mut cs, mut ms) = fleet(n, make_c, make_m);
+    let _ = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+    let mut bytes = Vec::new();
+    for (name, t) in net.export_params() {
+        bytes.extend_from_slice(name.as_bytes());
+        for v in t.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    crc32(&bytes)
+}
+
+#[test]
+fn qsgd_parameters_match_pre_refactor_golden() {
+    let crc = golden_run(
+        |w| Box::new(Qsgd::new(16, 1000 + w as u64)),
+        || Box::new(NoMemory::new()),
+    );
+    assert_eq!(crc, GOLDEN_QSGD, "quantization path diverged: {crc:#010x}");
+}
+
+#[test]
+fn topk_parameters_match_pre_refactor_golden() {
+    let crc = golden_run(
+        |_w| Box::new(TopK::new(0.05)),
+        || Box::new(ResidualMemory::new()),
+    );
+    assert_eq!(
+        crc, GOLDEN_TOPK,
+        "sparsification path diverged: {crc:#010x}"
+    );
+}
+
+#[test]
+fn powersgd_parameters_match_pre_refactor_golden() {
+    let crc = golden_run(
+        |_w| Box::new(PowerSgd::new(2)),
+        || Box::new(ResidualMemory::new()),
+    );
+    assert_eq!(crc, GOLDEN_POWERSGD, "low-rank path diverged: {crc:#010x}");
+}
+
+/// Captured from the pre-refactor `run_simulated` at commit `bade74c`.
+const GOLDEN_QSGD: u32 = 0xd2de_c0db;
+const GOLDEN_TOPK: u32 = 0xe0ae_0255;
+const GOLDEN_POWERSGD: u32 = 0xfc95_aeee;
+
+/// Full training run with an explicit executor width; returns the parameter
+/// checksum plus the byte accounting the `ExchangeReport`s fed into the
+/// result, so the determinism tests can compare both.
+fn threaded_run(
+    threads: usize,
+    make_c: impl Fn(usize) -> Box<dyn Compressor>,
+    make_m: impl Fn() -> Box<dyn Memory>,
+) -> (u32, f64) {
+    let n = 4;
+    let task = ClassificationDataset::synthetic(128, 8, 2, 0.3, SEED);
+    let mut net = models::mlp_classifier("m", 8, &[16], 2, SEED);
+    let mut opt = Momentum::new(0.05, 0.9);
+    let mut cfg = TrainConfig::new(n, 8, 2, SEED);
+    cfg.codec = CodecTiming::Free;
+    cfg.exchange_threads = Some(threads);
+    let (mut cs, mut ms) = fleet(n, make_c, make_m);
+    let res = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+    let mut bytes = Vec::new();
+    for (name, t) in net.export_params() {
+        bytes.extend_from_slice(name.as_bytes());
+        for v in t.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    (crc32(&bytes), res.bytes_per_worker_per_iter)
+}
+
+/// The scoped-thread executor must be invisible: `threads = n` and
+/// `threads = 1` produce bit-identical parameters and identical
+/// `ExchangeReport`-derived byte accounting.
+#[test]
+fn parallel_executor_is_bit_identical_to_sequential() {
+    for (name, make_c) in [
+        (
+            "qsgd",
+            (|w: usize| Box::new(Qsgd::new(16, 1000 + w as u64)) as Box<dyn Compressor>)
+                as fn(usize) -> Box<dyn Compressor>,
+        ),
+        ("topk", |_w| Box::new(TopK::new(0.05))),
+        ("powersgd", |_w| Box::new(PowerSgd::new(2))),
+    ] {
+        let make_m = || -> Box<dyn Memory> {
+            if name == "qsgd" {
+                Box::new(NoMemory::new())
+            } else {
+                Box::new(ResidualMemory::new())
+            }
+        };
+        let (seq_crc, seq_bytes) = threaded_run(1, make_c, make_m);
+        let (par_crc, par_bytes) = threaded_run(4, make_c, make_m);
+        assert_eq!(
+            seq_crc, par_crc,
+            "{name}: parameters diverged under parallelism"
+        );
+        assert_eq!(
+            seq_bytes.to_bits(),
+            par_bytes.to_bits(),
+            "{name}: byte accounting diverged under parallelism"
+        );
+    }
+}
+
+/// The sequential executor path must itself match the pre-refactor goldens
+/// (i.e. `threads = 1` is not a differently-ordered code path).
+#[test]
+fn explicit_sequential_executor_matches_goldens() {
+    let (crc, _) = threaded_run(
+        1,
+        |_w| Box::new(PowerSgd::new(2)),
+        || Box::new(ResidualMemory::new()),
+    );
+    assert_eq!(crc, GOLDEN_POWERSGD);
+}
