@@ -13,7 +13,9 @@
 
 use grace_bench::gradient_of_bytes;
 use grace_compressors::registry;
+use grace_core::exchange::StageHistograms;
 use grace_core::GradientExchange;
+use grace_telemetry::Histogram;
 use grace_tensor::Tensor;
 use std::time::Instant;
 
@@ -36,8 +38,9 @@ fn worker_grads(seed: u64) -> Vec<Vec<(String, Tensor)>> {
         .collect()
 }
 
-/// Mean milliseconds per exchange round at the given executor width.
-fn time_exchange(id: &str, threads: usize) -> f64 {
+/// Mean milliseconds per exchange round at the given executor width, plus
+/// the per-stage latency histograms gathered over the timed iterations.
+fn time_exchange(id: &str, threads: usize) -> (f64, StageHistograms) {
     let spec = registry::find(id).expect("compressor registered");
     let (mut cs, mut ms) = registry::build_fleet(&spec, WORKERS, 3);
     let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(threads);
@@ -45,11 +48,34 @@ fn time_exchange(id: &str, threads: usize) -> f64 {
     for _ in 0..WARMUP {
         std::hint::black_box(engine.exchange(grads.clone()));
     }
+    // Drop warmup samples so the percentiles describe steady-state rounds.
+    engine.reset_stage_stats();
     let start = Instant::now();
     for _ in 0..ITERS {
         std::hint::black_box(engine.exchange(grads.clone()));
     }
-    start.elapsed().as_secs_f64() * 1e3 / ITERS as f64
+    let mean_ms = start.elapsed().as_secs_f64() * 1e3 / ITERS as f64;
+    (mean_ms, engine.stage_stats().clone())
+}
+
+/// `{"p50_us": ..., "p95_us": ..., "p99_us": ...}` for one stage histogram.
+fn stage_json(h: &Histogram) -> String {
+    let us = |q: f64| h.percentile(q) as f64 / 1e3;
+    format!(
+        "{{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+        us(0.50),
+        us(0.95),
+        us(0.99)
+    )
+}
+
+fn stages_json(s: &StageHistograms) -> String {
+    format!(
+        "{{\"compress\": {}, \"decompress\": {}, \"aggregate\": {}}}",
+        stage_json(&s.compress),
+        stage_json(&s.decompress),
+        stage_json(&s.aggregate)
+    )
 }
 
 fn main() {
@@ -58,12 +84,15 @@ fn main() {
         .unwrap_or(1);
     let mut rows = Vec::new();
     for id in ["powersgd", "qsgd", "dgc"] {
-        let seq_ms = time_exchange(id, 1);
-        let par_ms = time_exchange(id, WORKERS);
+        let (seq_ms, seq_stages) = time_exchange(id, 1);
+        let (par_ms, par_stages) = time_exchange(id, WORKERS);
         let speedup = seq_ms / par_ms;
         println!("{id:>10}  seq {seq_ms:8.3} ms  par {par_ms:8.3} ms  speedup {speedup:.2}x");
         rows.push(format!(
-            "    {{\"codec\": \"{id}\", \"seq_ms\": {seq_ms:.3}, \"par_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}}}"
+            "    {{\"codec\": \"{id}\", \"seq_ms\": {seq_ms:.3}, \"par_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}, \
+             \"seq_stages\": {}, \"par_stages\": {}}}",
+            stages_json(&seq_stages),
+            stages_json(&par_stages)
         ));
     }
     let json = format!(

@@ -26,6 +26,8 @@
 
 use crate::error::ClusterError;
 use crate::traffic::TrafficCounter;
+use grace_telemetry::metrics::{self, HistogramHandle};
+use grace_telemetry::{trace, StageTimer, Track};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -315,6 +317,9 @@ pub struct WorkerHandle {
     timeout: Option<Duration>,
     /// Per-worker collective-op counter, for error context.
     ops: Arc<AtomicU64>,
+    /// `comm.barrier_wait_ns` — how long workers idle at barriers (the
+    /// straggler-skew signal on the threaded path).
+    barrier_hist: HistogramHandle,
 }
 
 impl WorkerHandle {
@@ -333,14 +338,19 @@ impl WorkerHandle {
     }
 
     fn wait_barrier(&self, op: u64) -> Result<(), ClusterError> {
-        self.board
+        let timer = StageTimer::start();
+        let result = self
+            .board
             .barrier
             .wait(self.timeout)
             .map_err(|()| ClusterError::Timeout {
                 rank: self.rank,
                 op,
                 waited: self.timeout.unwrap_or_default(),
-            })
+            });
+        let ns = timer.finish("barrier_wait", Track::Lane(self.rank));
+        self.barrier_hist.record(ns);
+        result
     }
 }
 
@@ -369,6 +379,7 @@ impl Collective for WorkerHandle {
     }
 
     fn try_allreduce_f32(&self, data: Vec<f32>) -> Result<Reduction, ClusterError> {
+        let _span = trace::span("allreduce", Track::Lane(self.rank));
         let op = self.next_op();
         let len = data.len();
         self.traffic.record(
@@ -412,6 +423,7 @@ impl Collective for WorkerHandle {
     }
 
     fn try_allgather_bytes(&self, data: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>, ClusterError> {
+        let _span = trace::span("allgather", Track::Lane(self.rank));
         let op = self.next_op();
         self.traffic.record(self.rank, data.len() as u64);
         self.board.byte_slots.lock()[self.rank] = data;
@@ -431,6 +443,7 @@ impl Collective for WorkerHandle {
 
     fn try_broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, ClusterError> {
         assert!(root < self.board.n, "broadcast root {root} out of range");
+        let _span = trace::span("broadcast", Track::Lane(self.rank));
         let op = self.next_op();
         if self.rank == root {
             self.traffic.record(self.rank, data.len() as u64);
@@ -513,6 +526,7 @@ impl ThreadedCluster {
         assert!(n > 0, "need at least one worker");
         let board = Arc::new(Board::new(n));
         let traffic = TrafficCounter::new(n);
+        let barrier_hist = metrics::histogram("comm.barrier_wait_ns");
         std::thread::scope(|s| {
             let mut joins = Vec::with_capacity(n);
             for rank in 0..n {
@@ -522,6 +536,7 @@ impl ThreadedCluster {
                     traffic: traffic.clone(),
                     timeout: options.timeout,
                     ops: Arc::new(AtomicU64::new(0)),
+                    barrier_hist: barrier_hist.clone(),
                 };
                 let f = &f;
                 joins.push(s.spawn(move || f(handle)));

@@ -30,6 +30,8 @@
 
 use crate::collectives::{Collective, Reduction};
 use crate::error::ClusterError;
+use grace_telemetry::metrics::{self, Counter};
+use grace_telemetry::{trace, Stage, Track};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -245,9 +247,16 @@ struct StatsInner {
 
 /// Shared per-worker fault counters (cloneable, like
 /// [`crate::TrafficCounter`]).
+///
+/// Every `record_*` call also emits an instant marker on the fault timeline
+/// track (visible as pins on the `stage: fault` Perfetto track) and bumps
+/// the global `fault.injected_total` / `fault.detected_total` counters, so
+/// chaos runs are observable without touching the per-run summary API.
 #[derive(Debug, Clone)]
 pub struct FaultStats {
     inner: Arc<Mutex<StatsInner>>,
+    injected_total: Counter,
+    detected_total: Counter,
 }
 
 impl FaultStats {
@@ -260,27 +269,47 @@ impl FaultStats {
                 injected_corruptions: vec![0; n],
                 detected_corruptions: vec![0; n],
             })),
+            injected_total: metrics::counter("fault.injected_total"),
+            detected_total: metrics::counter("fault.detected_total"),
         }
+    }
+
+    fn observe_injected(&self, name: &'static str, rank: usize) {
+        self.injected_total.add(1);
+        trace::instant_arg(
+            name,
+            Track::Stage(Stage::Fault),
+            Some(("rank", rank as u64)),
+        );
     }
 
     /// Records an injected straggler delay at `rank`.
     pub fn record_straggler(&self, rank: usize) {
         self.inner.lock().injected_stragglers[rank] += 1;
+        self.observe_injected("fault: straggler", rank);
     }
 
     /// Records an injected drop at `rank`.
     pub fn record_drop(&self, rank: usize) {
         self.inner.lock().injected_drops[rank] += 1;
+        self.observe_injected("fault: drop", rank);
     }
 
     /// Records an injected payload corruption sent by `rank`.
     pub fn record_corruption(&self, rank: usize) {
         self.inner.lock().injected_corruptions[rank] += 1;
+        self.observe_injected("fault: corrupt", rank);
     }
 
     /// Records a checksum-detected corruption observed by receiver `rank`.
     pub fn record_detected(&self, rank: usize) {
         self.inner.lock().detected_corruptions[rank] += 1;
+        self.detected_total.add(1);
+        trace::instant_arg(
+            "fault: detected",
+            Track::Stage(Stage::Fault),
+            Some(("rank", rank as u64)),
+        );
     }
 
     /// Snapshots all counters.

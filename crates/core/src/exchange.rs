@@ -26,13 +26,28 @@
 //! `tests/exchange_equivalence.rs`. The simulated clock always charged the
 //! *max* over workers because real workers compress concurrently; with the
 //! executor the wall clock finally agrees with the model.
+//!
+//! # Telemetry
+//!
+//! Every stage duration flows through one accounting path:
+//! [`grace_telemetry::StageTimer`]. The timer's return value builds the
+//! [`ExchangeReport`] (so reports exist at every telemetry level), feeds the
+//! engine's per-run [`StageHistograms`] (p50/p95/p99 for benches and
+//! experiment rows), and — when `GRACE_TELEMETRY=trace` — retains the same
+//! interval as a timeline span: per-lane `compress`/`decode_own` spans on
+//! `Track::Lane(rank)` (straggler skew is visible as ragged lane tracks) and
+//! whole-stage `encode`/`decompress`/`aggregate` spans on the stage tracks.
+//! Because report timings and trace spans come from the same clock reads,
+//! they can never disagree.
 
 use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::memory::Memory;
 use crate::payload::{self, Payload};
 use grace_comm::TrafficCounter;
+use grace_telemetry::{metrics, Histogram, HistogramHandle, Stage, StageTimer, Track};
 use grace_tensor::Tensor;
-use std::time::Instant;
+
+const NS_PER_SEC: f64 = 1e9;
 
 /// One worker's compressed tensor, ready for the wire: payloads plus the
 /// decompression context whose scalar metadata travels with them.
@@ -139,6 +154,54 @@ impl StageTotals {
     }
 }
 
+/// Per-stage latency distributions over a run, in nanoseconds per step —
+/// the tails ([`Histogram::percentile`]) that per-run means hide.
+///
+/// The engine records into these unconditionally (they are plain per-run
+/// state, like [`ExchangeReport`]); the global telemetry registry
+/// additionally aggregates when the telemetry level allows.
+#[derive(Debug, Clone, Default)]
+pub struct StageHistograms {
+    /// Slowest lane's compress + own-decode time per step (the concurrent
+    /// cost, matching [`StageTotals::compress_seconds`] semantics).
+    pub compress: Histogram,
+    /// Aggregation decompress time per step.
+    pub decompress: Histogram,
+    /// `Agg` time per step.
+    pub aggregate: Histogram,
+}
+
+impl StageHistograms {
+    /// Folds another run's distributions into this one.
+    pub fn merge(&mut self, other: &StageHistograms) {
+        self.compress.merge(&other.compress);
+        self.decompress.merge(&other.decompress);
+        self.aggregate.merge(&other.aggregate);
+    }
+}
+
+/// Global-registry metric handles the engine records through (resolved once
+/// at construction; recording is gated on the telemetry level internally).
+struct EngineMetrics {
+    compress: HistogramHandle,
+    decompress: HistogramHandle,
+    aggregate: HistogramHandle,
+    wire_bytes: HistogramHandle,
+    ratio_x100: HistogramHandle,
+}
+
+impl EngineMetrics {
+    fn resolve() -> Self {
+        EngineMetrics {
+            compress: metrics::histogram("exchange.compress_ns"),
+            decompress: metrics::histogram("exchange.decompress_ns"),
+            aggregate: metrics::histogram("exchange.aggregate_ns"),
+            wire_bytes: metrics::histogram("exchange.wire_bytes_per_step"),
+            ratio_x100: metrics::histogram("exchange.compression_ratio_x100"),
+        }
+    }
+}
+
 /// One worker's private compression lane: its compressor, its (optional)
 /// error-feedback memory, and its codec-time accumulator.
 ///
@@ -148,7 +211,10 @@ pub struct WorkerLane<'a> {
     rank: usize,
     compressor: &'a mut dyn Compressor,
     memory: Option<&'a mut dyn Memory>,
-    codec_seconds: f64,
+    codec_ns: u64,
+    /// Per-lane encode-time distribution in the global registry
+    /// (`exchange.encode_ns.lane{rank}`) — straggler skew across lanes.
+    encode_hist: HistogramHandle,
 }
 
 impl<'a> WorkerLane<'a> {
@@ -163,7 +229,8 @@ impl<'a> WorkerLane<'a> {
             rank,
             compressor,
             memory,
-            codec_seconds: 0.0,
+            codec_ns: 0,
+            encode_hist: metrics::histogram(&format!("exchange.encode_ns.lane{rank}")),
         }
     }
 
@@ -185,7 +252,12 @@ impl<'a> WorkerLane<'a> {
 
     /// Accumulated compress + own-decompress wall seconds.
     pub fn codec_seconds(&self) -> f64 {
-        self.codec_seconds
+        self.codec_ns as f64 / NS_PER_SEC
+    }
+
+    fn observe(&mut self, ns: u64) {
+        self.codec_ns += ns;
+        self.encode_hist.record(ns);
     }
 
     /// Algorithm 1 lines 5–7 for one tensor: compensate, compress, and — if
@@ -193,24 +265,27 @@ impl<'a> WorkerLane<'a> {
     /// the residual. Only compress/decompress are timed (compensate and the
     /// memory update are elementwise bookkeeping, as before the refactor).
     pub fn encode(&mut self, name: &str, grad: &Tensor) -> EncodedTensor {
+        let lane = Track::Lane(self.rank);
         match self.memory.as_mut() {
             Some(mem) => {
                 let compensated = mem.compensate(name, grad);
-                let t0 = Instant::now();
+                let t0 = StageTimer::start();
                 let (payloads, ctx) = self.compressor.compress(&compensated, name);
-                self.codec_seconds += t0.elapsed().as_secs_f64();
+                let mut ns = t0.finish("compress", lane);
                 if mem.is_active() {
-                    let t1 = Instant::now();
+                    let t1 = StageTimer::start();
                     let own = self.compressor.decompress(&payloads, &ctx);
-                    self.codec_seconds += t1.elapsed().as_secs_f64();
+                    ns += t1.finish("decode_own", lane);
                     mem.update(name, &compensated, &own);
                 }
+                self.observe(ns);
                 EncodedTensor { payloads, ctx }
             }
             None => {
-                let t0 = Instant::now();
+                let t0 = StageTimer::start();
                 let (payloads, ctx) = self.compressor.compress(grad, name);
-                self.codec_seconds += t0.elapsed().as_secs_f64();
+                let ns = t0.finish("compress", lane);
+                self.observe(ns);
                 EncodedTensor { payloads, ctx }
             }
         }
@@ -220,21 +295,24 @@ impl<'a> WorkerLane<'a> {
     /// lane's own reconstruction — the replicated schedules exchange the
     /// *decoded* view, and the memory update (when present) reuses it.
     pub fn encode_decode(&mut self, name: &str, tensor: &Tensor) -> (EncodedTensor, Tensor) {
+        let lane = Track::Lane(self.rank);
         match self.memory.as_mut() {
             Some(mem) => {
                 let compensated = mem.compensate(name, tensor);
-                let t0 = Instant::now();
+                let t0 = StageTimer::start();
                 let (payloads, ctx) = self.compressor.compress(&compensated, name);
                 let decoded = self.compressor.decompress(&payloads, &ctx);
-                self.codec_seconds += t0.elapsed().as_secs_f64();
+                let ns = t0.finish("encode_decode", lane);
                 mem.update(name, &compensated, &decoded);
+                self.observe(ns);
                 (EncodedTensor { payloads, ctx }, decoded)
             }
             None => {
-                let t0 = Instant::now();
+                let t0 = StageTimer::start();
                 let (payloads, ctx) = self.compressor.compress(tensor, name);
                 let decoded = self.compressor.decompress(&payloads, &ctx);
-                self.codec_seconds += t0.elapsed().as_secs_f64();
+                let ns = t0.finish("encode_decode", lane);
+                self.observe(ns);
                 (EncodedTensor { payloads, ctx }, decoded)
             }
         }
@@ -312,6 +390,8 @@ pub struct GradientExchange<'a> {
     strategy: CommStrategy,
     threads: usize,
     traffic: TrafficCounter,
+    stage_hists: StageHistograms,
+    metrics: EngineMetrics,
 }
 
 impl<'a> GradientExchange<'a> {
@@ -370,6 +450,8 @@ impl<'a> GradientExchange<'a> {
             strategy,
             threads: auto,
             traffic: TrafficCounter::new(n),
+            stage_hists: StageHistograms::default(),
+            metrics: EngineMetrics::resolve(),
         }
     }
 
@@ -426,6 +508,17 @@ impl<'a> GradientExchange<'a> {
     /// (one fused-bucket message per worker per step).
     pub fn traffic(&self) -> &TrafficCounter {
         &self.traffic
+    }
+
+    /// Per-stage latency distributions accumulated over this engine's
+    /// lifetime (one sample per exchange step).
+    pub fn stage_stats(&self) -> &StageHistograms {
+        &self.stage_hists
+    }
+
+    /// Clears the per-run stage distributions (e.g. after bench warmup).
+    pub fn reset_stage_stats(&mut self) {
+        self.stage_hists = StageHistograms::default();
     }
 
     /// Runs `per_lane` over every lane with its input, on up to
@@ -501,6 +594,7 @@ impl<'a> GradientExchange<'a> {
             bytes: u64,
             elements: usize,
         }
+        let encode_timer = StageTimer::start();
         let outs: Vec<LaneOut> = self.run_lanes(worker_grads, |lane, grads| {
             let before = lane.codec_seconds();
             let mut bytes = 0u64;
@@ -519,6 +613,8 @@ impl<'a> GradientExchange<'a> {
                 elements,
             }
         });
+
+        encode_timer.finish("encode", Track::Stage(Stage::Encode));
 
         let compress_seconds: Vec<f64> = outs.iter().map(|o| o.seconds).collect();
         let payload_bytes: Vec<u64> = outs.iter().map(|o| o.bytes).collect();
@@ -540,8 +636,8 @@ impl<'a> GradientExchange<'a> {
             elements,
             wire_bytes: 0,
         };
-        let mut decompress_seconds = 0.0f64;
-        let mut aggregate_seconds = 0.0f64;
+        let mut decompress_ns = 0u64;
+        let mut aggregate_ns = 0u64;
         for _ in 0..n_tensors {
             let mut name = String::new();
             let mut group: Vec<EncodedTensor> = Vec::with_capacity(n);
@@ -556,9 +652,9 @@ impl<'a> GradientExchange<'a> {
                 CommStrategy::Allreduce => {
                     bucket.wire_bytes += group[0].wire_bytes();
                     let mean = mean_payloads(&group);
-                    let t0 = Instant::now();
+                    let t0 = StageTimer::start();
                     let out = self.lanes[0].compressor.decompress(&mean, &group[0].ctx);
-                    decompress_seconds += t0.elapsed().as_secs_f64();
+                    decompress_ns += t0.finish("decompress", Track::Stage(Stage::Decompress));
                     out
                 }
                 CommStrategy::Allgather | CommStrategy::Broadcast => {
@@ -567,15 +663,15 @@ impl<'a> GradientExchange<'a> {
                         .map(EncodedTensor::wire_bytes)
                         .max()
                         .unwrap_or(0);
-                    let t0 = Instant::now();
+                    let t0 = StageTimer::start();
                     let parts: Vec<Tensor> = group
                         .iter()
                         .map(|e| self.lanes[0].compressor.decompress(&e.payloads, &e.ctx))
                         .collect();
-                    decompress_seconds += t0.elapsed().as_secs_f64();
-                    let t1 = Instant::now();
+                    decompress_ns += t0.finish("decompress", Track::Stage(Stage::Decompress));
+                    let t1 = StageTimer::start();
                     let out = self.lanes[0].compressor.aggregate(parts);
-                    aggregate_seconds += t1.elapsed().as_secs_f64();
+                    aggregate_ns += t1.finish("aggregate", Track::Stage(Stage::Aggregate));
                     out
                 }
             };
@@ -585,10 +681,11 @@ impl<'a> GradientExchange<'a> {
         let report = ExchangeReport {
             buckets: vec![bucket],
             compress_seconds,
-            decompress_seconds,
-            aggregate_seconds,
+            decompress_seconds: decompress_ns as f64 / NS_PER_SEC,
+            aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
             payload_bytes,
         };
+        self.observe_step(&report, decompress_ns, aggregate_ns);
         self.record_traffic(&report);
         (aggregated, report)
     }
@@ -600,11 +697,22 @@ impl<'a> GradientExchange<'a> {
         &mut self,
         worker_tensors: Vec<Vec<(String, Tensor)>>,
     ) -> (Vec<Vec<(String, Tensor)>>, ExchangeReport) {
+        let (views, report) = self.decoded_views_inner(worker_tensors);
+        self.observe_step(&report, 0, 0);
+        self.record_traffic(&report);
+        (views, report)
+    }
+
+    fn decoded_views_inner(
+        &mut self,
+        worker_tensors: Vec<Vec<(String, Tensor)>>,
+    ) -> (Vec<Vec<(String, Tensor)>>, ExchangeReport) {
         let n = self.lanes.len();
         assert_eq!(worker_tensors.len(), n, "need one tensor set per worker");
         let n_tensors = worker_tensors[0].len();
 
         type LaneOut = (Vec<(String, Tensor)>, f64, u64, usize);
+        let encode_timer = StageTimer::start();
         let outs: Vec<LaneOut> = self.run_lanes(worker_tensors, |lane, tensors| {
             let before = lane.codec_seconds();
             let mut bytes = 0u64;
@@ -618,6 +726,7 @@ impl<'a> GradientExchange<'a> {
             }
             (view, lane.codec_seconds() - before, bytes, elements)
         });
+        encode_timer.finish("encode", Track::Stage(Stage::Encode));
 
         let compress_seconds: Vec<f64> = outs.iter().map(|o| o.1).collect();
         let payload_bytes: Vec<u64> = outs.iter().map(|o| o.2).collect();
@@ -636,7 +745,6 @@ impl<'a> GradientExchange<'a> {
             aggregate_seconds: 0.0,
             payload_bytes,
         };
-        self.record_traffic(&report);
         (views, report)
     }
 
@@ -648,11 +756,10 @@ impl<'a> GradientExchange<'a> {
         worker_tensors: Vec<Vec<(String, Tensor)>>,
     ) -> (Vec<(String, Tensor)>, ExchangeReport) {
         let n = self.lanes.len() as f32;
-        let (views, report) = self.decoded_views(worker_tensors);
+        let (views, report) = self.decoded_views_inner(worker_tensors);
         let mut views = views.into_iter();
         let mut acc = views.next().expect("at least one worker");
-        let mut aggregate_seconds = 0.0f64;
-        let t0 = Instant::now();
+        let t0 = StageTimer::start();
         for view in views {
             for (slot, (_, t)) in acc.iter_mut().zip(view) {
                 slot.1.add_assign(&t);
@@ -661,19 +768,51 @@ impl<'a> GradientExchange<'a> {
         for (_, t) in acc.iter_mut() {
             t.scale(1.0 / n);
         }
-        aggregate_seconds += t0.elapsed().as_secs_f64();
+        let aggregate_ns = t0.finish("aggregate", Track::Stage(Stage::Aggregate));
         let report = ExchangeReport {
-            aggregate_seconds,
+            aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
             ..report
         };
+        self.observe_step(&report, 0, aggregate_ns);
+        self.record_traffic(&report);
         (acc, report)
     }
 
+    /// Feeds one step's stage durations into the per-run distributions and
+    /// (level permitting) the global metrics registry — the same numbers the
+    /// [`ExchangeReport`] carries, so the two can never disagree.
+    fn observe_step(&mut self, report: &ExchangeReport, decompress_ns: u64, aggregate_ns: u64) {
+        let compress_ns = (report.max_compress_seconds() * NS_PER_SEC) as u64;
+        self.stage_hists.compress.record(compress_ns);
+        self.stage_hists.decompress.record(decompress_ns);
+        self.stage_hists.aggregate.record(aggregate_ns);
+        self.metrics.compress.record(compress_ns);
+        self.metrics.decompress.record(decompress_ns);
+        self.metrics.aggregate.record(aggregate_ns);
+        let wire = report.wire_bytes() as u64;
+        self.metrics.wire_bytes.record(wire);
+        // Dense f32 bytes over wire bytes, ×100 (integer-valued metric).
+        let raw = (report.elements() * 4) as u64;
+        if let Some(ratio) = raw.saturating_mul(100).checked_div(wire) {
+            self.metrics.ratio_x100.record(ratio);
+        }
+    }
+
+    /// Routes the step's per-rank bytes/messages into the shared
+    /// [`TrafficCounter`] (which mirrors into the global telemetry
+    /// counters), asserting the two accounting paths agree: the counter
+    /// delta must equal the payload bytes the report claims were generated.
     fn record_traffic(&self, report: &ExchangeReport) {
+        let before = self.traffic.total_bytes();
         let messages = report.buckets.len() as u64;
         for (rank, &bytes) in report.payload_bytes.iter().enumerate() {
             self.traffic.record_bucketed(rank, bytes, messages);
         }
+        debug_assert_eq!(
+            self.traffic.total_bytes() - before,
+            report.total_payload_bytes(),
+            "traffic-counter delta diverged from the exchange report"
+        );
     }
 }
 

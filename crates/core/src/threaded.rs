@@ -77,6 +77,9 @@ where
             Box<dyn Memory>,
         ) + Sync,
 {
+    if let Some(level) = cfg.telemetry {
+        grace_telemetry::set_level(level);
+    }
     let n = cfg.n_workers;
     let stats = FaultStats::new(n);
     let (plan, options) = match &cfg.fault {
@@ -101,6 +104,9 @@ where
         }
         out
     });
+    // Worker-thread trace buffers drained on thread exit (Drop); pick up
+    // anything recorded on the caller's thread too.
+    grace_telemetry::trace::flush_thread();
     let survivors = results.iter().filter(|r| r.is_ok()).count();
     let first_ok = results
         .into_iter()

@@ -30,7 +30,7 @@
 //! compute cost is real and can exceed the communication it saves (§V-D).
 
 use crate::compressor::{CommStrategy, Compressor, Context};
-use crate::exchange::{EncodedTensor, GradientExchange, StageTotals};
+use crate::exchange::{EncodedTensor, GradientExchange, StageHistograms, StageTotals};
 use crate::memory::Memory;
 use crate::payload::Payload;
 use grace_comm::NetworkModel;
@@ -177,6 +177,11 @@ pub struct TrainConfig {
     /// parallelism, `Some(1)` forces the sequential path. Results are
     /// bit-identical either way.
     pub exchange_threads: Option<usize>,
+    /// Telemetry level for the run: `Some(level)` overrides the global
+    /// level ([`grace_telemetry::set_level`]); `None` leaves whatever
+    /// `GRACE_TELEMETRY` selected. Telemetry never changes results — only
+    /// what is recorded about them.
+    pub telemetry: Option<grace_telemetry::Level>,
 }
 
 impl TrainConfig {
@@ -197,6 +202,7 @@ impl TrainConfig {
             lr_schedule: None,
             fault: None,
             exchange_threads: None,
+            telemetry: None,
         }
     }
 
@@ -262,6 +268,9 @@ pub struct RunResult {
     /// engine (max-over-workers compress, aggregation decompress, `Agg`),
     /// regardless of the [`CodecTiming`] charging policy.
     pub stages: StageTotals,
+    /// Per-stage latency distributions (ns per step) from the same engine
+    /// — the p50/p95/p99 tails behind the [`StageTotals`] means.
+    pub stage_hists: StageHistograms,
 }
 
 impl RunResult {
@@ -325,6 +334,9 @@ pub fn run_simulated(
     memories: &mut [Box<dyn Memory>],
 ) -> RunResult {
     cfg.validate();
+    if let Some(level) = cfg.telemetry {
+        grace_telemetry::set_level(level);
+    }
     let n = cfg.n_workers;
     assert_eq!(compressors.len(), n, "need one compressor per worker");
     assert_eq!(memories.len(), n, "need one memory per worker");
@@ -462,6 +474,11 @@ pub fn run_simulated(
         }
     }
 
+    let stage_hists = engine.stage_stats().clone();
+    // Step boundaries in this mode run on the caller's thread; drain its
+    // trace buffer so an export right after the run sees every span.
+    grace_telemetry::trace::flush_thread();
+
     summarize(
         compressor_name,
         history,
@@ -474,6 +491,7 @@ pub fn run_simulated(
         comm_seconds,
         compute_seconds,
         stages,
+        stage_hists,
         &iter_times,
         cfg,
     )
@@ -510,6 +528,7 @@ fn summarize(
     comm_seconds: f64,
     compute_seconds: f64,
     stages: StageTotals,
+    stage_hists: StageHistograms,
     iter_times: &[f64],
     cfg: &TrainConfig,
 ) -> RunResult {
@@ -550,6 +569,7 @@ fn summarize(
         comm_seconds,
         compute_seconds,
         stages,
+        stage_hists,
     }
 }
 

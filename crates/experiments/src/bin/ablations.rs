@@ -67,6 +67,7 @@ fn run_custom(
         }),
         fault: None,
         exchange_threads: None,
+        telemetry: None,
     };
     let (mut cs, mut ms) = make(rc.n_workers);
     let mut opt = bench.opt.build("topk");

@@ -40,6 +40,7 @@ fn run_spec(spec: Option<&CompressorSpec>, rc: &RunnerConfig) -> grace_core::Run
         lr_schedule: None,
         fault: None,
         exchange_threads: None,
+        telemetry: None,
     };
     let mut opt = bench.opt.build(spec.map(|s| s.id).unwrap_or("baseline"));
     let (mut cs, mut ms) = match spec {

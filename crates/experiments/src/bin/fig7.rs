@@ -41,10 +41,38 @@ fn main() {
             &["Method", "Rel. volume", task.quality_name()],
             &table,
         );
+        // The CSV additionally carries the per-step stage latency tails from
+        // the telemetry histograms, so straggler skew is visible per cell.
+        let csv_rows: Vec<Vec<String>> = rel
+            .iter()
+            .zip(&table)
+            .map(|(r, base)| {
+                let mut row = base.clone();
+                for t in [&r.compress_tail, &r.decompress_tail, &r.aggregate_tail] {
+                    row.push(report::fmt(t.p50_us, 1));
+                    row.push(report::fmt(t.p95_us, 1));
+                    row.push(report::fmt(t.p99_us, 1));
+                }
+                row
+            })
+            .collect();
         report::write_csv(
             &format!("fig7{letter}_{}.csv", bench.id),
-            &["method", "relative_volume", "quality"],
-            &table,
+            &[
+                "method",
+                "relative_volume",
+                "quality",
+                "compress_p50_us",
+                "compress_p95_us",
+                "compress_p99_us",
+                "decompress_p50_us",
+                "decompress_p95_us",
+                "decompress_p99_us",
+                "aggregate_p50_us",
+                "aggregate_p95_us",
+                "aggregate_p99_us",
+            ],
+            &csv_rows,
         );
     }
 }

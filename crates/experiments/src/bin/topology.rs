@@ -51,6 +51,7 @@ fn run(
         lr_schedule: None,
         fault: None,
         exchange_threads: None,
+        telemetry: None,
     };
     let mut opt = bench.opt.build(compressor_id.unwrap_or("baseline"));
     let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {

@@ -89,6 +89,9 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
         lr_schedule: None,
         fault: None,
         exchange_threads: exchange_threads_from_env(),
+        // Cells inherit the process-wide GRACE_TELEMETRY choice so one env
+        // var covers a whole sweep.
+        telemetry: None,
     };
     let (mut compressors, mut memories): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) =
         match compressor_id {
@@ -144,8 +147,34 @@ pub fn relative(rows: &[(String, RunResult)]) -> Vec<RelativeRow> {
             compress_seconds: r.stages.compress_seconds,
             decompress_seconds: r.stages.decompress_seconds,
             aggregate_seconds: r.stages.aggregate_seconds,
+            compress_tail: StageTail::of(&r.stage_hists.compress),
+            decompress_tail: StageTail::of(&r.stage_hists.decompress),
+            aggregate_tail: StageTail::of(&r.stage_hists.aggregate),
         })
         .collect()
+}
+
+/// Latency tail (p50/p95/p99) of one exchange stage's per-step wall-clock,
+/// in microseconds — summed means hide straggler skew; these don't.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTail {
+    /// Median per-step latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile per-step latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile per-step latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl StageTail {
+    fn of(h: &grace_telemetry::Histogram) -> Self {
+        let us = |q: f64| h.percentile(q) as f64 / 1e3;
+        StageTail {
+            p50_us: us(0.50),
+            p95_us: us(0.95),
+            p99_us: us(0.99),
+        }
+    }
 }
 
 /// One normalized row of a Fig. 6 / Fig. 7-style plot.
@@ -168,6 +197,12 @@ pub struct RelativeRow {
     pub decompress_seconds: f64,
     /// Measured `Agg` wall-clock summed over the run (allgather methods).
     pub aggregate_seconds: f64,
+    /// Per-step compress latency tail over the run.
+    pub compress_tail: StageTail,
+    /// Per-step decompress latency tail over the run.
+    pub decompress_tail: StageTail,
+    /// Per-step aggregate latency tail over the run.
+    pub aggregate_tail: StageTail,
 }
 
 impl RelativeRow {

@@ -1,0 +1,337 @@
+//! Exporters: Chrome trace-event JSON and JSONL metrics snapshots.
+//!
+//! The trace format is the Chrome trace-event "JSON object format"
+//! (`{"traceEvents": [...]}`), which Perfetto and `chrome://tracing` both
+//! load directly. Each [`Track`](crate::Track) becomes one named thread
+//! (`"M"` metadata events) under a single process; spans are complete
+//! (`"X"`) events and markers are instants (`"i"`). Timestamps are
+//! microseconds relative to the telemetry [`epoch`](crate::epoch).
+//!
+//! Metrics snapshots are one JSON object per line; histograms carry
+//! count/sum/min/max/mean plus p50/p95/p99 so downstream tooling never has
+//! to re-derive percentiles from buckets.
+
+use crate::metrics::{self, MetricSnapshot};
+use crate::trace::{self, EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The single Chrome-trace process id used for all tracks.
+const PID: u32 = 1;
+
+/// Where [`export_run`] writes its artefacts.
+pub const TELEMETRY_DIR: &str = "results/telemetry";
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Microseconds with sub-µs precision preserved (ns → µs, 3 decimals).
+fn push_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// Renders events as a Chrome trace-event JSON document.
+///
+/// Emits one `thread_name` metadata record per distinct track (sorted by
+/// tid, so lane tracks appear in rank order below the stage tracks), then
+/// every event in recording order.
+pub fn trace_json_string(events: &[TraceEvent]) -> String {
+    // Collect track names keyed by tid; BTreeMap gives stable ordering.
+    let mut tracks: BTreeMap<u32, String> = BTreeMap::new();
+    for ev in events {
+        tracks
+            .entry(ev.track.tid())
+            .or_insert_with(|| ev.track.label());
+    }
+
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, name) in &tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        );
+        escape_into(&mut out, name);
+        out.push_str("\"}}");
+    }
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"ph\":\"");
+        out.push_str(match ev.kind {
+            EventKind::Span => "X",
+            EventKind::Instant => "i",
+        });
+        let _ = write!(
+            out,
+            "\",\"pid\":{PID},\"tid\":{},\"name\":\"",
+            ev.track.tid()
+        );
+        escape_into(&mut out, ev.name);
+        out.push_str("\",\"ts\":");
+        push_us(&mut out, ev.ts_ns);
+        match ev.kind {
+            EventKind::Span => {
+                out.push_str(",\"dur\":");
+                push_us(&mut out, ev.dur_ns);
+            }
+            // Thread-scoped instant marker.
+            EventKind::Instant => out.push_str(",\"s\":\"t\""),
+        }
+        if let Some((key, val)) = ev.arg {
+            out.push_str(",\"args\":{\"");
+            escape_into(&mut out, key);
+            let _ = write!(out, "\":{val}}}");
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders metric snapshots as JSONL (one object per line, trailing
+/// newline).
+pub fn metrics_jsonl_string(snaps: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for snap in snaps {
+        match snap {
+            MetricSnapshot::Counter { name, value } => {
+                out.push_str("{\"type\":\"counter\",\"name\":\"");
+                escape_into(&mut out, name);
+                let _ = write!(out, "\",\"value\":{value}}}");
+            }
+            MetricSnapshot::Gauge { name, value } => {
+                out.push_str("{\"type\":\"gauge\",\"name\":\"");
+                escape_into(&mut out, name);
+                out.push_str("\",\"value\":");
+                push_f64(&mut out, *value);
+                out.push('}');
+            }
+            MetricSnapshot::Histogram { name, hist } => {
+                out.push_str("{\"type\":\"histogram\",\"name\":\"");
+                escape_into(&mut out, name);
+                let _ = write!(
+                    out,
+                    "\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+                    hist.count(),
+                    hist.sum(),
+                    hist.min(),
+                    hist.max()
+                );
+                push_f64(&mut out, hist.mean());
+                let _ = write!(
+                    out,
+                    ",\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    hist.percentile(0.50),
+                    hist.percentile(0.95),
+                    hist.percentile(0.99)
+                );
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// File paths produced by [`export_run`].
+#[derive(Debug, Clone)]
+pub struct ExportPaths {
+    /// The Chrome trace-event JSON (open in <https://ui.perfetto.dev>).
+    pub trace: PathBuf,
+    /// The JSONL metrics snapshot.
+    pub metrics: PathBuf,
+}
+
+fn sanitize(label: &str) -> String {
+    let cleaned: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "run".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Writes the current trace events and metrics registry to
+/// `<dir>/<label>.trace.json` and `<dir>/<label>.metrics.jsonl`, creating
+/// `dir` if needed. The trace sink is left untouched (use
+/// [`trace::take_events`] to drain it).
+pub fn export_run_to(dir: impl AsRef<Path>, label: &str) -> io::Result<ExportPaths> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let stem = sanitize(label);
+    let events = trace::snapshot_events();
+    let snaps = metrics::snapshot_all();
+    let paths = ExportPaths {
+        trace: dir.join(format!("{stem}.trace.json")),
+        metrics: dir.join(format!("{stem}.metrics.jsonl")),
+    };
+    fs::write(&paths.trace, trace_json_string(&events))?;
+    fs::write(&paths.metrics, metrics_jsonl_string(&snaps))?;
+    Ok(paths)
+}
+
+/// [`export_run_to`] with the conventional [`TELEMETRY_DIR`] destination.
+pub fn export_run(label: &str) -> io::Result<ExportPaths> {
+    export_run_to(TELEMETRY_DIR, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::trace::{EventKind, TraceEvent, Track};
+    use crate::{Histogram, Stage};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                name: "compress",
+                track: Track::Lane(0),
+                ts_ns: 1_500,
+                dur_ns: 2_250,
+                kind: EventKind::Span,
+                arg: Some(("bytes", 42)),
+            },
+            TraceEvent {
+                name: "fault: drop",
+                track: Track::Stage(Stage::Fault),
+                ts_ns: 4_000,
+                dur_ns: 0,
+                kind: EventKind::Instant,
+                arg: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_json_is_valid_and_complete() {
+        let text = trace_json_string(&sample_events());
+        let doc = json::parse(&text).expect("trace must parse");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 metadata records (two distinct tracks) + 2 events.
+        assert_eq!(events.len(), 4);
+        let meta: Vec<&json::Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert!(meta.iter().any(|m| {
+            m.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|n| n.as_str())
+                == Some("lane 0")
+        }));
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(2.25));
+        assert_eq!(
+            span.get("args").unwrap().get("bytes").unwrap().as_f64(),
+            Some(42.0)
+        );
+        let instant = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .unwrap();
+        assert_eq!(instant.get("s").and_then(|s| s.as_str()), Some("t"));
+    }
+
+    #[test]
+    fn empty_trace_still_parses() {
+        let text = trace_json_string(&[]);
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_parse_and_carry_percentiles() {
+        let mut hist = Histogram::new();
+        for v in [10u64, 20, 30, 1000] {
+            hist.record(v);
+        }
+        let snaps = vec![
+            MetricSnapshot::Counter {
+                name: "traffic.bytes_total".to_string(),
+                value: 7,
+            },
+            MetricSnapshot::Gauge {
+                name: "ratio".to_string(),
+                value: 2.5,
+            },
+            MetricSnapshot::Histogram {
+                name: "exchange.compress_ns".to_string(),
+                hist: Box::new(hist),
+            },
+        ];
+        let text = metrics_jsonl_string(&snaps);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            json::parse(line).expect("each JSONL line must parse");
+        }
+        let h = json::parse(lines[2]).unwrap();
+        assert_eq!(h.get("type").unwrap().as_str(), Some("histogram"));
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(4.0));
+        for key in ["p50", "p95", "p99", "mean", "min", "max"] {
+            assert!(h.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        assert_eq!(sanitize("bandwidth sweep/qsgd"), "bandwidth-sweep-qsgd");
+        assert_eq!(sanitize(""), "run");
+    }
+
+    #[test]
+    fn export_writes_both_files() {
+        let dir = std::env::temp_dir().join("grace-telemetry-export-test");
+        let paths = export_run_to(&dir, "unit test").unwrap();
+        let trace_text = fs::read_to_string(&paths.trace).unwrap();
+        json::parse(&trace_text).unwrap();
+        let _ = fs::read_to_string(&paths.metrics).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,176 @@
+//! Observability substrate for the GRACE reproduction.
+//!
+//! The paper's central method is *quantifying* where compressed training
+//! spends its time — model quality vs. throughput vs. transmitted volume vs.
+//! compression compute overhead (§V). This crate is the single accounting
+//! path behind all of those numbers:
+//!
+//! 1. [`trace`] — a low-overhead span/event tracer. Spans are recorded into
+//!    per-thread `Vec`-backed buffers (no locks on the hot path) and drained
+//!    into a global sink at step boundaries or on thread exit. When tracing
+//!    is disabled the recording calls are branch-out no-ops that never
+//!    allocate.
+//! 2. [`metrics`] — a registry of counters, gauges and fixed-bucket log₂
+//!    [`Histogram`]s (per-stage latency, per-lane encode time, compression
+//!    ratio, wire bytes per step, fault injections observed).
+//! 3. [`export`] — writers for Chrome trace-event JSON (loadable in Perfetto
+//!    or `chrome://tracing`; one track per worker lane plus one per exchange
+//!    stage) and a JSONL metrics snapshot, both under `results/telemetry/`.
+//! 4. [`json`] — a minimal JSON parser so tests and CI can validate the
+//!    exported trace without external dependencies.
+//!
+//! # Levels
+//!
+//! The global [`Level`] is read from the `GRACE_TELEMETRY` environment
+//! variable (`off` / `metrics` / `trace`, default `off`) and can be
+//! overridden programmatically ([`set_level`]) or per training run via
+//! `TrainConfig::telemetry` in `grace-core`.
+//!
+//! * `Off` — spans that feed structured reports (the exchange engine's
+//!   `ExchangeReport`) still *measure* time, because the reports exist at
+//!   every level; nothing is retained or aggregated, and the hot path is
+//!   allocation-free.
+//! * `Metrics` — counters/gauges/histograms additionally aggregate.
+//! * `Trace` — individual span and instant events are additionally retained
+//!   for timeline export.
+//!
+//! # Example
+//!
+//! ```
+//! use grace_telemetry::{self as telemetry, Level, Stage, Track};
+//!
+//! telemetry::set_level(Level::Trace);
+//! {
+//!     let _span = telemetry::trace::span("compress", Track::Lane(0));
+//!     // ... work ...
+//! }
+//! telemetry::trace::flush_thread();
+//! let events = telemetry::trace::snapshot_events();
+//! assert!(events.iter().any(|e| e.name == "compress"));
+//! assert_eq!(Track::Stage(Stage::Encode).tid(), 1);
+//! telemetry::set_level(Level::Off);
+//! # telemetry::trace::clear();
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramHandle, MetricSnapshot};
+pub use trace::{Stage, StageTimer, Track};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// How much the telemetry layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No aggregation, no retention. Report-feeding spans still measure.
+    Off = 0,
+    /// Counters, gauges and histograms aggregate.
+    Metrics = 1,
+    /// Metrics plus full span/event retention for timeline export.
+    Trace = 2,
+}
+
+impl Level {
+    /// Parses `off` / `metrics` / `trace` (case-insensitive). `1` is also
+    /// accepted for `metrics` and `2` for `trace`, mirroring verbosity
+    /// flags.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "" | "none" | "false" => Some(Level::Off),
+            "metrics" | "1" | "on" | "true" => Some(Level::Metrics),
+            "trace" | "2" | "full" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel meaning "not initialised yet — consult the environment".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn level_from_env() -> Level {
+    std::env::var("GRACE_TELEMETRY")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Off)
+}
+
+/// The current global telemetry level (initialised from `GRACE_TELEMETRY`
+/// on first use).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Metrics,
+        2 => Level::Trace,
+        _ => {
+            let l = level_from_env();
+            // Racing initialisers all compute the same env-derived value.
+            LEVEL.store(l as u8, Ordering::Relaxed);
+            epoch(); // pin the timeline origin before any event is stamped
+            l
+        }
+    }
+}
+
+/// Overrides the global level (used by `TrainConfig::telemetry` and tests).
+pub fn set_level(l: Level) {
+    epoch();
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Fast gate: is the given level (or a more verbose one) active?
+#[inline]
+pub fn enabled(at_least: Level) -> bool {
+    level() >= at_least
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process-wide timeline origin. All exported timestamps are relative
+/// to the first telemetry call in the process.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since [`epoch`], saturating at zero for instants captured
+/// before the epoch was pinned.
+pub fn since_epoch_ns(at: Instant) -> u64 {
+    at.checked_duration_since(epoch())
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("Metrics"), Some(Level::Metrics));
+        assert_eq!(Level::parse("TRACE"), Some(Level::Trace));
+        assert_eq!(Level::parse("2"), Some(Level::Trace));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Trace > Level::Metrics);
+        assert!(Level::Metrics > Level::Off);
+    }
+
+    #[test]
+    fn epoch_is_monotone() {
+        let e = epoch();
+        assert_eq!(epoch(), e);
+        let later = Instant::now();
+        // `later` is at or after the pinned epoch.
+        let _ = since_epoch_ns(later);
+    }
+}

@@ -1,0 +1,509 @@
+//! Counters, gauges and fixed-bucket log₂ histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`HistogramHandle`]) are resolved by
+//! name once (a short registry lock) and cached by the instrumented code;
+//! recording through a handle is a few atomic operations and is skipped
+//! entirely below [`crate::Level::Metrics`]. The plain [`Histogram`] is the
+//! same bucket layout without atomics, used for per-run scopes (the exchange
+//! engine's per-step stage latencies) and as the snapshot type.
+
+use crate::{enabled, Level};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Number of log₂ buckets. Bucket 0 holds zeros; bucket `i ≥ 1` holds
+/// values in `[2^(i−1), 2^i)`; the last bucket absorbs everything larger.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index for a value.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// A fixed-bucket log₂ histogram with exact count/sum/min/max.
+///
+/// # Example
+///
+/// ```
+/// use grace_telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 100, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1000);
+/// assert!(h.percentile(0.5) >= 2 && h.percentile(0.5) <= 100);
+/// assert_eq!(h.percentile(1.0), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`): the geometric midpoint of
+    /// the bucket holding the target rank, clamped to the exact observed
+    /// `[min, max]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let mid = if i == 0 {
+                    0
+                } else {
+                    // 1.5 · 2^(i−1): midpoint of [2^(i−1), 2^i).
+                    (1u64 << (i - 1)).saturating_add(1u64 << (i - 1) >> 1)
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[derive(Debug)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (slot, b) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        h.count = h.buckets.iter().sum();
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.min = self.min.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `v` (skipped below the `Metrics` level).
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if enabled(Level::Metrics) {
+            self.0.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge handle (stores `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge (skipped below the `Metrics` level).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled(Level::Metrics) {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A shared histogram handle.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<AtomicHistogram>);
+
+impl HistogramHandle {
+    /// Records one observation (skipped below the `Metrics` level).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled(Level::Metrics) {
+            self.0.record(v);
+        }
+    }
+
+    /// Copies the current state into a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<AtomicHistogram>),
+}
+
+/// One exported metric value.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// A counter's name and value.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// A gauge's name and value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Last stored value.
+        value: f64,
+    },
+    /// A histogram's name and state.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Bucket/percentile state (boxed: the bucket array is large).
+        hist: Box<Histogram>,
+    },
+}
+
+impl MetricSnapshot {
+    /// The metric's name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Resolves (registering on first use) the counter named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = lock_registry();
+    let m = reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+    match m {
+        Metric::Counter(c) => Counter(Arc::clone(c)),
+        _ => panic!("metric '{name}' is not a counter"),
+    }
+}
+
+/// Resolves (registering on first use) the gauge named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = lock_registry();
+    let m = reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
+    match m {
+        Metric::Gauge(g) => Gauge(Arc::clone(g)),
+        _ => panic!("metric '{name}' is not a gauge"),
+    }
+}
+
+/// Resolves (registering on first use) the histogram named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn histogram(name: &str) -> HistogramHandle {
+    let mut reg = lock_registry();
+    let m = reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Arc::new(AtomicHistogram::new())));
+    match m {
+        Metric::Histogram(h) => HistogramHandle(Arc::clone(h)),
+        _ => panic!("metric '{name}' is not a histogram"),
+    }
+}
+
+/// Snapshots every registered metric, sorted by name.
+pub fn snapshot_all() -> Vec<MetricSnapshot> {
+    lock_registry()
+        .iter()
+        .map(|(name, m)| match m {
+            Metric::Counter(c) => MetricSnapshot::Counter {
+                name: name.clone(),
+                value: c.load(Ordering::Relaxed),
+            },
+            Metric::Gauge(g) => MetricSnapshot::Gauge {
+                name: name.clone(),
+                value: f64::from_bits(g.load(Ordering::Relaxed)),
+            },
+            Metric::Histogram(h) => MetricSnapshot::Histogram {
+                name: name.clone(),
+                hist: Box::new(h.snapshot()),
+            },
+        })
+        .collect()
+}
+
+/// Zeroes every registered metric (existing handles stay valid).
+pub fn reset_all() {
+    for m in lock_registry().values() {
+        match m {
+            Metric::Counter(c) => c.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.store(0f64.to_bits(), Ordering::Relaxed),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_level;
+
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        // Log₂ buckets: the estimate lands within a factor of 2.
+        assert!((256..=1000).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+        assert_eq!(h.percentile(0.0), h.percentile(1e-9));
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        a.record(4);
+        let mut b = Histogram::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 4);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn handles_record_only_at_metrics_level() {
+        let _g = serial();
+        set_level(Level::Off);
+        let c = counter("test.metrics.counter");
+        let base = c.get();
+        c.add(5);
+        assert_eq!(c.get(), base, "Off level must not record");
+        set_level(Level::Metrics);
+        c.add(5);
+        assert_eq!(c.get(), base + 5);
+        let h = histogram("test.metrics.hist");
+        h.record(128);
+        assert!(h.snapshot().count() >= 1);
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn snapshot_lists_registered_metrics_sorted() {
+        let _g = serial();
+        set_level(Level::Metrics);
+        counter("test.snap.b").add(1);
+        counter("test.snap.a").add(1);
+        let names: Vec<String> = snapshot_all()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
+        let a = names.iter().position(|n| n == "test.snap.a").unwrap();
+        let b = names.iter().position(|n| n == "test.snap.b").unwrap();
+        assert!(a < b);
+        set_level(Level::Off);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_confusion_panics() {
+        let _ = histogram("test.confused");
+        let _ = counter("test.confused");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let _g = serial();
+        set_level(Level::Metrics);
+        let c = counter("test.reset.c");
+        c.add(3);
+        reset_all();
+        assert_eq!(c.get(), 0);
+        c.add(2);
+        assert_eq!(c.get(), 2);
+        set_level(Level::Off);
+    }
+}

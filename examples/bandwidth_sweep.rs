@@ -91,6 +91,15 @@ fn main() {
     );
 
     straggler_rerun();
+
+    // With GRACE_TELEMETRY=metrics|trace set, drop the run's Perfetto trace
+    // and metrics snapshot under results/telemetry/ (no-op otherwise).
+    if grace::telemetry::enabled(grace::telemetry::Level::Metrics) {
+        let paths = grace::telemetry::export::export_run("bandwidth_sweep")
+            .expect("write telemetry export");
+        println!("\n[telemetry] trace:   {}", paths.trace.display());
+        println!("[telemetry] metrics: {}", paths.metrics.display());
+    }
 }
 
 /// Reruns the Top-k point in the *real* threaded SPMD mode under a seeded

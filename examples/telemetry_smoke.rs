@@ -1,0 +1,106 @@
+//! End-to-end telemetry smoke check: run a tiny training job with tracing
+//! enabled, export the Perfetto trace + metrics snapshot, re-parse both, and
+//! assert the timeline has what DESIGN.md §10 promises — one track per worker
+//! lane and at least one span on every exchange-stage track. CI runs this as
+//! its telemetry gate; it exits non-zero on any violation.
+//!
+//! Run: `GRACE_TELEMETRY=trace cargo run --example telemetry_smoke`
+//! (the example force-enables tracing via `TrainConfig::telemetry`, so the
+//! env var is optional here — it is how real runs opt in).
+
+use grace::compressors::registry;
+use grace::core::trainer::run_simulated;
+use grace::core::TrainConfig;
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::optim::Momentum;
+use grace::telemetry::json::{self, Value};
+use grace::telemetry::Level;
+
+const WORKERS: usize = 4;
+
+fn main() {
+    let task = ClassificationDataset::synthetic(128, 32, 10, 0.35, 5);
+    let mut net = models::mlp_classifier("m", 32, &[24], 10, 5);
+    let mut cfg = TrainConfig::new(WORKERS, 16, 1, 5);
+    cfg.telemetry = Some(Level::Trace);
+
+    // Top-k is an allgather method, so one step exercises every stage track:
+    // encode, per-peer decompress, and the aggregate averaging pass.
+    let spec = registry::find("topk").expect("registered");
+    let (mut cs, mut ms) = registry::build_fleet(&spec, WORKERS, 5);
+    let mut opt = Momentum::new(0.03, 0.9);
+    let result = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+    println!(
+        "trained: {} steps, accuracy {:.3}",
+        result.steps, result.best_quality
+    );
+
+    let paths = grace::telemetry::export::export_run("telemetry_smoke").expect("export");
+    println!("trace:   {}", paths.trace.display());
+    println!("metrics: {}", paths.metrics.display());
+
+    // --- Re-parse the trace and check the Perfetto contract. ---
+    let text = std::fs::read_to_string(&paths.trace).expect("read trace");
+    let doc = json::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+
+    let mut tracks = Vec::new();
+    let mut span_counts: std::collections::BTreeMap<String, usize> = Default::default();
+    for ev in events {
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("M") => {
+                if let Some(name) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                {
+                    tracks.push(name.to_string());
+                }
+            }
+            Some("X") => {
+                if let Some(name) = ev.get("name").and_then(Value::as_str) {
+                    *span_counts.entry(name.to_string()).or_default() += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for rank in 0..WORKERS {
+        let lane = format!("lane {rank}");
+        assert!(
+            tracks.contains(&lane),
+            "missing track {lane:?} in {tracks:?}"
+        );
+    }
+    for stage in ["encode", "decompress", "aggregate"] {
+        let n = span_counts.get(stage).copied().unwrap_or(0);
+        assert!(
+            n >= 1,
+            "no '{stage}' spans in trace (spans: {span_counts:?})"
+        );
+        println!("stage '{stage}': {n} spans");
+    }
+
+    // --- The metrics JSONL must carry latency tails for each stage. ---
+    let metrics_text = std::fs::read_to_string(&paths.metrics).expect("read metrics");
+    for name in [
+        "exchange.compress_ns",
+        "exchange.decompress_ns",
+        "exchange.aggregate_ns",
+    ] {
+        let line = metrics_text
+            .lines()
+            .find(|l| l.contains(name))
+            .unwrap_or_else(|| panic!("metric {name} missing from JSONL"));
+        let v = json::parse(line).expect("metrics line is valid JSON");
+        for q in ["p50", "p95", "p99"] {
+            assert!(v.get(q).is_some(), "{name} lacks {q}");
+        }
+    }
+    println!("telemetry smoke: OK");
+}

@@ -6,9 +6,11 @@
 //! - [`comm`] — collective communication + network cost model
 //! - [`core`] — the GRACE framework (compressor API, error feedback, Algorithm 1)
 //! - [`compressors`] — the 16 compression methods of Table I
+//! - [`telemetry`] — tracing, metrics histograms, Perfetto timeline export
 
 pub use grace_comm as comm;
 pub use grace_compressors as compressors;
 pub use grace_core as core;
 pub use grace_nn as nn;
+pub use grace_telemetry as telemetry;
 pub use grace_tensor as tensor;

@@ -90,6 +90,27 @@ const GOLDEN_QSGD: u32 = 0xd2de_c0db;
 const GOLDEN_TOPK: u32 = 0xe0ae_0255;
 const GOLDEN_POWERSGD: u32 = 0xfc95_aeee;
 
+/// Telemetry must be bit-invisible: with full tracing enabled the trained
+/// parameters still hash to the pre-refactor goldens, and the run leaves
+/// spans behind (i.e. tracing was actually on, not silently disabled).
+#[test]
+fn trace_enabled_run_matches_goldens() {
+    use grace::telemetry::{set_level, trace, Level};
+    set_level(Level::Trace);
+    let crc = golden_run(
+        |_w| Box::new(TopK::new(0.05)),
+        || Box::new(ResidualMemory::new()),
+    );
+    trace::flush_thread();
+    let spans = trace::take_events();
+    set_level(Level::Off);
+    assert_eq!(crc, GOLDEN_TOPK, "tracing changed the trained model");
+    assert!(
+        spans.iter().any(|e| e.name == "encode"),
+        "tracing was enabled but no encode spans were recorded"
+    );
+}
+
 /// Full training run with an explicit executor width; returns the parameter
 /// checksum plus the byte accounting the `ExchangeReport`s fed into the
 /// result, so the determinism tests can compare both.

@@ -1,0 +1,222 @@
+//! Telemetry integration tests: the Perfetto export obeys the minimal Chrome
+//! trace-event schema, span recording preserves nesting/ordering invariants
+//! for arbitrary shapes, and an export round-trips through the bundled JSON
+//! parser.
+
+use grace::telemetry::export::{metrics_jsonl_string, trace_json_string};
+use grace::telemetry::json::{self, Value};
+use grace::telemetry::metrics;
+use grace::telemetry::trace::{self, EventKind};
+use grace::telemetry::{set_level, Level, Stage, Track};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// Every test here mutates the process-wide telemetry level and the global
+/// trace sink; serialise them (the harness runs tests on parallel threads).
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Span names for the nesting property: recording wants `&'static str`.
+static NAMES: [&str; 10] = ["d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9"];
+
+fn nest(depth: usize, track: Track) {
+    if depth == 0 {
+        return;
+    }
+    let _s = trace::span(NAMES[depth % NAMES.len()], track);
+    nest(depth - 1, track);
+}
+
+#[test]
+fn perfetto_export_obeys_minimal_schema() {
+    let _g = serial();
+    set_level(Level::Trace);
+    trace::clear();
+    {
+        let _a = trace::span("encode", Track::Stage(Stage::Encode));
+        let _b = trace::span("compress", Track::Lane(0));
+    }
+    {
+        let _c = trace::span("compress", Track::Lane(1));
+    }
+    trace::instant_arg("fault: drop", Track::Stage(Stage::Fault), Some(("rank", 1)));
+    let events = trace::take_events();
+    set_level(Level::Off);
+
+    let text = trace_json_string(&events);
+    let doc = json::parse(&text).expect("export is valid JSON");
+    assert!(
+        doc.get("displayTimeUnit").is_some(),
+        "displayTimeUnit missing"
+    );
+    let list = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+
+    let mut meta_tids = Vec::new();
+    let mut span_count = 0;
+    let mut instant_count = 0;
+    for ev in list {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph");
+        assert!(ev.get("pid").is_some(), "pid missing on {ph}");
+        assert!(ev.get("tid").is_some(), "tid missing on {ph}");
+        match ph {
+            "M" => {
+                assert_eq!(ev.get("name").and_then(Value::as_str), Some("thread_name"));
+                let label = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .expect("thread_name args.name");
+                assert!(!label.is_empty());
+                meta_tids.push(ev.get("tid").and_then(Value::as_f64).unwrap() as u32);
+            }
+            "X" => {
+                assert!(ev.get("ts").and_then(Value::as_f64).is_some(), "ts");
+                assert!(ev.get("dur").and_then(Value::as_f64).is_some(), "dur");
+                span_count += 1;
+            }
+            "i" => {
+                // Instants need an explicit scope or Perfetto drops them.
+                assert_eq!(ev.get("s").and_then(Value::as_str), Some("t"));
+                instant_count += 1;
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(span_count, 3);
+    assert_eq!(instant_count, 1);
+    // One thread_name record per distinct track, no duplicates.
+    let expected: Vec<u32> = vec![
+        Track::Stage(Stage::Encode).tid(),
+        Track::Stage(Stage::Fault).tid(),
+        Track::Lane(0).tid(),
+        Track::Lane(1).tid(),
+    ];
+    meta_tids.sort_unstable();
+    let mut expected = expected;
+    expected.sort_unstable();
+    assert_eq!(meta_tids, expected);
+}
+
+#[test]
+fn metrics_jsonl_round_trips_percentiles() {
+    let _g = serial();
+    set_level(Level::Metrics);
+    let h = metrics::histogram("test.telemetry_roundtrip_ns");
+    for v in [100u64, 200, 400, 800, 100_000] {
+        h.record(v);
+    }
+    metrics::counter("test.telemetry_roundtrip_total").add(3);
+    let snaps = metrics::snapshot_all();
+    set_level(Level::Off);
+
+    let text = metrics_jsonl_string(&snaps);
+    let mut saw_hist = false;
+    let mut saw_counter = false;
+    for line in text.lines() {
+        let v = json::parse(line).expect("each JSONL line parses alone");
+        let name = v.get("name").and_then(Value::as_str).unwrap();
+        if name == "test.telemetry_roundtrip_ns" {
+            saw_hist = true;
+            assert_eq!(v.get("count").and_then(Value::as_f64), Some(5.0));
+            let p = |k: &str| v.get(k).and_then(Value::as_f64).unwrap();
+            assert!(p("p50") <= p("p95") && p("p95") <= p("p99"));
+            assert!(p("p99") <= p("max"));
+            assert_eq!(p("max"), 100_000.0);
+        } else if name == "test.telemetry_roundtrip_total" {
+            saw_counter = true;
+            assert_eq!(v.get("value").and_then(Value::as_f64), Some(3.0));
+        }
+    }
+    assert!(saw_hist && saw_counter, "metrics missing from JSONL");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Nested spans close inner-first, and every inner span's interval is
+    /// contained in its encloser's — for any nesting depth on any track.
+    #[test]
+    fn nested_spans_are_ordered_and_contained(
+        depth in 1usize..9,
+        lane in 0usize..8,
+    ) {
+        let _g = serial();
+        set_level(Level::Trace);
+        trace::clear();
+        nest(depth, Track::Lane(lane));
+        let events = trace::take_events();
+        set_level(Level::Off);
+
+        prop_assert_eq!(events.len(), depth);
+        for w in events.windows(2) {
+            let (inner, outer) = (&w[0], &w[1]);
+            prop_assert_eq!(inner.kind, EventKind::Span);
+            // The encloser starts no later and ends no earlier.
+            prop_assert!(outer.ts_ns <= inner.ts_ns);
+            prop_assert!(
+                outer.ts_ns + outer.dur_ns >= inner.ts_ns + inner.dur_ns,
+                "outer [{}, +{}] does not contain inner [{}, +{}]",
+                outer.ts_ns, outer.dur_ns, inner.ts_ns, inner.dur_ns
+            );
+        }
+    }
+
+    /// Sequential (sibling) spans are recorded in program order with
+    /// non-decreasing start timestamps.
+    #[test]
+    fn sibling_spans_record_in_program_order(count in 1usize..16) {
+        let _g = serial();
+        set_level(Level::Trace);
+        trace::clear();
+        for i in 0..count {
+            let _s = trace::span(NAMES[i % NAMES.len()], Track::Lane(0));
+        }
+        let events = trace::take_events();
+        set_level(Level::Off);
+
+        prop_assert_eq!(events.len(), count);
+        for (i, ev) in events.iter().enumerate() {
+            prop_assert_eq!(ev.name, NAMES[i % NAMES.len()]);
+        }
+        for w in events.windows(2) {
+            prop_assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+}
+
+#[test]
+fn export_run_writes_parseable_files() {
+    let _g = serial();
+    set_level(Level::Trace);
+    trace::clear();
+    {
+        let _s = trace::span("encode", Track::Stage(Stage::Encode));
+    }
+    metrics::histogram("test.export_run_ns").record(42);
+    let dir = std::env::temp_dir().join("grace_telemetry_test_export");
+    let paths = grace::telemetry::export::export_run_to(&dir, "round trip/label").expect("export");
+    set_level(Level::Off);
+    trace::clear();
+
+    // The label is sanitised into the file names.
+    assert!(paths
+        .trace
+        .file_name()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .starts_with("round-trip-label"));
+    let trace_text = std::fs::read_to_string(&paths.trace).expect("trace file");
+    let doc = json::parse(&trace_text).expect("trace parses");
+    assert!(doc.get("traceEvents").and_then(Value::as_array).is_some());
+    let metrics_text = std::fs::read_to_string(&paths.metrics).expect("metrics file");
+    for line in metrics_text.lines() {
+        json::parse(line).expect("metrics line parses");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

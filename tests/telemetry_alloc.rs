@@ -1,0 +1,57 @@
+//! With telemetry disabled the recording API must be allocation-free — the
+//! whole hot path is a level check that branches out. This lives in its own
+//! integration-test binary because it installs a counting global allocator
+//! (and so must not share a process with unrelated parallel tests).
+
+use grace::telemetry::trace::{self, StageTimer};
+use grace::telemetry::{metrics, set_level, Level, Stage, Track};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_telemetry_hot_path_is_allocation_free() {
+    set_level(Level::Off);
+    // Handle resolution and the lazy sink/TLS machinery may allocate once;
+    // do all of that before the measured window.
+    let hist = metrics::histogram("alloc_test.latency_ns");
+    let ctr = metrics::counter("alloc_test.total");
+    {
+        let _warm = trace::span("warmup", Track::Lane(0));
+    }
+    trace::instant("warmup", Track::Stage(Stage::Encode));
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let _s = trace::span("hot", Track::Lane(0));
+        trace::instant_arg("hot", Track::Stage(Stage::Fault), Some(("rank", i)));
+        let t = StageTimer::start();
+        let ns = t.finish("hot", Track::Stage(Stage::Encode));
+        hist.record(ns);
+        ctr.add(1);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry hot path allocated {} times",
+        after - before
+    );
+}
