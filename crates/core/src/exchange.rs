@@ -40,6 +40,7 @@
 //! Because report timings and trace spans come from the same clock reads,
 //! they can never disagree.
 
+use crate::bucket::BucketPlan;
 use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::memory::Memory;
 use crate::payload::{self, Payload};
@@ -91,17 +92,28 @@ pub struct BucketReport {
 /// Structured outcome of one exchange step.
 #[derive(Debug, Clone, Default)]
 pub struct ExchangeReport {
-    /// Fused-bucket accounting (currently one bucket per step).
+    /// Fused-bucket accounting (one entry per fusion bucket; the one-shot
+    /// path produces a single bucket).
     pub buckets: Vec<BucketReport>,
     /// Wall-clock seconds each worker spent in compress + own-decompress
     /// (the memory-update decode), indexed by rank.
     pub compress_seconds: Vec<f64>,
     /// Wall-clock seconds spent decompressing for aggregation.
     pub decompress_seconds: f64,
+    /// CPU seconds spent decompressing for aggregation, summed over lanes.
+    /// Equals [`decompress_seconds`](Self::decompress_seconds) on the serial
+    /// path; exceeds it when `Allgather` contributions decode in parallel on
+    /// the executor threads — the ratio is the parallel-decode win.
+    pub decompress_cpu_seconds: f64,
     /// Wall-clock seconds spent in `Agg` proper.
     pub aggregate_seconds: f64,
     /// Payload bytes each worker generated this step, indexed by rank.
     pub payload_bytes: Vec<u64>,
+    /// Per-rank encode seconds spent on fusion buckets sealed *before* the
+    /// stream's final bucket — work the pipelined session performed while
+    /// backprop was still producing gradients, i.e. hidden under compute.
+    /// All zeros for the one-shot path.
+    pub hidden_encode_seconds: Vec<f64>,
 }
 
 impl ExchangeReport {
@@ -130,6 +142,60 @@ impl ExchangeReport {
     /// Payload bytes generated across all workers this step.
     pub fn total_payload_bytes(&self) -> u64 {
         self.payload_bytes.iter().sum()
+    }
+
+    /// Fraction of encode work hidden under backprop: Σ hidden encode
+    /// seconds over Σ compress seconds across ranks. Zero for one-shot
+    /// steps and single-bucket streams (nothing seals early).
+    pub fn overlap_ratio(&self) -> f64 {
+        let total: f64 = self.compress_seconds.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let hidden: f64 = self.hidden_encode_seconds.iter().sum();
+        (hidden / total).clamp(0.0, 1.0)
+    }
+
+    /// Slowest rank's hidden encode time.
+    pub fn max_hidden_encode_seconds(&self) -> f64 {
+        self.hidden_encode_seconds
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Wall codec cost of a pipelined step: the slowest rank's *exposed*
+    /// encode (final-bucket work that cannot overlap backprop), plus
+    /// whatever hidden encode exceeded the compute it hid under, plus the
+    /// serial decode/aggregate tail. Collapses to
+    /// [`codec_wall_seconds`](Self::codec_wall_seconds) when nothing was
+    /// hidden.
+    pub fn codec_wall_seconds_overlapped(&self, compute_seconds: f64) -> f64 {
+        let mut max_exposed = 0.0f64;
+        let mut max_hidden = 0.0f64;
+        for (r, &c) in self.compress_seconds.iter().enumerate() {
+            let h = self
+                .hidden_encode_seconds
+                .get(r)
+                .copied()
+                .unwrap_or(0.0)
+                .min(c);
+            max_exposed = max_exposed.max(c - h);
+            max_hidden = max_hidden.max(h);
+        }
+        max_exposed
+            + (max_hidden - compute_seconds).max(0.0)
+            + self.decompress_seconds
+            + self.aggregate_seconds
+    }
+
+    /// Parallel-decode win: CPU decode seconds over wall decode seconds.
+    /// `1.0` when decoding ran serially (e.g. `Allreduce`, one lane).
+    pub fn decode_parallel_speedup(&self) -> f64 {
+        if self.decompress_seconds <= 0.0 {
+            1.0
+        } else {
+            (self.decompress_cpu_seconds / self.decompress_seconds).max(1.0)
+        }
     }
 }
 
@@ -188,6 +254,11 @@ struct EngineMetrics {
     aggregate: HistogramHandle,
     wire_bytes: HistogramHandle,
     ratio_x100: HistogramHandle,
+    /// Sealed-but-unaggregated fusion buckets across lanes (pipelined
+    /// session queue depth).
+    in_flight: metrics::Gauge,
+    /// Last pipelined step's [`ExchangeReport::overlap_ratio`].
+    overlap: metrics::Gauge,
 }
 
 impl EngineMetrics {
@@ -198,6 +269,8 @@ impl EngineMetrics {
             aggregate: metrics::histogram("exchange.aggregate_ns"),
             wire_bytes: metrics::histogram("exchange.wire_bytes_per_step"),
             ratio_x100: metrics::histogram("exchange.compression_ratio_x100"),
+            in_flight: metrics::gauge("exchange.buckets_in_flight"),
+            overlap: metrics::gauge("exchange.overlap_ratio"),
         }
     }
 }
@@ -380,6 +453,168 @@ pub fn decode_gathered(compressor: &mut dyn Compressor, parts: &[EncodedTensor])
     compressor.aggregate(decoded)
 }
 
+/// Which artifact a pipelined session keeps per tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionMode {
+    /// Keep the encoded wire form; [`BucketedExchange::finish`] aggregates
+    /// under the fleet's [`CommStrategy`] (the data-parallel exchange).
+    Encoded,
+    /// Keep each lane's decoded reconstruction (`encode_decode`); the
+    /// session ends through `finish_decoded_*` (the replicated schedules).
+    Decoded,
+}
+
+/// Per-lane staging state of the pipelined session. Every vector is a pool
+/// that persists across steps on the engine, so the steady-state submit
+/// path allocates nothing once the plan's shapes have been seen.
+struct LaneStager {
+    /// Plan-indexed pooled copies of submitted gradients.
+    staged: Vec<Tensor>,
+    filled: Vec<bool>,
+    /// Plan-indexed encode outputs ([`SessionMode::Encoded`]).
+    encoded: Vec<Option<EncodedTensor>>,
+    /// Plan-indexed decoded views ([`SessionMode::Decoded`]).
+    decoded: Vec<Option<Tensor>>,
+    /// Next plan index to encode; every slot below it is already encoded.
+    cursor: usize,
+    /// Tensors staged so far this step.
+    submitted: usize,
+    /// Encode nanoseconds attributed to each bucket this step.
+    bucket_ns: Vec<u64>,
+    /// Payload bytes generated per bucket this step.
+    bucket_bytes: Vec<u64>,
+    /// Wall window opened at the open bucket's first encode; spans the
+    /// interleaved backprop on the `buckets` track when it closes.
+    window: Option<StageTimer>,
+    /// `codec_seconds` snapshot taken at `begin_step`.
+    codec_before: f64,
+}
+
+impl LaneStager {
+    fn new() -> Self {
+        LaneStager {
+            staged: Vec::new(),
+            filled: Vec::new(),
+            encoded: Vec::new(),
+            decoded: Vec::new(),
+            cursor: 0,
+            submitted: 0,
+            bucket_ns: Vec::new(),
+            bucket_bytes: Vec::new(),
+            window: None,
+            codec_before: 0.0,
+        }
+    }
+
+    /// Sizes every pool for `plan` and clears per-step state, reusing
+    /// existing capacity (allocates only when the plan grew).
+    fn reset(&mut self, plan: &BucketPlan, codec_before: f64) {
+        let n = plan.n_tensors();
+        if self.staged.len() < n {
+            self.staged.resize_with(n, || Tensor::from_vec(Vec::new()));
+        }
+        self.filled.clear();
+        self.filled.resize(n, false);
+        self.encoded.iter_mut().for_each(|s| *s = None);
+        if self.encoded.len() < n {
+            self.encoded.resize_with(n, || None);
+        }
+        self.decoded.iter_mut().for_each(|s| *s = None);
+        if self.decoded.len() < n {
+            self.decoded.resize_with(n, || None);
+        }
+        self.bucket_ns.clear();
+        self.bucket_ns.resize(plan.n_buckets(), 0);
+        self.bucket_bytes.clear();
+        self.bucket_bytes.resize(plan.n_buckets(), 0);
+        self.cursor = 0;
+        self.submitted = 0;
+        self.window = None;
+        self.codec_before = codec_before;
+    }
+
+    /// Stages one submission into plan slot `idx`.
+    fn stage(&mut self, idx: usize, grad: &Tensor) {
+        self.staged[idx].copy_from(grad);
+        self.filled[idx] = true;
+        self.submitted += 1;
+    }
+
+    /// Encodes every contiguously-filled slot at the cursor — the canonical
+    /// per-lane encode order is *plan* order, independent of submission
+    /// order, which keeps sequential-RNG compressors (QSGD, RandomK)
+    /// bit-identical for any arrival interleaving. Attributes time and
+    /// bytes to the covering bucket and emits a `buckets`-track span when a
+    /// bucket's last tensor encodes. Returns the number of buckets this
+    /// call completed on this lane.
+    fn advance(
+        &mut self,
+        lane: &mut WorkerLane<'_>,
+        plan: &BucketPlan,
+        mode: SessionMode,
+    ) -> usize {
+        let mut completed = 0;
+        while self.cursor < plan.n_tensors() && self.filled[self.cursor] {
+            let idx = self.cursor;
+            let b = plan.bucket_of(idx);
+            if self.window.is_none() {
+                self.window = Some(StageTimer::start());
+            }
+            let before_ns = lane.codec_ns;
+            let bytes = match mode {
+                SessionMode::Encoded => {
+                    let enc = lane.encode(plan.name(idx), &self.staged[idx]);
+                    let bytes = enc.wire_bytes() as u64;
+                    self.encoded[idx] = Some(enc);
+                    bytes
+                }
+                SessionMode::Decoded => {
+                    let (enc, view) = lane.encode_decode(plan.name(idx), &self.staged[idx]);
+                    let bytes = enc.wire_bytes() as u64;
+                    self.decoded[idx] = Some(view);
+                    bytes
+                }
+            };
+            self.bucket_ns[b] += lane.codec_ns - before_ns;
+            self.bucket_bytes[b] += bytes;
+            self.cursor += 1;
+            if self.cursor == plan.bucket_range(b).end {
+                if let Some(w) = self.window.take() {
+                    w.finish_with("bucket", Track::Bucket, "bucket", b as u64);
+                }
+                completed += 1;
+            }
+        }
+        completed
+    }
+
+    /// Payload bytes this lane generated this step.
+    fn step_bytes(&self) -> u64 {
+        self.bucket_bytes.iter().sum()
+    }
+
+    /// Encode seconds spent on every bucket except the stream's last — work
+    /// performed while backprop was still producing later buckets.
+    fn hidden_seconds(&self) -> f64 {
+        match self.bucket_ns.split_last() {
+            Some((_, rest)) => rest.iter().sum::<u64>() as f64 / NS_PER_SEC,
+            None => 0.0,
+        }
+    }
+}
+
+/// Cross-step pipelined-session state owned by the engine; pools persist so
+/// steady-state steps allocate nothing on the submit path.
+#[derive(Default)]
+struct PipelineState {
+    plan: Option<BucketPlan>,
+    stagers: Vec<LaneStager>,
+    mode: Option<SessionMode>,
+    /// Sealed-but-unaggregated bucket instances across lanes (the queue
+    /// depth mirrored into the `exchange.buckets_in_flight` gauge).
+    in_flight: u64,
+}
+
 /// The engine: owns the per-worker lanes and performs whole exchange steps.
 ///
 /// Construction borrows the fleet, so callers keep ownership of their
@@ -392,6 +627,7 @@ pub struct GradientExchange<'a> {
     traffic: TrafficCounter,
     stage_hists: StageHistograms,
     metrics: EngineMetrics,
+    pipeline: PipelineState,
 }
 
 impl<'a> GradientExchange<'a> {
@@ -452,6 +688,7 @@ impl<'a> GradientExchange<'a> {
             traffic: TrafficCounter::new(n),
             stage_hists: StageHistograms::default(),
             metrics: EngineMetrics::resolve(),
+            pipeline: PipelineState::default(),
         }
     }
 
@@ -637,6 +874,7 @@ impl<'a> GradientExchange<'a> {
             wire_bytes: 0,
         };
         let mut decompress_ns = 0u64;
+        let mut decompress_cpu_ns = 0u64;
         let mut aggregate_ns = 0u64;
         for _ in 0..n_tensors {
             let mut name = String::new();
@@ -648,33 +886,13 @@ impl<'a> GradientExchange<'a> {
                 }
                 group.push(enc);
             }
-            let agg = match self.strategy {
-                CommStrategy::Allreduce => {
-                    bucket.wire_bytes += group[0].wire_bytes();
-                    let mean = mean_payloads(&group);
-                    let t0 = StageTimer::start();
-                    let out = self.lanes[0].compressor.decompress(&mean, &group[0].ctx);
-                    decompress_ns += t0.finish("decompress", Track::Stage(Stage::Decompress));
-                    out
-                }
-                CommStrategy::Allgather | CommStrategy::Broadcast => {
-                    bucket.wire_bytes += group
-                        .iter()
-                        .map(EncodedTensor::wire_bytes)
-                        .max()
-                        .unwrap_or(0);
-                    let t0 = StageTimer::start();
-                    let parts: Vec<Tensor> = group
-                        .iter()
-                        .map(|e| self.lanes[0].compressor.decompress(&e.payloads, &e.ctx))
-                        .collect();
-                    decompress_ns += t0.finish("decompress", Track::Stage(Stage::Decompress));
-                    let t1 = StageTimer::start();
-                    let out = self.lanes[0].compressor.aggregate(parts);
-                    aggregate_ns += t1.finish("aggregate", Track::Stage(Stage::Aggregate));
-                    out
-                }
-            };
+            let agg = self.aggregate_group(
+                group,
+                &mut bucket,
+                &mut decompress_ns,
+                &mut decompress_cpu_ns,
+                &mut aggregate_ns,
+            );
             aggregated.push((name, agg));
         }
 
@@ -682,12 +900,72 @@ impl<'a> GradientExchange<'a> {
             buckets: vec![bucket],
             compress_seconds,
             decompress_seconds: decompress_ns as f64 / NS_PER_SEC,
+            decompress_cpu_seconds: decompress_cpu_ns as f64 / NS_PER_SEC,
             aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
             payload_bytes,
+            hidden_encode_seconds: vec![0.0; n],
         };
         self.observe_step(&report, decompress_ns, aggregate_ns);
         self.record_traffic(&report);
         (aggregated, report)
+    }
+
+    /// Aggregates one tensor's per-worker contributions under the fleet's
+    /// [`CommStrategy`], folding wire bytes into `bucket` and stage times
+    /// into the accumulators.
+    ///
+    /// `Allreduce` means payloads while compressed and decodes once on lane
+    /// 0\. `Allgather`/`Broadcast` decode each gathered contribution **on
+    /// its own lane** via the executor — decompression is pure and
+    /// instance-independent for every registered method (the basis of the
+    /// threaded/simulated equivalence contract), so fanning it out is
+    /// bit-identical to the old serial lane-0 loop while removing its
+    /// serial bottleneck; the final `Agg` stays on lane 0. The wall/CPU
+    /// split between `decompress_ns` and `decompress_cpu_ns` records the
+    /// parallel-decode win.
+    fn aggregate_group(
+        &mut self,
+        group: Vec<EncodedTensor>,
+        bucket: &mut BucketReport,
+        decompress_ns: &mut u64,
+        decompress_cpu_ns: &mut u64,
+        aggregate_ns: &mut u64,
+    ) -> Tensor {
+        match self.strategy {
+            CommStrategy::Allreduce => {
+                bucket.wire_bytes += group[0].wire_bytes();
+                let mean = mean_payloads(&group);
+                let t0 = StageTimer::start();
+                let out = self.lanes[0].compressor.decompress(&mean, &group[0].ctx);
+                let ns = t0.finish("decompress", Track::Stage(Stage::Decompress));
+                *decompress_ns += ns;
+                *decompress_cpu_ns += ns;
+                out
+            }
+            CommStrategy::Allgather | CommStrategy::Broadcast => {
+                bucket.wire_bytes += group
+                    .iter()
+                    .map(EncodedTensor::wire_bytes)
+                    .max()
+                    .unwrap_or(0);
+                let wall = StageTimer::start();
+                let parts: Vec<(Tensor, u64)> = self.run_lanes(group, |lane, enc| {
+                    let t = StageTimer::start();
+                    let out = lane.compressor.decompress(&enc.payloads, &enc.ctx);
+                    (out, t.finish("decode_peer", Track::Lane(lane.rank)))
+                });
+                *decompress_ns += wall.finish("decompress", Track::Stage(Stage::Decompress));
+                let mut decoded = Vec::with_capacity(parts.len());
+                for (tensor, ns) in parts {
+                    *decompress_cpu_ns += ns;
+                    decoded.push(tensor);
+                }
+                let t1 = StageTimer::start();
+                let out = self.lanes[0].compressor.aggregate(decoded);
+                *aggregate_ns += t1.finish("aggregate", Track::Stage(Stage::Aggregate));
+                out
+            }
+        }
     }
 
     /// Encodes + decodes every worker's tensors (lanes in parallel) and
@@ -742,8 +1020,10 @@ impl<'a> GradientExchange<'a> {
             }],
             compress_seconds,
             decompress_seconds: 0.0,
+            decompress_cpu_seconds: 0.0,
             aggregate_seconds: 0.0,
             payload_bytes,
+            hidden_encode_seconds: vec![0.0; n],
         };
         (views, report)
     }
@@ -776,6 +1056,231 @@ impl<'a> GradientExchange<'a> {
         self.observe_step(&report, 0, aggregate_ns);
         self.record_traffic(&report);
         (acc, report)
+    }
+
+    /// Opens a pipelined exchange session for one step.
+    ///
+    /// Gradients stream in through [`BucketedExchange::submit`] while the
+    /// caller's backprop is still running; each lane compensates and
+    /// compresses submissions eagerly as fusion buckets fill, so the encode
+    /// of bucket *k* hides under the backward pass that produces bucket
+    /// *k + 1*. [`BucketedExchange::finish`] aggregates bucket by bucket and
+    /// returns the aggregated tensors **in plan order** plus the step report.
+    ///
+    /// `plan` is the step's bucket layout — build it once from the streaming
+    /// order with [`crate::PlanBuilder`]; boundaries depend only on dense
+    /// byte sizes, so every worker derives the identical plan and the
+    /// session stays bit-identical to [`exchange`](Self::exchange) at any
+    /// executor width. The engine caches the plan and its staging pools
+    /// across steps, so steady-state submits allocate nothing.
+    ///
+    /// An unfinished previous session (e.g. dropped mid-step after a worker
+    /// fault) is discarded here; its pools are reset, not leaked.
+    pub fn begin_step(&mut self, plan: &BucketPlan) -> BucketedExchange<'_, 'a> {
+        self.pipeline_begin(plan, SessionMode::Encoded);
+        BucketedExchange { engine: self }
+    }
+
+    /// Opens a decoded-view session: each lane keeps its own reconstruction
+    /// (`encode_decode`, memory updated on the decoded view), and the
+    /// session ends through [`BucketedExchange::finish_decoded_mean`] (the
+    /// local-SGD delta average) or
+    /// [`BucketedExchange::finish_decoded_views`] (the gossip round).
+    pub fn begin_decoded_step(&mut self, plan: &BucketPlan) -> BucketedExchange<'_, 'a> {
+        self.pipeline_begin(plan, SessionMode::Decoded);
+        BucketedExchange { engine: self }
+    }
+
+    fn pipeline_begin(&mut self, plan: &BucketPlan, mode: SessionMode) {
+        let n = self.lanes.len();
+        let pipe = &mut self.pipeline;
+        if pipe.plan.as_ref() != Some(plan) {
+            pipe.plan = Some(plan.clone());
+        }
+        if pipe.stagers.len() != n {
+            pipe.stagers.clear();
+            pipe.stagers.resize_with(n, LaneStager::new);
+        }
+        pipe.mode = Some(mode);
+        pipe.in_flight = 0;
+        let PipelineState { plan, stagers, .. } = pipe;
+        let plan = plan.as_ref().expect("plan installed above");
+        for (stager, lane) in stagers.iter_mut().zip(&self.lanes) {
+            stager.reset(plan, lane.codec_seconds());
+        }
+        self.metrics.in_flight.set(0.0);
+    }
+
+    fn pipeline_submit(&mut self, worker: usize, name: &str, grad: &Tensor) {
+        let pipe = &mut self.pipeline;
+        let mode = pipe.mode.expect("no open pipelined session");
+        let plan = pipe.plan.as_ref().expect("open session always has a plan");
+        assert!(worker < self.lanes.len(), "worker rank out of range");
+        let stager = &mut pipe.stagers[worker];
+        // Fast path: submissions arriving in plan order land on the next
+        // unfilled slot directly; anything else falls back to a scan.
+        let hint = stager.submitted;
+        let idx = if plan.matches(hint, name, grad.len()) && !stager.filled[hint] {
+            hint
+        } else {
+            plan.slot_of(name, grad.len(), &stager.filled)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "submission '{name}' ({} elements) does not match the bucket plan",
+                        grad.len()
+                    )
+                })
+        };
+        stager.stage(idx, grad);
+        let completed = stager.advance(&mut self.lanes[worker], plan, mode);
+        if completed > 0 {
+            pipe.in_flight += completed as u64;
+            self.metrics.in_flight.set(pipe.in_flight as f64);
+        }
+    }
+
+    /// Shared entry of the `finish*` family: checks completeness and hands
+    /// the session state back for aggregation, leaving fresh (default)
+    /// pipeline state on the engine until the caller restores the pools.
+    fn pipeline_take(&mut self, want: SessionMode) -> PipelineState {
+        let mut pipe = std::mem::take(&mut self.pipeline);
+        let mode = pipe.mode.take().expect("no open pipelined session");
+        assert_eq!(
+            mode, want,
+            "session mode mismatch: encoded sessions end with finish(), decoded ones with finish_decoded_*"
+        );
+        let plan = pipe.plan.as_ref().expect("open session always has a plan");
+        for (rank, stager) in pipe.stagers.iter().enumerate() {
+            assert_eq!(
+                stager.submitted,
+                plan.n_tensors(),
+                "worker {rank} submitted {} of {} tensors",
+                stager.submitted,
+                plan.n_tensors()
+            );
+            debug_assert_eq!(stager.cursor, plan.n_tensors(), "unencoded staged tensors");
+        }
+        pipe
+    }
+
+    fn pipeline_finish(&mut self) -> (Vec<(String, Tensor)>, ExchangeReport) {
+        let mut pipe = self.pipeline_take(SessionMode::Encoded);
+        let plan = pipe.plan.as_ref().expect("open session always has a plan");
+        let n = self.lanes.len();
+
+        let mut aggregated = Vec::with_capacity(plan.n_tensors());
+        let mut buckets = Vec::with_capacity(plan.n_buckets());
+        let mut decompress_ns = 0u64;
+        let mut decompress_cpu_ns = 0u64;
+        let mut aggregate_ns = 0u64;
+        for b in 0..plan.n_buckets() {
+            let mut bucket = BucketReport {
+                tensors: plan.bucket_range(b).len(),
+                elements: plan.bucket_elements(b),
+                wire_bytes: 0,
+            };
+            for idx in plan.bucket_range(b) {
+                let group: Vec<EncodedTensor> = pipe
+                    .stagers
+                    .iter_mut()
+                    .map(|s| s.encoded[idx].take().expect("cursor covered every slot"))
+                    .collect();
+                let agg = self.aggregate_group(
+                    group,
+                    &mut bucket,
+                    &mut decompress_ns,
+                    &mut decompress_cpu_ns,
+                    &mut aggregate_ns,
+                );
+                aggregated.push((plan.name(idx).to_string(), agg));
+            }
+            buckets.push(bucket);
+            pipe.in_flight = pipe.in_flight.saturating_sub(n as u64);
+            self.metrics.in_flight.set(pipe.in_flight as f64);
+        }
+
+        let compress_seconds: Vec<f64> = self
+            .lanes
+            .iter()
+            .zip(&pipe.stagers)
+            .map(|(lane, s)| lane.codec_seconds() - s.codec_before)
+            .collect();
+        let report = ExchangeReport {
+            buckets,
+            compress_seconds,
+            decompress_seconds: decompress_ns as f64 / NS_PER_SEC,
+            decompress_cpu_seconds: decompress_cpu_ns as f64 / NS_PER_SEC,
+            aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
+            payload_bytes: pipe.stagers.iter().map(LaneStager::step_bytes).collect(),
+            hidden_encode_seconds: pipe
+                .stagers
+                .iter()
+                .map(LaneStager::hidden_seconds)
+                .collect(),
+        };
+        self.metrics.overlap.set(report.overlap_ratio());
+        self.observe_step(&report, decompress_ns, aggregate_ns);
+        self.record_traffic(&report);
+        self.pipeline = pipe; // return the pools to the engine
+        (aggregated, report)
+    }
+
+    /// Decoded-session teardown: worker-major views in plan order plus the
+    /// (aggregation-free) report. Callers layer their own `Agg` on top.
+    fn pipeline_finish_decoded(&mut self) -> (Vec<Vec<(String, Tensor)>>, ExchangeReport) {
+        let mut pipe = self.pipeline_take(SessionMode::Decoded);
+        let plan = pipe.plan.as_ref().expect("open session always has a plan");
+
+        let views: Vec<Vec<(String, Tensor)>> = pipe
+            .stagers
+            .iter_mut()
+            .map(|s| {
+                (0..plan.n_tensors())
+                    .map(|i| {
+                        let view = s.decoded[i].take().expect("cursor covered every slot");
+                        (plan.name(i).to_string(), view)
+                    })
+                    .collect()
+            })
+            .collect();
+        let buckets: Vec<BucketReport> = (0..plan.n_buckets())
+            .map(|b| BucketReport {
+                tensors: plan.bucket_range(b).len(),
+                elements: plan.bucket_elements(b),
+                // A decoded exchange gathers every worker's compressed
+                // state; each bucket drains at the largest contribution.
+                wire_bytes: pipe
+                    .stagers
+                    .iter()
+                    .map(|s| s.bucket_bytes[b])
+                    .max()
+                    .unwrap_or(0) as usize,
+            })
+            .collect();
+        let compress_seconds: Vec<f64> = self
+            .lanes
+            .iter()
+            .zip(&pipe.stagers)
+            .map(|(lane, s)| lane.codec_seconds() - s.codec_before)
+            .collect();
+        let report = ExchangeReport {
+            buckets,
+            compress_seconds,
+            decompress_seconds: 0.0,
+            decompress_cpu_seconds: 0.0,
+            aggregate_seconds: 0.0,
+            payload_bytes: pipe.stagers.iter().map(LaneStager::step_bytes).collect(),
+            hidden_encode_seconds: pipe
+                .stagers
+                .iter()
+                .map(LaneStager::hidden_seconds)
+                .collect(),
+        };
+        pipe.in_flight = 0;
+        self.metrics.in_flight.set(0.0);
+        self.metrics.overlap.set(report.overlap_ratio());
+        self.pipeline = pipe;
+        (views, report)
     }
 
     /// Feeds one step's stage durations into the per-run distributions and
@@ -813,6 +1318,93 @@ impl<'a> GradientExchange<'a> {
             report.total_payload_bytes(),
             "traffic-counter delta diverged from the exchange report"
         );
+    }
+}
+
+/// One step of the pipelined tensor-fusion exchange (paper §V-D: overlap,
+/// not ratio, converts compression into wall-clock wins).
+///
+/// Obtained from [`GradientExchange::begin_step`] (or
+/// [`begin_decoded_step`](GradientExchange::begin_decoded_step)); holds the
+/// engine mutably for the step. Call [`submit`](Self::submit) from inside
+/// the backward pass — e.g. as the sink of
+/// `Network::forward_backward_streaming` — and one of the `finish*` methods
+/// once every worker's stream is complete. Dropping the session without
+/// finishing abandons the step; the next `begin_*` resets the pools.
+pub struct BucketedExchange<'s, 'a> {
+    engine: &'s mut GradientExchange<'a>,
+}
+
+impl<'a> BucketedExchange<'_, 'a> {
+    /// Streams one gradient from `worker` into the session. Submissions may
+    /// arrive in any order and interleave freely across workers; each lane
+    /// encodes in *plan* order the moment its next slot fills, so the
+    /// result is bit-identical to the one-shot exchange regardless of
+    /// arrival interleaving (including for sequential-RNG compressors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(name, len)` pair matches no unfilled plan slot or
+    /// `worker` is out of range.
+    pub fn submit(&mut self, worker: usize, name: &str, grad: &Tensor) {
+        self.engine.pipeline_submit(worker, name, grad);
+    }
+
+    /// The session's bucket plan.
+    pub fn plan(&self) -> &BucketPlan {
+        self.engine
+            .pipeline
+            .plan
+            .as_ref()
+            .expect("open session always has a plan")
+    }
+
+    /// Aggregates every fusion bucket under the fleet's [`CommStrategy`]
+    /// and returns the aggregated tensors in plan order plus the step
+    /// report (encoded sessions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker's stream is incomplete or the session was
+    /// opened with [`GradientExchange::begin_decoded_step`].
+    pub fn finish(self) -> (Vec<(String, Tensor)>, ExchangeReport) {
+        self.engine.pipeline_finish()
+    }
+
+    /// Ends a decoded session with the local-SGD aggregation: the decoded
+    /// views averaged elementwise in rank order, in plan order.
+    pub fn finish_decoded_mean(self) -> (Vec<(String, Tensor)>, ExchangeReport) {
+        let n = self.engine.lanes.len() as f32;
+        let (views, report) = self.engine.pipeline_finish_decoded();
+        let mut views = views.into_iter();
+        let mut acc = views.next().expect("at least one worker");
+        let t0 = StageTimer::start();
+        for view in views {
+            for (slot, (_, t)) in acc.iter_mut().zip(view) {
+                slot.1.add_assign(&t);
+            }
+        }
+        for (_, t) in acc.iter_mut() {
+            t.scale(1.0 / n);
+        }
+        let aggregate_ns = t0.finish("aggregate", Track::Stage(Stage::Aggregate));
+        let report = ExchangeReport {
+            aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
+            ..report
+        };
+        self.engine.observe_step(&report, 0, aggregate_ns);
+        self.engine.record_traffic(&report);
+        (acc, report)
+    }
+
+    /// Ends a decoded session returning each worker's own reconstruction in
+    /// plan order — the gossip round, where worker `i` later averages its
+    /// neighbours' views.
+    pub fn finish_decoded_views(self) -> (Vec<Vec<(String, Tensor)>>, ExchangeReport) {
+        let (views, report) = self.engine.pipeline_finish_decoded();
+        self.engine.observe_step(&report, 0, 0);
+        self.engine.record_traffic(&report);
+        (views, report)
     }
 }
 
@@ -976,5 +1568,175 @@ mod tests {
     fn zero_threads_rejected() {
         let (mut cs, mut ms) = fleet(1);
         let _ = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(0);
+    }
+
+    fn plan_for(grads: &[(String, Tensor)], fusion_bytes: usize) -> BucketPlan {
+        let mut b = crate::bucket::PlanBuilder::new(fusion_bytes);
+        for (name, t) in grads {
+            b.push(name, t.len());
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn pipelined_session_matches_one_shot() {
+        for fusion in [1usize, 8, usize::MAX] {
+            let (mut cs, mut ms) = fleet(2);
+            let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(1);
+            let inputs = grads(2, 2.0);
+            let plan = plan_for(&inputs[0], fusion);
+            let mut session = engine.begin_step(&plan);
+            for (w, list) in inputs.iter().enumerate() {
+                for (name, g) in list {
+                    session.submit(w, name, g);
+                }
+            }
+            let (agg, report) = session.finish();
+
+            let (mut cs2, mut ms2) = fleet(2);
+            let mut reference = GradientExchange::from_fleet(&mut cs2, &mut ms2).with_threads(1);
+            let (expect, ref_report) = reference.exchange(grads(2, 2.0));
+            assert_eq!(agg.len(), expect.len());
+            for ((na, ta), (nb, tb)) in agg.iter().zip(&expect) {
+                assert_eq!(na, nb, "fusion={fusion}");
+                assert_eq!(ta.as_slice(), tb.as_slice(), "fusion={fusion}");
+            }
+            // Bucketing repartitions the wire accounting but never changes
+            // the totals.
+            assert_eq!(report.wire_bytes(), ref_report.wire_bytes());
+            assert_eq!(
+                report.total_payload_bytes(),
+                ref_report.total_payload_bytes()
+            );
+            assert_eq!(report.elements(), ref_report.elements());
+            let want_buckets = if fusion == usize::MAX { 1 } else { 2 };
+            assert_eq!(report.buckets.len(), want_buckets, "fusion={fusion}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_submission_order_is_bit_identical() {
+        let inputs = grads(2, 3.0);
+        let plan = plan_for(&inputs[0], 1);
+        let run = |orders: [&[usize]; 2]| {
+            let (mut cs, mut ms) = fleet(2);
+            let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(1);
+            let mut session = engine.begin_step(&plan);
+            // Interleave workers, each submitting in its own order.
+            for k in 0..plan.n_tensors() {
+                for (w, order) in orders.iter().enumerate() {
+                    let (name, g) = &inputs[w][order[k]];
+                    session.submit(w, name, g);
+                }
+            }
+            session.finish().0
+        };
+        let forward = run([&[0, 1], &[0, 1]]);
+        let scrambled = run([&[1, 0], &[0, 1]]);
+        for ((na, ta), (nb, tb)) in forward.iter().zip(&scrambled) {
+            assert_eq!(na, nb);
+            assert_eq!(ta.as_slice(), tb.as_slice());
+        }
+    }
+
+    #[test]
+    fn session_pools_persist_and_overlap_is_reported() {
+        let (mut cs, mut ms) = fleet(2);
+        let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(1);
+        let inputs = grads(2, 1.0);
+        let plan = plan_for(&inputs[0], 1); // two buckets → bucket 0 is hidden
+        for _ in 0..3 {
+            let mut session = engine.begin_step(&plan);
+            for (w, list) in inputs.iter().enumerate() {
+                for (name, g) in list {
+                    session.submit(w, name, g);
+                }
+            }
+            let (agg, report) = session.finish();
+            assert_eq!(agg.len(), 2);
+            assert_eq!(report.buckets.len(), 2);
+            assert!(
+                report.overlap_ratio() > 0.0,
+                "bucket 0's encode must count as hidden"
+            );
+            assert!(report.overlap_ratio() <= 1.0);
+            assert!(report.max_hidden_encode_seconds() > 0.0);
+        }
+        // Per-bucket message accounting: 3 steps × 2 buckets.
+        assert_eq!(engine.traffic().messages(0), 6);
+    }
+
+    #[test]
+    fn decoded_session_matches_decoded_mean() {
+        let inputs = grads(2, 4.0);
+        let plan = plan_for(&inputs[0], usize::MAX);
+        let (mut cs, mut ms) = fleet(2);
+        let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(1);
+        let mut session = engine.begin_decoded_step(&plan);
+        for (w, list) in inputs.iter().enumerate() {
+            for (name, g) in list {
+                session.submit(w, name, g);
+            }
+        }
+        let (mean, report) = session.finish_decoded_mean();
+
+        let (mut cs2, mut ms2) = fleet(2);
+        let mut reference = GradientExchange::from_fleet(&mut cs2, &mut ms2).with_threads(1);
+        let (expect, ref_report) = reference.exchange_decoded_mean(grads(2, 4.0));
+        for ((na, ta), (nb, tb)) in mean.iter().zip(&expect) {
+            assert_eq!(na, nb);
+            assert_eq!(ta.as_slice(), tb.as_slice());
+        }
+        assert_eq!(report.wire_bytes(), ref_report.wire_bytes());
+        assert_eq!(
+            report.total_payload_bytes(),
+            ref_report.total_payload_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the bucket plan")]
+    fn mismatched_submission_panics() {
+        let inputs = grads(1, 1.0);
+        let plan = plan_for(&inputs[0], usize::MAX);
+        let (mut cs, mut ms) = fleet(1);
+        let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms);
+        let mut session = engine.begin_step(&plan);
+        session.submit(0, "unknown", &Tensor::from_vec(vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "submitted 1 of 2 tensors")]
+    fn incomplete_stream_panics_at_finish() {
+        let inputs = grads(1, 1.0);
+        let plan = plan_for(&inputs[0], usize::MAX);
+        let (mut cs, mut ms) = fleet(1);
+        let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms);
+        let mut session = engine.begin_step(&plan);
+        let (name, g) = &inputs[0][0];
+        session.submit(0, name, g);
+        let _ = session.finish();
+    }
+
+    #[test]
+    fn dropped_session_is_discarded_by_next_begin() {
+        let inputs = grads(2, 1.0);
+        let plan = plan_for(&inputs[0], usize::MAX);
+        let (mut cs, mut ms) = fleet(2);
+        let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms).with_threads(1);
+        {
+            let mut session = engine.begin_step(&plan);
+            let (name, g) = &inputs[0][0];
+            session.submit(0, name, g);
+            // Dropped mid-step (e.g. a worker fault unwound the loop).
+        }
+        let mut session = engine.begin_step(&plan);
+        for (w, list) in inputs.iter().enumerate() {
+            for (name, g) in list {
+                session.submit(w, name, g);
+            }
+        }
+        let (agg, _) = session.finish();
+        assert_eq!(agg.len(), 2);
     }
 }

@@ -36,6 +36,7 @@
 //! assert_eq!(c.strategy(), CommStrategy::Allreduce);
 //! ```
 
+pub mod bucket;
 pub mod compressor;
 pub mod exchange;
 pub mod memory;
@@ -45,9 +46,11 @@ pub mod replicated;
 pub mod threaded;
 pub mod trainer;
 
+pub use bucket::{BucketPlan, PlanBuilder, DEFAULT_FUSION_BYTES};
 pub use compressor::{CommStrategy, Compressor, Context, Fleet, NoCompression};
 pub use exchange::{
-    BucketReport, EncodedTensor, ExchangeReport, GradientExchange, StageTotals, WorkerLane,
+    BucketReport, BucketedExchange, EncodedTensor, ExchangeReport, GradientExchange, StageTotals,
+    WorkerLane,
 };
 pub use memory::{Memory, NoMemory, ResidualMemory};
 pub use payload::{Payload, PayloadError};

@@ -16,6 +16,7 @@
 //! Both run the same [`Compressor`]/[`Memory`] stack as Algorithm 1, so any
 //! registered method drops in unchanged.
 
+use crate::bucket::{BucketPlan, PlanBuilder, DEFAULT_FUSION_BYTES};
 use crate::compressor::Compressor;
 use crate::exchange::GradientExchange;
 use crate::memory::Memory;
@@ -87,6 +88,17 @@ fn params_as_vec(net: &mut Network) -> Vec<(String, Tensor)> {
     net.export_params()
 }
 
+/// Builds the fusion plan for a parameter-shaped stream (forward/export
+/// order — replicated schedules submit whole-model snapshots, not a
+/// backprop stream, so plan order is simply export order).
+fn param_plan(params: &[(String, Tensor)]) -> BucketPlan {
+    let mut builder = PlanBuilder::new(DEFAULT_FUSION_BYTES);
+    for (name, t) in params {
+        builder.push(name, t.len());
+    }
+    builder.finish()
+}
+
 fn average_params(replicas: &mut [Network]) -> Vec<(String, Tensor)> {
     let n = replicas.len();
     let mut acc = params_as_vec(&mut replicas[0]);
@@ -146,6 +158,7 @@ pub fn run_local_sgd(
     let mut opts: Vec<Box<dyn Optimizer>> = (0..n).map(&make_opt).collect();
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
     let mut anchor = params_as_vec(&mut replicas[0]);
+    let plan = param_plan(&anchor);
     let mut total_bytes = 0.0f64;
     let mut sync_rounds = 0u64;
     let mut since_sync = 0usize;
@@ -173,18 +186,16 @@ pub fn run_local_sgd(
             }
             since_sync = 0;
             sync_rounds += 1;
-            // Compressed delta exchange: every worker ships Q(param − anchor).
-            let deltas: Vec<Vec<(String, Tensor)>> = replicas
-                .iter_mut()
-                .map(|r| {
-                    r.export_params()
-                        .into_iter()
-                        .zip(anchor.iter())
-                        .map(|((name, p), (_, a))| (name, p.sub(a)))
-                        .collect()
-                })
-                .collect();
-            let (mean_delta, report) = engine.exchange_decoded_mean(deltas);
+            // Compressed delta exchange: every worker streams Q(param −
+            // anchor) into a decoded session, so the per-bucket compress /
+            // decode lanes run while later deltas are still being formed.
+            let mut session = engine.begin_decoded_step(&plan);
+            for (w, r) in replicas.iter_mut().enumerate() {
+                for ((name, p), (_, a)) in r.export_params().into_iter().zip(anchor.iter()) {
+                    session.submit(w, &name, &p.sub(a));
+                }
+            }
+            let (mean_delta, report) = session.finish_decoded_mean();
             total_bytes += report.total_payload_bytes() as f64 / n as f64;
             // Rebase every replica on anchor + mean delta (exact consensus).
             for ((_, a), (_, d)) in anchor.iter_mut().zip(mean_delta.iter()) {
@@ -236,6 +247,7 @@ pub fn run_gossip(
     let mut replicas: Vec<Network> = (0..n).map(&make_net).collect();
     let mut opts: Vec<Box<dyn Optimizer>> = (0..n).map(&make_opt).collect();
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
+    let plan = param_plan(&params_as_vec(&mut replicas[0]));
     let mut total_bytes = 0.0f64;
     let mut rounds = 0u64;
     for epoch in 0..cfg.epochs {
@@ -255,12 +267,17 @@ pub fn run_gossip(
                 let grads = replicas[w].take_gradients();
                 replicas[w].apply_gradients(&grads, opts[w].as_mut());
             }
-            // Gossip round: everyone compresses its parameters once; each
-            // worker then averages its neighbours' decompressed views.
+            // Gossip round: everyone streams its parameters through a
+            // decoded session once; each worker then averages its
+            // neighbours' decompressed views.
             rounds += 1;
-            let params: Vec<Vec<(String, Tensor)>> =
-                replicas.iter_mut().map(|r| r.export_params()).collect();
-            let (views, report) = engine.decoded_views(params);
+            let mut session = engine.begin_decoded_step(&plan);
+            for (w, r) in replicas.iter_mut().enumerate() {
+                for (name, p) in r.export_params() {
+                    session.submit(w, &name, &p);
+                }
+            }
+            let (views, report) = session.finish_decoded_views();
             total_bytes += report.total_payload_bytes() as f64 / n as f64;
             for w in 0..n {
                 let left = (w + n - 1) % n;

@@ -22,6 +22,7 @@
 //! * a worker stuck waiting on a dead peer times out with a structured
 //!   [`ClusterError::Timeout`] rather than deadlocking.
 
+use crate::bucket::PlanBuilder;
 use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::exchange::{self, EncodedTensor, WorkerLane};
 use crate::memory::Memory;
@@ -34,7 +35,9 @@ use grace_comm::{
 use grace_nn::data::Task;
 use grace_nn::network::Network;
 use grace_nn::optim::Optimizer;
-use grace_tensor::Tensor;
+use grace_telemetry::{StageTimer, Track};
+use grace_tensor::{Shape, Tensor};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Result of a threaded run (as observed by the lowest surviving rank; in a
@@ -153,6 +156,23 @@ where
     // same compensate → compress → own-decode → memory-update sequence the
     // simulator's engine runs, so both modes stay bit-identical.
     let mut lane = WorkerLane::new(rank, compressor.as_mut(), Some(memory.as_mut()));
+    // Fusion plan over the streaming (reverse-layer) order. Boundaries
+    // depend only on dense byte sizes, so every worker derives the same
+    // plan and the per-tensor collective order stays rank-consistent.
+    let plan = {
+        let mut builder = PlanBuilder::new(cfg.fusion_bytes);
+        for (name, len) in net.streaming_grad_sizes() {
+            builder.push(&name, len);
+        }
+        builder.finish()
+    };
+    // Stream order for the exchange, forward (visit) order for the update.
+    let forward_index: HashMap<String, usize> = net
+        .gradient_names()
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, i))
+        .collect();
     let base_lr = opt.learning_rate();
     for epoch in 0..cfg.epochs {
         if let Some(schedule) = &cfg.lr_schedule {
@@ -169,15 +189,41 @@ where
                 cfg.seed,
             );
             let (x, y) = task.train_batch(&idx);
-            let _ = net.forward_backward(&x, &y);
-            let grads = net.take_gradients();
-            let mut aggregated = Vec::with_capacity(grads.len());
-            for (name, grad) in &grads {
+            // Pipelined encode: compress each gradient the moment backprop
+            // emits it — on this multi-threaded cluster a worker's encode
+            // genuinely overlaps its peers' still-running backward passes.
+            // The per-lane encode order (stream = plan order) matches the
+            // simulator's session exactly, keeping RNG-bearing compressors
+            // bit-identical across modes.
+            let mut stream: Vec<(String, EncodedTensor, Shape)> =
+                Vec::with_capacity(plan.n_tensors());
+            let mut window: Option<StageTimer> = None;
+            let _ = net.forward_backward_streaming(&x, &y, &mut |name, grad| {
+                let idx = stream.len();
+                debug_assert!(
+                    plan.matches(idx, name, grad.len()),
+                    "gradient stream diverged from the fusion plan at '{name}'"
+                );
+                if window.is_none() {
+                    window = Some(StageTimer::start());
+                }
                 let encoded = lane.encode(name, grad);
-                let agg =
-                    exchange_tensor(comm, strategy, &mut lane, encoded, grad.shape().clone())?;
-                aggregated.push((name.clone(), agg));
+                let b = plan.bucket_of(idx);
+                if idx + 1 == plan.bucket_range(b).end {
+                    if let Some(w) = window.take() {
+                        w.finish_with("bucket", Track::Bucket, "bucket", b as u64);
+                    }
+                }
+                stream.push((name.to_string(), encoded, grad.shape().clone()));
+            });
+            // Drain the collectives in stream order (identical across
+            // ranks), then hand the optimizer forward-ordered gradients.
+            let mut aggregated = Vec::with_capacity(stream.len());
+            for (name, encoded, shape) in stream {
+                let agg = exchange_tensor(comm, strategy, &mut lane, encoded, shape)?;
+                aggregated.push((name, agg));
             }
+            aggregated.sort_by_key(|(name, _)| forward_index[name.as_str()]);
             net.apply_gradients(&aggregated, opt.as_mut());
         }
     }

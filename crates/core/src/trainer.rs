@@ -29,6 +29,7 @@
 //! This reproduces the paper's central systems observation: compression
 //! compute cost is real and can exceed the communication it saves (§V-D).
 
+use crate::bucket::{PlanBuilder, DEFAULT_FUSION_BYTES};
 use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::exchange::{EncodedTensor, GradientExchange, StageHistograms, StageTotals};
 use crate::memory::Memory;
@@ -37,7 +38,7 @@ use grace_comm::NetworkModel;
 use grace_nn::data::{epoch_order, shard_range, Task};
 use grace_nn::network::Network;
 use grace_nn::optim::Optimizer;
-use grace_tensor::Tensor;
+use std::collections::HashMap;
 
 /// Modelled computation time of the training substrate ("GPU" analog).
 ///
@@ -177,6 +178,13 @@ pub struct TrainConfig {
     /// parallelism, `Some(1)` forces the sequential path. Results are
     /// bit-identical either way.
     pub exchange_threads: Option<usize>,
+    /// Tensor-fusion threshold in bytes: gradients stream out of backprop
+    /// in reverse layer order and fuse into buckets of up to this many
+    /// dense bytes; each sealed bucket compresses immediately (overlapping
+    /// the rest of the backward pass) and is charged one collective.
+    /// Bucketing never changes results — `1` isolates every tensor,
+    /// `usize::MAX` reproduces the old whole-step exchange.
+    pub fusion_bytes: usize,
     /// Telemetry level for the run: `Some(level)` overrides the global
     /// level ([`grace_telemetry::set_level`]); `None` leaves whatever
     /// `GRACE_TELEMETRY` selected. Telemetry never changes results — only
@@ -202,6 +210,7 @@ impl TrainConfig {
             lr_schedule: None,
             fault: None,
             exchange_threads: None,
+            fusion_bytes: DEFAULT_FUSION_BYTES,
             telemetry: None,
         }
     }
@@ -215,6 +224,7 @@ impl TrainConfig {
             self.byte_scale.is_finite() && self.byte_scale > 0.0,
             "byte scale must be positive"
         );
+        assert!(self.fusion_bytes > 0, "fusion threshold must be positive");
     }
 }
 
@@ -271,6 +281,10 @@ pub struct RunResult {
     /// Per-stage latency distributions (ns per step) from the same engine
     /// — the p50/p95/p99 tails behind the [`StageTotals`] means.
     pub stage_hists: StageHistograms,
+    /// Fraction of compression work the pipelined exchange performed while
+    /// backprop was still producing gradients, over the whole run
+    /// (Σ hidden encode seconds / Σ encode seconds across ranks and steps).
+    pub overlap_ratio: f64,
 }
 
 impl RunResult {
@@ -351,6 +365,25 @@ pub fn run_simulated(
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
     let eval_stride = (spe / cfg.evals_per_epoch).max(1);
 
+    // Fusion plan over the streaming (reverse-layer) gradient order —
+    // boundaries depend only on dense byte sizes, so every worker derives
+    // the identical plan.
+    let plan = {
+        let mut builder = PlanBuilder::new(cfg.fusion_bytes);
+        for (name, len) in net.streaming_grad_sizes() {
+            builder.push(&name, len);
+        }
+        builder.finish()
+    };
+    // The session returns aggregates in stream order; the optimizer applies
+    // them in forward (visit) order.
+    let forward_index: HashMap<String, usize> = net
+        .gradient_names()
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, i))
+        .collect();
+
     let mut sim_clock = 0.0f64;
     let mut codec_seconds = 0.0f64;
     let mut comm_seconds = 0.0f64;
@@ -362,6 +395,8 @@ pub fn run_simulated(
     let mut global_step = 0u64;
     let mut iter_times: Vec<f64> = Vec::new();
     let mut stages = StageTotals::default();
+    let mut hidden_codec_seconds = 0.0f64;
+    let mut lane_codec_seconds = 0.0f64;
     let base_lr = opt.learning_rate();
 
     for epoch in 0..cfg.epochs {
@@ -370,8 +405,14 @@ pub fn run_simulated(
         }
         for step in 0..spe {
             let mut iter_time = 0.0f64;
-            // --- 1. Local gradient computation (Algorithm 1 line 4) ---
-            let mut worker_grads: Vec<Vec<(String, Tensor)>> = Vec::with_capacity(n);
+            // --- 1+2. Pipelined gradient computation + exchange ---
+            // Backprop streams each layer's gradients into the session the
+            // moment they exist (reverse layer order); the session fuses
+            // them into byte-threshold buckets and compresses each sealed
+            // bucket immediately, so encoding bucket k overlaps the
+            // backward pass producing bucket k+1 (§V-D). `finish`
+            // aggregates bucket by bucket.
+            let mut session = engine.begin_step(&plan);
             for w in 0..n {
                 let idx = worker_batch_indices(
                     task.train_len(),
@@ -383,57 +424,72 @@ pub fn run_simulated(
                     cfg.seed,
                 );
                 let (x, y) = task.train_batch(&idx);
-                let loss = net.forward_backward(&x, &y);
+                let loss = net.forward_backward_streaming(&x, &y, &mut |name, grad| {
+                    session.submit(w, name, grad);
+                });
                 loss_acc += f64::from(loss);
                 loss_count += 1;
-                worker_grads.push(net.take_gradients());
             }
             let compute_t = cfg.compute.batch_seconds(cfg.batch_per_worker);
             compute_seconds += compute_t;
             iter_time += compute_t;
 
-            // --- 2. Compress / communicate / aggregate (engine) ---
-            // The engine runs the per-worker compensate/compress/update
-            // lanes on scoped threads and reports fused-bucket wire bytes:
-            // Horovod fuses gradient tensors into large buffers before the
-            // collective, so latency (α) is paid per fused buffer, not per
-            // tensor, and the trainer charges one collective per bucket.
-            let (aggregated, report) = engine.exchange(worker_grads);
+            let (mut aggregated, report) = session.finish();
+            aggregated.sort_by_key(|(name, _)| forward_index[name.as_str()]);
             stages.add(&report);
+            hidden_codec_seconds += report.hidden_encode_seconds.iter().sum::<f64>();
+            lane_codec_seconds += report.compress_seconds.iter().sum::<f64>();
             total_bytes += report.total_payload_bytes() as f64 / n as f64;
-            let iter_wire_bytes = report.wire_bytes();
             let iter_elements = report.elements();
-            let scaled_bytes = (iter_wire_bytes as f64 * cfg.byte_scale).round() as usize;
-            let iter_comm = match cfg.topology {
-                Topology::Peer => match strategy {
-                    CommStrategy::Allreduce => cfg.network.allreduce_seconds(n, scaled_bytes),
-                    CommStrategy::Allgather => cfg.network.allgather_seconds(n, scaled_bytes),
-                    CommStrategy::Broadcast => cfg.network.broadcast_seconds(n, scaled_bytes),
-                },
-                Topology::ParameterServer => {
-                    // Uplink incast: n compressed uploads share the server's
-                    // link; downlink: the aggregate goes back to n workers.
-                    let up = scaled_bytes * n;
-                    let down_each = match strategy {
-                        // The compressed aggregate stays valid (e.g. summed
-                        // PowerSGD factors) and is re-broadcast as-is.
-                        CommStrategy::Allreduce => scaled_bytes,
-                        // The server sends whichever is smaller: the dense
-                        // aggregated gradient or the forwarded uploads.
-                        _ => {
-                            ((uncompressed * cfg.byte_scale).round() as usize).min(scaled_bytes * n)
+            // One collective per fused bucket: latency (α) is paid per
+            // bucket, bandwidth (β) per bucket's bytes.
+            let iter_comm: f64 = report
+                .buckets
+                .iter()
+                .map(|bucket| {
+                    let scaled_bytes = (bucket.wire_bytes as f64 * cfg.byte_scale).round() as usize;
+                    match cfg.topology {
+                        Topology::Peer => match strategy {
+                            CommStrategy::Allreduce => {
+                                cfg.network.allreduce_seconds(n, scaled_bytes)
+                            }
+                            CommStrategy::Allgather => {
+                                cfg.network.allgather_seconds(n, scaled_bytes)
+                            }
+                            CommStrategy::Broadcast => {
+                                cfg.network.broadcast_seconds(n, scaled_bytes)
+                            }
+                        },
+                        Topology::ParameterServer => {
+                            // Uplink incast: n compressed uploads share the
+                            // server's link; downlink: the aggregate goes
+                            // back to n workers.
+                            let up = scaled_bytes * n;
+                            let down_each = match strategy {
+                                // The compressed aggregate stays valid (e.g.
+                                // summed PowerSGD factors) and is
+                                // re-broadcast as-is.
+                                CommStrategy::Allreduce => scaled_bytes,
+                                // The server sends whichever is smaller: the
+                                // dense aggregated gradient or the forwarded
+                                // uploads.
+                                _ => ((uncompressed * cfg.byte_scale).round() as usize)
+                                    .min(scaled_bytes * n),
+                            };
+                            cfg.network.p2p_seconds(up) + cfg.network.p2p_seconds(down_each * n)
                         }
-                    };
-                    cfg.network.p2p_seconds(up) + cfg.network.p2p_seconds(down_each * n)
-                }
-            };
+                    }
+                })
+                .sum();
             comm_seconds += iter_comm;
             iter_time += iter_comm;
             let iter_codec = match cfg.codec {
                 CodecTiming::MeasuredWallClock => {
                     // Workers compress concurrently: charge the slowest
-                    // lane plus the serial aggregation decode.
-                    report.codec_wall_seconds()
+                    // lane's *exposed* encode (hidden-bucket work already
+                    // overlapped this worker's own backprop) plus the
+                    // serial aggregation decode.
+                    report.codec_wall_seconds_overlapped(compute_t)
                 }
                 CodecTiming::Modeled {
                     per_op_seconds,
@@ -492,6 +548,8 @@ pub fn run_simulated(
         compute_seconds,
         stages,
         stage_hists,
+        hidden_codec_seconds,
+        lane_codec_seconds,
         &iter_times,
         cfg,
     )
@@ -529,6 +587,8 @@ fn summarize(
     compute_seconds: f64,
     stages: StageTotals,
     stage_hists: StageHistograms,
+    hidden_codec_seconds: f64,
+    lane_codec_seconds: f64,
     iter_times: &[f64],
     cfg: &TrainConfig,
 ) -> RunResult {
@@ -570,6 +630,11 @@ fn summarize(
         compute_seconds,
         stages,
         stage_hists,
+        overlap_ratio: if lane_codec_seconds > 0.0 {
+            (hidden_codec_seconds / lane_codec_seconds).clamp(0.0, 1.0)
+        } else {
+            0.0
+        },
     }
 }
 

@@ -67,6 +67,7 @@ fn run_custom(
         }),
         fault: None,
         exchange_threads: None,
+        fusion_bytes: grace_experiments::runner::fusion_bytes_from_env(),
         telemetry: None,
     };
     let (mut cs, mut ms) = make(rc.n_workers);

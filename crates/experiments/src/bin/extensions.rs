@@ -40,6 +40,7 @@ fn run_spec(spec: Option<&CompressorSpec>, rc: &RunnerConfig) -> grace_core::Run
         lr_schedule: None,
         fault: None,
         exchange_threads: None,
+        fusion_bytes: grace_experiments::runner::fusion_bytes_from_env(),
         telemetry: None,
     };
     let mut opt = bench.opt.build(spec.map(|s| s.id).unwrap_or("baseline"));

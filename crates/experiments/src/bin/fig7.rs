@@ -28,6 +28,7 @@ fn main() {
                     r.name.clone(),
                     report::fmt(r.relative_volume, 5),
                     report::fmt(r.quality, 4),
+                    report::fmt(r.overlap_ratio, 3),
                 ]
             })
             .collect();
@@ -38,11 +39,13 @@ fn main() {
                 bench.paper_dataset,
                 task.quality_name()
             ),
-            &["Method", "Rel. volume", task.quality_name()],
+            &["Method", "Rel. volume", task.quality_name(), "Overlap"],
             &table,
         );
         // The CSV additionally carries the per-step stage latency tails from
-        // the telemetry histograms, so straggler skew is visible per cell.
+        // the telemetry histograms (straggler skew per cell) and the
+        // pipelined exchange's overlap ratio (encode time hidden under
+        // backprop).
         let csv_rows: Vec<Vec<String>> = rel
             .iter()
             .zip(&table)
@@ -62,6 +65,7 @@ fn main() {
                 "method",
                 "relative_volume",
                 "quality",
+                "overlap_ratio",
                 "compress_p50_us",
                 "compress_p95_us",
                 "compress_p99_us",

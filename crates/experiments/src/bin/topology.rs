@@ -51,6 +51,7 @@ fn run(
         lr_schedule: None,
         fault: None,
         exchange_threads: None,
+        fusion_bytes: grace_experiments::runner::fusion_bytes_from_env(),
         telemetry: None,
     };
     let mut opt = bench.opt.build(compressor_id.unwrap_or("baseline"));

@@ -52,6 +52,19 @@ pub fn exchange_threads_from_env() -> Option<usize> {
         .filter(|&v| v > 0)
 }
 
+/// Reads `GRACE_FUSION_BYTES` from the environment: the tensor-fusion
+/// bucket threshold of the pipelined exchange. Like the executor width,
+/// this never changes the trained bits — only how much compression can be
+/// hidden under backprop (`1` isolates every tensor, large values approach
+/// the old whole-step exchange).
+pub fn fusion_bytes_from_env() -> usize {
+    std::env::var("GRACE_FUSION_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(grace_core::DEFAULT_FUSION_BYTES)
+}
+
 /// Runs one benchmark with one compressor (`None` = the no-compression
 /// baseline) and returns the trainer's summary.
 pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfig) -> RunResult {
@@ -89,6 +102,7 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
         lr_schedule: None,
         fault: None,
         exchange_threads: exchange_threads_from_env(),
+        fusion_bytes: fusion_bytes_from_env(),
         // Cells inherit the process-wide GRACE_TELEMETRY choice so one env
         // var covers a whole sweep.
         telemetry: None,
@@ -150,6 +164,7 @@ pub fn relative(rows: &[(String, RunResult)]) -> Vec<RelativeRow> {
             compress_tail: StageTail::of(&r.stage_hists.compress),
             decompress_tail: StageTail::of(&r.stage_hists.decompress),
             aggregate_tail: StageTail::of(&r.stage_hists.aggregate),
+            overlap_ratio: r.overlap_ratio,
         })
         .collect()
 }
@@ -203,6 +218,9 @@ pub struct RelativeRow {
     pub decompress_tail: StageTail,
     /// Per-step aggregate latency tail over the run.
     pub aggregate_tail: StageTail,
+    /// Fraction of per-lane encode time hidden under backprop by the
+    /// pipelined exchange (0 when the stream fuses into a single bucket).
+    pub overlap_ratio: f64,
 }
 
 impl RelativeRow {

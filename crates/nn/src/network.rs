@@ -97,6 +97,32 @@ impl Network {
         loss
     }
 
+    /// Like [`forward_backward`](Network::forward_backward), but emits each
+    /// layer's gradients through `sink` **as soon as that layer's backward
+    /// step completes** — i.e. in reverse layer order, which is the order the
+    /// fusion pipeline seals buckets in so compression of early-emitted
+    /// (deep) layers overlaps with backprop through the shallow ones.
+    ///
+    /// Within a layer, parameters are emitted in declaration order. The
+    /// emitted set is exactly [`take_gradients`](Network::take_gradients)
+    /// reversed layer-by-layer; gradients also remain stored on the
+    /// parameters afterwards.
+    pub fn forward_backward_streaming(
+        &mut self,
+        x: &Tensor,
+        targets: &Targets,
+        sink: &mut dyn FnMut(&str, &Tensor),
+    ) -> f32 {
+        self.set_training(true);
+        let logits = self.forward_raw(x);
+        let (loss, mut grad) = self.loss.loss_and_grad(&logits, targets);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+            layer.visit_params(&mut |p| sink(&p.name, &p.grad));
+        }
+        loss
+    }
+
     /// Evaluates the loss in inference mode, without computing gradients.
     pub fn evaluate_loss(&mut self, x: &Tensor, targets: &Targets) -> f32 {
         let logits = self.forward(x);
@@ -153,6 +179,18 @@ impl Network {
             layer.visit_params(&mut |_| n += 1);
         }
         n
+    }
+
+    /// The `(name, element-count)` sequence of the streaming backward pass —
+    /// reverse layer order, parameters in declaration order within a layer —
+    /// for pre-building fusion bucket plans that match
+    /// [`forward_backward_streaming`](Network::forward_backward_streaming).
+    pub fn streaming_grad_sizes(&mut self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for layer in self.layers.iter_mut().rev() {
+            layer.visit_params(&mut |p| out.push((p.name.clone(), p.value.len())));
+        }
+        out
     }
 
     /// The parameter names in layer order.
@@ -289,6 +327,31 @@ mod tests {
         grads.swap(0, 2);
         let mut opt = Sgd::new(0.1);
         net.apply_gradients(&grads, &mut opt);
+    }
+
+    #[test]
+    fn streaming_backward_emits_reverse_layer_order_bit_identically() {
+        let mut a = tiny_net(8);
+        let mut b = tiny_net(8);
+        let (x, y) = tiny_batch();
+        let mut streamed: Vec<(String, Tensor)> = Vec::new();
+        let la = a.forward_backward_streaming(&x, &y, &mut |name, grad| {
+            streamed.push((name.to_string(), grad.clone()));
+        });
+        let lb = b.forward_backward(&x, &y);
+        assert_eq!(la, lb);
+        assert_eq!(
+            streamed.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["fc2/w", "fc2/b", "fc1/w", "fc1/b"],
+            "streaming order must be reverse layer order"
+        );
+        let oneshot = b.take_gradients();
+        for (name, grad) in &streamed {
+            let (_, reference) = oneshot.iter().find(|(n, _)| n == name).unwrap();
+            assert_eq!(grad.as_slice(), reference.as_slice(), "mismatch at {name}");
+        }
+        // Gradients stay on the params: take_gradients still works.
+        assert_eq!(a.take_gradients().len(), streamed.len());
     }
 
     #[test]

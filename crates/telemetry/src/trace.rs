@@ -51,6 +51,10 @@ pub enum Track {
     Lane(usize),
     /// A pipeline stage track.
     Stage(Stage),
+    /// The fusion-bucket lifecycle track: seal markers and per-bucket
+    /// encode/aggregate spans of the pipelined exchange (bucket index in
+    /// the span's `args`).
+    Bucket,
 }
 
 /// First tid used for lane tracks; stage tracks sit below it so Perfetto
@@ -66,6 +70,7 @@ impl Track {
             Track::Stage(Stage::Aggregate) => 3,
             Track::Stage(Stage::Comm) => 4,
             Track::Stage(Stage::Fault) => 5,
+            Track::Bucket => 6,
             Track::Lane(rank) => LANE_TID_BASE + rank as u32,
         }
     }
@@ -74,6 +79,7 @@ impl Track {
     pub fn label(self) -> String {
         match self {
             Track::Stage(s) => s.label().to_string(),
+            Track::Bucket => "buckets".to_string(),
             Track::Lane(rank) => format!("lane {rank}"),
         }
     }
@@ -376,9 +382,11 @@ mod tests {
             Stage::Fault,
         ];
         let mut tids: Vec<u32> = stages.iter().map(|s| Track::Stage(*s).tid()).collect();
+        tids.push(Track::Bucket.tid());
         for lane in 0..8 {
             tids.push(Track::Lane(lane).tid());
         }
+        assert!(Track::Bucket.tid() < LANE_TID_BASE);
         let mut dedup = tids.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -16,8 +16,20 @@ use std::fmt;
 /// assert_eq!(s.len(), 12);
 /// assert_eq!(s.rank(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
+
+impl Clone for Shape {
+    fn clone(&self) -> Self {
+        Shape(self.0.clone())
+    }
+
+    // Forwarding to `Vec::clone_from` lets pooled staging buffers reuse the
+    // existing dimension allocation instead of freeing and reallocating it.
+    fn clone_from(&mut self, source: &Self) {
+        self.0.clone_from(&source.0);
+    }
+}
 
 impl Shape {
     /// Creates a shape from dimension sizes.

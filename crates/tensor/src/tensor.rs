@@ -88,6 +88,22 @@ impl Tensor {
         self.data.is_empty()
     }
 
+    /// Overwrites `self` with the contents and shape of `src`, reusing the
+    /// existing buffer capacity when it suffices.
+    ///
+    /// This is the pooled-staging primitive of the fusion pipeline: once a
+    /// staging slot has grown to its steady-state size, repeated `copy_from`
+    /// calls perform no allocations.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        if self.data.len() == src.data.len() {
+            self.data.copy_from_slice(&src.data);
+        } else {
+            self.data.clear();
+            self.data.extend_from_slice(&src.data);
+        }
+        self.shape.clone_from(&src.shape);
+    }
+
     /// Immutable view of the underlying buffer (row-major).
     pub fn as_slice(&self) -> &[f32] {
         &self.data
@@ -422,6 +438,19 @@ mod tests {
         assert!(t.is_finite());
         t[1] = f32::NAN;
         assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn copy_from_matches_source_and_reuses_capacity() {
+        let src = Tensor::new(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2));
+        let mut dst = Tensor::zeros(Shape::vector(4));
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let cap = dst.data.capacity();
+        let smaller = Tensor::from_vec(vec![9.0, 8.0]);
+        dst.copy_from(&smaller);
+        assert_eq!(dst, smaller);
+        assert_eq!(dst.data.capacity(), cap, "copy_from must not shrink");
     }
 
     #[test]

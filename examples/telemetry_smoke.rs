@@ -26,7 +26,8 @@ fn main() {
     cfg.telemetry = Some(Level::Trace);
 
     // Top-k is an allgather method, so one step exercises every stage track:
-    // encode, per-peer decompress, and the aggregate averaging pass.
+    // per-lane compress (with its enclosing bucket span), per-peer
+    // decompress, and the aggregate averaging pass.
     let spec = registry::find("topk").expect("registered");
     let (mut cs, mut ms) = registry::build_fleet(&spec, WORKERS, 5);
     let mut opt = Momentum::new(0.03, 0.9);
@@ -77,7 +78,11 @@ fn main() {
             "missing track {lane:?} in {tracks:?}"
         );
     }
-    for stage in ["encode", "decompress", "aggregate"] {
+    assert!(
+        tracks.contains(&"buckets".to_string()),
+        "missing pipelined-exchange 'buckets' track in {tracks:?}"
+    );
+    for stage in ["compress", "bucket", "decompress", "aggregate"] {
         let n = span_counts.get(stage).copied().unwrap_or(0);
         assert!(
             n >= 1,

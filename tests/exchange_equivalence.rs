@@ -85,8 +85,17 @@ fn powersgd_parameters_match_pre_refactor_golden() {
     assert_eq!(crc, GOLDEN_POWERSGD, "low-rank path diverged: {crc:#010x}");
 }
 
-/// Captured from the pre-refactor `run_simulated` at commit `bade74c`.
-const GOLDEN_QSGD: u32 = 0xd2de_c0db;
+/// `GOLDEN_TOPK`/`GOLDEN_POWERSGD` were captured from the pre-refactor
+/// `run_simulated` at commit `bade74c` and have survived every refactor
+/// since (Top-k is stateless per tensor; PowerSGD's q-state is name-keyed),
+/// including the pipelined exchange: fusion order does not change what is
+/// computed per tensor. `GOLDEN_QSGD` was re-captured when the trainer
+/// switched to the streaming backward pass: QSGD draws its dither from one
+/// sequential per-lane RNG substream, so feeding gradients in reverse layer
+/// order (deepest first, the overlap-friendly order) permutes the draws.
+/// The value is order-dependent but still fully deterministic — the
+/// equivalence tests below pin it across executor widths and fusion sizes.
+const GOLDEN_QSGD: u32 = 0xaa5f_d836;
 const GOLDEN_TOPK: u32 = 0xe0ae_0255;
 const GOLDEN_POWERSGD: u32 = 0xfc95_aeee;
 
@@ -106,8 +115,12 @@ fn trace_enabled_run_matches_goldens() {
     set_level(Level::Off);
     assert_eq!(crc, GOLDEN_TOPK, "tracing changed the trained model");
     assert!(
-        spans.iter().any(|e| e.name == "encode"),
-        "tracing was enabled but no encode spans were recorded"
+        spans.iter().any(|e| e.name == "compress"),
+        "tracing was enabled but no compress spans were recorded"
+    );
+    assert!(
+        spans.iter().any(|e| e.name == "bucket"),
+        "the pipelined exchange must leave per-bucket spans"
     );
 }
 

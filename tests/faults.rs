@@ -127,6 +127,41 @@ fn straggler_only_plan_is_bit_transparent() {
     }
 }
 
+/// Chaos case for the pipelined exchange: with a tiny fusion threshold the
+/// gradient stream splits into one bucket per tensor, and the victim dies
+/// on a collective in the *middle* of a step — after some of its buckets
+/// were already encoded and deposited. The survivors must drain every
+/// in-flight bucket, rescale the aggregate over the reduced membership, and
+/// finish the job without deadlocking.
+#[test]
+fn worker_killed_mid_step_drains_in_flight_buckets_and_rescales() {
+    // mlp_classifier("m", 8, &[12], 2) has 4 gradient tensors, so each step
+    // issues 4 per-bucket collectives; op index 6 is the third tensor of
+    // step 1 — strictly inside a step, never on a step boundary.
+    let fault = FaultConfig {
+        plan: FaultPlan::empty().with_drop(2, 6),
+        timeout: Some(Duration::from_secs(10)),
+    };
+    let mut cfg = config(Some(fault));
+    cfg.fusion_bytes = 1; // isolate every tensor into its own bucket
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+        let _ = tx.send(run_threaded(&cfg, &task, worker));
+    });
+    let result = match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(result) => {
+            handle.join().expect("worker panicked after reporting");
+            result
+        }
+        Err(_) => panic!("mid-step kill deadlocked the pipelined exchange"),
+    };
+    assert_eq!(result.survivors, N - 1, "exactly one worker dies");
+    assert_eq!(result.faults.injected_drops, vec![0, 0, 1]);
+    assert_params_finite(&result);
+    assert!(result.final_quality.is_finite());
+}
+
 #[test]
 fn same_fault_seed_yields_identical_counters_across_runs() {
     let rates = FaultRates {

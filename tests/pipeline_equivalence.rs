@@ -1,0 +1,288 @@
+//! Bit-equivalence suite for the pipelined (bucketed) exchange.
+//!
+//! The PR-2 contract — compression results never depend on *how* the
+//! exchange is executed — extends to tensor fusion: for every registered
+//! method, streaming gradients through `begin_step`/`submit`/`finish` must
+//! produce exactly the bytes of the one-shot `exchange()`, at any fusion
+//! threshold, any executor width, and any submission order. The canonical
+//! per-lane encode order is *plan* order, which is what makes the
+//! sequential-RNG methods (QSGD dither, RandomK selection) invariant to
+//! arrival interleavings.
+
+use grace::compressors::extensions::extension_specs;
+use grace::compressors::registry;
+use grace::core::trainer::{run_simulated, CodecTiming};
+use grace::core::{Compressor, CompressorSpec, GradientExchange, Memory, PlanBuilder, TrainConfig};
+use grace::nn::data::ClassificationDataset;
+use grace::nn::models;
+use grace::nn::optim::Momentum;
+use grace::tensor::pack::crc32;
+use grace::tensor::Tensor;
+
+/// The paper's 16 registry methods plus the extension methods.
+fn all_specs() -> Vec<CompressorSpec> {
+    let mut specs = registry::all_specs();
+    specs.extend(extension_specs());
+    specs
+}
+
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
+const N_WORKERS: usize = 3;
+
+/// Deterministic per-worker gradient streams: varied tensor sizes so small
+/// fusion thresholds split the stream into several buckets.
+fn worker_grads(step: u64) -> Vec<Vec<(String, Tensor)>> {
+    let sizes = [33usize, 7, 128, 64, 5];
+    (0..N_WORKERS)
+        .map(|w| {
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| {
+                    let data: Vec<f32> = (0..len)
+                        .map(|j| {
+                            let x = (w * 7919 + i * 611 + j) as f32 + step as f32 * 0.37;
+                            (x * 0.01).sin() * 3.0
+                        })
+                        .collect();
+                    (format!("l{i}/w"), Tensor::from_vec(data))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fleet(spec: &CompressorSpec) -> Fleet {
+    (
+        (0..N_WORKERS)
+            .map(|w| (spec.build)(100 + w as u64))
+            .collect(),
+        (0..N_WORKERS).map(|_| (spec.build_memory)()).collect(),
+    )
+}
+
+fn assert_bit_equal(a: &[(String, Tensor)], b: &[(String, Tensor)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: tensor count");
+    for ((an, at), (bn, bt)) in a.iter().zip(b) {
+        assert_eq!(an, bn, "{what}: name order");
+        let ab: Vec<u32> = at.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = bt.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "{what}: '{an}' bits diverged");
+    }
+}
+
+/// Streams `grads` through a pipelined session in plan order.
+fn run_session(
+    engine: &mut GradientExchange<'_>,
+    fusion_bytes: usize,
+    grads: &[Vec<(String, Tensor)>],
+) -> (Vec<(String, Tensor)>, grace::core::ExchangeReport) {
+    let mut builder = PlanBuilder::new(fusion_bytes);
+    for (name, t) in &grads[0] {
+        builder.push(name, t.len());
+    }
+    let plan = builder.finish();
+    let mut session = engine.begin_step(&plan);
+    for (w, stream) in grads.iter().enumerate() {
+        for (name, t) in stream {
+            session.submit(w, name, t);
+        }
+    }
+    session.finish()
+}
+
+/// Every registered method, two steps (so error-feedback state carries
+/// over), three fusion thresholds: the pipelined session must reproduce the
+/// one-shot exchange bit-for-bit, including the byte accounting.
+#[test]
+fn pipelined_session_matches_one_shot_for_every_method() {
+    for fusion_bytes in [1usize, 64 << 10, usize::MAX] {
+        for spec in all_specs() {
+            let (mut c1, mut m1) = fleet(&spec);
+            let mut one_shot = GradientExchange::from_fleet(&mut c1, &mut m1);
+            let (mut c2, mut m2) = fleet(&spec);
+            let mut pipelined = GradientExchange::from_fleet(&mut c2, &mut m2);
+            for step in 0..2 {
+                let grads = worker_grads(step);
+                let (base, base_rep) = one_shot.exchange(grads.clone());
+                let (piped, piped_rep) = run_session(&mut pipelined, fusion_bytes, &grads);
+                assert_bit_equal(
+                    &base,
+                    &piped,
+                    &format!("{} (fusion {fusion_bytes}, step {step})", spec.id),
+                );
+                assert_eq!(
+                    base_rep.payload_bytes, piped_rep.payload_bytes,
+                    "{}: payload bytes diverged",
+                    spec.id
+                );
+                assert_eq!(
+                    base_rep.wire_bytes(),
+                    piped_rep.wire_bytes(),
+                    "{}: wire bytes diverged",
+                    spec.id
+                );
+                assert_eq!(
+                    base_rep.elements(),
+                    piped_rep.elements(),
+                    "{}: element count diverged",
+                    spec.id
+                );
+            }
+        }
+    }
+}
+
+/// The scoped-thread executor stays invisible through the session path:
+/// `threads = 4` and `threads = 1` produce identical bytes.
+#[test]
+fn session_is_bit_identical_across_executor_widths() {
+    for spec in all_specs() {
+        let (mut c1, mut m1) = fleet(&spec);
+        let mut seq = GradientExchange::from_fleet(&mut c1, &mut m1).with_threads(1);
+        let (mut c2, mut m2) = fleet(&spec);
+        let mut par = GradientExchange::from_fleet(&mut c2, &mut m2).with_threads(4);
+        for step in 0..2 {
+            let grads = worker_grads(step);
+            let (a, _) = run_session(&mut seq, 256, &grads);
+            let (b, _) = run_session(&mut par, 256, &grads);
+            assert_bit_equal(&a, &b, &format!("{} (threads 1 vs 4)", spec.id));
+        }
+    }
+}
+
+/// Submission order must not matter: the canonical per-lane encode order is
+/// plan order, so any arrival interleaving yields the same bytes. Orders
+/// are derived from a seeded Fisher–Yates shuffle so failures replay.
+#[test]
+fn arbitrary_submission_orders_are_bit_identical() {
+    fn shuffled(n: usize, mut state: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            // SplitMix64 step — cheap, deterministic, and good enough to
+            // exercise every interleaving class over a 5-tensor stream.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            idx.swap(i, (z % (i as u64 + 1)) as usize);
+        }
+        idx
+    }
+
+    // QSGD and RandomK draw from one sequential per-lane RNG substream, so
+    // they are the methods an ordering bug would break first; run the whole
+    // registry anyway.
+    for spec in all_specs() {
+        let (mut c1, mut m1) = fleet(&spec);
+        let mut reference = GradientExchange::from_fleet(&mut c1, &mut m1);
+        let (mut c2, mut m2) = fleet(&spec);
+        let mut scrambled = GradientExchange::from_fleet(&mut c2, &mut m2);
+        for round in 0..4u64 {
+            let grads = worker_grads(round);
+            let (base, _) = run_session(&mut reference, 64, &grads);
+
+            let mut builder = PlanBuilder::new(64);
+            for (name, t) in &grads[0] {
+                builder.push(name, t.len());
+            }
+            let plan = builder.finish();
+            let mut session = scrambled.begin_step(&plan);
+            for (w, stream) in grads.iter().enumerate() {
+                let order = shuffled(stream.len(), round * 1000 + w as u64 * 31 + 1);
+                for &i in &order {
+                    let (name, t) = &stream[i];
+                    session.submit(w, name, t);
+                }
+            }
+            let (piped, _) = session.finish();
+            assert_bit_equal(&base, &piped, &format!("{} (round {round})", spec.id));
+        }
+    }
+}
+
+/// The Allgather aggregation path decodes each contribution on its owning
+/// lane (fanned over the executor) instead of serially on lane 0; the
+/// report records both the wall-clock and summed per-lane CPU decode time,
+/// so the parallel-decode win is observable.
+#[test]
+fn parallel_decode_win_is_recorded_in_the_report() {
+    let spec = all_specs()
+        .into_iter()
+        .find(|s| s.id == "topk")
+        .expect("topk is registered");
+    let (mut cs, mut ms) = fleet(&spec);
+    let mut engine = GradientExchange::from_fleet(&mut cs, &mut ms);
+    let (_, report) = run_session(&mut engine, 64, &worker_grads(0));
+    assert!(
+        report.decompress_cpu_seconds > 0.0,
+        "per-lane decode CPU time must be attributed"
+    );
+    assert!(
+        report.decompress_seconds > 0.0,
+        "decode wall time must be attributed"
+    );
+    assert!(report.decode_parallel_speedup() >= 1.0);
+}
+
+/// End-to-end golden: the trained parameters are invariant to the fusion
+/// threshold. The constants equal `tests/exchange_equivalence.rs`'s goldens
+/// — `fusion_bytes = usize::MAX` reproduces the whole-step exchange and
+/// every other threshold only re-groups the same per-tensor work.
+#[test]
+fn trained_parameters_are_invariant_to_fusion_threshold() {
+    use grace::compressors::{Qsgd, TopK};
+    use grace::core::{NoMemory, ResidualMemory};
+
+    const SEED: u64 = 17;
+    const GOLDEN_QSGD: u32 = 0xaa5f_d836;
+    const GOLDEN_TOPK: u32 = 0xe0ae_0255;
+
+    fn golden_run(
+        fusion_bytes: usize,
+        make_c: impl Fn(usize) -> Box<dyn Compressor>,
+        make_m: impl Fn() -> Box<dyn Memory>,
+    ) -> u32 {
+        let n = 4;
+        let task = ClassificationDataset::synthetic(128, 8, 2, 0.3, SEED);
+        let mut net = models::mlp_classifier("m", 8, &[16], 2, SEED);
+        let mut opt = Momentum::new(0.05, 0.9);
+        let mut cfg = TrainConfig::new(n, 8, 2, SEED);
+        cfg.codec = CodecTiming::Free;
+        cfg.fusion_bytes = fusion_bytes;
+        let mut cs: Vec<Box<dyn Compressor>> = (0..n).map(&make_c).collect();
+        let mut ms: Vec<Box<dyn Memory>> = (0..n).map(|_| make_m()).collect();
+        let _ = run_simulated(&cfg, &mut net, &task, &mut opt, &mut cs, &mut ms);
+        let mut bytes = Vec::new();
+        for (name, t) in net.export_params() {
+            bytes.extend_from_slice(name.as_bytes());
+            for v in t.as_slice() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        crc32(&bytes)
+    }
+
+    for fusion_bytes in [1usize, 64 << 10, 2 << 20, usize::MAX] {
+        let qsgd = golden_run(
+            fusion_bytes,
+            |w| Box::new(Qsgd::new(16, 1000 + w as u64)),
+            || Box::new(NoMemory::new()),
+        );
+        assert_eq!(
+            qsgd, GOLDEN_QSGD,
+            "qsgd diverged at fusion_bytes = {fusion_bytes}: {qsgd:#010x}"
+        );
+        let topk = golden_run(
+            fusion_bytes,
+            |_w| Box::new(TopK::new(0.05)),
+            || Box::new(ResidualMemory::new()),
+        );
+        assert_eq!(
+            topk, GOLDEN_TOPK,
+            "topk diverged at fusion_bytes = {fusion_bytes}: {topk:#010x}"
+        );
+    }
+}

@@ -2,19 +2,35 @@
 //! whole hot path is a level check that branches out. This lives in its own
 //! integration-test binary because it installs a counting global allocator
 //! (and so must not share a process with unrelated parallel tests).
+//!
+//! The same harness also proves the pipelined exchange's steady-state claim:
+//! after a warm-up step, `begin_step` + every `submit` reuse the engine's
+//! pooled staging buffers and allocate nothing.
 
+use grace::core::{Compressor, Context, GradientExchange, Payload, PlanBuilder};
 use grace::telemetry::trace::{self, StageTimer};
 use grace::telemetry::{metrics, set_level, Level, Stage, Track};
+use grace::tensor::{Shape, Tensor};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+// Counting per thread keeps each test's measured window immune to harness
+// threads (libtest prints results concurrently). A const-initialized
+// `Cell<u64>` has no destructor, so the TLS access inside the allocator can
+// never itself allocate or run during teardown.
+std::thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -38,7 +54,7 @@ fn disabled_telemetry_hot_path_is_allocation_free() {
     }
     trace::instant("warmup", Track::Stage(Stage::Encode));
 
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = allocs_on_this_thread();
     for i in 0..10_000u64 {
         let _s = trace::span("hot", Track::Lane(0));
         trace::instant_arg("hot", Track::Stage(Stage::Fault), Some(("rank", i)));
@@ -47,11 +63,96 @@ fn disabled_telemetry_hot_path_is_allocation_free() {
         hist.record(ns);
         ctr.add(1);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = allocs_on_this_thread();
     assert_eq!(
         after - before,
         0,
         "disabled telemetry hot path allocated {} times",
         after - before
     );
+}
+
+/// A codec that transmits nothing: with no payload vectors and a rank-0
+/// context shape, the whole encode path is allocation-free, which isolates
+/// the *engine's* staging machinery in the measured window below.
+struct NullCodec;
+
+impl Compressor for NullCodec {
+    fn name(&self) -> String {
+        "Null".into()
+    }
+
+    fn compress(&mut self, _t: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        (Vec::new(), Context::shape_only(Shape::scalar()))
+    }
+
+    fn decompress(&mut self, _p: &[Payload], ctx: &Context) -> Tensor {
+        Tensor::zeros(ctx.shape.clone())
+    }
+}
+
+/// Steady-state pipelined submission must be allocation-free: the bucket
+/// plan, per-lane staging tensors, and encode slots are all pooled on the
+/// engine, so after one warm-up step a `begin_step` + full round of
+/// `submit`s touches no allocator. (`finish` is excluded — aggregation
+/// legitimately builds the result vector and report.)
+#[test]
+fn pipelined_submit_steady_state_is_allocation_free() {
+    set_level(Level::Off);
+    let n_workers = 2;
+    let mut codecs: Vec<Box<dyn Compressor>> = (0..n_workers)
+        .map(|_| Box::new(NullCodec) as Box<dyn Compressor>)
+        .collect();
+    let mut engine = GradientExchange::from_compressors(&mut codecs);
+
+    let grads: Vec<(String, Tensor)> = (0..6)
+        .map(|i| (format!("g{i}"), Tensor::from_vec(vec![i as f32; 32 + i])))
+        .collect();
+    let mut builder = PlanBuilder::new(256);
+    for (name, t) in &grads {
+        builder.push(name, t.len());
+    }
+    let plan = builder.finish();
+    assert!(plan.n_buckets() > 1, "want a multi-bucket stream");
+
+    // Warm-up: sizes the pools (staging tensors, slot vectors, plan cache).
+    let mut session = engine.begin_step(&plan);
+    for w in 0..n_workers {
+        for (name, t) in &grads {
+            session.submit(w, name, t);
+        }
+    }
+    let _ = session.finish();
+
+    let before = allocs_on_this_thread();
+    for _ in 0..100 {
+        let mut session = engine.begin_step(&plan);
+        for w in 0..n_workers {
+            for (name, t) in &grads {
+                session.submit(w, name, t);
+            }
+        }
+        // Letting the unfinished session fall out of scope is allowed; the
+        // next begin_step reclaims the pools without reallocating.
+        let _ = session;
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pipelined submit allocated {} times",
+        after - before
+    );
+
+    // The pools are still coherent: a finished step after the measured
+    // window produces the full aggregated stream.
+    let mut session = engine.begin_step(&plan);
+    for w in 0..n_workers {
+        for (name, t) in &grads {
+            session.submit(w, name, t);
+        }
+    }
+    let (aggregated, report) = session.finish();
+    assert_eq!(aggregated.len(), grads.len());
+    assert_eq!(report.buckets.len(), plan.n_buckets());
 }
