@@ -1,0 +1,19 @@
+//! Post-processing for GRACE telemetry artefacts.
+//!
+//! Two analyses, both offline (no serde — parsing goes through
+//! `grace-telemetry`'s validation-grade JSON parser):
+//!
+//! 1. **Critical-path attribution** ([`critical`]): reads a Chrome
+//!    trace-event JSON export, segments the timeline at the step-boundary
+//!    markers on the `steps` track, and reports — per step and in
+//!    aggregate — how long each pipeline stage ran, how much of that time
+//!    was *hidden* under another stage, and which stage's **exposed** time
+//!    bounds the step. "Compression takes 40 ms" is not actionable;
+//!    "compression exposes 3 ms per step and the collective bounds the
+//!    other 12" is.
+//! 2. **Bench regression check** ([`bench`]): diffs a freshly produced
+//!    `results/bench_*.json` against a committed baseline with a tolerance
+//!    band, for CI to fail (exit ≠ 0) when a ratio metric regresses.
+
+pub mod bench;
+pub mod critical;

@@ -1,0 +1,111 @@
+//! `grace-analyze` — post-process GRACE telemetry artefacts.
+//!
+//! ```text
+//! grace-analyze trace <trace.json> [--per-step]
+//! grace-analyze --check-bench <current.json> --baseline <baseline.json> [--tolerance 0.25]
+//! ```
+//!
+//! Exit codes: `0` ok, `1` bench regression detected, `2` usage or input
+//! error — so CI can gate directly on the process status.
+
+use grace_analyze::{bench, critical};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  grace-analyze trace <trace.json> [--per-step]
+      Per-step critical-path attribution of a Chrome trace export:
+      which stage bounds each step, time hidden vs exposed.
+
+  grace-analyze --check-bench <current.json> --baseline <baseline.json> [--tolerance 0.25]
+      Diff a bench result against a committed baseline; exits 1 when a
+      gated ratio metric falls below baseline*(1 - tolerance).";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("grace-analyze: {msg}");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run_trace(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut per_step = false;
+    for a in args {
+        match a.as_str() {
+            "--per-step" => per_step = true,
+            _ if path.is_none() => path = Some(a.clone()),
+            _ => return fail(USAGE),
+        }
+    }
+    let Some(path) = path else {
+        return fail(USAGE);
+    };
+    let text = match read(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let data = match critical::parse_trace(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    let steps = critical::critical_path(&data);
+    print!("{}", critical::report(&steps, per_step));
+    ExitCode::SUCCESS
+}
+
+fn run_check_bench(args: &[String]) -> ExitCode {
+    let mut current = None;
+    let mut baseline = None;
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(p.clone()),
+                None => return fail("--baseline needs a path"),
+            },
+            "--tolerance" => match it.next().map(|t| t.parse::<f64>()) {
+                Some(Ok(t)) => tolerance = t,
+                _ => return fail("--tolerance needs a number"),
+            },
+            _ if current.is_none() => current = Some(a.clone()),
+            _ => return fail(USAGE),
+        }
+    }
+    let (Some(current), Some(baseline)) = (current, baseline) else {
+        return fail(USAGE);
+    };
+    let (cur_text, base_text) = match (read(&current), read(&baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    match bench::check_bench_text(&cur_text, &base_text, tolerance) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.ok() {
+                println!("check-bench: ok (tolerance {tolerance})");
+                ExitCode::SUCCESS
+            } else {
+                let n = report.regressions().count();
+                println!("check-bench: {n} regression(s) vs {baseline}");
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trace") => run_trace(&args[1..]),
+        Some("--check-bench" | "check-bench") => run_check_bench(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => fail(USAGE),
+    }
+}

@@ -13,13 +13,15 @@ use grace_nn::data::ClassificationDataset;
 use grace_nn::models;
 use grace_nn::optim::Momentum;
 
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
 fn run_one_epoch(compressor_id: Option<&str>) {
     let task = ClassificationDataset::synthetic(64, 32, 4, 0.35, 3);
     let mut net = models::resnet20_analog(32, 4, 3);
     let mut cfg = TrainConfig::new(4, 16, 1, 3);
     cfg.codec = CodecTiming::Free;
     let mut opt = Momentum::new(0.05, 0.9);
-    let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
+    let (mut cs, mut ms): Fleet = match compressor_id {
         None => (
             (0..4)
                 .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)

@@ -273,6 +273,10 @@ struct Board {
     /// Which ranks are still cluster members; stale slots of departed ranks
     /// are excluded from every aggregation.
     alive: Mutex<Vec<bool>>,
+    /// Cumulative nanoseconds each rank has idled at barriers — the raw
+    /// material for straggler-skew detection: a delayed rank waits *less*
+    /// than its peers, who all stall behind it.
+    barrier_wait_ns: Vec<AtomicU64>,
     barrier: DynBarrier,
     n: usize,
 }
@@ -283,6 +287,7 @@ impl Board {
             f32_slots: Mutex::new(vec![Vec::new(); n]),
             byte_slots: Mutex::new(vec![Vec::new(); n]),
             alive: Mutex::new(vec![true; n]),
+            barrier_wait_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
             barrier: DynBarrier::new(n),
             n,
         }
@@ -333,6 +338,26 @@ impl WorkerHandle {
         self.ops.load(Ordering::Relaxed)
     }
 
+    /// Cumulative nanoseconds `rank` has idled at barriers so far. A rank
+    /// that runs slow (an injected straggler, a loaded core) waits *less*
+    /// than its peers — skew across ranks is the straggler signal.
+    pub fn barrier_wait_ns(&self, rank: usize) -> u64 {
+        self.board.barrier_wait_ns[rank].load(Ordering::Relaxed)
+    }
+
+    /// Copies every rank's cumulative barrier-wait nanoseconds into `out`
+    /// (allocation-free; `out` must hold [`Collective::n_workers`] slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the worker count.
+    pub fn barrier_waits_into(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.board.n, "need one slot per rank");
+        for (slot, w) in out.iter_mut().zip(self.board.barrier_wait_ns.iter()) {
+            *slot = w.load(Ordering::Relaxed);
+        }
+    }
+
     fn next_op(&self) -> u64 {
         self.ops.fetch_add(1, Ordering::Relaxed)
     }
@@ -350,6 +375,7 @@ impl WorkerHandle {
             });
         let ns = timer.finish("barrier_wait", Track::Lane(self.rank));
         self.barrier_hist.record(ns);
+        self.board.barrier_wait_ns[self.rank].fetch_add(ns, Ordering::Relaxed);
         result
     }
 }
@@ -792,6 +818,32 @@ mod tests {
             },
         );
         assert_eq!(results[1], Err(ClusterError::Dropped { rank: 0, op: 0 }));
+    }
+
+    #[test]
+    fn barrier_waits_accumulate_per_rank() {
+        let waits = ThreadedCluster::run(3, |c| {
+            if c.rank() == 0 {
+                // The straggler: peers stall at the barrier behind it.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            c.barrier();
+            // Second barrier: every rank's wait from round one is recorded
+            // (and visible) before anyone reads the board.
+            c.barrier();
+            let mut out = vec![0u64; c.n_workers()];
+            c.barrier_waits_into(&mut out);
+            (out, c.barrier_wait_ns(c.rank()))
+        });
+        for (out, own) in &waits {
+            assert_eq!(out.len(), 3);
+            // The non-stragglers idled roughly the injected delay; the
+            // straggler itself barely waited.
+            let max = *out.iter().max().unwrap();
+            assert!(max >= 10_000_000, "peers should stall ≥10ms, got {max}ns");
+            assert!(out[0] < max / 2, "the straggler must wait least: {out:?}");
+            let _ = own;
+        }
     }
 
     #[test]

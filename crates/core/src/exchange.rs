@@ -328,6 +328,12 @@ impl<'a> WorkerLane<'a> {
         self.codec_ns as f64 / NS_PER_SEC
     }
 
+    /// The lane memory's stored-residual L2 norm
+    /// ([`Memory::residual_norm`]); `None` without an active memory.
+    pub fn residual_norm(&self) -> Option<f64> {
+        self.memory.as_ref().and_then(|m| m.residual_norm())
+    }
+
     fn observe(&mut self, ns: u64) {
         self.codec_ns += ns;
         self.encode_hist.record(ns);
@@ -751,6 +757,25 @@ impl<'a> GradientExchange<'a> {
     /// lifetime (one sample per exchange step).
     pub fn stage_stats(&self) -> &StageHistograms {
         &self.stage_hists
+    }
+
+    /// Mean stored-residual L2 norm across lanes with active error-feedback
+    /// memory — the health monitor's per-step error-feedback signal.
+    /// `None` when no lane keeps residual state.
+    pub fn residual_norm(&self) -> Option<f64> {
+        let mut sum = 0.0f64;
+        let mut active = 0usize;
+        for lane in &self.lanes {
+            if let Some(norm) = lane.residual_norm() {
+                sum += norm;
+                active += 1;
+            }
+        }
+        if active > 0 {
+            Some(sum / active as f64)
+        } else {
+            None
+        }
     }
 
     /// Clears the per-run stage distributions (e.g. after bench warmup).
@@ -1415,7 +1440,9 @@ mod tests {
     use crate::memory::{NoMemory, ResidualMemory};
     use grace_tensor::Shape;
 
-    fn fleet(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
+    type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
+    fn fleet(n: usize) -> Fleet {
         (
             (0..n)
                 .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)

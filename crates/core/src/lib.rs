@@ -39,6 +39,7 @@
 pub mod bucket;
 pub mod compressor;
 pub mod exchange;
+pub mod health;
 pub mod memory;
 pub mod payload;
 pub mod registry;
@@ -52,6 +53,7 @@ pub use exchange::{
     BucketReport, BucketedExchange, EncodedTensor, ExchangeReport, GradientExchange, StageTotals,
     WorkerLane,
 };
+pub use health::{AnomalyEvent, AnomalyKind, HealthConfig, HealthMonitor, StepObservation};
 pub use memory::{Memory, NoMemory, ResidualMemory};
 pub use payload::{Payload, PayloadError};
 pub use registry::{CompressorClass, CompressorSpec, Nature, OutputSize};

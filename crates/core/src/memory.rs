@@ -27,6 +27,13 @@ pub trait Memory: Send {
     fn is_active(&self) -> bool {
         true
     }
+
+    /// Global L2 norm of the stored residual (√Σ‖mᵢ‖²) — the health
+    /// monitor's error-feedback signal. `None` when the memory keeps no
+    /// residual state (the default, e.g. [`NoMemory`]).
+    fn residual_norm(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The no-memory special case: φ(m,g) = g, ψ = 0 (§IV-A footnote).
@@ -121,6 +128,18 @@ impl Memory for ResidualMemory {
         let residual = compensated.sub(decompressed);
         self.store.insert(name.to_string(), residual);
     }
+
+    fn residual_norm(&self) -> Option<f64> {
+        let sq: f64 = self
+            .store
+            .values()
+            .map(|t| {
+                let n = f64::from(t.norm2());
+                n * n
+            })
+            .sum();
+        Some(sq.sqrt())
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +209,21 @@ mod tests {
     #[should_panic(expected = "cannot both be zero")]
     fn rejects_all_zero_weights() {
         let _ = ResidualMemory::with_decay(0.0, 0.0);
+    }
+
+    #[test]
+    fn residual_norm_spans_all_tensors() {
+        let mut m = ResidualMemory::new();
+        assert_eq!(m.residual_norm(), Some(0.0));
+        let g = Tensor::from_vec(vec![3.0]);
+        let c = m.compensate("a", &g);
+        m.update("a", &c, &Tensor::from_vec(vec![0.0]));
+        let h = Tensor::from_vec(vec![4.0]);
+        let c = m.compensate("b", &h);
+        m.update("b", &c, &Tensor::from_vec(vec![0.0]));
+        // √(3² + 4²) = 5.
+        let norm = m.residual_norm().unwrap();
+        assert!((norm - 5.0).abs() < 1e-9, "norm {norm}");
+        assert_eq!(NoMemory::new().residual_norm(), None);
     }
 }

@@ -329,7 +329,9 @@ mod tests {
         Box::new(Sgd::new(0.05))
     }
 
-    fn baseline_fleet(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
+    type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
+    fn baseline_fleet(n: usize) -> Fleet {
         (
             (0..n)
                 .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)

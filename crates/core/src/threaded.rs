@@ -25,9 +25,13 @@
 use crate::bucket::PlanBuilder;
 use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::exchange::{self, EncodedTensor, WorkerLane};
+use crate::health::{HealthMonitor, StepObservation};
 use crate::memory::Memory;
 use crate::payload::{self, Payload};
-use crate::trainer::{steps_per_epoch, wire_bytes, worker_batch_indices, TrainConfig};
+use crate::trainer::{
+    gradient_l2, start_metrics_server, steps_per_epoch, wire_bytes, worker_batch_indices,
+    TrainConfig,
+};
 use grace_comm::{
     ClusterError, ClusterOptions, Collective, FaultStats, FaultSummary, FaultyCollective,
     ThreadedCluster,
@@ -97,6 +101,8 @@ where
             ClusterOptions::default(),
         ),
     };
+    // One endpoint for the whole cluster, alive until every worker joins.
+    let metrics_server = start_metrics_server(cfg);
     let results = ThreadedCluster::run_with(n, options, |handle| {
         let comm = FaultyCollective::new(handle, Arc::clone(&plan), stats.clone());
         let out = worker_loop(cfg, task, &make_worker, &comm);
@@ -107,6 +113,7 @@ where
         }
         out
     });
+    drop(metrics_server);
     // Worker-thread trace buffers drained on thread exit (Drop); pick up
     // anything recorded on the caller's thread too.
     grace_telemetry::trace::flush_thread();
@@ -174,6 +181,21 @@ where
         .map(|(i, name)| (name, i))
         .collect();
     let base_lr = opt.learning_rate();
+    // Rank 0 hosts the run-health monitor; peers do no monitoring work.
+    // The straggler signal reads the cluster's per-rank cumulative barrier
+    // waits: a delayed rank waits *less* at barriers than its stalled
+    // peers, so the per-step spread (max − min of deltas) exposes it.
+    let mut monitor = if rank == 0 {
+        cfg.health.clone().map(HealthMonitor::new)
+    } else {
+        None
+    };
+    let mut waits_now = vec![0u64; n];
+    let mut waits_prev = vec![0u64; n];
+    let mut wait_deltas = vec![0u64; n];
+    let mut bytes_prev = 0u64;
+    let uncompressed = 4.0 * net.param_count() as f64;
+    let mut global_step = 0u64;
     for epoch in 0..cfg.epochs {
         if let Some(schedule) = &cfg.lr_schedule {
             schedule.apply(opt.as_mut(), epoch, base_lr);
@@ -224,7 +246,40 @@ where
                 aggregated.push((name, agg));
             }
             aggregated.sort_by_key(|(name, _)| forward_index[name.as_str()]);
+            if rank == 0 {
+                grace_telemetry::trace::instant_arg(
+                    "step",
+                    Track::Step,
+                    Some(("step", global_step)),
+                );
+            }
+            if let Some(mon) = monitor.as_mut() {
+                let board = comm.inner();
+                board.barrier_waits_into(&mut waits_now);
+                for ((delta, now), prev) in wait_deltas.iter_mut().zip(&waits_now).zip(&waits_prev)
+                {
+                    *delta = now.saturating_sub(*prev);
+                }
+                waits_prev.copy_from_slice(&waits_now);
+                let bytes_now = board.traffic().bytes_sent(rank);
+                let step_bytes = bytes_now.saturating_sub(bytes_prev);
+                bytes_prev = bytes_now;
+                let obs = StepObservation {
+                    grad_norm: gradient_l2(&aggregated),
+                    residual_norm: lane.residual_norm(),
+                    compression_ratio: if step_bytes > 0 {
+                        Some(uncompressed / step_bytes as f64)
+                    } else {
+                        None
+                    },
+                    // No per-step overlap accounting in this mode.
+                    overlap_ratio: None,
+                    straggler_skew_seconds: Some(HealthMonitor::barrier_skew_seconds(&wait_deltas)),
+                };
+                mon.observe_step(global_step, &obs);
+            }
             net.apply_gradients(&aggregated, opt.as_mut());
+            global_step += 1;
         }
     }
     let quality = task.quality(&mut net);

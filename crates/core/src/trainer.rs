@@ -32,6 +32,7 @@
 use crate::bucket::{PlanBuilder, DEFAULT_FUSION_BYTES};
 use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::exchange::{EncodedTensor, GradientExchange, StageHistograms, StageTotals};
+use crate::health::{HealthMonitor, StepObservation};
 use crate::memory::Memory;
 use crate::payload::Payload;
 use grace_comm::NetworkModel;
@@ -190,6 +191,18 @@ pub struct TrainConfig {
     /// `GRACE_TELEMETRY` selected. Telemetry never changes results — only
     /// what is recorded about them.
     pub telemetry: Option<grace_telemetry::Level>,
+    /// Live metrics endpoint: `Some(addr)` serves Prometheus text and the
+    /// `/health` JSON view on `addr` (e.g. `"127.0.0.1:9184"`) for the
+    /// duration of the run; `None` falls back to the `GRACE_METRICS_ADDR`
+    /// environment variable (no endpoint when that is unset either).
+    /// Serving never changes results and never touches the training hot
+    /// path — scrapes snapshot the registry on the server thread.
+    pub metrics_addr: Option<String>,
+    /// Run-health monitoring: `Some(cfg)` feeds a [`crate::HealthMonitor`]
+    /// once per step with gradient/residual norms, compression ratio,
+    /// overlap and straggler skew, raising [`crate::AnomalyEvent`]s with
+    /// hysteresis. `None` (the default) adds zero per-step work.
+    pub health: Option<crate::health::HealthConfig>,
 }
 
 impl TrainConfig {
@@ -212,7 +225,21 @@ impl TrainConfig {
             exchange_threads: None,
             fusion_bytes: DEFAULT_FUSION_BYTES,
             telemetry: None,
+            metrics_addr: None,
+            health: None,
         }
+    }
+
+    /// Stable, config-derived tag for naming exported artefacts:
+    /// `<label>-w{workers}b{batch}e{epochs}s{seed}`. Deliberately free of
+    /// any wall-clock component, so re-running the same configuration
+    /// overwrites its own artefacts instead of accumulating timestamped
+    /// copies, and distinct configurations never collide.
+    pub fn run_tag(&self, label: &str) -> String {
+        format!(
+            "{label}-w{}b{}e{}s{}",
+            self.n_workers, self.batch_per_worker, self.epochs, self.seed
+        )
     }
 
     fn validate(&self) {
@@ -331,6 +358,36 @@ pub fn wire_bytes(payloads: &[Payload], ctx: &Context) -> usize {
     crate::exchange::wire_bytes(payloads, ctx)
 }
 
+/// Starts the live metrics endpoint for a run: the explicit config address
+/// wins, else `GRACE_METRICS_ADDR`. Bind failures warn and return `None` —
+/// monitoring must never abort training.
+pub(crate) fn start_metrics_server(
+    cfg: &TrainConfig,
+) -> Option<grace_telemetry::serve::MetricsServer> {
+    match cfg.metrics_addr.as_deref() {
+        Some(addr) => match grace_telemetry::serve::serve(addr) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                eprintln!("[grace-core] cannot serve metrics on {addr}: {e}");
+                None
+            }
+        },
+        None => grace_telemetry::serve::serve_from_env(),
+    }
+}
+
+/// Global L2 norm over one step's aggregated gradients (√Σ‖gᵢ‖²).
+pub(crate) fn gradient_l2(aggregated: &[(String, grace_tensor::Tensor)]) -> f64 {
+    let sq: f64 = aggregated
+        .iter()
+        .map(|(_, t)| {
+            let n = f64::from(t.norm2());
+            n * n
+        })
+        .sum();
+    sq.sqrt()
+}
+
 /// Runs Algorithm 1 in the deterministic single-process mode.
 ///
 /// `compressors` and `memories` hold one instance per worker (worker `i`
@@ -361,6 +418,10 @@ pub fn run_simulated(
     let strategy = engine.strategy();
     let compressor_name = engine.compressor_name();
     let uncompressed = 4.0 * net.param_count() as f64;
+    // Live observability: endpoint lives for the whole run; the monitor is
+    // fed once per step. Neither touches the update math.
+    let metrics_server = start_metrics_server(cfg);
+    let mut monitor = cfg.health.clone().map(HealthMonitor::new);
 
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
     let eval_stride = (spe / cfg.evals_per_epoch).max(1);
@@ -509,6 +570,20 @@ pub fn run_simulated(
             iter_time += iter_codec;
 
             // --- 3. Optimizer update (line 15) ---
+            grace_telemetry::trace::instant_arg(
+                "step",
+                grace_telemetry::Track::Step,
+                Some(("step", global_step)),
+            );
+            if let Some(mon) = monitor.as_mut() {
+                let obs = StepObservation::from_report(
+                    &report,
+                    uncompressed,
+                    gradient_l2(&aggregated),
+                    engine.residual_norm(),
+                );
+                mon.observe_step(global_step, &obs);
+            }
             net.apply_gradients(&aggregated, opt);
             sim_clock += iter_time;
             iter_times.push(iter_time);
@@ -534,6 +609,7 @@ pub fn run_simulated(
     // Step boundaries in this mode run on the caller's thread; drain its
     // trace buffer so an export right after the run sees every span.
     grace_telemetry::trace::flush_thread();
+    drop(metrics_server);
 
     summarize(
         compressor_name,
@@ -648,7 +724,9 @@ mod tests {
     use grace_nn::models;
     use grace_nn::optim::Momentum;
 
-    fn fleet_baseline(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
+    type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
+    fn fleet_baseline(n: usize) -> Fleet {
         let cs: Vec<Box<dyn Compressor>> = (0..n)
             .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
             .collect();

@@ -16,9 +16,10 @@ use grace_core::{Compressor, Memory, NoMemory, ResidualMemory, TrainConfig};
 use grace_experiments::report;
 use grace_experiments::runner::{run_cell, RunnerConfig};
 use grace_experiments::suite;
-use grace_nn;
 
-fn fleet_topk(ratio: f64, n: usize, ef: bool) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
+fn fleet_topk(ratio: f64, n: usize, ef: bool) -> Fleet {
     let cs = (0..n)
         .map(|_| Box::new(TopK::new(ratio)) as Box<dyn Compressor>)
         .collect();
@@ -37,7 +38,7 @@ fn fleet_topk(ratio: f64, n: usize, ef: bool) -> (Vec<Box<dyn Compressor>>, Vec<
 fn run_custom(
     bench_id: &str,
     rc: &RunnerConfig,
-    make: impl Fn(usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>),
+    make: impl Fn(usize) -> Fleet,
 ) -> grace_core::RunResult {
     let bench = suite::find(bench_id).expect("benchmark registered");
     let task = (bench.build_task)(rc.seed);
@@ -67,8 +68,10 @@ fn run_custom(
         }),
         fault: None,
         exchange_threads: None,
-        fusion_bytes: grace_experiments::runner::fusion_bytes_from_env(),
+        fusion_bytes: grace_experiments::runner::fusion_bytes_for_model(net.param_count()),
         telemetry: None,
+        metrics_addr: None,
+        health: None,
     };
     let (mut cs, mut ms) = make(rc.n_workers);
     let mut opt = bench.opt.build("topk");

@@ -40,8 +40,10 @@ fn run_spec(spec: Option<&CompressorSpec>, rc: &RunnerConfig) -> grace_core::Run
         lr_schedule: None,
         fault: None,
         exchange_threads: None,
-        fusion_bytes: grace_experiments::runner::fusion_bytes_from_env(),
+        fusion_bytes: grace_experiments::runner::fusion_bytes_for_model(net.param_count()),
         telemetry: None,
+        metrics_addr: None,
+        health: None,
     };
     let mut opt = bench.opt.build(spec.map(|s| s.id).unwrap_or("baseline"));
     let (mut cs, mut ms) = match spec {

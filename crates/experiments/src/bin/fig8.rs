@@ -1,7 +1,7 @@
-//! Regenerates the paper's **Figure 8**: the combined latency of `compress`
-//! + `decompress` for every method, measured in isolation over a range of
-//! input sizes (the paper uses 1 MB / 10 MB / 100 MB tensors, 30 repetitions
-//! each, shown as violins; we report min / median / max).
+//! Regenerates the paper's **Figure 8**: the combined `compress` plus
+//! `decompress` latency for every method, measured in isolation over a range
+//! of input sizes (the paper uses 1 MB / 10 MB / 100 MB tensors, 30
+//! repetitions each, shown as violins; we report min / median / max).
 //!
 //! Expected shape (paper §V-D): overheads are non-negligible and highly
 //! method-dependent — Random-k's index generation and 8-bit's bin search are

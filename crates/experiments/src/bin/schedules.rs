@@ -15,6 +15,8 @@ use grace_nn::models;
 use grace_nn::network::Network;
 use grace_nn::optim::{Optimizer, Sgd};
 
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
 const SEED: u64 = 77;
 const WORKERS: usize = 4;
 const EPOCHS: usize = 10;
@@ -31,7 +33,7 @@ fn opt(_w: usize) -> Box<dyn Optimizer> {
     Box::new(Sgd::new(0.05))
 }
 
-fn topk_fleet(n: usize) -> (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) {
+fn topk_fleet(n: usize) -> Fleet {
     (
         (0..n)
             .map(|_| Box::new(TopK::new(0.05)) as Box<dyn Compressor>)

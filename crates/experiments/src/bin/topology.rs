@@ -16,6 +16,8 @@ use grace_experiments::report;
 use grace_experiments::runner::RunnerConfig;
 use grace_experiments::suite;
 
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
 fn run(
     topology: Topology,
     compressor_id: Option<&str>,
@@ -51,11 +53,13 @@ fn run(
         lr_schedule: None,
         fault: None,
         exchange_threads: None,
-        fusion_bytes: grace_experiments::runner::fusion_bytes_from_env(),
+        fusion_bytes: grace_experiments::runner::fusion_bytes_for_model(net.param_count()),
         telemetry: None,
+        metrics_addr: None,
+        health: None,
     };
     let mut opt = bench.opt.build(compressor_id.unwrap_or("baseline"));
-    let (mut cs, mut ms): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) = match compressor_id {
+    let (mut cs, mut ms): Fleet = match compressor_id {
         None => (
             (0..rc.n_workers)
                 .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)

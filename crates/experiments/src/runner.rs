@@ -6,6 +6,9 @@ use grace_compressors::registry;
 use grace_core::trainer::run_simulated;
 use grace_core::{Compressor, Memory, NoCompression, NoMemory, RunResult, TrainConfig};
 
+/// One compressor + error-feedback memory per worker.
+type Fleet = (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>);
+
 /// Experiment-wide knobs shared by the figure binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct RunnerConfig {
@@ -65,6 +68,26 @@ pub fn fusion_bytes_from_env() -> usize {
         .unwrap_or(grace_core::DEFAULT_FUSION_BYTES)
 }
 
+/// Fusion buckets the model-scaled threshold aims for per step.
+const TARGET_FUSION_BUCKETS: usize = 8;
+
+/// Fusion threshold for a model of `param_count` parameters:
+/// `GRACE_FUSION_BYTES` wins when set; otherwise the threshold scales with
+/// the model so the stream splits into roughly [`TARGET_FUSION_BUCKETS`]
+/// buckets. The analog models are orders of magnitude smaller than the
+/// paper's — under the global 2 MiB default every one of them fused into a
+/// single bucket, so nothing could be sealed early and the fig7 CSVs all
+/// reported `overlap_ratio = 0`. Capped at [`grace_core::DEFAULT_FUSION_BYTES`]
+/// so paper-sized models keep the stock threshold.
+pub fn fusion_bytes_for_model(param_count: usize) -> usize {
+    if let Ok(v) = std::env::var("GRACE_FUSION_BYTES") {
+        if let Some(v) = v.parse().ok().filter(|&v| v > 0) {
+            return v;
+        }
+    }
+    (param_count * 4 / TARGET_FUSION_BUCKETS).clamp(1, grace_core::DEFAULT_FUSION_BYTES)
+}
+
 /// Runs one benchmark with one compressor (`None` = the no-compression
 /// baseline) and returns the trainer's summary.
 pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfig) -> RunResult {
@@ -102,27 +125,28 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
         lr_schedule: None,
         fault: None,
         exchange_threads: exchange_threads_from_env(),
-        fusion_bytes: fusion_bytes_from_env(),
+        fusion_bytes: fusion_bytes_for_model(net.param_count()),
         // Cells inherit the process-wide GRACE_TELEMETRY choice so one env
-        // var covers a whole sweep.
+        // var covers a whole sweep, and likewise GRACE_METRICS_ADDR for the
+        // live endpoint.
         telemetry: None,
+        metrics_addr: None,
+        health: None,
     };
-    let (mut compressors, mut memories): (Vec<Box<dyn Compressor>>, Vec<Box<dyn Memory>>) =
-        match compressor_id {
-            None => (
-                (0..rc.n_workers)
-                    .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
-                    .collect(),
-                (0..rc.n_workers)
-                    .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
-                    .collect(),
-            ),
-            Some(id) => {
-                let spec =
-                    registry::find(id).unwrap_or_else(|| panic!("unknown compressor id '{id}'"));
-                registry::build_fleet(&spec, rc.n_workers, rc.seed)
-            }
-        };
+    let (mut compressors, mut memories): Fleet = match compressor_id {
+        None => (
+            (0..rc.n_workers)
+                .map(|_| Box::new(NoCompression::new()) as Box<dyn Compressor>)
+                .collect(),
+            (0..rc.n_workers)
+                .map(|_| Box::new(NoMemory::new()) as Box<dyn Memory>)
+                .collect(),
+        ),
+        Some(id) => {
+            let spec = registry::find(id).unwrap_or_else(|| panic!("unknown compressor id '{id}'"));
+            registry::build_fleet(&spec, rc.n_workers, rc.seed)
+        }
+    };
     let mut opt = bench.opt.build(compressor_id.unwrap_or("baseline"));
     run_simulated(
         &cfg,

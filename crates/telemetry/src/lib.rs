@@ -18,6 +18,9 @@
 //!    stage) and a JSONL metrics snapshot, both under `results/telemetry/`.
 //! 4. [`json`] — a minimal JSON parser so tests and CI can validate the
 //!    exported trace without external dependencies.
+//! 5. [`serve`] — an opt-in live metrics endpoint (`GRACE_METRICS_ADDR`)
+//!    exposing the registry in Prometheus text format plus a `/health`
+//!    JSON view, with zero hot-path cost.
 //!
 //! # Levels
 //!
@@ -55,6 +58,7 @@
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod serve;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramHandle, MetricSnapshot};

@@ -55,6 +55,10 @@ pub enum Track {
     /// encode/aggregate spans of the pipelined exchange (bucket index in
     /// the span's `args`).
     Bucket,
+    /// Step-boundary track: one instant marker per optimisation step (step
+    /// index in the marker's `args`) so post-processors can segment the
+    /// timeline per step.
+    Step,
 }
 
 /// First tid used for lane tracks; stage tracks sit below it so Perfetto
@@ -71,6 +75,7 @@ impl Track {
             Track::Stage(Stage::Comm) => 4,
             Track::Stage(Stage::Fault) => 5,
             Track::Bucket => 6,
+            Track::Step => 7,
             Track::Lane(rank) => LANE_TID_BASE + rank as u32,
         }
     }
@@ -80,6 +85,7 @@ impl Track {
         match self {
             Track::Stage(s) => s.label().to_string(),
             Track::Bucket => "buckets".to_string(),
+            Track::Step => "steps".to_string(),
             Track::Lane(rank) => format!("lane {rank}"),
         }
     }
@@ -383,6 +389,7 @@ mod tests {
         ];
         let mut tids: Vec<u32> = stages.iter().map(|s| Track::Stage(*s).tid()).collect();
         tids.push(Track::Bucket.tid());
+        tids.push(Track::Step.tid());
         for lane in 0..8 {
             tids.push(Track::Lane(lane).tid());
         }

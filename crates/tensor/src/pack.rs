@@ -221,7 +221,7 @@ mod tests {
 
     #[test]
     fn roundtrip_wide_widths() {
-        let values = vec![u32::MAX, 0, 123_456_789, 42];
+        let values = [u32::MAX, 0, 123_456_789, 42];
         for bits in [27u32, 31, 32] {
             let vals: Vec<u32> = values
                 .iter()

@@ -93,10 +93,12 @@ fn main() {
     straggler_rerun();
 
     // With GRACE_TELEMETRY=metrics|trace set, drop the run's Perfetto trace
-    // and metrics snapshot under results/telemetry/ (no-op otherwise).
+    // and metrics snapshot under results/telemetry/ (no-op otherwise). The
+    // label is config-derived (see `TrainConfig::run_tag`) so repeated runs
+    // of the same sweep land on stable, wall-clock-free file names.
     if grace::telemetry::enabled(grace::telemetry::Level::Metrics) {
-        let paths = grace::telemetry::export::export_run("bandwidth_sweep")
-            .expect("write telemetry export");
+        let tag = TrainConfig::new(8, 32, 2, 3).run_tag("bandwidth_sweep");
+        let paths = grace::telemetry::export::export_run(&tag).expect("write telemetry export");
         println!("\n[telemetry] trace:   {}", paths.trace.display());
         println!("[telemetry] metrics: {}", paths.metrics.display());
     }

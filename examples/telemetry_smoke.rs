@@ -37,7 +37,10 @@ fn main() {
         result.steps, result.best_quality
     );
 
-    let paths = grace::telemetry::export::export_run("telemetry_smoke").expect("export");
+    // Config-derived run id: re-running the same config overwrites the same
+    // files, so exports never depend on wall-clock time.
+    let paths =
+        grace::telemetry::export::export_run(&cfg.run_tag("telemetry_smoke")).expect("export");
     println!("trace:   {}", paths.trace.display());
     println!("metrics: {}", paths.metrics.display());
 

@@ -7,7 +7,9 @@
 //! - [`core`] — the GRACE framework (compressor API, error feedback, Algorithm 1)
 //! - [`compressors`] — the 16 compression methods of Table I
 //! - [`telemetry`] — tracing, metrics histograms, Perfetto timeline export
+//! - [`analyze`] — trace critical-path attribution + bench regression checks
 
+pub use grace_analyze as analyze;
 pub use grace_comm as comm;
 pub use grace_compressors as compressors;
 pub use grace_core as core;

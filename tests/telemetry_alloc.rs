@@ -7,7 +7,10 @@
 //! after a warm-up step, `begin_step` + every `submit` reuse the engine's
 //! pooled staging buffers and allocate nothing.
 
-use grace::core::{Compressor, Context, GradientExchange, Payload, PlanBuilder};
+use grace::core::{
+    Compressor, Context, GradientExchange, HealthConfig, HealthMonitor, Payload, PlanBuilder,
+    StepObservation,
+};
 use grace::telemetry::trace::{self, StageTimer};
 use grace::telemetry::{metrics, set_level, Level, Stage, Track};
 use grace::tensor::{Shape, Tensor};
@@ -70,6 +73,42 @@ fn disabled_telemetry_hot_path_is_allocation_free() {
         "disabled telemetry hot path allocated {} times",
         after - before
     );
+}
+
+/// The health monitor's steady state must also be allocation-free: with the
+/// JSONL log disabled and no anomaly firing, `observe_step` is pure EWMA
+/// arithmetic over pre-resolved gauge handles — even while a metrics
+/// endpoint sits idle in `accept` on another thread.
+#[test]
+fn health_monitor_steady_state_is_allocation_free() {
+    set_level(Level::Metrics);
+    let server = grace::telemetry::serve::serve("127.0.0.1:0").expect("bind ephemeral port");
+    let mut monitor = HealthMonitor::new(HealthConfig::default().with_log(None));
+    let obs = StepObservation {
+        grad_norm: 1.0,
+        residual_norm: Some(0.25),
+        compression_ratio: Some(32.0),
+        overlap_ratio: Some(0.8),
+        straggler_skew_seconds: Some(1.0e-5),
+    };
+    // Warm-up covers the EWMA seeding steps and any first-touch work.
+    for step in 0..16u64 {
+        monitor.observe_step(step, &obs);
+    }
+
+    let before = allocs_on_this_thread();
+    for step in 16..10_016u64 {
+        monitor.observe_step(step, &obs);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "clean-path health monitoring allocated {} times",
+        after - before
+    );
+    assert_eq!(monitor.anomaly_count(), 0, "steady input must not alert");
+    drop(server);
 }
 
 /// A codec that transmits nothing: with no payload vectors and a rank-0
