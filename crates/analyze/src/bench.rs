@@ -8,7 +8,10 @@
 //! * `bench_exchange_engine.json` → `speedup` (parallel vs sequential
 //!   compression);
 //! * `bench_pipeline_overlap.json` → `overlap_ratio` (encode hidden under
-//!   backprop).
+//!   backprop);
+//! * `bench_socket_exchange.json` → `frame_efficiency` (payload ÷ raw wire
+//!   bytes on the TCP transport — deterministic, catches wire-format
+//!   bloat).
 //!
 //! A metric passes while `current ≥ baseline · (1 − tolerance)`; improving
 //! is always fine. Rows present in the baseline must exist in the current
@@ -21,6 +24,7 @@ fn gated_metrics(bench: &str) -> &'static [&'static str] {
     match bench {
         "exchange_engine" => &["speedup"],
         "pipeline_overlap" => &["overlap_ratio"],
+        "socket_exchange" => &["frame_efficiency"],
         _ => &[],
     }
 }
@@ -245,6 +249,22 @@ mod tests {
             r#"{"bench": "exchange_engine", "rows": [{"codec": "qsgd", "speedup": 0.3}]}"#;
         assert!(check_bench_text(cur_ok, base, 0.25).unwrap().ok());
         assert!(!check_bench_text(cur_bad, base, 0.25).unwrap().ok());
+    }
+
+    #[test]
+    fn socket_exchange_gates_frame_efficiency() {
+        let base = r#"{"bench": "socket_exchange", "rows": [{"codec": "64KiB", "frame_efficiency": 0.999, "wall_ms": 14.0}]}"#;
+        let cur_ok = r#"{"bench": "socket_exchange", "rows": [{"codec": "64KiB", "frame_efficiency": 0.95, "wall_ms": 99.0}]}"#;
+        let cur_bad = r#"{"bench": "socket_exchange", "rows": [{"codec": "64KiB", "frame_efficiency": 0.60, "wall_ms": 1.0}]}"#;
+        // wall_ms is informational and never gated; only the deterministic
+        // framing ratio is.
+        assert!(check_bench_text(cur_ok, base, 0.25).unwrap().ok());
+        let report = check_bench_text(cur_bad, base, 0.25).unwrap();
+        assert!(!report.ok());
+        assert_eq!(
+            report.regressions().next().unwrap().metric,
+            "frame_efficiency"
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Measures the socket transport's framing efficiency and round-trip cost,
+//! and records the result to `results/bench_socket_exchange.json`.
+//!
+//! Four in-process ranks connect through the real localhost-TCP hub and run
+//! allgather rounds at three payload sizes spanning the codec's working
+//! range (a sparse analog-model bucket, a mid-size bucket, a fused
+//! megabyte-class bucket). Two observables per size:
+//!
+//! * `frame_efficiency` — payload bytes ÷ raw wire bytes written by rank 0,
+//!   rendezvous and teardown frames included. Deterministic (the framing
+//!   overhead is 17 bytes per request plus a fixed HELLO/LEAVE cost), so CI
+//!   gates on it: any regression means the wire format grew.
+//! * `wall_ms` — mean wall-clock per allgather round across the cluster,
+//!   informational (kernel scheduling makes it noisy).
+//!
+//! Run: `cargo run --release -p grace-bench --bin socket_exchange`
+
+use grace_comm::net::run_socket_local;
+use grace_comm::{ClusterOptions, Collective};
+use std::time::Instant;
+
+const WORKERS: usize = 4;
+const WARMUP: usize = 2;
+
+struct Sample {
+    label: &'static str,
+    frame_efficiency: f64,
+    wall_ms: f64,
+}
+
+fn measure(label: &'static str, payload_bytes: usize, rounds: usize) -> Sample {
+    let results = run_socket_local(WORKERS, ClusterOptions::default(), None, |c| {
+        let payload = vec![0x5A_u8; payload_bytes];
+        for _ in 0..WARMUP {
+            std::hint::black_box(c.allgather_bytes(payload.clone()));
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let gathered = c.allgather_bytes(payload.clone());
+            assert_eq!(gathered.len(), WORKERS);
+            std::hint::black_box(gathered);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        c.leave();
+        // `leave()` is the stream's last write, so the stats snapshot below
+        // covers every frame this rank will ever send.
+        (wall, c.net_stats())
+    });
+    let wall_ms = results
+        .iter()
+        .map(|(w, _)| w * 1e3 / rounds as f64)
+        .fold(0.0, f64::max);
+    let stats = results[0].1;
+    let payload_total = ((WARMUP + rounds) * payload_bytes) as f64;
+    Sample {
+        label,
+        frame_efficiency: payload_total / stats.wire_bytes_sent as f64,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cells = [
+        ("1KiB", 1 << 10, 64),
+        ("64KiB", 64 << 10, 32),
+        ("1MiB", 1 << 20, 8),
+    ];
+    let mut rows = Vec::new();
+    for (label, bytes, rounds) in cells {
+        let s = measure(label, bytes, rounds);
+        println!(
+            "{label:>6}  frame efficiency {:.5}  slowest-rank round {:8.3} ms",
+            s.frame_efficiency, s.wall_ms
+        );
+        assert!(
+            s.frame_efficiency > 0.9,
+            "{label}: framing overhead exploded ({:.4})",
+            s.frame_efficiency
+        );
+        rows.push(format!(
+            "    {{\"codec\": \"{}\", \"frame_efficiency\": {:.5}, \"wall_ms\": {:.3}}}",
+            s.label, s.frame_efficiency, s.wall_ms
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"socket_exchange\",\n  \"workers\": {WORKERS},\n  \
+         \"host_cpus\": {host_cpus},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("bench_socket_exchange.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("[written] {} (host_cpus = {host_cpus})", path.display());
+}

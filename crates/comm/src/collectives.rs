@@ -160,6 +160,42 @@ pub trait Collective {
     }
 }
 
+/// Monitoring hooks the training drivers read each step, factored out of
+/// [`WorkerHandle`] so the same worker loop runs over any transport (shared
+/// memory, TCP, Unix sockets) without caring which one it got.
+///
+/// All three accessors are observational: they never change collective
+/// results, only what a run can report about itself.
+pub trait ClusterIntrospect: Collective {
+    /// Collective ops this endpoint has started (monotone, per-worker).
+    fn ops_started(&self) -> u64;
+
+    /// Copies each rank's cumulative barrier-wait nanoseconds into `out`
+    /// (`out.len()` must equal [`Collective::n_workers`]). Transports
+    /// without a shared view (sockets) fill only their own slot and zero
+    /// the rest — the per-rank skew signal is then unavailable, not wrong.
+    fn barrier_waits_into(&self, out: &mut [u64]);
+
+    /// Payload-accounting bytes this rank has shipped so far (identical
+    /// formulas across transports: gathered payload lengths plus the ring
+    /// all-reduce model for dense reductions).
+    fn sent_bytes(&self) -> u64;
+}
+
+impl ClusterIntrospect for WorkerHandle {
+    fn ops_started(&self) -> u64 {
+        WorkerHandle::ops_started(self)
+    }
+
+    fn barrier_waits_into(&self, out: &mut [u64]) {
+        WorkerHandle::barrier_waits_into(self, out);
+    }
+
+    fn sent_bytes(&self) -> u64 {
+        self.traffic().bytes_sent(self.rank)
+    }
+}
+
 /// Degenerate single-process "cluster" (rank 0 of 1): every collective is the
 /// identity. Useful for running distributed code paths unmodified in tests.
 #[derive(Debug, Clone, Copy, Default)]

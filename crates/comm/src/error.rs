@@ -39,6 +39,19 @@ pub enum ClusterError {
         /// Human-readable detail (e.g. the checksum mismatch).
         detail: String,
     },
+    /// The socket transport failed outside the collective semantics:
+    /// connect/accept failures, rendezvous errors, protocol violations or
+    /// unrecoverable I/O on the wire. Never raised by the in-process
+    /// cluster.
+    Transport {
+        /// Rank that observed the failure.
+        rank: usize,
+        /// Collective-op index at the time of the failure (0 during
+        /// rendezvous).
+        op: u64,
+        /// Human-readable detail (the underlying I/O or protocol error).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -58,6 +71,12 @@ impl std::fmt::Display for ClusterError {
                 write!(
                     f,
                     "rank {rank} hit corrupted data at collective op {op}: {detail}"
+                )
+            }
+            ClusterError::Transport { rank, op, detail } => {
+                write!(
+                    f,
+                    "rank {rank} hit a transport failure at collective op {op}: {detail}"
                 )
             }
         }
@@ -88,5 +107,15 @@ mod tests {
         }
         .to_string();
         assert!(c.contains("checksum"), "{c}");
+        let x = ClusterError::Transport {
+            rank: 3,
+            op: 4,
+            detail: "connection refused".into(),
+        }
+        .to_string();
+        assert!(
+            x.contains("rank 3") && x.contains("op 4") && x.contains("connection refused"),
+            "{x}"
+        );
     }
 }

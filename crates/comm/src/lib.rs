@@ -28,15 +28,20 @@ pub mod collectives;
 pub mod error;
 pub mod fault;
 pub mod model;
+pub mod net;
 pub mod traffic;
 
 pub use collectives::{
-    ring_allreduce_wire_bytes, ClusterOptions, Collective, Reduction, SingleWorker,
-    ThreadedCluster, WorkerHandle,
+    ring_allreduce_wire_bytes, ClusterIntrospect, ClusterOptions, Collective, Reduction,
+    SingleWorker, ThreadedCluster, WorkerHandle,
 };
 pub use error::ClusterError;
 pub use fault::{
     FaultConfig, FaultKind, FaultPlan, FaultRates, FaultStats, FaultSummary, FaultyCollective,
 };
 pub use model::{NetworkModel, Transport};
+pub use net::{
+    run_socket_local, Endpoint, FramedStream, HubHandle, HubServer, NetConfig, NetStats,
+    SocketCluster,
+};
 pub use traffic::TrafficCounter;

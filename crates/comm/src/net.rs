@@ -1,0 +1,1546 @@
+//! `grace-net`: the [`Collective`] trait over real sockets.
+//!
+//! The paper's testbed runs Horovod collectives over TCP or RDMA between 8
+//! machines; [`crate::collectives::ThreadedCluster`] substitutes OS threads
+//! over a shared deposit board. This module closes the remaining gap: the
+//! same SPMD collective API over **TCP** (plus a Unix-domain-socket fast
+//! path), so the training loop runs unmodified as N real OS processes.
+//!
+//! # Topology
+//!
+//! A single **hub** socket is the rendezvous point and the deposit board in
+//! one: every rank (the hub host included) connects as a client, introduces
+//! itself with a `HELLO(rank, world)` frame, and blocks until the hub has
+//! seen all `world` ranks and answers `WELCOME`. After rendezvous each
+//! collective is one framed request/response round trip: the hub reads one
+//! request per live rank (SPMD lockstep makes the per-rank streams advance
+//! together), aggregates exactly like the threaded board — rank-order
+//! summation for all-reduce, rank-indexed slots for all-gather — and
+//! answers every live rank. Aggregation order matches the deposit board
+//! bit for bit, which is what the cross-backend equivalence suite pins.
+//!
+//! # Wire format
+//!
+//! Every frame is length-prefixed and CRC-trailed:
+//!
+//! ```text
+//! [len: u32 LE] [kind: u8] [body: len-1 bytes] [crc32(kind ‖ body): u32 LE]
+//! ```
+//!
+//! The CRC is the same IEEE-802.3 polynomial the payload codec's trailer
+//! uses ([`grace_tensor::pack::crc32`]), so a flipped bit anywhere in a
+//! frame surfaces as an explicit reject. A receiver that rejects a frame
+//! answers `NACK`; the sender retransmits its last frame verbatim from a
+//! clean copy. This frame-level retry is invisible to the application —
+//! *payload*-level corruption (a [`crate::FaultPlan`] bit flip applied
+//! before framing) still passes the frame CRC and is rejected by every
+//! receiver identically via the payload codec's own trailer, exactly as on
+//! the threaded path.
+//!
+//! # Fault semantics
+//!
+//! * `leave()` sends a `LEAVE` frame; the hub shrinks the membership and
+//!   survivors see [`Collective::live_workers`] drop — the same dynamic
+//!   membership the threaded `DynBarrier` provides.
+//! * A killed process closes its socket; the hub reads EOF and treats it as
+//!   an implicit leave, so survivors rescale instead of deadlocking.
+//! * A wedged (silent but connected) rank trips the configured
+//!   [`ClusterOptions::timeout`] on its peers, which surface
+//!   [`ClusterError::Timeout`] exactly like threaded waiters.
+//! * Connect/accept failures surface as typed [`ClusterError::Transport`]
+//!   errors, never hangs: connects poll until a deadline, the hub's accept
+//!   loop aborts rendezvous after its own deadline and tells every
+//!   already-connected rank.
+
+use crate::collectives::{
+    ring_allreduce_wire_bytes, ClusterIntrospect, ClusterOptions, Collective, Reduction,
+};
+use crate::error::ClusterError;
+use crate::traffic::TrafficCounter;
+use grace_telemetry::metrics::{self, Counter, HistogramHandle};
+use grace_telemetry::{trace, Track};
+use grace_tensor::pack::crc32;
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Frame kinds. Requests carry the sender's op index so the hub can assert
+/// SPMD lockstep; responses carry the live-member count so clients track
+/// degraded membership without a side channel.
+pub const KIND_HELLO: u8 = 1;
+/// Hub → client: rendezvous complete.
+pub const KIND_WELCOME: u8 = 2;
+/// Client → hub: all-reduce contribution (`op u64`, f32 LE buffer).
+pub const KIND_ALLREDUCE: u8 = 3;
+/// Client → hub: all-gather payload (`op u64`, raw bytes).
+pub const KIND_ALLGATHER: u8 = 4;
+/// Client → hub: broadcast (`op u64`, `root u32`, raw bytes).
+pub const KIND_BROADCAST: u8 = 5;
+/// Client → hub: barrier (`op u64`).
+pub const KIND_BARRIER: u8 = 6;
+/// Client → hub: permanent departure (implicit on socket close).
+pub const KIND_LEAVE: u8 = 7;
+/// Hub → client responses (mirror the request kinds).
+pub const KIND_R_ALLREDUCE: u8 = 8;
+/// Hub → client: all-gather slots.
+pub const KIND_R_ALLGATHER: u8 = 9;
+/// Hub → client: broadcast payload.
+pub const KIND_R_BROADCAST: u8 = 10;
+/// Hub → client: barrier release.
+pub const KIND_R_BARRIER: u8 = 11;
+/// Either direction: the last frame failed its CRC — retransmit it.
+pub const KIND_NACK: u8 = 12;
+/// Hub → client: structured failure (code + context rank + detail).
+pub const KIND_ERROR: u8 = 13;
+
+const ERR_PROTOCOL: u8 = 1;
+const ERR_ROOT_DROPPED: u8 = 2;
+const ERR_RENDEZVOUS: u8 = 3;
+
+/// Upper bound on a single frame; a corrupted length prefix must fail fast,
+/// not allocate garbage.
+const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// How many corrupted frames / retransmit requests a single logical read
+/// tolerates before giving up on the stream.
+const RETRY_LIMIT: usize = 16;
+
+/// Default deadline for connect + rendezvous when the caller does not pick
+/// one.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+// ---------------------------------------------------------------------------
+// Endpoints
+// ---------------------------------------------------------------------------
+
+/// A rendezvous address: TCP (`tcp://host:port` or bare `host:port`) or a
+/// Unix-domain socket path (`uds:///path`, Unix only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP `host:port`; port 0 binds an ephemeral port (read the resolved
+    /// address back from [`HubServer::endpoint`]).
+    Tcp(String),
+    /// Unix-domain socket path (lower latency on localhost; the listener
+    /// unlinks the path when it shuts down).
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp://host:port`, bare `host:port`, or `uds:///path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown schemes (including `uds://` on
+    /// non-Unix platforms).
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        if let Some(path) = s.strip_prefix("uds://") {
+            #[cfg(unix)]
+            return Ok(Endpoint::Uds(PathBuf::from(path)));
+            #[cfg(not(unix))]
+            return Err(format!(
+                "uds endpoint '{path}' unsupported on this platform"
+            ));
+        }
+        if s.contains("://") {
+            return Err(format!("unknown endpoint scheme in '{s}'"));
+        }
+        Ok(Endpoint::Tcp(s.to_string()))
+    }
+
+    /// A fresh, collision-free Unix-socket endpoint under the system temp
+    /// directory (Unix only).
+    #[cfg(unix)]
+    pub fn ephemeral_uds() -> Endpoint {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        Endpoint::Uds(
+            std::env::temp_dir().join(format!("grace-hub-{}-{n}.sock", std::process::id())),
+        )
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            Endpoint::Uds(path) => write!(f, "uds://{}", path.display()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streams and listeners (TCP / UDS behind one face)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Stream {
+    fn connect(endpoint: &Endpoint) -> io::Result<Stream> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                // Every collective is a small latency-bound round trip;
+                // Nagle coalescing only adds delay.
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Endpoint::Uds(path) => Ok(Stream::Uds(UnixStream::connect(path)?)),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> io::Result<(Listener, Endpoint)> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let resolved = Endpoint::Tcp(l.local_addr()?.to_string());
+                Ok((Listener::Tcp(l), resolved))
+            }
+            #[cfg(unix)]
+            Endpoint::Uds(path) => {
+                // A stale socket file from a crashed run blocks rebinding.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                Ok((Listener::Uds(l, path.clone()), endpoint.clone()))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Uds(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Uds(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Uds(s))
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Snapshot of one framed stream's counters (see
+/// [`SocketCluster::net_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames written (NACKs and retransmits included).
+    pub frames_sent: u64,
+    /// Raw wire bytes written, framing overhead included.
+    pub wire_bytes_sent: u64,
+    /// CRC rejects observed on reads (each one sent a `NACK`).
+    pub nacks_sent: u64,
+    /// Retransmissions performed after the peer NACKed our frame.
+    pub resends: u64,
+}
+
+/// One length-prefixed, CRC-trailed frame stream over TCP or UDS.
+///
+/// Reads and writes are blocking `read_exact` / `write_all` loops, so a
+/// frame is delivered whole or errors — no short-read/short-write
+/// truncation, which the loopback proptest pins for payloads from zero
+/// bytes to multi-megabyte fused buckets.
+#[derive(Debug)]
+pub struct FramedStream {
+    stream: Stream,
+    /// Clean wire image of the last non-NACK frame, for retransmission.
+    last_sent: Vec<u8>,
+    /// Test hook: corrupt one bit of the next outgoing frame *after* its
+    /// CRC is computed, forcing the receiver down the NACK path.
+    corrupt_next: bool,
+    stats: NetStats,
+    c_frames: Counter,
+    c_bytes: Counter,
+    c_retries: Counter,
+}
+
+impl FramedStream {
+    fn new(stream: Stream) -> FramedStream {
+        FramedStream {
+            stream,
+            last_sent: Vec::new(),
+            corrupt_next: false,
+            stats: NetStats::default(),
+            c_frames: metrics::counter("comm.net.frames"),
+            c_bytes: metrics::counter("comm.net.wire_bytes"),
+            c_retries: metrics::counter("comm.net.frame_retries"),
+        }
+    }
+
+    /// Wraps a connected TCP stream.
+    pub fn tcp(stream: TcpStream) -> FramedStream {
+        let _ = stream.set_nodelay(true);
+        FramedStream::new(Stream::Tcp(stream))
+    }
+
+    /// Wraps a connected Unix-domain stream.
+    #[cfg(unix)]
+    pub fn uds(stream: UnixStream) -> FramedStream {
+        FramedStream::new(Stream::Uds(stream))
+    }
+
+    /// Sets the blocking-read deadline (`None` blocks forever).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Arms the corruption hook for the next outgoing frame.
+    pub fn corrupt_next_frame(&mut self) {
+        self.corrupt_next = true;
+    }
+
+    /// Snapshot of this stream's counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn send_raw(&mut self, wire: &[u8]) -> io::Result<()> {
+        self.stream.write_all(wire)?;
+        self.stats.frames_sent += 1;
+        self.stats.wire_bytes_sent += wire.len() as u64;
+        self.c_frames.add(1);
+        self.c_bytes.add(wire.len() as u64);
+        Ok(())
+    }
+
+    /// Writes one frame. Non-NACK frames are kept for retransmission until
+    /// the next write.
+    pub fn write_frame(&mut self, kind: u8, body: &[u8]) -> io::Result<()> {
+        let len = 1 + body.len();
+        assert!(len <= MAX_FRAME_BYTES as usize, "frame too large: {len}");
+        let mut wire = Vec::with_capacity(4 + len + 4);
+        wire.extend_from_slice(&(len as u32).to_le_bytes());
+        wire.push(kind);
+        wire.extend_from_slice(body);
+        let crc = crc32(&wire[4..]);
+        wire.extend_from_slice(&crc.to_le_bytes());
+        if kind != KIND_NACK {
+            self.last_sent.clear();
+            self.last_sent.extend_from_slice(&wire);
+        }
+        if std::mem::take(&mut self.corrupt_next) {
+            // Flip a bit inside the checksummed region so the receiver's
+            // CRC (not a length mismatch) catches it.
+            let idx = 4 + (wire.len() - 8) / 2;
+            wire[idx] ^= 0x10;
+        }
+        self.send_raw(&wire)
+    }
+
+    /// Reads the next application frame, transparently handling the
+    /// frame-retry protocol: a CRC reject answers `NACK` and re-reads; an
+    /// incoming `NACK` retransmits our last frame and re-reads.
+    pub fn read_frame(&mut self) -> io::Result<(u8, Vec<u8>)> {
+        for _ in 0..RETRY_LIMIT {
+            let mut len_buf = [0u8; 4];
+            self.stream.read_exact(&mut len_buf)?;
+            let len = u32::from_le_bytes(len_buf);
+            if len == 0 || len > MAX_FRAME_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame length {len} out of range"),
+                ));
+            }
+            let mut buf = vec![0u8; len as usize];
+            self.stream.read_exact(&mut buf)?;
+            let mut crc_buf = [0u8; 4];
+            self.stream.read_exact(&mut crc_buf)?;
+            if crc32(&buf) != u32::from_le_bytes(crc_buf) {
+                self.stats.nacks_sent += 1;
+                self.c_retries.add(1);
+                self.write_frame(KIND_NACK, &[])?;
+                continue;
+            }
+            let kind = buf[0];
+            buf.drain(..1);
+            if kind == KIND_NACK {
+                if self.last_sent.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "peer NACKed before any frame was sent",
+                    ));
+                }
+                self.stats.resends += 1;
+                let copy = self.last_sent.clone();
+                self.send_raw(&copy)?;
+                continue;
+            }
+            return Ok((kind, buf));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame retry limit exhausted: persistently corrupted stream",
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body encoding helpers
+// ---------------------------------------------------------------------------
+
+fn put_u32(body: &mut Vec<u8>, v: u32) {
+    body.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(body: &mut Vec<u8>, v: u64) {
+    body.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated frame body",
+            ));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.at..];
+        self.at = self.buf.len();
+        s
+    }
+}
+
+fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_f32s(bytes: &[u8]) -> io::Result<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "f32 buffer length not a multiple of 4",
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Hub
+// ---------------------------------------------------------------------------
+
+/// The rendezvous listener plus per-op aggregation loop. Bind it, read the
+/// resolved [`HubServer::endpoint`] (for ephemeral ports), then
+/// [`HubServer::spawn`] it onto its own thread while every rank connects a
+/// [`SocketCluster`].
+#[derive(Debug)]
+pub struct HubServer {
+    listener: Listener,
+    endpoint: Endpoint,
+    world: usize,
+    options: ClusterOptions,
+    accept_timeout: Duration,
+}
+
+impl HubServer {
+    /// Binds the rendezvous listener for a `world`-rank cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Transport`] when the address cannot be
+    /// bound.
+    pub fn bind(
+        endpoint: &Endpoint,
+        world: usize,
+        options: ClusterOptions,
+    ) -> Result<HubServer, ClusterError> {
+        assert!(world > 0, "need at least one rank");
+        let (listener, resolved) =
+            Listener::bind(endpoint).map_err(|e| ClusterError::Transport {
+                rank: 0,
+                op: 0,
+                detail: format!("bind {endpoint}: {e}"),
+            })?;
+        Ok(HubServer {
+            listener,
+            endpoint: resolved,
+            world,
+            options,
+            accept_timeout: options.timeout.unwrap_or(DEFAULT_CONNECT_TIMEOUT),
+        })
+    }
+
+    /// The resolved rendezvous address (with the real port when bound to
+    /// port 0).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Overrides the rendezvous deadline (default: the collective timeout,
+    /// or [`DEFAULT_CONNECT_TIMEOUT`] when none is set).
+    pub fn with_accept_timeout(mut self, t: Duration) -> HubServer {
+        self.accept_timeout = t;
+        self
+    }
+
+    /// Runs the hub on a fresh thread; the returned handle joins it.
+    pub fn spawn(self) -> HubHandle {
+        HubHandle {
+            join: Some(std::thread::spawn(move || self.serve())),
+        }
+    }
+
+    /// Serves rendezvous plus the op loop until every rank has left.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Transport`] on rendezvous failure or an SPMD
+    /// protocol violation; rank deaths are not errors (survivors continue).
+    pub fn serve(self) -> Result<(), ClusterError> {
+        let mut streams = self.rendezvous()?;
+        for s in streams.iter_mut() {
+            let _ = s.set_read_timeout(self.options.timeout);
+            let mut body = Vec::with_capacity(8);
+            put_u32(&mut body, self.world as u32);
+            put_u32(&mut body, self.world as u32);
+            s.write_frame(KIND_WELCOME, &body)
+                .map_err(|e| transport(0, 0, format!("welcome: {e}")))?;
+        }
+        self.op_loop(&mut streams)
+    }
+
+    /// Accepts until every rank has said `HELLO`, or aborts rendezvous at
+    /// the deadline, telling everyone already connected.
+    fn rendezvous(&self) -> Result<Vec<FramedStream>, ClusterError> {
+        let deadline = Instant::now() + self.accept_timeout;
+        let mut slots: Vec<Option<FramedStream>> = (0..self.world).map(|_| None).collect();
+        let mut joined = 0usize;
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| transport(0, 0, format!("listener: {e}")))?;
+        while joined < self.world {
+            match self.listener.accept() {
+                Ok(stream) => {
+                    let mut framed = FramedStream::new(stream);
+                    // A client that connects but never speaks must not
+                    // wedge rendezvous past the deadline.
+                    let _ = framed.set_read_timeout(Some(self.accept_timeout));
+                    match self.greet(&mut framed, &slots) {
+                        Ok(rank) => {
+                            slots[rank] = Some(framed);
+                            joined += 1;
+                        }
+                        Err(detail) => {
+                            let mut body = vec![ERR_PROTOCOL];
+                            put_u32(&mut body, 0);
+                            body.extend_from_slice(detail.as_bytes());
+                            let _ = framed.write_frame(KIND_ERROR, &body);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        let detail =
+                            format!("rendezvous timed out with {joined}/{} ranks", self.world);
+                        for framed in slots.iter_mut().flatten() {
+                            let mut body = vec![ERR_RENDEZVOUS];
+                            put_u32(&mut body, 0);
+                            body.extend_from_slice(detail.as_bytes());
+                            let _ = framed.write_frame(KIND_ERROR, &body);
+                        }
+                        return Err(transport(0, 0, detail));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(transport(0, 0, format!("accept: {e}"))),
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.expect("all joined")).collect())
+    }
+
+    fn greet(
+        &self,
+        framed: &mut FramedStream,
+        slots: &[Option<FramedStream>],
+    ) -> Result<usize, String> {
+        let (kind, body) = framed.read_frame().map_err(|e| format!("hello: {e}"))?;
+        if kind != KIND_HELLO {
+            return Err(format!("expected HELLO, got kind {kind}"));
+        }
+        let mut r = Reader::new(&body);
+        let rank = r.u32().map_err(|e| e.to_string())? as usize;
+        let world = r.u32().map_err(|e| e.to_string())? as usize;
+        if world != self.world {
+            return Err(format!(
+                "world mismatch: hub {} vs client {world}",
+                self.world
+            ));
+        }
+        if rank >= self.world {
+            return Err(format!("rank {rank} out of range for world {}", self.world));
+        }
+        if slots[rank].is_some() {
+            return Err(format!("duplicate rank {rank}"));
+        }
+        Ok(rank)
+    }
+
+    /// One iteration per collective op: read one request per live rank,
+    /// aggregate in rank order (bit-identical to the threaded deposit
+    /// board), answer everyone still listening.
+    fn op_loop(&self, streams: &mut [FramedStream]) -> Result<(), ClusterError> {
+        let world = self.world;
+        let mut alive = vec![true; world];
+        let mut hub_op = 0u64;
+        loop {
+            let mut reqs: Vec<Option<(u8, Vec<u8>)>> = (0..world).map(|_| None).collect();
+            for rank in 0..world {
+                if !alive[rank] {
+                    continue;
+                }
+                match streams[rank].read_frame() {
+                    Ok((KIND_LEAVE, _)) => alive[rank] = false,
+                    Ok(req) => reqs[rank] = Some(req),
+                    // EOF (killed process), timeout (wedged rank) or a
+                    // persistently corrupt stream: an implicit leave. The
+                    // survivors' shrunk membership is the signal.
+                    Err(_) => alive[rank] = false,
+                }
+            }
+            if reqs.iter().all(Option::is_none) {
+                if alive.iter().any(|a| *a) {
+                    // Everyone who was due this round left instead.
+                    continue;
+                }
+                return Ok(());
+            }
+            let round = self.answer_round(streams, &mut alive, &reqs, hub_op);
+            hub_op += 1;
+            match round {
+                Ok(()) => {}
+                Err(detail) => {
+                    let mut body = vec![ERR_PROTOCOL];
+                    put_u32(&mut body, 0);
+                    body.extend_from_slice(detail.as_bytes());
+                    for rank in 0..world {
+                        if alive[rank] && reqs[rank].is_some() {
+                            let _ = streams[rank].write_frame(KIND_ERROR, &body);
+                        }
+                    }
+                    return Err(transport(0, hub_op, detail));
+                }
+            }
+        }
+    }
+
+    fn answer_round(
+        &self,
+        streams: &mut [FramedStream],
+        alive: &mut [bool],
+        reqs: &[Option<(u8, Vec<u8>)>],
+        hub_op: u64,
+    ) -> Result<(), String> {
+        let world = self.world;
+        let kind = reqs
+            .iter()
+            .flatten()
+            .map(|(k, _)| *k)
+            .next()
+            .expect("at least one request");
+        // SPMD lockstep: every live rank must have issued the same op.
+        for (rank, req) in reqs.iter().enumerate() {
+            if let Some((k, body)) = req {
+                if *k != kind {
+                    return Err(format!(
+                        "SPMD violation at hub op {hub_op}: rank {rank} sent kind {k}, expected {kind}"
+                    ));
+                }
+                let mut r = Reader::new(body);
+                let op = r.u64().map_err(|e| e.to_string())?;
+                let _ = op; // per-rank op counters may trail the hub's after drops
+            }
+        }
+        let live = alive.iter().filter(|a| **a).count() as u32;
+        let mut responses: Vec<Option<Vec<u8>>> = (0..world).map(|_| None).collect();
+        match kind {
+            KIND_ALLREDUCE => {
+                let mut acc: Option<Vec<f32>> = None;
+                let mut contributors = 0u32;
+                for req in reqs.iter() {
+                    let Some((_, body)) = req else { continue };
+                    let mut r = Reader::new(body);
+                    let _ = r.u64().map_err(|e| e.to_string())?;
+                    let data = bytes_to_f32s(r.rest()).map_err(|e| e.to_string())?;
+                    contributors += 1;
+                    match &mut acc {
+                        None => acc = Some(data),
+                        Some(acc) => {
+                            if acc.len() != data.len() {
+                                return Err(format!(
+                                    "allreduce length mismatch: {} vs {}",
+                                    acc.len(),
+                                    data.len()
+                                ));
+                            }
+                            for (a, b) in acc.iter_mut().zip(&data) {
+                                *a += b;
+                            }
+                        }
+                    }
+                }
+                let sum = acc.expect("at least one contributor");
+                let mut body = Vec::with_capacity(8 + sum.len() * 4);
+                put_u32(&mut body, live);
+                put_u32(&mut body, contributors);
+                body.extend_from_slice(&f32s_to_bytes(&sum));
+                for (rank, req) in reqs.iter().enumerate() {
+                    if req.is_some() {
+                        responses[rank] = Some(body.clone());
+                    }
+                }
+                self.write_responses(streams, alive, KIND_R_ALLREDUCE, &mut responses);
+            }
+            KIND_ALLGATHER => {
+                let mut body = Vec::new();
+                put_u32(&mut body, live);
+                put_u32(&mut body, world as u32);
+                for req in reqs.iter() {
+                    match req {
+                        Some((_, b)) => {
+                            let mut r = Reader::new(b);
+                            let _ = r.u64().map_err(|e| e.to_string())?;
+                            let payload = r.rest();
+                            body.push(1);
+                            put_u32(&mut body, payload.len() as u32);
+                            body.extend_from_slice(payload);
+                        }
+                        None => body.push(0),
+                    }
+                }
+                for (rank, req) in reqs.iter().enumerate() {
+                    if req.is_some() {
+                        responses[rank] = Some(body.clone());
+                    }
+                }
+                self.write_responses(streams, alive, KIND_R_ALLGATHER, &mut responses);
+            }
+            KIND_BROADCAST => {
+                let mut root: Option<usize> = None;
+                let mut payload: Option<Vec<u8>> = None;
+                for (rank, req) in reqs.iter().enumerate() {
+                    let Some((_, b)) = req else { continue };
+                    let mut r = Reader::new(b);
+                    let _ = r.u64().map_err(|e| e.to_string())?;
+                    let this_root = r.u32().map_err(|e| e.to_string())? as usize;
+                    match root {
+                        None => root = Some(this_root),
+                        Some(prev) if prev != this_root => {
+                            return Err(format!("broadcast root mismatch: {prev} vs {this_root}"));
+                        }
+                        Some(_) => {}
+                    }
+                    if rank == this_root {
+                        payload = Some(r.rest().to_vec());
+                    }
+                }
+                let root = root.expect("at least one request");
+                match payload {
+                    Some(data) => {
+                        let mut body = Vec::with_capacity(4 + data.len());
+                        put_u32(&mut body, live);
+                        body.extend_from_slice(&data);
+                        for (rank, req) in reqs.iter().enumerate() {
+                            if req.is_some() {
+                                responses[rank] = Some(body.clone());
+                            }
+                        }
+                        self.write_responses(streams, alive, KIND_R_BROADCAST, &mut responses);
+                    }
+                    None => {
+                        // Same contract as the deposit board: a departed
+                        // root is a structured per-op error, not a hang.
+                        let mut body = vec![ERR_ROOT_DROPPED];
+                        put_u32(&mut body, root as u32);
+                        for (rank, req) in reqs.iter().enumerate() {
+                            if req.is_some() {
+                                responses[rank] = Some(body.clone());
+                            }
+                        }
+                        self.write_responses(streams, alive, KIND_ERROR, &mut responses);
+                    }
+                }
+            }
+            KIND_BARRIER => {
+                let mut body = Vec::with_capacity(4);
+                put_u32(&mut body, live);
+                for (rank, req) in reqs.iter().enumerate() {
+                    if req.is_some() {
+                        responses[rank] = Some(body.clone());
+                    }
+                }
+                self.write_responses(streams, alive, KIND_R_BARRIER, &mut responses);
+            }
+            other => return Err(format!("unexpected request kind {other}")),
+        }
+        Ok(())
+    }
+
+    fn write_responses(
+        &self,
+        streams: &mut [FramedStream],
+        alive: &mut [bool],
+        kind: u8,
+        responses: &mut [Option<Vec<u8>>],
+    ) {
+        for (rank, resp) in responses.iter().enumerate() {
+            if let Some(body) = resp {
+                if streams[rank].write_frame(kind, body).is_err() {
+                    alive[rank] = false;
+                }
+            }
+        }
+    }
+}
+
+fn transport(rank: usize, op: u64, detail: String) -> ClusterError {
+    ClusterError::Transport { rank, op, detail }
+}
+
+/// Join handle for a spawned [`HubServer`].
+#[derive(Debug)]
+pub struct HubHandle {
+    join: Option<std::thread::JoinHandle<Result<(), ClusterError>>>,
+}
+
+impl HubHandle {
+    /// Waits for the hub to finish serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the hub's terminal error, if any.
+    pub fn join(mut self) -> Result<(), ClusterError> {
+        match self.join.take() {
+            Some(j) => j
+                .join()
+                .unwrap_or_else(|_| Err(transport(0, 0, "hub thread panicked".to_string()))),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Everything a rank needs to join a socket cluster.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// This rank.
+    pub rank: usize,
+    /// Total ranks in the job.
+    pub world: usize,
+    /// The hub's rendezvous address.
+    pub endpoint: Endpoint,
+    /// Collective options (the timeout applies to every response wait).
+    pub options: ClusterOptions,
+    /// Deadline for connect + rendezvous.
+    pub connect_timeout: Duration,
+}
+
+impl NetConfig {
+    /// Config with default options and connect timeout.
+    pub fn new(rank: usize, world: usize, endpoint: Endpoint) -> NetConfig {
+        NetConfig {
+            rank,
+            world,
+            endpoint,
+            options: ClusterOptions::default(),
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+        }
+    }
+}
+
+/// One rank's endpoint into a socket cluster; implements [`Collective`]
+/// with the same dynamic-membership and degraded-mode semantics as the
+/// threaded [`crate::WorkerHandle`], over a real wire.
+#[derive(Debug)]
+pub struct SocketCluster {
+    rank: usize,
+    world: usize,
+    stream: Mutex<FramedStream>,
+    traffic: TrafficCounter,
+    live: AtomicUsize,
+    ops: AtomicU64,
+    left: AtomicBool,
+    barrier_ns: AtomicU64,
+    barrier_hist: HistogramHandle,
+    timeout: Option<Duration>,
+}
+
+impl SocketCluster {
+    /// Connects to the hub and completes rendezvous; returns only once all
+    /// `world` ranks have joined.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Transport`] when the hub is unreachable within the
+    /// connect deadline or rejects the handshake;
+    /// [`ClusterError::Timeout`] when rendezvous does not complete in time.
+    pub fn connect(cfg: &NetConfig) -> Result<SocketCluster, ClusterError> {
+        let rank = cfg.rank;
+        let deadline = Instant::now() + cfg.connect_timeout;
+        let stream = loop {
+            match Stream::connect(&cfg.endpoint) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(transport(rank, 0, format!("connect {}: {e}", cfg.endpoint)));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        metrics::counter("comm.net.connects").add(1);
+        let mut framed = FramedStream::new(stream);
+        framed
+            .set_read_timeout(Some(cfg.connect_timeout))
+            .map_err(|e| transport(rank, 0, format!("set timeout: {e}")))?;
+        let mut hello = Vec::with_capacity(8);
+        put_u32(&mut hello, rank as u32);
+        put_u32(&mut hello, cfg.world as u32);
+        framed
+            .write_frame(KIND_HELLO, &hello)
+            .map_err(|e| transport(rank, 0, format!("hello: {e}")))?;
+        match framed.read_frame() {
+            Ok((KIND_WELCOME, body)) => {
+                let mut r = Reader::new(&body);
+                let world = r.u32().map_err(|e| transport(rank, 0, e.to_string()))? as usize;
+                let live = r.u32().map_err(|e| transport(rank, 0, e.to_string()))? as usize;
+                if world != cfg.world {
+                    return Err(transport(
+                        rank,
+                        0,
+                        format!("world mismatch: hub {world} vs local {}", cfg.world),
+                    ));
+                }
+                framed
+                    .set_read_timeout(cfg.options.timeout)
+                    .map_err(|e| transport(rank, 0, format!("set timeout: {e}")))?;
+                Ok(SocketCluster {
+                    rank,
+                    world,
+                    stream: Mutex::new(framed),
+                    traffic: TrafficCounter::new(world),
+                    live: AtomicUsize::new(live),
+                    ops: AtomicU64::new(0),
+                    left: AtomicBool::new(false),
+                    barrier_ns: AtomicU64::new(0),
+                    barrier_hist: metrics::histogram("comm.barrier_wait_ns"),
+                    timeout: cfg.options.timeout,
+                })
+            }
+            Ok((KIND_ERROR, body)) => Err(decode_error(rank, 0, &body)),
+            Ok((kind, _)) => Err(transport(
+                rank,
+                0,
+                format!("expected WELCOME, got kind {kind}"),
+            )),
+            Err(e) if is_timeout(&e) => Err(ClusterError::Timeout {
+                rank,
+                op: 0,
+                waited: cfg.connect_timeout,
+            }),
+            Err(e) => Err(transport(rank, 0, format!("rendezvous: {e}"))),
+        }
+    }
+
+    /// The payload-accounting traffic counter (only this rank's row is
+    /// populated — there is no shared board to read peers from).
+    pub fn traffic(&self) -> &TrafficCounter {
+        &self.traffic
+    }
+
+    /// Snapshot of the underlying stream's frame counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.stream.lock().stats()
+    }
+
+    /// Test hook: corrupt one bit of the next outgoing *frame* (after its
+    /// CRC), exercising the NACK/retransmit path end to end.
+    pub fn inject_frame_corruption(&self) {
+        self.stream.lock().corrupt_next_frame();
+    }
+
+    fn next_op(&self) -> u64 {
+        self.ops.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// One request/response round trip; the blocked time is this rank's
+    /// barrier wait.
+    fn roundtrip(&self, op: u64, kind: u8, body: &[u8]) -> Result<(u8, Vec<u8>), ClusterError> {
+        let _span = trace::span("net.roundtrip", Track::Lane(self.rank));
+        let mut stream = self.stream.lock();
+        stream
+            .write_frame(kind, body)
+            .map_err(|e| transport(self.rank, op, format!("send: {e}")))?;
+        let t0 = Instant::now();
+        let result = stream.read_frame();
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.barrier_ns.fetch_add(ns, Ordering::Relaxed);
+        self.barrier_hist.record(ns);
+        match result {
+            Ok((KIND_ERROR, body)) => Err(decode_error(self.rank, op, &body)),
+            Ok(pair) => Ok(pair),
+            Err(e) if is_timeout(&e) => Err(ClusterError::Timeout {
+                rank: self.rank,
+                op,
+                waited: self.timeout.unwrap_or_default(),
+            }),
+            Err(e) => Err(transport(self.rank, op, format!("recv: {e}"))),
+        }
+    }
+
+    fn enter(&self) -> Result<u64, ClusterError> {
+        let op = self.next_op();
+        if self.left.load(Ordering::Relaxed) {
+            return Err(ClusterError::Dropped {
+                rank: self.rank,
+                op,
+            });
+        }
+        Ok(op)
+    }
+
+    fn update_live(&self, live: u32) {
+        self.live.store(live as usize, Ordering::Relaxed);
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
+fn decode_error(rank: usize, op: u64, body: &[u8]) -> ClusterError {
+    let mut r = Reader::new(body);
+    let code = r.take(1).map(|b| b[0]).unwrap_or(ERR_PROTOCOL);
+    let ctx_rank = r.u32().unwrap_or(0) as usize;
+    let detail = String::from_utf8_lossy(r.rest()).into_owned();
+    match code {
+        ERR_ROOT_DROPPED => ClusterError::Dropped { rank: ctx_rank, op },
+        _ => ClusterError::Transport {
+            rank,
+            op,
+            detail: if detail.is_empty() {
+                format!("hub error code {code}")
+            } else {
+                detail
+            },
+        },
+    }
+}
+
+impl Collective for SocketCluster {
+    fn n_workers(&self) -> usize {
+        self.world
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn live_workers(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    fn leave(&self) {
+        if !self.left.swap(true, Ordering::Relaxed) {
+            let mut stream = self.stream.lock();
+            let _ = stream.write_frame(KIND_LEAVE, &[]);
+            let _ = self
+                .live
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |l| {
+                    Some(l.saturating_sub(1))
+                });
+        }
+    }
+
+    fn try_allreduce_f32(&self, data: Vec<f32>) -> Result<Reduction, ClusterError> {
+        let op = self.enter()?;
+        self.traffic.record(
+            self.rank,
+            ring_allreduce_wire_bytes(self.live_workers(), data.len()),
+        );
+        let mut body = Vec::with_capacity(8 + data.len() * 4);
+        put_u64(&mut body, op);
+        body.extend_from_slice(&f32s_to_bytes(&data));
+        let (kind, resp) = self.roundtrip(op, KIND_ALLREDUCE, &body)?;
+        if kind != KIND_R_ALLREDUCE {
+            return Err(transport(
+                self.rank,
+                op,
+                format!("bad response kind {kind}"),
+            ));
+        }
+        let mut r = Reader::new(&resp);
+        let live = r
+            .u32()
+            .map_err(|e| transport(self.rank, op, e.to_string()))?;
+        let contributors =
+            r.u32()
+                .map_err(|e| transport(self.rank, op, e.to_string()))? as usize;
+        let sum = bytes_to_f32s(r.rest()).map_err(|e| transport(self.rank, op, e.to_string()))?;
+        self.update_live(live);
+        Ok(Reduction { sum, contributors })
+    }
+
+    fn try_allgather_bytes(&self, data: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>, ClusterError> {
+        let op = self.enter()?;
+        self.traffic.record(self.rank, data.len() as u64);
+        let mut body = Vec::with_capacity(8 + data.len());
+        put_u64(&mut body, op);
+        body.extend_from_slice(&data);
+        let (kind, resp) = self.roundtrip(op, KIND_ALLGATHER, &body)?;
+        if kind != KIND_R_ALLGATHER {
+            return Err(transport(
+                self.rank,
+                op,
+                format!("bad response kind {kind}"),
+            ));
+        }
+        let mut r = Reader::new(&resp);
+        let live = r
+            .u32()
+            .map_err(|e| transport(self.rank, op, e.to_string()))?;
+        let world = r
+            .u32()
+            .map_err(|e| transport(self.rank, op, e.to_string()))? as usize;
+        let mut slots = Vec::with_capacity(world);
+        for _ in 0..world {
+            let present = r
+                .take(1)
+                .map_err(|e| transport(self.rank, op, e.to_string()))?[0];
+            if present == 1 {
+                let len = r
+                    .u32()
+                    .map_err(|e| transport(self.rank, op, e.to_string()))?
+                    as usize;
+                let bytes = r
+                    .take(len)
+                    .map_err(|e| transport(self.rank, op, e.to_string()))?;
+                slots.push(Some(bytes.to_vec()));
+            } else {
+                slots.push(None);
+            }
+        }
+        self.update_live(live);
+        Ok(slots)
+    }
+
+    fn try_broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, ClusterError> {
+        assert!(root < self.world, "broadcast root {root} out of range");
+        let op = self.enter()?;
+        if self.rank == root {
+            self.traffic.record(self.rank, data.len() as u64);
+        }
+        let mut body = Vec::with_capacity(12 + data.len());
+        put_u64(&mut body, op);
+        put_u32(&mut body, root as u32);
+        if self.rank == root {
+            body.extend_from_slice(&data);
+        }
+        let (kind, resp) = self.roundtrip(op, KIND_BROADCAST, &body)?;
+        if kind != KIND_R_BROADCAST {
+            return Err(transport(
+                self.rank,
+                op,
+                format!("bad response kind {kind}"),
+            ));
+        }
+        let mut r = Reader::new(&resp);
+        let live = r
+            .u32()
+            .map_err(|e| transport(self.rank, op, e.to_string()))?;
+        self.update_live(live);
+        Ok(r.rest().to_vec())
+    }
+
+    fn try_barrier(&self) -> Result<(), ClusterError> {
+        let op = self.enter()?;
+        let mut body = Vec::with_capacity(8);
+        put_u64(&mut body, op);
+        let (kind, resp) = self.roundtrip(op, KIND_BARRIER, &body)?;
+        if kind != KIND_R_BARRIER {
+            return Err(transport(
+                self.rank,
+                op,
+                format!("bad response kind {kind}"),
+            ));
+        }
+        let mut r = Reader::new(&resp);
+        let live = r
+            .u32()
+            .map_err(|e| transport(self.rank, op, e.to_string()))?;
+        self.update_live(live);
+        Ok(())
+    }
+
+    fn allreduce_f32(&self, data: Vec<f32>) -> Vec<f32> {
+        self.try_allreduce_f32(data).expect("collective failed").sum
+    }
+
+    fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        self.try_allgather_bytes(data)
+            .expect("collective failed")
+            .into_iter()
+            .map(|slot| slot.expect("allgather with departed workers needs try_allgather_bytes"))
+            .collect()
+    }
+
+    fn broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        self.try_broadcast_bytes(root, data)
+            .expect("collective failed")
+    }
+
+    fn barrier(&self) {
+        self.try_barrier().expect("collective failed");
+    }
+}
+
+impl ClusterIntrospect for SocketCluster {
+    fn ops_started(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    fn barrier_waits_into(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.world, "need one slot per rank");
+        out.fill(0);
+        out[self.rank] = self.barrier_ns.load(Ordering::Relaxed);
+    }
+
+    fn sent_bytes(&self) -> u64 {
+        self.traffic.bytes_sent(self.rank)
+    }
+}
+
+impl Drop for SocketCluster {
+    fn drop(&mut self) {
+        // A clean exit is indistinguishable from a crash without this: tell
+        // the hub we are done so it can retire the rank and, once everyone
+        // has left, shut down.
+        self.leave();
+    }
+}
+
+/// Runs `f(endpoint)` on `n` concurrent workers connected through a real
+/// socket hub — the in-process analog of
+/// [`crate::ThreadedCluster::run_with`], except every collective crosses
+/// the wire. `endpoint = None` uses an ephemeral localhost TCP port.
+///
+/// # Panics
+///
+/// Panics when the hub cannot bind, a worker cannot connect, or a worker
+/// thread panics.
+pub fn run_socket_local<T, F>(
+    n: usize,
+    options: ClusterOptions,
+    endpoint: Option<Endpoint>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(SocketCluster) -> T + Sync,
+{
+    let endpoint = endpoint.unwrap_or_else(|| Endpoint::Tcp("127.0.0.1:0".to_string()));
+    let hub = HubServer::bind(&endpoint, n, options).expect("bind hub");
+    let endpoint = hub.endpoint().clone();
+    let hub = hub.spawn();
+    let connect_timeout = options.timeout.unwrap_or(DEFAULT_CONNECT_TIMEOUT);
+    let results = std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(n);
+        for rank in 0..n {
+            let endpoint = endpoint.clone();
+            let f = &f;
+            joins.push(s.spawn(move || {
+                let cfg = NetConfig {
+                    rank,
+                    world: n,
+                    endpoint,
+                    options,
+                    connect_timeout,
+                };
+                let cluster = SocketCluster::connect(&cfg)
+                    .unwrap_or_else(|e| panic!("rank {rank} failed to join: {e}"));
+                f(cluster)
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("worker thread panicked"))
+            .collect()
+    });
+    // Workers succeeded; a hub-side error at teardown is not actionable.
+    let _ = hub.join();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing_round_trips() {
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:9000").unwrap(),
+            Endpoint::Tcp("127.0.0.1:9000".into())
+        );
+        assert_eq!(
+            Endpoint::parse("tcp://h:1").unwrap(),
+            Endpoint::Tcp("h:1".into())
+        );
+        assert!(Endpoint::parse("rdma://x").is_err());
+        #[cfg(unix)]
+        {
+            let e = Endpoint::parse("uds:///tmp/x.sock").unwrap();
+            assert_eq!(e, Endpoint::Uds(PathBuf::from("/tmp/x.sock")));
+            assert_eq!(e.to_string(), "uds:///tmp/x.sock");
+        }
+    }
+
+    #[test]
+    fn socket_collectives_match_threaded_semantics() {
+        let out = run_socket_local(4, ClusterOptions::default(), None, |c| {
+            let sum = c.allreduce_f32(vec![c.rank() as f32 + 1.0]);
+            let gathered = c.allgather_bytes(vec![c.rank() as u8; c.rank() + 1]);
+            let bcast = c.broadcast_bytes(2, vec![c.rank() as u8]);
+            c.barrier();
+            (sum[0], gathered, bcast)
+        });
+        for (sum, gathered, bcast) in out {
+            assert_eq!(sum, 10.0);
+            assert_eq!(gathered.len(), 4);
+            for (rank, slot) in gathered.iter().enumerate() {
+                assert_eq!(slot, &vec![rank as u8; rank + 1]);
+            }
+            assert_eq!(bcast, vec![2u8]);
+        }
+    }
+
+    #[test]
+    fn repeated_allreduces_do_not_cross_rounds() {
+        let out = run_socket_local(3, ClusterOptions::default(), None, |c| {
+            (0..5)
+                .map(|round| c.allreduce_f32(vec![(c.rank() + round) as f32])[0])
+                .collect::<Vec<f32>>()
+        });
+        for per_rank in out {
+            for (round, v) in per_rank.iter().enumerate() {
+                assert_eq!(*v, (3 * round + 3) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn leave_shrinks_membership_for_survivors() {
+        let out = run_socket_local(
+            3,
+            ClusterOptions::with_timeout(Duration::from_secs(10)),
+            None,
+            |c| {
+                if c.rank() == 1 {
+                    c.leave();
+                    return (0, Vec::new());
+                }
+                let slots = c.try_allgather_bytes(vec![c.rank() as u8]).unwrap();
+                (c.live_workers(), slots)
+            },
+        );
+        for (rank, (live, slots)) in out.iter().enumerate() {
+            if rank == 1 {
+                continue;
+            }
+            assert_eq!(*live, 2, "rank {rank} must see the leaver gone");
+            assert_eq!(slots.len(), 3);
+            assert!(slots[1].is_none(), "left rank's slot must be None");
+            assert_eq!(slots[0].as_deref(), Some(&[0u8][..]));
+            assert_eq!(slots[2].as_deref(), Some(&[2u8][..]));
+        }
+    }
+
+    #[test]
+    fn frame_corruption_is_nacked_and_retransmitted() {
+        let out = run_socket_local(2, ClusterOptions::default(), None, |c| {
+            if c.rank() == 0 {
+                c.inject_frame_corruption();
+            }
+            let slots = c.try_allgather_bytes(vec![7u8, 8, 9]).unwrap();
+            (slots, c.net_stats())
+        });
+        for (slots, _) in &out {
+            // The retry is invisible: everyone still gets clean bytes.
+            assert_eq!(slots[0].as_deref(), Some(&[7u8, 8, 9][..]));
+            assert_eq!(slots[1].as_deref(), Some(&[7u8, 8, 9][..]));
+        }
+        assert!(
+            out[0].1.resends >= 1,
+            "rank 0 must have retransmitted: {:?}",
+            out[0].1
+        );
+    }
+
+    #[test]
+    fn traffic_accounting_matches_threaded_formulas() {
+        let out = run_socket_local(4, ClusterOptions::default(), None, |c| {
+            let payload = vec![1u8; 100 + c.rank()];
+            let expected = payload.len() as u64 + ring_allreduce_wire_bytes(4, 50);
+            let _ = c.try_allgather_bytes(payload).unwrap();
+            let _ = c.try_allreduce_f32(vec![0.5; 50]).unwrap();
+            (expected, c.sent_bytes())
+        });
+        for (expected, got) in out {
+            assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn connect_to_dead_port_is_a_typed_error() {
+        // Bind-then-drop reserves a port nothing listens on.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut cfg = NetConfig::new(0, 2, Endpoint::Tcp(format!("127.0.0.1:{port}")));
+        cfg.connect_timeout = Duration::from_millis(200);
+        match SocketCluster::connect(&cfg) {
+            Err(ClusterError::Transport { rank, op, detail }) => {
+                assert_eq!((rank, op), (0, 0));
+                assert!(detail.contains("connect"), "{detail}");
+            }
+            other => panic!("expected Transport error, got {other:?}"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_domain_fast_path_round_trips() {
+        let ep = Endpoint::ephemeral_uds();
+        let out = run_socket_local(3, ClusterOptions::default(), Some(ep.clone()), |c| {
+            c.allreduce_f32(vec![c.rank() as f32])[0]
+        });
+        assert_eq!(out, vec![3.0; 3]);
+        if let Endpoint::Uds(path) = &ep {
+            assert!(!path.exists(), "listener must unlink its socket file");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Loopback framing properties: the length-prefixed, CRC-trailed framer
+//! must round-trip payloads of *any* size — empty, single-byte,
+//! MTU-straddling, and multi-megabyte fused buckets — with no
+//! short-read/short-write truncation, over a real kernel TCP socket.
+
+use grace_comm::net::{FramedStream, KIND_ALLGATHER};
+use proptest::prelude::*;
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+
+/// One echo round trip over a fresh loopback pair; returns what came back.
+fn echo_roundtrip(payloads: Vec<Vec<u8>>) -> Vec<(u8, Vec<u8>)> {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let count = payloads.len();
+    let server = thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut framed = FramedStream::tcp(stream);
+        for _ in 0..count {
+            let (kind, body) = framed.read_frame().expect("server read");
+            framed.write_frame(kind, &body).expect("server write");
+        }
+    });
+    let mut client = FramedStream::tcp(TcpStream::connect(addr).expect("connect"));
+    let mut out = Vec::with_capacity(count);
+    for p in &payloads {
+        client.write_frame(KIND_ALLGATHER, p).expect("client write");
+        out.push(client.read_frame().expect("client read"));
+    }
+    server.join().expect("server thread");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary payloads in arbitrary sequence round-trip byte-exact.
+    #[test]
+    fn arbitrary_payloads_round_trip_exactly(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..4096),
+            1..5,
+        ),
+    ) {
+        let echoed = echo_roundtrip(payloads.clone());
+        prop_assert_eq!(echoed.len(), payloads.len());
+        for (sent, (kind, got)) in payloads.iter().zip(&echoed) {
+            prop_assert_eq!(*kind, KIND_ALLGATHER);
+            prop_assert_eq!(got, sent);
+        }
+    }
+}
+
+/// The boundary sizes the proptest's uniform draw is unlikely to hit
+/// exactly: empty, one byte, either side of a 1500-byte Ethernet MTU (the
+/// frame adds 9 bytes of overhead), and a bucket larger than the 2 MiB
+/// default fusion threshold — proving multi-`write(2)` frames reassemble
+/// without truncation.
+#[test]
+fn boundary_sizes_round_trip_exactly() {
+    let mtu_body = 1500usize - 9;
+    let sizes = [
+        0usize,
+        1,
+        mtu_body - 1,
+        mtu_body,
+        mtu_body + 1,
+        3 << 20, // > DEFAULT_FUSION_BYTES (2 MiB)
+    ];
+    let payloads: Vec<Vec<u8>> = sizes
+        .iter()
+        .map(|&n| (0..n).map(|i| (i * 31 % 251) as u8).collect())
+        .collect();
+    let echoed = echo_roundtrip(payloads.clone());
+    for (sent, (kind, got)) in payloads.iter().zip(&echoed) {
+        assert_eq!(*kind, KIND_ALLGATHER);
+        assert_eq!(got.len(), sent.len(), "length truncated");
+        assert_eq!(got, sent, "bytes corrupted in flight");
+    }
+}
+
+/// Every write is `write_all` and every read is `read_exact`: killing the
+/// peer mid-frame surfaces an error, never a silently short frame.
+#[test]
+fn torn_stream_is_an_error_not_a_short_read() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = thread::spawn(move || {
+        use std::io::Write;
+        let (mut stream, _) = listener.accept().unwrap();
+        // A frame header promising 64 KiB, then only 10 bytes, then EOF.
+        let mut partial = Vec::new();
+        partial.extend_from_slice(&(65536u32).to_le_bytes());
+        partial.extend_from_slice(&[KIND_ALLGATHER; 10]);
+        stream.write_all(&partial).unwrap();
+        drop(stream);
+    });
+    let mut client = FramedStream::tcp(TcpStream::connect(addr).unwrap());
+    let err = client.read_frame().expect_err("truncated frame must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    server.join().unwrap();
+}

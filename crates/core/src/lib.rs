@@ -42,6 +42,7 @@ pub mod exchange;
 pub mod health;
 pub mod memory;
 pub mod payload;
+pub mod process;
 pub mod registry;
 pub mod replicated;
 pub mod threaded;
@@ -56,5 +57,6 @@ pub use exchange::{
 pub use health::{AnomalyEvent, AnomalyKind, HealthConfig, HealthMonitor, StepObservation};
 pub use memory::{Memory, NoMemory, ResidualMemory};
 pub use payload::{Payload, PayloadError};
+pub use process::{net_config_from_env, param_checksum, run_cluster, RankResult};
 pub use registry::{CompressorClass, CompressorSpec, Nature, OutputSize};
-pub use trainer::{ComputeModel, EvalPoint, RunResult, Topology, TrainConfig};
+pub use trainer::{ComputeModel, EvalPoint, ExecBackend, RunResult, Topology, TrainConfig};

@@ -33,8 +33,8 @@ use crate::trainer::{
     TrainConfig,
 };
 use grace_comm::{
-    ClusterError, ClusterOptions, Collective, FaultStats, FaultSummary, FaultyCollective,
-    ThreadedCluster,
+    ClusterError, ClusterIntrospect, ClusterOptions, Collective, FaultStats, FaultSummary,
+    FaultyCollective, ThreadedCluster,
 };
 use grace_nn::data::Task;
 use grace_nn::network::Network;
@@ -132,17 +132,20 @@ where
     }
 }
 
-struct WorkerOut {
-    final_params: Vec<(String, Tensor)>,
-    final_quality: f64,
-    bytes_sent: u64,
+pub(crate) struct WorkerOut {
+    pub(crate) final_params: Vec<(String, Tensor)>,
+    pub(crate) final_quality: f64,
+    pub(crate) bytes_sent: u64,
 }
 
-fn worker_loop<F>(
+/// One rank's full training loop over any introspectable collective — the
+/// threaded deposit board and the socket transport run this code unchanged,
+/// which is what keeps the backends bit-identical.
+pub(crate) fn worker_loop<F, C>(
     cfg: &TrainConfig,
     task: &dyn Task,
     make_worker: &F,
-    comm: &FaultyCollective<grace_comm::WorkerHandle>,
+    comm: &FaultyCollective<C>,
 ) -> Result<WorkerOut, ClusterError>
 where
     F: Fn(
@@ -153,6 +156,7 @@ where
             Box<dyn Compressor>,
             Box<dyn Memory>,
         ) + Sync,
+    C: ClusterIntrospect,
 {
     let n = cfg.n_workers;
     let rank = comm.rank();
@@ -261,7 +265,7 @@ where
                     *delta = now.saturating_sub(*prev);
                 }
                 waits_prev.copy_from_slice(&waits_now);
-                let bytes_now = board.traffic().bytes_sent(rank);
+                let bytes_now = board.sent_bytes();
                 let step_bytes = bytes_now.saturating_sub(bytes_prev);
                 bytes_prev = bytes_now;
                 let obs = StepObservation {
@@ -286,7 +290,7 @@ where
     Ok(WorkerOut {
         final_params: net.export_params(),
         final_quality: quality,
-        bytes_sent: comm.inner().traffic().bytes_sent(rank),
+        bytes_sent: comm.inner().sent_bytes(),
     })
 }
 
@@ -294,8 +298,8 @@ where
 /// aggregated gradient, degrading gracefully on dropped workers and
 /// corrupted payloads. Decompression and `Agg` go through
 /// [`crate::exchange`]'s shared helpers.
-fn exchange_tensor(
-    comm: &FaultyCollective<grace_comm::WorkerHandle>,
+fn exchange_tensor<C: ClusterIntrospect>(
+    comm: &FaultyCollective<C>,
     strategy: CommStrategy,
     lane: &mut WorkerLane<'_>,
     encoded: EncodedTensor,

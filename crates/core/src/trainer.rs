@@ -141,6 +141,24 @@ pub enum Topology {
     ParameterServer,
 }
 
+/// Which collective substrate carries the exchange when training runs as a
+/// real SPMD cluster ([`crate::process::run_cluster`]). The training loop,
+/// batch schedule and aggregation order are backend-independent, so every
+/// backend produces bit-identical parameters — only the wire differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// One OS thread per worker over the in-process deposit board
+    /// ([`grace_comm::ThreadedCluster`]) — the default.
+    #[default]
+    Threads,
+    /// Real sockets over localhost TCP: a hub rendezvous plus one
+    /// [`grace_comm::SocketCluster`] per worker.
+    SocketTcp,
+    /// Unix-domain sockets (lower latency on one host); falls back to TCP
+    /// on non-Unix platforms.
+    SocketUds,
+}
+
 /// Configuration of one training run.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -203,6 +221,10 @@ pub struct TrainConfig {
     /// overlap and straggler skew, raising [`crate::AnomalyEvent`]s with
     /// hysteresis. `None` (the default) adds zero per-step work.
     pub health: Option<crate::health::HealthConfig>,
+    /// Collective substrate for SPMD execution
+    /// ([`crate::process::run_cluster`]): in-process threads (default) or
+    /// real sockets. [`run_simulated`] ignores it.
+    pub backend: ExecBackend,
 }
 
 impl TrainConfig {
@@ -227,6 +249,7 @@ impl TrainConfig {
             telemetry: None,
             metrics_addr: None,
             health: None,
+            backend: ExecBackend::default(),
         }
     }
 

@@ -72,6 +72,7 @@ fn run_custom(
         telemetry: None,
         metrics_addr: None,
         health: None,
+        backend: grace_core::ExecBackend::Threads,
     };
     let (mut cs, mut ms) = make(rc.n_workers);
     let mut opt = bench.opt.build("topk");

@@ -44,6 +44,7 @@ fn run_spec(spec: Option<&CompressorSpec>, rc: &RunnerConfig) -> grace_core::Run
         telemetry: None,
         metrics_addr: None,
         health: None,
+        backend: grace_core::ExecBackend::Threads,
     };
     let mut opt = bench.opt.build(spec.map(|s| s.id).unwrap_or("baseline"));
     let (mut cs, mut ms) = match spec {

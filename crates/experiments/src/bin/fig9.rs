@@ -11,7 +11,7 @@
 use grace_comm::{NetworkModel, Transport};
 use grace_compressors::registry;
 use grace_experiments::report;
-use grace_experiments::runner::{run_cell, RunnerConfig};
+use grace_experiments::runner::{run_cell, run_cell_measured_tcp, RunnerConfig};
 use grace_experiments::suite;
 
 fn main() {
@@ -34,16 +34,27 @@ fn main() {
             let res = run_cell(&bench, id.as_deref(), &rc);
             cells.push(report::fmt(res.throughput, 1));
         }
+        // The empirical companion column: the same cell trained for real
+        // over localhost TCP sockets (kernel framing cost, analog model
+        // scale) next to the α–β modelled paper-scale numbers.
+        eprintln!("[fig9] {label} over measured localhost tcp …");
+        let measured = run_cell_measured_tcp(&bench, id.as_deref(), &RunnerConfig::default());
+        cells.push(report::fmt(measured, 1));
         rows.push(cells);
     }
     report::print_table(
-        "Fig. 9 — ResNet-9 analog throughput (images/s): TCP vs RDMA, 10 Gbps",
-        &["Method", "TCP", "RDMA"],
+        "Fig. 9 — ResNet-9 analog throughput (images/s): TCP vs RDMA modelled at 10 Gbps, plus measured localhost TCP",
+        &["Method", "TCP", "RDMA", "Measured TCP"],
         &rows,
     );
     report::write_csv(
         "fig9.csv",
-        &["method", "tcp_imgs_per_s", "rdma_imgs_per_s"],
+        &[
+            "method",
+            "tcp_imgs_per_s",
+            "rdma_imgs_per_s",
+            "measured_tcp_imgs_per_s",
+        ],
         &rows,
     );
 }

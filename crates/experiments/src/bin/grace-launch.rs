@@ -1,0 +1,280 @@
+//! `grace-launch` — run GRACE training as N real OS processes.
+//!
+//! Parent mode (no `GRACE_RANK` in the environment) binds the rendezvous
+//! hub, re-executes itself once per rank with `GRACE_RANK` / `GRACE_WORLD` /
+//! `GRACE_RENDEZVOUS` set, gathers each child's parameter checksum from its
+//! stdout, and asserts all ranks agree; unless `--no-verify` it then replays
+//! the identical workload on the in-process `ThreadedCluster` and asserts
+//! the socket-trained bits match — the acceptance criterion of the
+//! multi-process transport.
+//!
+//! Child mode (`GRACE_RANK` set) joins the hub, trains its rank to
+//! completion and prints one machine-readable line:
+//!
+//! ```text
+//! GRACE_RANK_RESULT <rank> <param_crc32:08x> <quality> <live_at_exit>
+//! ```
+//!
+//! Usage:
+//!
+//! ```text
+//! grace-launch [--ranks N] [--compressor ID|baseline|all] [--epochs E]
+//!              [--uds] [--no-verify]
+//! ```
+
+use grace_comm::net::{Endpoint, HubServer};
+use grace_comm::ClusterOptions;
+use grace_compressors::{extensions, registry};
+use grace_core::process::{
+    self, net_config_from_env, param_checksum, ENV_RANK, ENV_RENDEZVOUS, ENV_WORLD,
+};
+use grace_core::threaded::run_threaded;
+use grace_core::trainer::CodecTiming;
+use grace_core::{Compressor, Memory, NoCompression, NoMemory, TrainConfig};
+use grace_nn::data::ClassificationDataset;
+use grace_nn::models;
+use grace_nn::network::Network;
+use grace_nn::optim::{Momentum, Optimizer};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const ENV_COMPRESSOR: &str = "GRACE_LAUNCH_COMPRESSOR";
+const ENV_EPOCHS: &str = "GRACE_LAUNCH_EPOCHS";
+const SEED: u64 = 31;
+
+/// The fixed cross-process workload. Small on purpose: the point is the
+/// transport, and `--ranks 4 --compressor all` must stay CI-cheap.
+fn workload(world: usize, epochs: usize) -> (ClassificationDataset, TrainConfig) {
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, SEED);
+    let mut cfg = TrainConfig::new(world, 8, epochs, SEED);
+    cfg.codec = CodecTiming::Free;
+    cfg.fault = Some(grace_comm::FaultConfig {
+        plan: grace_comm::FaultPlan::empty(),
+        timeout: Some(Duration::from_secs(60)),
+    });
+    (task, cfg)
+}
+
+fn make_worker(
+    compressor_id: &str,
+    world: usize,
+    rank: usize,
+) -> (
+    Network,
+    Box<dyn Optimizer>,
+    Box<dyn Compressor>,
+    Box<dyn Memory>,
+) {
+    let net = models::mlp_classifier("m", 8, &[12], 2, SEED);
+    let opt: Box<dyn Optimizer> = Box::new(Momentum::new(0.05, 0.9));
+    let (compressor, memory) = if compressor_id == "baseline" {
+        (
+            Box::new(NoCompression::new()) as Box<dyn Compressor>,
+            Box::new(NoMemory::new()) as Box<dyn Memory>,
+        )
+    } else {
+        let spec = registry::find(compressor_id)
+            .or_else(|| {
+                extensions::extension_specs()
+                    .into_iter()
+                    .find(|s| s.id == compressor_id)
+            })
+            .unwrap_or_else(|| panic!("unknown compressor id '{compressor_id}'"));
+        let (mut cs, mut ms) = registry::build_fleet(&spec, world, SEED);
+        (cs.swap_remove(rank), ms.swap_remove(rank))
+    };
+    (net, opt, compressor, memory)
+}
+
+fn child_main() -> i32 {
+    let net_cfg = match net_config_from_env() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("grace-launch child: {e}");
+            return 2;
+        }
+    };
+    let compressor_id = std::env::var(ENV_COMPRESSOR).unwrap_or_else(|_| "baseline".to_string());
+    let epochs: usize = std::env::var(ENV_EPOCHS)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let (task, cfg) = workload(net_cfg.world, epochs);
+    let world = net_cfg.world;
+    let make = move |rank: usize| make_worker(&compressor_id, world, rank);
+    match process::run_socket_rank(&cfg, &task, &make, &net_cfg) {
+        Ok(res) => {
+            println!(
+                "GRACE_RANK_RESULT {} {:08x} {} {}",
+                res.rank,
+                param_checksum(&res.final_params),
+                res.final_quality,
+                res.live_at_exit
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("grace-launch child rank {}: {e}", net_cfg.rank);
+            1
+        }
+    }
+}
+
+struct Args {
+    ranks: usize,
+    compressor: String,
+    epochs: usize,
+    uds: bool,
+    verify: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ranks: 4,
+        compressor: "all".to_string(),
+        epochs: 2,
+        uds: false,
+        verify: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--ranks" => args.ranks = value("--ranks").parse().expect("--ranks"),
+            "--compressor" => args.compressor = value("--compressor"),
+            "--epochs" => args.epochs = value("--epochs").parse().expect("--epochs"),
+            "--uds" => args.uds = true,
+            "--no-verify" => args.verify = false,
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    assert!(args.ranks > 0, "--ranks must be positive");
+    args
+}
+
+/// Spawns `world` child ranks against a fresh hub and returns the agreed
+/// checksum line parts `(checksum, quality)`.
+fn launch_once(args: &Args, compressor_id: &str) -> (u32, f64) {
+    let endpoint = if args.uds {
+        #[cfg(unix)]
+        {
+            Endpoint::ephemeral_uds()
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("--uds unsupported on this platform; using TCP");
+            Endpoint::Tcp("127.0.0.1:0".to_string())
+        }
+    } else {
+        Endpoint::Tcp("127.0.0.1:0".to_string())
+    };
+    let hub = HubServer::bind(&endpoint, args.ranks, ClusterOptions::default())
+        .expect("bind rendezvous hub")
+        .with_accept_timeout(Duration::from_secs(60));
+    let endpoint = hub.endpoint().clone();
+    let hub = hub.spawn();
+    let exe = std::env::current_exe().expect("current_exe");
+    let children: Vec<_> = (0..args.ranks)
+        .map(|rank| {
+            Command::new(&exe)
+                .env(ENV_RANK, rank.to_string())
+                .env(ENV_WORLD, args.ranks.to_string())
+                .env(ENV_RENDEZVOUS, endpoint.to_string())
+                .env(ENV_COMPRESSOR, compressor_id)
+                .env(ENV_EPOCHS, args.epochs.to_string())
+                .stdout(Stdio::piped())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn rank {rank}: {e}"))
+        })
+        .collect();
+    let mut agreed: Option<(u32, f64)> = None;
+    for (rank, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("wait for child");
+        assert!(
+            out.status.success(),
+            "rank {rank} exited with {:?}",
+            out.status
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("GRACE_RANK_RESULT"))
+            .unwrap_or_else(|| panic!("rank {rank} printed no result line:\n{stdout}"));
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(parts.len(), 5, "malformed result line: {line}");
+        assert_eq!(parts[1].parse::<usize>().unwrap(), rank);
+        let checksum = u32::from_str_radix(parts[2], 16).expect("checksum hex");
+        let quality: f64 = parts[3].parse().expect("quality");
+        let live: usize = parts[4].parse().expect("live");
+        assert_eq!(
+            live, args.ranks,
+            "rank {rank} saw departures in a clean run"
+        );
+        match agreed {
+            None => agreed = Some((checksum, quality)),
+            Some((c, _)) => assert_eq!(
+                c, checksum,
+                "rank {rank} diverged: {checksum:08x} vs {c:08x}"
+            ),
+        }
+    }
+    let _ = hub.join();
+    agreed.expect("at least one rank")
+}
+
+fn verify_against_threaded(args: &Args, compressor_id: &str, socket_crc: u32) {
+    let (task, cfg) = workload(args.ranks, args.epochs);
+    let world = args.ranks;
+    let threaded = run_threaded(&cfg, &task, |rank| make_worker(compressor_id, world, rank));
+    let threaded_crc = param_checksum(&threaded.final_params);
+    assert_eq!(
+        socket_crc, threaded_crc,
+        "'{compressor_id}': socket {socket_crc:08x} != threaded {threaded_crc:08x}"
+    );
+}
+
+fn parent_main() -> i32 {
+    let args = parse_args();
+    let compressors: Vec<String> = if args.compressor == "all" {
+        let mut ids = vec!["baseline".to_string()];
+        ids.extend(registry::all_specs().into_iter().map(|s| s.id.to_string()));
+        ids.extend(
+            extensions::extension_specs()
+                .into_iter()
+                .map(|s| s.id.to_string()),
+        );
+        ids
+    } else {
+        vec![args.compressor.clone()]
+    };
+    println!(
+        "grace-launch: {} ranks × {} compressors over {} ({} verify)",
+        args.ranks,
+        compressors.len(),
+        if args.uds { "unix sockets" } else { "tcp" },
+        if args.verify { "threaded" } else { "no" },
+    );
+    println!("{:<26} {:>10} {:>10}", "method", "crc32", "quality");
+    for id in &compressors {
+        let (crc, quality) = launch_once(&args, id);
+        if args.verify {
+            verify_against_threaded(&args, id, crc);
+        }
+        println!("{id:<26} {:>10} {quality:>10.4}", format!("{crc:08x}"));
+    }
+    println!(
+        "all {} methods bit-identical across {} OS-process ranks",
+        compressors.len(),
+        args.ranks
+    );
+    0
+}
+
+fn main() {
+    let code = if std::env::var(ENV_RANK).is_ok() {
+        child_main()
+    } else {
+        parent_main()
+    };
+    std::process::exit(code);
+}

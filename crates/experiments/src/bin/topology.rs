@@ -57,6 +57,7 @@ fn run(
         telemetry: None,
         metrics_addr: None,
         health: None,
+        backend: grace_core::ExecBackend::Threads,
     };
     let mut opt = bench.opt.build(compressor_id.unwrap_or("baseline"));
     let (mut cs, mut ms): Fleet = match compressor_id {

@@ -132,6 +132,7 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
         telemetry: None,
         metrics_addr: None,
         health: None,
+        backend: grace_core::ExecBackend::Threads,
     };
     let (mut compressors, mut memories): Fleet = match compressor_id {
         None => (
@@ -156,6 +157,54 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
         &mut compressors,
         &mut memories,
     )
+}
+
+/// Trains one benchmark cell for real over localhost TCP sockets and
+/// returns measured throughput in images/s — the empirical companion to the
+/// α–β *modelled* TCP column of fig9. The analog models are small, so this
+/// measures framing + kernel socket cost on the real exchange path, not
+/// paper-scale bandwidth; the interesting signal is the per-method ordering.
+///
+/// One epoch is enough for a stable rate and keeps the full fig9 sweep
+/// cheap; the trained bits are asserted bit-identical to the threaded
+/// backend elsewhere (`tests/transport_equivalence.rs`), so this function
+/// only times.
+pub fn run_cell_measured_tcp(
+    bench: &Benchmark,
+    compressor_id: Option<&str>,
+    rc: &RunnerConfig,
+) -> f64 {
+    use grace_core::trainer::steps_per_epoch;
+    let task = (bench.build_task)(rc.seed);
+    let mut cfg = TrainConfig::new(rc.n_workers, bench.batch, 1, rc.seed);
+    cfg.codec = grace_core::trainer::CodecTiming::Free;
+    cfg.backend = grace_core::ExecBackend::SocketTcp;
+    let spec = compressor_id
+        .map(|id| registry::find(id).unwrap_or_else(|| panic!("unknown compressor id '{id}'")));
+    let start = std::time::Instant::now();
+    let result = grace_core::process::run_cluster(&cfg, task.as_ref(), |rank| {
+        let net = (bench.build_net)(rc.seed);
+        let opt = bench.opt.build(compressor_id.unwrap_or("baseline"));
+        let (compressor, memory) = match &spec {
+            None => (
+                Box::new(NoCompression::new()) as Box<dyn Compressor>,
+                Box::new(NoMemory::new()) as Box<dyn Memory>,
+            ),
+            Some(spec) => {
+                let (mut cs, mut ms) = registry::build_fleet(spec, rc.n_workers, rc.seed);
+                (cs.swap_remove(rank), ms.swap_remove(rank))
+            }
+        };
+        (net, opt, compressor, memory)
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        result.survivors, rc.n_workers,
+        "measured run must be fault-free"
+    );
+    let steps = steps_per_epoch(task.train_len(), rc.n_workers, bench.batch);
+    let images = (cfg.epochs * steps * bench.batch * rc.n_workers) as f64;
+    images / elapsed.max(1e-9)
 }
 
 /// Runs the baseline plus every registered compressor on one benchmark,

@@ -162,6 +162,187 @@ fn worker_killed_mid_step_drains_in_flight_buckets_and_rescales() {
     assert!(result.final_quality.is_finite());
 }
 
+// --- Socket chaos matrix -------------------------------------------------
+//
+// The same fault plans, injected on the real TCP transport. Degradation
+// must match the threaded cluster's survivor-rescaling semantics bit for
+// bit, and every failure path must surface a typed `ClusterError` instead
+// of a hang.
+
+/// Like [`run_with_deadline`], but over localhost TCP sockets.
+fn run_socket_with_deadline(mut cfg: TrainConfig, limit: Duration) -> ThreadedResult {
+    cfg.backend = grace::core::ExecBackend::SocketTcp;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+        let _ = tx.send(grace::core::process::run_cluster(&cfg, &task, worker));
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => {
+            handle.join().expect("worker panicked after reporting");
+            result
+        }
+        Err(_) => panic!("faulty socket run exceeded its {limit:?} deadline: deadlock"),
+    }
+}
+
+/// A worker killed in the middle of an allgather-laden step (one bucket per
+/// tensor) must leave the socket survivors rescaling exactly like the
+/// threaded survivors: same membership, same counters, same trained bits.
+#[test]
+fn socket_worker_killed_mid_allgather_rescales_like_threaded() {
+    let fault = || FaultConfig {
+        plan: FaultPlan::empty().with_drop(2, 6),
+        timeout: Some(Duration::from_secs(10)),
+    };
+    let mut cfg = config(Some(fault()));
+    cfg.fusion_bytes = 1; // op 6 lands strictly mid-step (4 tensors/step)
+    let socket = run_socket_with_deadline(cfg.clone(), Duration::from_secs(60));
+    assert_eq!(socket.survivors, N - 1, "exactly one worker dies");
+    assert_eq!(socket.faults.injected_drops, vec![0, 0, 1]);
+    assert_params_finite(&socket);
+
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+    let threaded = run_threaded(&cfg, &task, worker);
+    assert_eq!(threaded.survivors, socket.survivors);
+    assert_eq!(threaded.final_quality, socket.final_quality);
+    for ((na, ta), (nb, tb)) in threaded.final_params.iter().zip(socket.final_params.iter()) {
+        assert_eq!(na, nb);
+        assert_eq!(
+            ta.as_slice(),
+            tb.as_slice(),
+            "degraded socket run diverged from degraded threaded run at {na}"
+        );
+    }
+}
+
+/// A payload bit flip on the socket path is caught by the CRC32 payload
+/// trailer on **every** receiver — identical detection counters and
+/// identical trained bits to the threaded path under the same plan.
+#[test]
+fn socket_payload_corruption_detected_by_every_rank_like_threaded() {
+    let fault = || FaultConfig {
+        plan: FaultPlan::empty().with_bit_flip(0, 5, 12_345),
+        timeout: Some(Duration::from_secs(10)),
+    };
+    let socket = run_socket_with_deadline(config(Some(fault())), Duration::from_secs(60));
+    assert_eq!(socket.survivors, N, "corruption must not kill anyone");
+    assert_eq!(socket.faults.injected_corruptions, vec![1, 0, 0]);
+    assert_eq!(socket.faults.detected_corruptions, vec![1; N]);
+
+    let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, 31);
+    let threaded = run_threaded(&config(Some(fault())), &task, worker);
+    assert_eq!(threaded.faults, socket.faults);
+    assert_eq!(threaded.final_quality, socket.final_quality);
+    for ((na, ta), (nb, tb)) in threaded.final_params.iter().zip(socket.final_params.iter()) {
+        assert_eq!(na, nb);
+        assert_eq!(
+            ta.as_slice(),
+            tb.as_slice(),
+            "corrupted-run bits diverged at {na}"
+        );
+    }
+}
+
+/// A corrupted *frame* (wire-level, below the payload codec) must be
+/// NACKed, retransmitted and never seen by the application: the gathered
+/// bytes come through clean and only the stream counters betray the retry.
+#[test]
+fn socket_frame_corruption_is_rejected_then_resynced() {
+    use grace::comm::net::run_socket_local;
+    use grace::comm::{ClusterOptions, Collective};
+
+    let out = run_socket_local(2, ClusterOptions::default(), None, |c| {
+        if c.rank() == 0 {
+            c.inject_frame_corruption();
+        }
+        let gathered = c.try_allgather_bytes(vec![0xAB; 512]).unwrap();
+        (gathered, c.net_stats())
+    });
+    for (gathered, _) in &out {
+        for slot in gathered {
+            assert_eq!(
+                slot.as_deref(),
+                Some(&[0xAB; 512][..]),
+                "payload must survive"
+            );
+        }
+    }
+    let stats = out[0].1;
+    assert!(
+        stats.resends >= 1,
+        "rank 0 must retransmit after the NACK: {stats:?}"
+    );
+}
+
+/// Connecting to a dead endpoint returns a typed transport error within the
+/// connect deadline — never a hang.
+#[test]
+fn socket_connect_refused_is_a_typed_error_not_a_hang() {
+    use grace::comm::net::{Endpoint, NetConfig, SocketCluster};
+    use grace::comm::ClusterError;
+
+    // Bind-then-drop reserves a port with no listener behind it.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let mut net_cfg = NetConfig::new(0, 3, Endpoint::Tcp(format!("127.0.0.1:{port}")));
+    net_cfg.connect_timeout = Duration::from_millis(250);
+    let started = std::time::Instant::now();
+    match SocketCluster::connect(&net_cfg) {
+        Err(ClusterError::Transport {
+            rank: 0,
+            op: 0,
+            detail,
+        }) => {
+            assert!(detail.contains("connect"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected ClusterError::Transport, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "connect failure took too long: no deadline applied"
+    );
+}
+
+/// A rendezvous that never completes (world = 2, one rank shows up) aborts
+/// at the accept deadline: the hub returns a typed error and tells the
+/// rank that *did* connect, which errors out instead of waiting forever.
+#[test]
+fn socket_rendezvous_timeout_is_a_typed_error_on_both_sides() {
+    use grace::comm::net::{Endpoint, HubServer, NetConfig, SocketCluster};
+    use grace::comm::{ClusterError, ClusterOptions};
+
+    let hub = HubServer::bind(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        2,
+        ClusterOptions::default(),
+    )
+    .unwrap()
+    .with_accept_timeout(Duration::from_millis(300));
+    let endpoint = hub.endpoint().clone();
+    let hub = hub.spawn();
+    let mut net_cfg = NetConfig::new(0, 2, endpoint);
+    net_cfg.connect_timeout = Duration::from_secs(10);
+    let client = std::thread::spawn(move || SocketCluster::connect(&net_cfg));
+    match hub.join() {
+        Err(ClusterError::Transport { detail, .. }) => {
+            assert!(detail.contains("rendezvous"), "hub detail: {detail}");
+        }
+        other => panic!("hub must report the aborted rendezvous, got {other:?}"),
+    }
+    match client.join().unwrap() {
+        Err(ClusterError::Transport {
+            rank: 0, detail, ..
+        }) => {
+            assert!(detail.contains("rendezvous"), "client detail: {detail}");
+        }
+        Err(ClusterError::Timeout { rank: 0, .. }) => {} // hub died before writing
+        other => panic!("client must see a typed error, got {other:?}"),
+    }
+}
+
 #[test]
 fn same_fault_seed_yields_identical_counters_across_runs() {
     let rates = FaultRates {
