@@ -1,6 +1,6 @@
 //! LPC-SVRG's low-precision quantizer (Yu, Wu & Huang, AISTATS'19).
 
-use grace_core::{Compressor, Context, Payload};
+use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload};
 use grace_tensor::rng::substream;
 use grace_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -82,6 +82,37 @@ impl Compressor for LpcSvrg {
             .map(|code| (code as i64 - half) as f32 * delta)
             .collect();
         Tensor::new(data, ctx.shape.clone())
+    }
+
+    fn homomorphic(&mut self) -> Option<&mut dyn HomomorphicAggregate> {
+        Some(self)
+    }
+}
+
+impl HomomorphicAggregate for LpcSvrg {
+    fn fold_encoded(
+        &mut self,
+        payloads: &[Payload],
+        ctx: &Context,
+        acc: &mut [f32],
+        first: bool,
+        scratch: &mut FoldScratch,
+    ) {
+        // Same per-element expression as `decompress` — the biased codes sum
+        // in codebook space, each worker shipping its own δ in the context.
+        let delta = ctx.meta[0];
+        let half = 1i64 << (self.w - 1);
+        payloads[0].unpack_into(&mut scratch.codes);
+        assert_eq!(scratch.codes.len(), acc.len(), "code count mismatch");
+        if first {
+            for (a, &code) in acc.iter_mut().zip(&scratch.codes) {
+                *a = (code as i64 - half) as f32 * delta;
+            }
+        } else {
+            for (a, &code) in acc.iter_mut().zip(&scratch.codes) {
+                *a += (code as i64 - half) as f32 * delta;
+            }
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! 3LC (Lim, Andersen & Kaminsky, MLSys'19).
 
-use grace_core::{Compressor, Context, Payload};
+use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload};
 use grace_tensor::Tensor;
 
 /// 3LC: 3-value quantization with a sparsity multiplier plus aggressive
@@ -136,6 +136,72 @@ impl Compressor for ThreeLc {
             .map(|t| (t as f32 - 1.0) * m)
             .collect();
         Tensor::new(data, ctx.shape.clone())
+    }
+
+    fn homomorphic(&mut self) -> Option<&mut dyn HomomorphicAggregate> {
+        Some(self)
+    }
+}
+
+impl HomomorphicAggregate for ThreeLc {
+    /// Folds the run-length byte stream directly — zero-run groups never
+    /// materialize trits at all. Skipping the add for a zero run is exact:
+    /// the decoded zero code is `(1.0 - 1.0) * M = +0.0` (`M ≥ 0`), and the
+    /// accumulator can never hold `-0.0` (a `-0.0` would require decoding
+    /// `-1.0 * M` with `M = 0`, but `M = 0` forces every trit to the zero
+    /// code), so `x + 0.0 == x` bitwise everywhere a run lands.
+    fn fold_encoded(
+        &mut self,
+        payloads: &[Payload],
+        ctx: &Context,
+        acc: &mut [f32],
+        first: bool,
+        _scratch: &mut FoldScratch,
+    ) {
+        let m = ctx.meta[0];
+        let bytes = match &payloads[0] {
+            Payload::Bytes(b) => b,
+            other => panic!("expected a byte payload, got {other:?}"),
+        };
+        // Trit code 1 decoded verbatim — `(t - 1.0) * m` with `t = 1` —
+        // written with a variable so clippy's eq_op lint accepts the
+        // deliberately unsimplified expression.
+        let zero_trit = 1.0f32;
+        let zero = (zero_trit - 1.0) * m;
+        let mut pos = 0usize;
+        for &b in bytes {
+            if pos >= acc.len() {
+                break;
+            }
+            if b >= RUN_BASE {
+                let run = ((b - RUN_BASE) as usize + 1) * 5;
+                let end = (pos + run).min(acc.len());
+                if first {
+                    acc[pos..end].fill(zero);
+                }
+                pos = end;
+            } else {
+                let mut v = b as u16;
+                let mut chunk = [0u8; 5];
+                for i in (0..5).rev() {
+                    chunk[i] = (v % 3) as u8;
+                    v /= 3;
+                }
+                for &t in &chunk {
+                    if pos >= acc.len() {
+                        break;
+                    }
+                    let val = (t as f32 - 1.0) * m;
+                    if first {
+                        acc[pos] = val;
+                    } else {
+                        acc[pos] += val;
+                    }
+                    pos += 1;
+                }
+            }
+        }
+        assert_eq!(pos, acc.len(), "trit stream shorter than the tensor");
     }
 }
 

@@ -1,6 +1,6 @@
 //! SketchML (Jiang et al., SIGMOD'18).
 
-use grace_core::{Compressor, Context, Payload};
+use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload};
 use grace_tensor::sketch::{bucket_of, GkSketch};
 use grace_tensor::Tensor;
 
@@ -104,6 +104,49 @@ impl Compressor for SketchMl {
             out[index as usize] = mid;
         }
         out
+    }
+
+    fn homomorphic(&mut self) -> Option<&mut dyn HomomorphicAggregate> {
+        Some(self)
+    }
+}
+
+impl HomomorphicAggregate for SketchMl {
+    /// Linear scatter-add of the (bucket-midpoint, index) stream — the
+    /// sketch decode is a sparse linear map, so summing scatters is exactly
+    /// summing decoded tensors. Skipping untouched elements is exact:
+    /// decoded zeros are `+0.0` (midpoints come from non-zero values, so a
+    /// `-0.0` midpoint would need two `-0.0` boundaries, which
+    /// `Tensor::nonzero` rules out) and the accumulator never holds `-0.0`.
+    fn fold_encoded(
+        &mut self,
+        payloads: &[Payload],
+        ctx: &Context,
+        acc: &mut [f32],
+        first: bool,
+        scratch: &mut FoldScratch,
+    ) {
+        let boundaries = &ctx.meta;
+        payloads[0].unpack_into(&mut scratch.codes);
+        payloads[1].unpack_into(&mut scratch.aux);
+        if first {
+            acc.fill(0.0);
+        }
+        let mut index = 0u32;
+        for (pos, &code) in scratch.codes.iter().enumerate() {
+            index = if pos == 0 {
+                scratch.aux[pos]
+            } else {
+                index + scratch.aux[pos]
+            };
+            let b = code as usize;
+            let mid = 0.5 * (boundaries[b] + boundaries[b + 1]);
+            if first {
+                acc[index as usize] = mid;
+            } else {
+                acc[index as usize] += mid;
+            }
+        }
     }
 }
 

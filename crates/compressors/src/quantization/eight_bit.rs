@@ -1,6 +1,6 @@
 //! 8-bit quantization (Dettmers, ICLR'16).
 
-use grace_core::{CommStrategy, Compressor, Context, Payload};
+use grace_core::{CommStrategy, Compressor, Context, FoldScratch, HomomorphicAggregate, Payload};
 use grace_tensor::Tensor;
 
 /// Number of magnitude code points (7 bits; the 8th bit is the sign).
@@ -66,6 +66,16 @@ impl EightBit {
             }
         }
     }
+
+    /// The single decode expression, shared verbatim by `decompress` and the
+    /// homomorphic fold so the two can never diverge bitwise. Note the
+    /// `-1.0 * 0.0 * scale` case decodes to `-0.0` — the fold must *assign*
+    /// worker 0's values, never add them onto a zeroed accumulator.
+    #[inline]
+    fn decode_code(&self, code: u32, scale: f32) -> f32 {
+        let sign = if code >> 7 == 1 { -1.0 } else { 1.0 };
+        sign * self.table[(code & 0x7F) as usize] * scale
+    }
 }
 
 impl Default for EightBit {
@@ -106,12 +116,37 @@ impl Compressor for EightBit {
         let data: Vec<f32> = payloads[0]
             .unpack()
             .into_iter()
-            .map(|code| {
-                let sign = if code >> 7 == 1 { -1.0 } else { 1.0 };
-                sign * self.table[(code & 0x7F) as usize] * scale
-            })
+            .map(|code| self.decode_code(code, scale))
             .collect();
         Tensor::new(data, ctx.shape.clone())
+    }
+
+    fn homomorphic(&mut self) -> Option<&mut dyn HomomorphicAggregate> {
+        Some(self)
+    }
+}
+
+impl HomomorphicAggregate for EightBit {
+    fn fold_encoded(
+        &mut self,
+        payloads: &[Payload],
+        ctx: &Context,
+        acc: &mut [f32],
+        first: bool,
+        scratch: &mut FoldScratch,
+    ) {
+        let scale = ctx.meta[0];
+        payloads[0].unpack_into(&mut scratch.codes);
+        assert_eq!(scratch.codes.len(), acc.len(), "code count mismatch");
+        if first {
+            for (a, &code) in acc.iter_mut().zip(&scratch.codes) {
+                *a = self.decode_code(code, scale);
+            }
+        } else {
+            for (a, &code) in acc.iter_mut().zip(&scratch.codes) {
+                *a += self.decode_code(code, scale);
+            }
+        }
     }
 }
 

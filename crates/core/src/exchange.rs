@@ -40,6 +40,7 @@
 //! Because report timings and trace spans come from the same clock reads,
 //! they can never disagree.
 
+use crate::aggregation::{effective_plan, sharded_mean_in_place, AggMerger, AggregationPlan};
 use crate::bucket::BucketPlan;
 use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::memory::Memory;
@@ -107,6 +108,15 @@ pub struct ExchangeReport {
     pub decompress_cpu_seconds: f64,
     /// Wall-clock seconds spent in `Agg` proper.
     pub aggregate_seconds: f64,
+    /// CPU seconds spent in `Agg` proper, summed over merge shards. Equals
+    /// [`aggregate_seconds`](Self::aggregate_seconds) on serial merges.
+    pub aggregate_cpu_seconds: f64,
+    /// Bytes of representation that entered the aggregation merge point:
+    /// `n × dense` when contributions decode before merging, the sum of
+    /// compressed wire sizes under
+    /// [`AggregationPlan::HomomorphicSum`](crate::AggregationPlan) and
+    /// `Allreduce` (payloads merge while compressed).
+    pub incast_bytes: u64,
     /// Payload bytes each worker generated this step, indexed by rank.
     pub payload_bytes: Vec<u64>,
     /// Per-rank encode seconds spent on fusion buckets sealed *before* the
@@ -188,6 +198,13 @@ impl ExchangeReport {
             + self.aggregate_seconds
     }
 
+    /// Total CPU seconds the aggregator spent on this step's merge:
+    /// contribution decode plus the `Agg` fold — the "aggregator CPU" axis
+    /// of the plan-comparison figure.
+    pub fn aggregator_cpu_seconds(&self) -> f64 {
+        self.decompress_cpu_seconds + self.aggregate_cpu_seconds
+    }
+
     /// Parallel-decode win: CPU decode seconds over wall decode seconds.
     /// `1.0` when decoding ran serially (e.g. `Allreduce`, one lane).
     pub fn decode_parallel_speedup(&self) -> f64 {
@@ -207,8 +224,14 @@ pub struct StageTotals {
     pub compress_seconds: f64,
     /// Σ aggregation decompress time.
     pub decompress_seconds: f64,
+    /// Σ aggregation decompress CPU time over lanes.
+    pub decompress_cpu_seconds: f64,
     /// Σ `Agg` time.
     pub aggregate_seconds: f64,
+    /// Σ `Agg` CPU time over merge shards.
+    pub aggregate_cpu_seconds: f64,
+    /// Σ bytes entering the aggregation merge point.
+    pub incast_bytes: u64,
 }
 
 impl StageTotals {
@@ -216,7 +239,15 @@ impl StageTotals {
     pub fn add(&mut self, report: &ExchangeReport) {
         self.compress_seconds += report.max_compress_seconds();
         self.decompress_seconds += report.decompress_seconds;
+        self.decompress_cpu_seconds += report.decompress_cpu_seconds;
         self.aggregate_seconds += report.aggregate_seconds;
+        self.aggregate_cpu_seconds += report.aggregate_cpu_seconds;
+        self.incast_bytes += report.incast_bytes;
+    }
+
+    /// Σ aggregator CPU seconds (decode + merge fold).
+    pub fn aggregator_cpu_seconds(&self) -> f64 {
+        self.decompress_cpu_seconds + self.aggregate_cpu_seconds
     }
 }
 
@@ -254,6 +285,7 @@ struct EngineMetrics {
     aggregate: HistogramHandle,
     wire_bytes: HistogramHandle,
     ratio_x100: HistogramHandle,
+    incast_bytes: HistogramHandle,
     /// Sealed-but-unaggregated fusion buckets across lanes (pipelined
     /// session queue depth).
     in_flight: metrics::Gauge,
@@ -269,6 +301,7 @@ impl EngineMetrics {
             aggregate: metrics::histogram("exchange.aggregate_ns"),
             wire_bytes: metrics::histogram("exchange.wire_bytes_per_step"),
             ratio_x100: metrics::histogram("exchange.compression_ratio_x100"),
+            incast_bytes: metrics::histogram("exchange.incast_bytes_per_step"),
             in_flight: metrics::gauge("exchange.buckets_in_flight"),
             overlap: metrics::gauge("exchange.overlap_ratio"),
         }
@@ -621,6 +654,17 @@ struct PipelineState {
     in_flight: u64,
 }
 
+/// Stage-time and incast accumulators one exchange step's aggregation path
+/// folds into (one instance per step, shared across its tensor groups).
+#[derive(Debug, Default, Clone, Copy)]
+struct AggAccum {
+    decompress_ns: u64,
+    decompress_cpu_ns: u64,
+    aggregate_ns: u64,
+    aggregate_cpu_ns: u64,
+    incast_bytes: u64,
+}
+
 /// The engine: owns the per-worker lanes and performs whole exchange steps.
 ///
 /// Construction borrows the fleet, so callers keep ownership of their
@@ -634,6 +678,10 @@ pub struct GradientExchange<'a> {
     stage_hists: StageHistograms,
     metrics: EngineMetrics,
     pipeline: PipelineState,
+    merger: AggMerger,
+    /// The plan the fleet's compressor actually runs under, resolved once
+    /// through the downgrade chain (the fleet never changes mid-run).
+    effective: Option<AggregationPlan>,
 }
 
 impl<'a> GradientExchange<'a> {
@@ -687,6 +735,8 @@ impl<'a> GradientExchange<'a> {
             .map(|p| p.get())
             .unwrap_or(1)
             .min(n);
+        let mut merger = AggMerger::new(AggregationPlan::default());
+        merger.set_shards(auto);
         GradientExchange {
             lanes,
             strategy,
@@ -695,6 +745,8 @@ impl<'a> GradientExchange<'a> {
             stage_hists: StageHistograms::default(),
             metrics: EngineMetrics::resolve(),
             pipeline: PipelineState::default(),
+            merger,
+            effective: None,
         }
     }
 
@@ -707,7 +759,37 @@ impl<'a> GradientExchange<'a> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one executor thread");
         self.threads = threads;
+        self.merger.set_shards(threads);
         self
+    }
+
+    /// Selects the aggregation plan for `Allgather` merges. The engine
+    /// resolves the per-method downgrade chain lazily
+    /// ([`effective_aggregation`](Self::effective_aggregation)); every plan
+    /// is bit-identical on the aggregated output, so this only moves CPU
+    /// and incast bytes around.
+    pub fn with_aggregation(mut self, plan: AggregationPlan) -> Self {
+        self.merger.set_plan(plan);
+        self.effective = None;
+        self
+    }
+
+    /// The requested aggregation plan.
+    pub fn aggregation(&self) -> AggregationPlan {
+        self.merger.plan()
+    }
+
+    /// The plan the fleet's method actually runs under, after the
+    /// capability/algebra downgrade chain.
+    pub fn effective_aggregation(&mut self) -> AggregationPlan {
+        match self.effective {
+            Some(p) => p,
+            None => {
+                let p = effective_plan(self.merger.plan(), self.lanes[0].compressor);
+                self.effective = Some(p);
+                p
+            }
+        }
     }
 
     /// Replaces the engine's traffic counter with a shared one, so exchange
@@ -898,9 +980,7 @@ impl<'a> GradientExchange<'a> {
             elements,
             wire_bytes: 0,
         };
-        let mut decompress_ns = 0u64;
-        let mut decompress_cpu_ns = 0u64;
-        let mut aggregate_ns = 0u64;
+        let mut acc = AggAccum::default();
         for _ in 0..n_tensors {
             let mut name = String::new();
             let mut group: Vec<EncodedTensor> = Vec::with_capacity(n);
@@ -911,60 +991,66 @@ impl<'a> GradientExchange<'a> {
                 }
                 group.push(enc);
             }
-            let agg = self.aggregate_group(
-                group,
-                &mut bucket,
-                &mut decompress_ns,
-                &mut decompress_cpu_ns,
-                &mut aggregate_ns,
-            );
+            let agg = self.aggregate_group(group, &mut bucket, &mut acc);
             aggregated.push((name, agg));
         }
 
         let report = ExchangeReport {
             buckets: vec![bucket],
             compress_seconds,
-            decompress_seconds: decompress_ns as f64 / NS_PER_SEC,
-            decompress_cpu_seconds: decompress_cpu_ns as f64 / NS_PER_SEC,
-            aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
+            decompress_seconds: acc.decompress_ns as f64 / NS_PER_SEC,
+            decompress_cpu_seconds: acc.decompress_cpu_ns as f64 / NS_PER_SEC,
+            aggregate_seconds: acc.aggregate_ns as f64 / NS_PER_SEC,
+            aggregate_cpu_seconds: acc.aggregate_cpu_ns as f64 / NS_PER_SEC,
+            incast_bytes: acc.incast_bytes,
             payload_bytes,
             hidden_encode_seconds: vec![0.0; n],
         };
-        self.observe_step(&report, decompress_ns, aggregate_ns);
+        self.observe_step(&report, acc.decompress_ns, acc.aggregate_ns);
         self.record_traffic(&report);
         (aggregated, report)
     }
 
     /// Aggregates one tensor's per-worker contributions under the fleet's
     /// [`CommStrategy`], folding wire bytes into `bucket` and stage times
-    /// into the accumulators.
+    /// into `acc`.
     ///
     /// `Allreduce` means payloads while compressed and decodes once on lane
-    /// 0\. `Allgather`/`Broadcast` decode each gathered contribution **on
-    /// its own lane** via the executor — decompression is pure and
-    /// instance-independent for every registered method (the basis of the
-    /// threaded/simulated equivalence contract), so fanning it out is
-    /// bit-identical to the old serial lane-0 loop while removing its
-    /// serial bottleneck; the final `Agg` stays on lane 0. The wall/CPU
-    /// split between `decompress_ns` and `decompress_cpu_ns` records the
-    /// parallel-decode win.
+    /// 0 — natively homomorphic, so the plan never changes it (only incast
+    /// accounting applies). `Allgather`/`Broadcast` merge under the
+    /// engine's effective [`AggregationPlan`]:
+    ///
+    /// * [`AggregationPlan::DecodeThenMerge`] — decode each gathered
+    ///   contribution **on its own lane** via the executor (decompression
+    ///   is pure and instance-independent for every registered method, the
+    ///   basis of the threaded/simulated equivalence contract), then the
+    ///   method's `Agg` on lane 0. The wall/CPU split between
+    ///   `decompress_ns` and `decompress_cpu_ns` records the
+    ///   parallel-decode win.
+    /// * [`AggregationPlan::ShardedMerge`] — same parallel decode, then the
+    ///   rank-order sharded fold over the element space in place of the
+    ///   lane-0 `Agg`.
+    /// * [`AggregationPlan::HomomorphicSum`] — no decode at all: encoded
+    ///   contributions fold straight into the accumulator, so decompress
+    ///   time is zero and the whole merge lands in the `Agg` stage.
     fn aggregate_group(
         &mut self,
         group: Vec<EncodedTensor>,
         bucket: &mut BucketReport,
-        decompress_ns: &mut u64,
-        decompress_cpu_ns: &mut u64,
-        aggregate_ns: &mut u64,
+        acc: &mut AggAccum,
     ) -> Tensor {
         match self.strategy {
             CommStrategy::Allreduce => {
                 bucket.wire_bytes += group[0].wire_bytes();
+                // Payloads merge while compressed: the aggregator's incast
+                // is the sum of the compressed contributions.
+                acc.incast_bytes += group.iter().map(|e| e.wire_bytes() as u64).sum::<u64>();
                 let mean = mean_payloads(&group);
                 let t0 = StageTimer::start();
                 let out = self.lanes[0].compressor.decompress(&mean, &group[0].ctx);
                 let ns = t0.finish("decompress", Track::Stage(Stage::Decompress));
-                *decompress_ns += ns;
-                *decompress_cpu_ns += ns;
+                acc.decompress_ns += ns;
+                acc.decompress_cpu_ns += ns;
                 out
             }
             CommStrategy::Allgather | CommStrategy::Broadcast => {
@@ -973,21 +1059,46 @@ impl<'a> GradientExchange<'a> {
                     .map(EncodedTensor::wire_bytes)
                     .max()
                     .unwrap_or(0);
+                if self.effective_aggregation() == AggregationPlan::HomomorphicSum {
+                    let t1 = StageTimer::start();
+                    let mut out = Tensor::from_vec(Vec::new());
+                    let GradientExchange { lanes, merger, .. } = self;
+                    acc.incast_bytes +=
+                        merger.fold_homomorphic_into(lanes[0].compressor, &group, &mut out);
+                    let ns = t1.finish("aggregate", Track::Stage(Stage::Aggregate));
+                    acc.aggregate_ns += ns;
+                    acc.aggregate_cpu_ns += ns;
+                    return out;
+                }
+                let plan = self.effective_aggregation();
+                acc.incast_bytes += (group.len() * group[0].ctx.shape.len() * 4) as u64;
                 let wall = StageTimer::start();
                 let parts: Vec<(Tensor, u64)> = self.run_lanes(group, |lane, enc| {
                     let t = StageTimer::start();
                     let out = lane.compressor.decompress(&enc.payloads, &enc.ctx);
                     (out, t.finish("decode_peer", Track::Lane(lane.rank)))
                 });
-                *decompress_ns += wall.finish("decompress", Track::Stage(Stage::Decompress));
+                acc.decompress_ns += wall.finish("decompress", Track::Stage(Stage::Decompress));
                 let mut decoded = Vec::with_capacity(parts.len());
                 for (tensor, ns) in parts {
-                    *decompress_cpu_ns += ns;
+                    acc.decompress_cpu_ns += ns;
                     decoded.push(tensor);
                 }
                 let t1 = StageTimer::start();
-                let out = self.lanes[0].compressor.aggregate(decoded);
-                *aggregate_ns += t1.finish("aggregate", Track::Stage(Stage::Aggregate));
+                let (out, merge_cpu_ns) = if plan == AggregationPlan::ShardedMerge {
+                    sharded_mean_in_place(decoded, self.threads)
+                } else {
+                    (self.lanes[0].compressor.aggregate(decoded), 0)
+                };
+                let ns = t1.finish("aggregate", Track::Stage(Stage::Aggregate));
+                acc.aggregate_ns += ns;
+                // The lane-0 `Agg` runs serially (CPU == wall); the sharded
+                // fold reports per-shard CPU.
+                acc.aggregate_cpu_ns += if plan == AggregationPlan::ShardedMerge {
+                    merge_cpu_ns
+                } else {
+                    ns
+                };
                 out
             }
         }
@@ -1047,6 +1158,8 @@ impl<'a> GradientExchange<'a> {
             decompress_seconds: 0.0,
             decompress_cpu_seconds: 0.0,
             aggregate_seconds: 0.0,
+            aggregate_cpu_seconds: 0.0,
+            incast_bytes: 0,
             payload_bytes,
             hidden_encode_seconds: vec![0.0; n],
         };
@@ -1076,6 +1189,7 @@ impl<'a> GradientExchange<'a> {
         let aggregate_ns = t0.finish("aggregate", Track::Stage(Stage::Aggregate));
         let report = ExchangeReport {
             aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
+            aggregate_cpu_seconds: aggregate_ns as f64 / NS_PER_SEC,
             ..report
         };
         self.observe_step(&report, 0, aggregate_ns);
@@ -1195,9 +1309,7 @@ impl<'a> GradientExchange<'a> {
 
         let mut aggregated = Vec::with_capacity(plan.n_tensors());
         let mut buckets = Vec::with_capacity(plan.n_buckets());
-        let mut decompress_ns = 0u64;
-        let mut decompress_cpu_ns = 0u64;
-        let mut aggregate_ns = 0u64;
+        let mut acc = AggAccum::default();
         for b in 0..plan.n_buckets() {
             let mut bucket = BucketReport {
                 tensors: plan.bucket_range(b).len(),
@@ -1210,13 +1322,7 @@ impl<'a> GradientExchange<'a> {
                     .iter_mut()
                     .map(|s| s.encoded[idx].take().expect("cursor covered every slot"))
                     .collect();
-                let agg = self.aggregate_group(
-                    group,
-                    &mut bucket,
-                    &mut decompress_ns,
-                    &mut decompress_cpu_ns,
-                    &mut aggregate_ns,
-                );
+                let agg = self.aggregate_group(group, &mut bucket, &mut acc);
                 aggregated.push((plan.name(idx).to_string(), agg));
             }
             buckets.push(bucket);
@@ -1233,9 +1339,11 @@ impl<'a> GradientExchange<'a> {
         let report = ExchangeReport {
             buckets,
             compress_seconds,
-            decompress_seconds: decompress_ns as f64 / NS_PER_SEC,
-            decompress_cpu_seconds: decompress_cpu_ns as f64 / NS_PER_SEC,
-            aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
+            decompress_seconds: acc.decompress_ns as f64 / NS_PER_SEC,
+            decompress_cpu_seconds: acc.decompress_cpu_ns as f64 / NS_PER_SEC,
+            aggregate_seconds: acc.aggregate_ns as f64 / NS_PER_SEC,
+            aggregate_cpu_seconds: acc.aggregate_cpu_ns as f64 / NS_PER_SEC,
+            incast_bytes: acc.incast_bytes,
             payload_bytes: pipe.stagers.iter().map(LaneStager::step_bytes).collect(),
             hidden_encode_seconds: pipe
                 .stagers
@@ -1244,7 +1352,7 @@ impl<'a> GradientExchange<'a> {
                 .collect(),
         };
         self.metrics.overlap.set(report.overlap_ratio());
-        self.observe_step(&report, decompress_ns, aggregate_ns);
+        self.observe_step(&report, acc.decompress_ns, acc.aggregate_ns);
         self.record_traffic(&report);
         self.pipeline = pipe; // return the pools to the engine
         (aggregated, report)
@@ -1294,6 +1402,8 @@ impl<'a> GradientExchange<'a> {
             decompress_seconds: 0.0,
             decompress_cpu_seconds: 0.0,
             aggregate_seconds: 0.0,
+            aggregate_cpu_seconds: 0.0,
+            incast_bytes: 0,
             payload_bytes: pipe.stagers.iter().map(LaneStager::step_bytes).collect(),
             hidden_encode_seconds: pipe
                 .stagers
@@ -1321,6 +1431,7 @@ impl<'a> GradientExchange<'a> {
         self.metrics.aggregate.record(aggregate_ns);
         let wire = report.wire_bytes() as u64;
         self.metrics.wire_bytes.record(wire);
+        self.metrics.incast_bytes.record(report.incast_bytes);
         // Dense f32 bytes over wire bytes, ×100 (integer-valued metric).
         let raw = (report.elements() * 4) as u64;
         if let Some(ratio) = raw.saturating_mul(100).checked_div(wire) {
@@ -1338,6 +1449,10 @@ impl<'a> GradientExchange<'a> {
         for (rank, &bytes) in report.payload_bytes.iter().enumerate() {
             self.traffic.record_bucketed(rank, bytes, messages);
         }
+        self.traffic.record_aggregation(
+            report.incast_bytes,
+            (report.aggregator_cpu_seconds() * NS_PER_SEC) as u64,
+        );
         debug_assert_eq!(
             self.traffic.total_bytes() - before,
             report.total_payload_bytes(),
@@ -1415,6 +1530,7 @@ impl<'a> BucketedExchange<'_, 'a> {
         let aggregate_ns = t0.finish("aggregate", Track::Stage(Stage::Aggregate));
         let report = ExchangeReport {
             aggregate_seconds: aggregate_ns as f64 / NS_PER_SEC,
+            aggregate_cpu_seconds: aggregate_ns as f64 / NS_PER_SEC,
             ..report
         };
         self.engine.observe_step(&report, 0, aggregate_ns);

@@ -36,6 +36,7 @@
 //! assert_eq!(c.strategy(), CommStrategy::Allreduce);
 //! ```
 
+pub mod aggregation;
 pub mod bucket;
 pub mod compressor;
 pub mod exchange;
@@ -48,6 +49,10 @@ pub mod replicated;
 pub mod threaded;
 pub mod trainer;
 
+pub use aggregation::{
+    effective_plan, AggAlgebra, AggMerger, AggregationPlan, FoldScratch, HomomorphicAggregate,
+    MergeStats,
+};
 pub use bucket::{BucketPlan, PlanBuilder, DEFAULT_FUSION_BYTES};
 pub use compressor::{CommStrategy, Compressor, Context, Fleet, NoCompression};
 pub use exchange::{

@@ -93,6 +93,22 @@ impl Payload {
         }
     }
 
+    /// Non-allocating variant of [`unpack`](Self::unpack): clears `out` and
+    /// unpacks into it, reusing its capacity — the aggregation merge path's
+    /// pooled-scratch primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not `Packed`.
+    pub fn unpack_into(&self, out: &mut Vec<u32>) {
+        match self {
+            Payload::Packed { data, bits, count } => {
+                pack::unpack_bits_into(data, *bits, *count as usize, out);
+            }
+            other => panic!("expected a packed payload, got {other:?}"),
+        }
+    }
+
     /// Exact transmitted size in bytes.
     pub fn encoded_bytes(&self) -> usize {
         match self {

@@ -167,6 +167,9 @@ where
     // same compensate → compress → own-decode → memory-update sequence the
     // simulator's engine runs, so both modes stay bit-identical.
     let mut lane = WorkerLane::new(rank, compressor.as_mut(), Some(memory.as_mut()));
+    // Per-rank gather-side merge under the configured aggregation plan
+    // (serial fold — each rank merges its own gathered contributions).
+    let mut merger = crate::AggMerger::new(cfg.agg_plan);
     // Fusion plan over the streaming (reverse-layer) order. Boundaries
     // depend only on dense byte sizes, so every worker derives the same
     // plan and the per-tensor collective order stays rank-consistent.
@@ -246,7 +249,7 @@ where
             // ranks), then hand the optimizer forward-ordered gradients.
             let mut aggregated = Vec::with_capacity(stream.len());
             for (name, encoded, shape) in stream {
-                let agg = exchange_tensor(comm, strategy, &mut lane, encoded, shape)?;
+                let agg = exchange_tensor(comm, strategy, &mut lane, &mut merger, encoded, shape)?;
                 aggregated.push((name, agg));
             }
             aggregated.sort_by_key(|(name, _)| forward_index[name.as_str()]);
@@ -302,6 +305,7 @@ fn exchange_tensor<C: ClusterIntrospect>(
     comm: &FaultyCollective<C>,
     strategy: CommStrategy,
     lane: &mut WorkerLane<'_>,
+    merger: &mut crate::AggMerger,
     encoded: EncodedTensor,
     shape: grace_tensor::Shape,
 ) -> Result<Tensor, ClusterError> {
@@ -358,7 +362,9 @@ fn exchange_tensor<C: ClusterIntrospect>(
                         .unwrap_or_else(|| "no live contributions".to_string()),
                 });
             }
-            Ok(exchange::decode_gathered(lane.compressor_mut(), &parts))
+            // Merge under the configured plan; the CRC-surviving parts are
+            // folded in rank order, so every plan rescales identically.
+            Ok(merger.merge_gathered(lane.compressor_mut(), &parts).0)
         }
     }
 }

@@ -225,6 +225,11 @@ pub struct TrainConfig {
     /// ([`crate::process::run_cluster`]): in-process threads (default) or
     /// real sockets. [`run_simulated`] ignores it.
     pub backend: ExecBackend,
+    /// Aggregation plan for `Allgather` merges (downgraded per method by
+    /// the capability/algebra chain). Every plan is bit-identical on the
+    /// trained parameters; it only moves aggregator CPU and incast bytes.
+    /// Defaults to `GRACE_AGG_PLAN` (reference plan when unset).
+    pub agg_plan: crate::AggregationPlan,
 }
 
 impl TrainConfig {
@@ -250,6 +255,7 @@ impl TrainConfig {
             metrics_addr: None,
             health: None,
             backend: ExecBackend::default(),
+            agg_plan: crate::AggregationPlan::from_env(),
         }
     }
 
@@ -434,7 +440,8 @@ pub fn run_simulated(
     let n = cfg.n_workers;
     assert_eq!(compressors.len(), n, "need one compressor per worker");
     assert_eq!(memories.len(), n, "need one memory per worker");
-    let mut engine = GradientExchange::from_fleet(compressors, memories);
+    let mut engine =
+        GradientExchange::from_fleet(compressors, memories).with_aggregation(cfg.agg_plan);
     if let Some(threads) = cfg.exchange_threads {
         engine = engine.with_threads(threads);
     }

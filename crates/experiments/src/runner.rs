@@ -22,6 +22,11 @@ pub struct RunnerConfig {
     /// `GRACE_SCALE` environment variable overrides this for quicker or more
     /// thorough runs.
     pub epoch_scale_pct: u32,
+    /// Aggregation plan for the gathered merge. Bit-transparent — it moves
+    /// aggregator CPU and incast bytes, never the trained parameters — so
+    /// every figure except `fig_agg` (which sweeps it) keeps the
+    /// environment-selected default.
+    pub agg_plan: grace_core::AggregationPlan,
 }
 
 impl Default for RunnerConfig {
@@ -31,6 +36,7 @@ impl Default for RunnerConfig {
             network: NetworkModel::paper_default(),
             seed: 42,
             epoch_scale_pct: scale_from_env(),
+            agg_plan: grace_core::AggregationPlan::from_env(),
         }
     }
 }
@@ -133,6 +139,7 @@ pub fn run_cell(bench: &Benchmark, compressor_id: Option<&str>, rc: &RunnerConfi
         metrics_addr: None,
         health: None,
         backend: grace_core::ExecBackend::Threads,
+        agg_plan: rc.agg_plan,
     };
     let (mut compressors, mut memories): Fleet = match compressor_id {
         None => (
@@ -314,6 +321,7 @@ mod tests {
             network: NetworkModel::paper_default(),
             seed: 7,
             epoch_scale_pct: 20,
+            agg_plan: grace_core::AggregationPlan::default(),
         }
     }
 
@@ -338,6 +346,39 @@ mod tests {
             topk.bytes_per_worker_per_iter,
             base.bytes_per_worker_per_iter
         );
+    }
+
+    /// The refactor's acceptance bar: on a fig6 cell, the homomorphic fold
+    /// must cut both aggregator decompress CPU and incast bytes by at least
+    /// EightBit's measured compression ratio relative to the reference
+    /// decode-then-merge plan — while training the same parameters.
+    #[test]
+    fn homomorphic_sum_beats_decode_then_merge_by_the_compression_ratio() {
+        let bench = suite::find("resnet20").unwrap();
+        let mut rc = quick_rc();
+        rc.agg_plan = grace_core::AggregationPlan::DecodeThenMerge;
+        let reference = run_cell(&bench, Some("eightbit"), &rc);
+        rc.agg_plan = grace_core::AggregationPlan::HomomorphicSum;
+        let hom = run_cell(&bench, Some("eightbit"), &rc);
+
+        assert_eq!(
+            reference.best_quality, hom.best_quality,
+            "plans must train identical models"
+        );
+        let ratio = reference.uncompressed_bytes_per_iter / reference.bytes_per_worker_per_iter;
+        assert!(ratio > 2.0, "eightbit should compress >2x, got {ratio}");
+        assert!(
+            (hom.stages.incast_bytes as f64) * ratio <= reference.stages.incast_bytes as f64,
+            "incast reduction below the compression ratio ({ratio:.2}): {} vs {}",
+            hom.stages.incast_bytes,
+            reference.stages.incast_bytes
+        );
+        assert!(reference.stages.decompress_cpu_seconds > 0.0);
+        assert_eq!(
+            hom.stages.decompress_cpu_seconds, 0.0,
+            "the codebook-space fold must skip decode entirely"
+        );
+        assert!(hom.stages.aggregate_cpu_seconds > 0.0);
     }
 
     #[test]

@@ -60,6 +60,20 @@ pub fn pack_bits(values: &[u32], bits: u32) -> Vec<u8> {
 ///
 /// Panics if the buffer is too short to contain `count` values.
 pub fn unpack_bits(packed: &[u8], bits: u32, count: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(count);
+    unpack_bits_into(packed, bits, count, &mut out);
+    out
+}
+
+/// Non-allocating variant of [`unpack_bits`]: clears `out` and unpacks into
+/// it, reusing its capacity. Steady-state callers (the aggregation merge
+/// path) keep one scratch vector per stream and never allocate once it has
+/// grown to the largest tensor's size.
+///
+/// # Panics
+///
+/// Panics if the buffer is too short to contain `count` values.
+pub fn unpack_bits_into(packed: &[u8], bits: u32, count: usize, out: &mut Vec<u32>) {
     assert!((1..=32).contains(&bits), "bit width must be in 1..=32");
     let need = (count * bits as usize).div_ceil(8);
     assert!(
@@ -67,7 +81,8 @@ pub fn unpack_bits(packed: &[u8], bits: u32, count: usize) -> Vec<u32> {
         "packed buffer too short: have {} bytes, need {need}",
         packed.len()
     );
-    let mut out = Vec::with_capacity(count);
+    out.clear();
+    out.reserve(count);
     let mut bitpos = 0usize;
     for _ in 0..count {
         let mut val: u64 = 0;
@@ -83,7 +98,6 @@ pub fn unpack_bits(packed: &[u8], bits: u32, count: usize) -> Vec<u32> {
         }
         out.push(val as u32);
     }
-    out
 }
 
 /// Packs a sign pattern (`true` = negative) into a bitmap, one bit per element.

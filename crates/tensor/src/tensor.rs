@@ -104,6 +104,17 @@ impl Tensor {
         self.shape.clone_from(&src.shape);
     }
 
+    /// Resizes `self` to `shape`, reusing the buffer capacity; element
+    /// values after the call are unspecified (callers overwrite every slot).
+    ///
+    /// The pooled-accumulator primitive of the aggregation merge path: once
+    /// the buffer has grown to its steady-state size, repeated `reset_for`
+    /// calls perform no allocations.
+    pub fn reset_for(&mut self, shape: &Shape) {
+        self.data.resize(shape.len(), 0.0);
+        self.shape.clone_from(shape);
+    }
+
     /// Immutable view of the underlying buffer (row-major).
     pub fn as_slice(&self) -> &[f32] {
         &self.data

@@ -1,0 +1,311 @@
+//! `AggAlgebra` conformance suite: the audit that gates which aggregation
+//! plans a method may run under.
+//!
+//! Three pluggable plans ([`grace::core::AggregationPlan`]) must produce
+//! **bit-identical** merges for every registered method whose `Agg` is the
+//! elementwise mean — at any shard grain, for any gathered contribution set.
+//! Worker *permutation* is only approximately invariant (f32 addition is
+//! commutative but not associative), and that tolerance is asserted too.
+//! The opt-out list is machine-readable: a method whose `Agg` is
+//! data-dependent must declare [`grace::core::AggAlgebra::DataDependent`]
+//! and appears in `AGG_OPT_OUT` below; the downgrade chain then pins it to
+//! the reference plan.
+//!
+//! Gradients come from seeded proptest strategies, so failures replay.
+
+use grace::compressors::extensions::extension_specs;
+use grace::compressors::registry;
+use grace::core::exchange::decode_gathered;
+use grace::core::{
+    AggAlgebra, AggMerger, AggregationPlan, CommStrategy, Compressor, CompressorSpec, Context,
+    EncodedTensor, Payload,
+};
+use grace::tensor::Tensor;
+use proptest::prelude::*;
+
+const N_WORKERS: usize = 3;
+
+/// Methods whose `Agg` inspects the whole decoded set (threshold
+/// re-selection, ranking, any data-dependent reduction) and therefore only
+/// run the reference `DecodeThenMerge` plan. Every registered method uses
+/// the default elementwise mean today, so the list is empty — adding a
+/// data-dependent method without registering it here fails
+/// `algebra_audit_matches_the_opt_out_list`.
+const AGG_OPT_OUT: &[&str] = &[];
+
+/// Methods advertising the [`grace::core::HomomorphicAggregate`] capability:
+/// codebook-space accumulation for the shared-scale quantizers, linear
+/// scatter-add for the sketch. (The `Allreduce` families — Baseline,
+/// PowerSGD, SketchedSGD, Spectral — are *natively* homomorphic through
+/// `mean_payloads` and never reach the gather-side merge.)
+const HOMOMORPHIC: &[&str] = &["eightbit", "lpcsvrg", "threelc", "sketchml"];
+
+fn all_specs() -> Vec<CompressorSpec> {
+    let mut specs = registry::all_specs();
+    specs.extend(extension_specs());
+    specs
+}
+
+/// Compresses one deterministic gradient per worker with per-worker-seeded
+/// compressor instances — the same fleet shape the engine drives.
+fn gather(spec: &CompressorSpec, data: &[f32]) -> Vec<EncodedTensor> {
+    (0..N_WORKERS)
+        .map(|w| {
+            let mut c = (spec.build)(100 + w as u64);
+            let per_worker: Vec<f32> = data
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v + (w as f32) * 0.13 * ((i % 7) as f32 - 3.0))
+                .collect();
+            let (payloads, ctx) = c.compress(&Tensor::from_vec(per_worker), "t/w");
+            EncodedTensor { payloads, ctx }
+        })
+        .collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn gradient_values() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, 8..160)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole contract: for every registered + extension method, every
+    /// plan's merge is bit-identical to the reference decode-then-`Agg`.
+    #[test]
+    fn every_plan_is_bit_identical_to_the_reference(data in gradient_values()) {
+        for spec in all_specs() {
+            let parts = gather(&spec, &data);
+            let mut reference_c = (spec.build)(100);
+            let expect = decode_gathered(reference_c.as_mut(), &parts);
+            for plan in AggregationPlan::ALL {
+                let mut c = (spec.build)(100);
+                let mut merger = AggMerger::new(plan);
+                let (got, stats) = merger.merge_gathered(c.as_mut(), &parts);
+                prop_assert_eq!(
+                    bits(&got),
+                    bits(&expect),
+                    "{} under {} (ran as {})",
+                    spec.id,
+                    plan,
+                    stats.plan
+                );
+            }
+        }
+    }
+
+    /// Shard-order invariance: the sharded fold is exact at every grain —
+    /// shard boundaries never change the per-element fold order.
+    #[test]
+    fn sharded_merge_is_exact_at_any_shard_count(
+        data in gradient_values(),
+        shards in 1usize..9,
+    ) {
+        for spec in all_specs() {
+            let parts = gather(&spec, &data);
+            let mut reference_c = (spec.build)(100);
+            let expect = decode_gathered(reference_c.as_mut(), &parts);
+            let mut c = (spec.build)(100);
+            let mut merger = AggMerger::new(AggregationPlan::ShardedMerge);
+            merger.set_shards(shards);
+            let (got, _) = merger.merge_gathered(c.as_mut(), &parts);
+            prop_assert_eq!(
+                bits(&got),
+                bits(&expect),
+                "{} at {} shards",
+                spec.id,
+                shards
+            );
+        }
+    }
+
+    /// Worker permutation is *approximately* invariant (f32 addition
+    /// commutes but does not associate): reversing the gathered rank order
+    /// moves the mean by at most a few ulps per contribution.
+    #[test]
+    fn worker_permutation_shifts_the_mean_by_ulps_only(data in gradient_values()) {
+        for spec in all_specs() {
+            let parts = gather(&spec, &data);
+            let reversed: Vec<EncodedTensor> = parts.iter().rev().cloned().collect();
+            let mut c = (spec.build)(100);
+            let mut merger = AggMerger::new(AggregationPlan::default());
+            let (fwd, _) = merger.merge_gathered(c.as_mut(), &parts);
+            let (rev, _) = merger.merge_gathered(c.as_mut(), &reversed);
+            let scale = fwd.norm_inf().max(1.0);
+            for (a, b) in fwd.as_slice().iter().zip(rev.as_slice()) {
+                prop_assert!(
+                    (a - b).abs() <= 1e-4 * scale,
+                    "{}: permutation moved {} -> {}",
+                    spec.id,
+                    a,
+                    b
+                );
+            }
+        }
+    }
+}
+
+/// The machine-readable audit: a method's declared [`AggAlgebra`] must agree
+/// with the opt-out list, and the homomorphic capability set must match the
+/// documented table exactly.
+#[test]
+fn algebra_audit_matches_the_opt_out_list() {
+    for spec in all_specs() {
+        let mut c = (spec.build)(1);
+        let data_dependent = c.agg_algebra() == AggAlgebra::DataDependent;
+        assert_eq!(
+            data_dependent,
+            AGG_OPT_OUT.contains(&spec.id),
+            "'{}' algebra audit disagrees with AGG_OPT_OUT",
+            spec.id
+        );
+        let homomorphic = c.homomorphic().is_some();
+        assert_eq!(
+            homomorphic,
+            HOMOMORPHIC.contains(&spec.id),
+            "'{}' homomorphic capability disagrees with HOMOMORPHIC",
+            spec.id
+        );
+        if homomorphic {
+            assert_eq!(
+                c.strategy(),
+                CommStrategy::Allgather,
+                "'{}' fold capability only applies to gathered merges",
+                spec.id
+            );
+        }
+    }
+}
+
+/// A synthetic method whose `Agg` re-ranks the decoded set — the shape of
+/// compressor the opt-out exists for.
+struct DataDependentAgg;
+
+impl Compressor for DataDependentAgg {
+    fn name(&self) -> String {
+        "data-dependent".to_string()
+    }
+
+    fn strategy(&self) -> CommStrategy {
+        CommStrategy::Allgather
+    }
+
+    fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
+        (
+            vec![Payload::F32(tensor.as_slice().to_vec())],
+            Context::shape_only(tensor.shape().clone()),
+        )
+    }
+
+    fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
+        Tensor::new(payloads[0].as_f32().to_vec(), ctx.shape.clone())
+    }
+
+    fn aggregate(&mut self, parts: Vec<Tensor>) -> Tensor {
+        // Keep only the largest-magnitude contribution per element — a
+        // data-dependent reduction no rank-order fold reproduces.
+        let mut out = parts[0].clone();
+        for p in &parts[1..] {
+            for (a, b) in out.as_mut_slice().iter_mut().zip(p.as_slice()) {
+                if b.abs() > a.abs() {
+                    *a = *b;
+                }
+            }
+        }
+        out
+    }
+
+    fn agg_algebra(&self) -> AggAlgebra {
+        AggAlgebra::DataDependent
+    }
+}
+
+/// The downgrade chain: homomorphic-incapable methods degrade to the
+/// sharded fold; data-dependent methods degrade all the way to the
+/// reference — and the merge output proves the declared `Agg` actually ran.
+#[test]
+fn downgrade_chain_respects_capability_and_algebra() {
+    use grace::core::effective_plan;
+
+    // A mean-elementwise method without the fold capability: HomomorphicSum
+    // degrades one step, to ShardedMerge.
+    let topk = registry::find("topk").unwrap();
+    let mut c = (topk.build)(1);
+    assert_eq!(
+        effective_plan(AggregationPlan::HomomorphicSum, c.as_mut()),
+        AggregationPlan::ShardedMerge
+    );
+    assert_eq!(
+        effective_plan(AggregationPlan::ShardedMerge, c.as_mut()),
+        AggregationPlan::ShardedMerge
+    );
+
+    // A capable method runs the requested plan unchanged.
+    let eightbit = registry::find("eightbit").unwrap();
+    let mut c = (eightbit.build)(1);
+    assert_eq!(
+        effective_plan(AggregationPlan::HomomorphicSum, c.as_mut()),
+        AggregationPlan::HomomorphicSum
+    );
+
+    // Data-dependent `Agg`: both non-reference plans degrade to the
+    // reference, and the merge truly runs the method's own `Agg`.
+    let mut dd = DataDependentAgg;
+    assert_eq!(
+        effective_plan(AggregationPlan::HomomorphicSum, &mut dd),
+        AggregationPlan::DecodeThenMerge
+    );
+    assert_eq!(
+        effective_plan(AggregationPlan::ShardedMerge, &mut dd),
+        AggregationPlan::DecodeThenMerge
+    );
+    let parts: Vec<EncodedTensor> = [[1.0f32, -5.0], [-3.0, 2.0]]
+        .iter()
+        .map(|v| {
+            let (payloads, ctx) = dd.compress(&Tensor::from_vec(v.to_vec()), "t");
+            EncodedTensor { payloads, ctx }
+        })
+        .collect();
+    for plan in AggregationPlan::ALL {
+        let mut merger = AggMerger::new(plan);
+        let (out, stats) = merger.merge_gathered(&mut dd, &parts);
+        assert_eq!(stats.plan, AggregationPlan::DecodeThenMerge, "{plan}");
+        assert_eq!(out.as_slice(), &[-3.0, -5.0], "{plan}");
+    }
+}
+
+/// Incast accounting: decoded merges absorb `n × dense` bytes; the
+/// homomorphic fold absorbs only the compressed wire bytes — the reduction
+/// the plan exists to buy.
+#[test]
+fn homomorphic_fold_shrinks_incast_bytes() {
+    let spec = registry::find("eightbit").unwrap();
+    let data: Vec<f32> = (0..4096)
+        .map(|i| ((i * 37) % 101) as f32 / 50.0 - 1.0)
+        .collect();
+    let parts = gather(&spec, &data);
+    let dense: u64 = (N_WORKERS * data.len() * 4) as u64;
+    let wire: u64 = parts.iter().map(|p| p.wire_bytes() as u64).sum();
+
+    let mut c = (spec.build)(100);
+    let mut reference = AggMerger::new(AggregationPlan::DecodeThenMerge);
+    let (_, ref_stats) = reference.merge_gathered(c.as_mut(), &parts);
+    assert_eq!(ref_stats.incast_bytes, dense);
+    assert!(ref_stats.decode_cpu_ns > 0);
+
+    let mut homomorphic = AggMerger::new(AggregationPlan::HomomorphicSum);
+    let (_, hom_stats) = homomorphic.merge_gathered(c.as_mut(), &parts);
+    assert_eq!(hom_stats.incast_bytes, wire);
+    assert_eq!(hom_stats.decode_cpu_ns, 0, "nothing decodes under the fold");
+    // 8-bit codes: ~4x fewer bytes enter the merge than dense f32.
+    assert!(
+        hom_stats.incast_bytes * 3 < ref_stats.incast_bytes,
+        "expected ≥3x incast reduction: {} vs {}",
+        hom_stats.incast_bytes,
+        ref_stats.incast_bytes
+    );
+}

@@ -203,6 +203,75 @@ fn arbitrary_submission_orders_are_bit_identical() {
     }
 }
 
+/// Aggregation plans through the pipeline: for every registered method,
+/// every plan × fusion threshold must reproduce the one-shot
+/// `decode_then_merge` reference bit-for-bit, with error-feedback state
+/// carried across steps. This is the pipelined half of the plan-equivalence
+/// contract (`tests/transport_equivalence.rs` covers the backend half).
+#[test]
+fn aggregation_plans_are_bit_identical_through_the_pipeline() {
+    use grace::core::AggregationPlan;
+
+    for spec in all_specs() {
+        for plan in [
+            AggregationPlan::ShardedMerge,
+            AggregationPlan::HomomorphicSum,
+        ] {
+            for fusion_bytes in [64usize, usize::MAX] {
+                let (mut c1, mut m1) = fleet(&spec);
+                let mut reference = GradientExchange::from_fleet(&mut c1, &mut m1);
+                let (mut c2, mut m2) = fleet(&spec);
+                let mut planned =
+                    GradientExchange::from_fleet(&mut c2, &mut m2).with_aggregation(plan);
+                for step in 0..2 {
+                    let grads = worker_grads(step);
+                    let (base, _) = reference.exchange(grads.clone());
+                    let (piped, _) = run_session(&mut planned, fusion_bytes, &grads);
+                    assert_bit_equal(
+                        &base,
+                        &piped,
+                        &format!("{} ({plan}, fusion {fusion_bytes}, step {step})", spec.id),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The homomorphic fold's telemetry contract through the pipeline: with the
+/// capability engaged, nothing is decoded (decode CPU stays zero) and the
+/// incast accounting records compressed wire bytes, strictly below the
+/// dense bytes the reference merge absorbs.
+#[test]
+fn homomorphic_fold_skips_decode_and_shrinks_incast() {
+    use grace::core::AggregationPlan;
+
+    let spec = all_specs()
+        .into_iter()
+        .find(|s| s.id == "eightbit")
+        .expect("eightbit is registered");
+    let (mut c1, mut m1) = fleet(&spec);
+    let mut reference = GradientExchange::from_fleet(&mut c1, &mut m1);
+    let (_, ref_rep) = run_session(&mut reference, 256, &worker_grads(0));
+    let (mut c2, mut m2) = fleet(&spec);
+    let mut hom = GradientExchange::from_fleet(&mut c2, &mut m2)
+        .with_aggregation(AggregationPlan::HomomorphicSum);
+    let (_, hom_rep) = run_session(&mut hom, 256, &worker_grads(0));
+
+    assert!(ref_rep.decompress_cpu_seconds > 0.0);
+    assert_eq!(
+        hom_rep.decompress_cpu_seconds, 0.0,
+        "the codebook-space fold must not decode"
+    );
+    assert!(hom_rep.aggregate_cpu_seconds > 0.0);
+    assert!(
+        hom_rep.incast_bytes < ref_rep.incast_bytes,
+        "compressed fold must absorb fewer bytes: {} vs {}",
+        hom_rep.incast_bytes,
+        ref_rep.incast_bytes
+    );
+}
+
 /// The Allgather aggregation path decodes each contribution on its owning
 /// lane (fanned over the executor) instead of serially on lane 0; the
 /// report records both the wall-clock and summed per-lane CPU decode time,

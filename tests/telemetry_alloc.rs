@@ -7,9 +7,10 @@
 //! after a warm-up step, `begin_step` + every `submit` reuse the engine's
 //! pooled staging buffers and allocate nothing.
 
+use grace::core::aggregation::sharded_mean_into;
 use grace::core::{
-    Compressor, Context, GradientExchange, HealthConfig, HealthMonitor, Payload, PlanBuilder,
-    StepObservation,
+    AggMerger, AggregationPlan, Compressor, Context, EncodedTensor, GradientExchange, HealthConfig,
+    HealthMonitor, Payload, PlanBuilder, StepObservation,
 };
 use grace::telemetry::trace::{self, StageTimer};
 use grace::telemetry::{metrics, set_level, Level, Stage, Track};
@@ -194,4 +195,86 @@ fn pipelined_submit_steady_state_is_allocation_free() {
     let (aggregated, report) = session.finish();
     assert_eq!(aggregated.len(), grads.len());
     assert_eq!(report.buckets.len(), plan.n_buckets());
+}
+
+/// Steady-state homomorphic aggregation must be allocation-free: the
+/// merger's fold scratch (code/aux buffers) and a caller-pooled output
+/// tensor are sized by the first fold; every later fold of same-shape
+/// contributions reuses that capacity.
+#[test]
+fn homomorphic_fold_steady_state_is_allocation_free() {
+    set_level(Level::Off);
+    let spec = grace::compressors::registry::find("eightbit").unwrap();
+    let parts: Vec<EncodedTensor> = (0..3)
+        .map(|w| {
+            let mut c = (spec.build)(100 + w as u64);
+            let data: Vec<f32> = (0..512)
+                .map(|i| ((i + w * 97) as f32 * 0.03).sin())
+                .collect();
+            let (payloads, ctx) = c.compress(&Tensor::from_vec(data), "g");
+            EncodedTensor { payloads, ctx }
+        })
+        .collect();
+    let mut c = (spec.build)(100);
+    let mut merger = AggMerger::new(AggregationPlan::HomomorphicSum);
+    let mut out = Tensor::from_vec(Vec::new());
+
+    // Warm-up sizes the fold scratch and the pooled output.
+    let _ = merger.fold_homomorphic_into(c.as_mut(), &parts, &mut out);
+
+    let before = allocs_on_this_thread();
+    for _ in 0..1_000 {
+        let _ = merger.fold_homomorphic_into(c.as_mut(), &parts, &mut out);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state homomorphic fold allocated {} times",
+        after - before
+    );
+}
+
+/// Steady-state sharded merging must be allocation-free on the serial path
+/// (`shards <= 1`): the fold writes into a caller-pooled output tensor that
+/// `reset_for` resizes without reallocating once capacity exists. (The
+/// multi-shard path spawns scoped threads and is measured by the bench, not
+/// this harness — thread spawn allocates by design.)
+#[test]
+fn sharded_merge_steady_state_is_allocation_free() {
+    set_level(Level::Off);
+    let parts: Vec<Tensor> = (0..4)
+        .map(|w| {
+            Tensor::from_vec(
+                (0..768)
+                    .map(|i| ((i * 13 + w * 7) % 29) as f32 - 14.0)
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut out = Tensor::from_vec(Vec::new());
+
+    // Warm-up sizes the pooled output.
+    let _ = sharded_mean_into(&parts, &mut out, 1);
+
+    let before = allocs_on_this_thread();
+    for _ in 0..1_000 {
+        let _ = sharded_mean_into(&parts, &mut out, 1);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sharded merge allocated {} times",
+        after - before
+    );
+    let expect = (0..768)
+        .map(|i| {
+            (0..4)
+                .map(|w| ((i * 13 + w * 7) % 29) as f32 - 14.0)
+                .sum::<f32>()
+                / 4.0
+        })
+        .collect::<Vec<f32>>();
+    assert_eq!(out.as_slice(), &expect[..]);
 }

@@ -152,6 +152,81 @@ fn golden_checksums_are_stable() {
     }
 }
 
+/// Aggregation plans move *where* the merge happens — never *what* it
+/// computes. For a representative cell of the method space (shared-scale
+/// quantizer, sketch, selection-only, low-rank allreduce), every plan on
+/// every backend must reproduce the reference `decode_then_merge` bits,
+/// through the simulator and both socket transports alike.
+#[test]
+fn aggregation_plans_never_change_bits_on_any_backend() {
+    use grace::core::AggregationPlan;
+
+    for id in ["eightbit", "sketchml", "topk", "powersgd"] {
+        let spec = registry::find(id)
+            .or_else(|| {
+                extensions::extension_specs()
+                    .into_iter()
+                    .find(|s| s.id == id)
+            })
+            .unwrap();
+        let reference = {
+            let (crc, _) = run_sim(&spec, &config(ExecBackend::Threads));
+            crc
+        };
+        for plan in AggregationPlan::ALL {
+            let mut sim_cfg = config(ExecBackend::Threads);
+            sim_cfg.agg_plan = plan;
+            let (sim_crc, _) = run_sim(&spec, &sim_cfg);
+            assert_eq!(sim_crc, reference, "'{id}' simulator drifted under {plan}");
+
+            let mut backends = vec![ExecBackend::Threads, ExecBackend::SocketTcp];
+            if cfg!(unix) {
+                backends.push(ExecBackend::SocketUds);
+            }
+            for backend in backends {
+                let mut cfg = config(backend);
+                cfg.agg_plan = plan;
+                let (crc, _) = run_backend(&spec, &cfg);
+                assert_eq!(crc, reference, "'{id}' drifted under {plan} on {backend:?}");
+            }
+        }
+    }
+}
+
+/// Pinned goldens for the homomorphic shared-scale path specifically: the
+/// codebook-space fold must keep producing the exact trained bits it
+/// produced when the capability shipped, so a silent change to the shared
+/// decode expression cannot hide behind self-consistent equivalence.
+#[test]
+fn homomorphic_shared_scale_goldens_are_stable() {
+    use grace::core::AggregationPlan;
+
+    let golden: [(&str, u32); 2] = [
+        ("eightbit", GOLDEN_EIGHTBIT_HOM),
+        ("lpcsvrg", GOLDEN_LPCSVRG_HOM),
+    ];
+    for (id, expected) in golden {
+        let spec = registry::find(id)
+            .or_else(|| {
+                extensions::extension_specs()
+                    .into_iter()
+                    .find(|s| s.id == id)
+            })
+            .unwrap();
+        let mut cfg = config(ExecBackend::Threads);
+        cfg.agg_plan = AggregationPlan::HomomorphicSum;
+        let (crc, _) = run_backend(&spec, &cfg);
+        assert_eq!(
+            crc, expected,
+            "homomorphic golden for '{id}' moved: got {crc:08x} — re-pin only \
+             if the fold expression changed deliberately"
+        );
+    }
+}
+
+const GOLDEN_EIGHTBIT_HOM: u32 = 0x4720_18d4;
+const GOLDEN_LPCSVRG_HOM: u32 = 0x067e_7bc1;
+
 /// Shuffled submission orders: stragglers make ranks submit to the hub at
 /// scrambled wall-clock times; the socket hub (like the deposit board) must
 /// aggregate in rank order regardless, leaving the bits untouched.
