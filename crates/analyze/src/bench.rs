@@ -25,6 +25,10 @@ fn gated_metrics(bench: &str) -> &'static [&'static str] {
         "exchange_engine" => &["speedup"],
         "pipeline_overlap" => &["overlap_ratio"],
         "socket_exchange" => &["frame_efficiency"],
+        // Fraction of untraced throughput retained with full tracing on.
+        // Gated conservatively: wall-clock ratios wobble on loaded hosts,
+        // but a per-frame allocation or syscall regression craters it.
+        "trace_overhead" => &["tracing_throughput_ratio"],
         // `agg_cpu_speedup` is recorded but not gated: merge wall-clock on a
         // loaded CI host is too noisy; the deterministic byte ratio is the
         // claim worth pinning.

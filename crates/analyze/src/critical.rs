@@ -19,7 +19,7 @@ use grace_telemetry::json::{self, Value};
 use std::collections::BTreeMap;
 
 /// Stage-track label prefix in the trace metadata.
-const STAGE_PREFIX: &str = "stage: ";
+pub(crate) const STAGE_PREFIX: &str = "stage: ";
 /// Step-boundary track label.
 const STEPS_TRACK: &str = "steps";
 
@@ -131,7 +131,7 @@ pub fn parse_trace(text: &str) -> Result<TraceData, String> {
 }
 
 /// Merges sorted `[start, end)` intervals into a disjoint union.
-fn merge(intervals: &[(f64, f64)]) -> Vec<(f64, f64)> {
+pub(crate) fn merge(intervals: &[(f64, f64)]) -> Vec<(f64, f64)> {
     let mut out: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
     for &(s, e) in intervals {
         if e <= s {
@@ -145,12 +145,12 @@ fn merge(intervals: &[(f64, f64)]) -> Vec<(f64, f64)> {
     out
 }
 
-fn total_len(union: &[(f64, f64)]) -> f64 {
+pub(crate) fn total_len(union: &[(f64, f64)]) -> f64 {
     union.iter().map(|(s, e)| e - s).sum()
 }
 
 /// Length of the part of `a` (disjoint, sorted) covered by `b` (same).
-fn overlap_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+pub(crate) fn overlap_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     let mut total = 0.0;
     let mut j = 0;
     for &(s, e) in a {

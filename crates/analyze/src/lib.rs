@@ -1,6 +1,6 @@
 //! Post-processing for GRACE telemetry artefacts.
 //!
-//! Two analyses, both offline (no serde — parsing goes through
+//! Three analyses, all offline (no serde — parsing goes through
 //! `grace-telemetry`'s validation-grade JSON parser):
 //!
 //! 1. **Critical-path attribution** ([`critical`]): reads a Chrome
@@ -14,6 +14,13 @@
 //! 2. **Bench regression check** ([`bench`]): diffs a freshly produced
 //!    `results/bench_*.json` against a committed baseline with a tolerance
 //!    band, for CI to fail (exit ≠ 0) when a ratio metric regresses.
+//! 3. **Cross-rank trace merge** ([`merge`]): gathers the per-process
+//!    exports of a traced `grace-launch` run, rebases every rank onto the
+//!    hub clock via the NTP-style offsets stamped in each file's header,
+//!    and emits one fleet-wide Perfetto timeline plus a per-step convoy
+//!    report (which rank arrived last, exposed network vs codec time,
+//!    retransmit cost).
 
 pub mod bench;
 pub mod critical;
+pub mod merge;

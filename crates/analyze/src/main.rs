@@ -2,19 +2,27 @@
 //!
 //! ```text
 //! grace-analyze trace <trace.json> [--per-step]
+//! grace-analyze merge <dir> [--out merged.trace.json] [--per-step] [--require-steps N]
 //! grace-analyze --check-bench <current.json> --baseline <baseline.json> [--tolerance 0.25]
 //! ```
 //!
-//! Exit codes: `0` ok, `1` bench regression detected, `2` usage or input
-//! error — so CI can gate directly on the process status.
+//! Exit codes: `0` ok, `1` bench regression / too few complete steps,
+//! `2` usage or input error — so CI can gate directly on the process
+//! status.
 
-use grace_analyze::{bench, critical};
+use grace_analyze::{bench, critical, merge};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   grace-analyze trace <trace.json> [--per-step]
       Per-step critical-path attribution of a Chrome trace export:
       which stage bounds each step, time hidden vs exposed.
+
+  grace-analyze merge <dir> [--out merged.trace.json] [--per-step] [--require-steps N]
+      Merge a traced grace-launch run's rank<k>.trace.json (+ hub) files
+      onto the hub clock: writes one fleet-wide Perfetto timeline (default
+      <dir>/merged.trace.json) and prints the cross-rank step report.
+      Exits 1 when fewer than N steps were completed by every rank.
 
   grace-analyze --check-bench <current.json> --baseline <baseline.json> [--tolerance 0.25]
       Diff a bench result against a committed baseline; exits 1 when a
@@ -52,6 +60,51 @@ fn run_trace(args: &[String]) -> ExitCode {
     };
     let steps = critical::critical_path(&data);
     print!("{}", critical::report(&steps, per_step));
+    ExitCode::SUCCESS
+}
+
+fn run_merge(args: &[String]) -> ExitCode {
+    let mut dir = None;
+    let mut out = None;
+    let mut per_step = false;
+    let mut require_steps = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--per-step" => per_step = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(std::path::PathBuf::from(p)),
+                None => return fail("--out needs a path"),
+            },
+            "--require-steps" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => require_steps = n,
+                _ => return fail("--require-steps needs a count"),
+            },
+            _ if dir.is_none() => dir = Some(std::path::PathBuf::from(a)),
+            _ => return fail(USAGE),
+        }
+    }
+    let Some(dir) = dir else {
+        return fail(USAGE);
+    };
+    let traces = match merge::load_dir(&dir) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let out = out.unwrap_or_else(|| dir.join("merged.trace.json"));
+    if let Err(e) = std::fs::write(&out, merge::merged_trace_json(&traces)) {
+        return fail(&format!("cannot write {}: {e}", out.display()));
+    }
+    let report = merge::analyze(&traces);
+    print!("{}", merge::render_report(&report, per_step));
+    println!("merged timeline: {}", out.display());
+    if report.complete_steps.len() < require_steps {
+        eprintln!(
+            "grace-analyze: only {} complete step(s), required {require_steps}",
+            report.complete_steps.len()
+        );
+        return ExitCode::from(1);
+    }
     ExitCode::SUCCESS
 }
 
@@ -101,6 +154,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("trace") => run_trace(&args[1..]),
+        Some("merge") => run_merge(&args[1..]),
         Some("--check-bench" | "check-bench") => run_check_bench(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");

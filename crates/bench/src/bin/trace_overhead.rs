@@ -1,0 +1,90 @@
+//! Measures what wire-level tracing costs the socket transport, and records
+//! the result to `results/bench_trace_overhead.json`.
+//!
+//! Four in-process ranks run the same fixed allgather workload twice over
+//! the real localhost-TCP hub: once with telemetry `Off` (the production
+//! default) and once at full `Trace` level (per-frame send/recv instants,
+//! round-trip spans, trace-context stamping). The gated observable is
+//!
+//! ```text
+//! tracing_throughput_ratio = wall_off / wall_on
+//! ```
+//!
+//! — the fraction of untraced throughput the traced run retains. A ratio
+//! near 1.0 means tracing is effectively free on the wire path; CI gates
+//! on a conservative floor so a regression that makes tracing expensive
+//! (an allocation or syscall sneaking into the per-frame path) fails the
+//! build rather than silently taxing every traced run.
+//!
+//! Run: `cargo run --release -p grace-bench --bin trace_overhead`
+
+use grace_comm::net::run_socket_local;
+use grace_comm::{ClusterOptions, Collective};
+use grace_telemetry::{set_level, trace, Level};
+use std::time::Instant;
+
+const WORKERS: usize = 4;
+const WARMUP: usize = 4;
+
+/// Slowest-rank mean wall-clock per allgather round, in milliseconds.
+fn measure(payload_bytes: usize, rounds: usize) -> f64 {
+    let results = run_socket_local(WORKERS, ClusterOptions::default(), None, |c| {
+        let payload = vec![0xA5_u8; payload_bytes];
+        for _ in 0..WARMUP {
+            std::hint::black_box(c.allgather_bytes(payload.clone()));
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let gathered = c.allgather_bytes(payload.clone());
+            assert_eq!(gathered.len(), WORKERS);
+            std::hint::black_box(gathered);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        c.leave();
+        wall
+    });
+    results
+        .iter()
+        .map(|w| w * 1e3 / rounds as f64)
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cells = [("4KiB", 4 << 10, 96), ("256KiB", 256 << 10, 24)];
+    let mut rows = Vec::new();
+    for (label, bytes, rounds) in cells {
+        set_level(Level::Off);
+        let off_ms = measure(bytes, rounds);
+        set_level(Level::Trace);
+        let on_ms = measure(bytes, rounds);
+        set_level(Level::Off);
+        // Drain the sink so repeated bench runs in one process don't grow it.
+        let traced_events = trace::take_events().len();
+        assert!(
+            traced_events > 0,
+            "{label}: traced run recorded no events — tracing was not on"
+        );
+        let ratio = off_ms / on_ms;
+        println!(
+            "{label:>7}  off {off_ms:8.3} ms  traced {on_ms:8.3} ms  \
+             throughput ratio {ratio:.3}  ({traced_events} events)"
+        );
+        rows.push(format!(
+            "    {{\"codec\": \"{label}\", \"tracing_throughput_ratio\": {ratio:.4}, \
+             \"wall_off_ms\": {off_ms:.3}, \"wall_on_ms\": {on_ms:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"workers\": {WORKERS},\n  \
+         \"host_cpus\": {host_cpus},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("bench_trace_overhead.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("[written] {} (host_cpus = {host_cpus})", path.display());
+}

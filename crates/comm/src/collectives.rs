@@ -180,6 +180,25 @@ pub trait ClusterIntrospect: Collective {
     /// formulas across transports: gathered payload lengths plus the ring
     /// all-reduce model for dense reductions).
     fn sent_bytes(&self) -> u64;
+
+    /// Tells the transport which training step subsequent collectives
+    /// belong to, so it can stamp wire frames with a trace context.
+    /// Default: ignored (shared-memory transports need no context).
+    fn note_step(&self, _step: u64) {}
+
+    /// The transport's current estimate of `reference_clock − local_clock`
+    /// as `(offset_ns, rtt_ns)`, when it maintains one (socket ranks sync
+    /// against the hub). `None` on transports that share a clock already.
+    fn clock_sync(&self) -> Option<(i64, u64)> {
+        None
+    }
+
+    /// Copies the latest per-rank request-arrival stamps (reference-clock
+    /// nanoseconds, 0 for absent ranks) into `out`; returns false when the
+    /// transport has no wire-level arrival view (then `out` is untouched).
+    fn wire_arrivals_into(&self, _out: &mut [u64]) -> bool {
+        false
+    }
 }
 
 impl ClusterIntrospect for WorkerHandle {

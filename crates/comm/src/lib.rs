@@ -24,6 +24,7 @@
 //! assert!(t8 > t2); // more workers, more ring steps
 //! ```
 
+pub mod clock;
 pub mod collectives;
 pub mod error;
 pub mod fault;
@@ -31,6 +32,7 @@ pub mod model;
 pub mod net;
 pub mod traffic;
 
+pub use clock::{ClockEstimator, ClockSample};
 pub use collectives::{
     ring_allreduce_wire_bytes, ClusterIntrospect, ClusterOptions, Collective, Reduction,
     SingleWorker, ThreadedCluster, WorkerHandle,
@@ -42,6 +44,6 @@ pub use fault::{
 pub use model::{NetworkModel, Transport};
 pub use net::{
     run_socket_local, Endpoint, FramedStream, HubHandle, HubServer, NetConfig, NetStats,
-    SocketCluster,
+    SocketCluster, TraceCtx,
 };
 pub use traffic::TrafficCounter;

@@ -37,6 +37,22 @@
 //! receiver identically via the payload codec's own trailer, exactly as on
 //! the threaded path.
 //!
+//! # Trace context and clock sync
+//!
+//! Every collective *request* body leads with a fixed 20-byte [`TraceCtx`]
+//! (collective seq ‖ training step ‖ origin rank, all LE) so the hub can
+//! attribute each frame to a step without any side channel, and every
+//! collective *response* body leads with a round header (`live u32`,
+//! `h_send u64` hub send time, `n u32`, then `n` per-rank request-arrival
+//! stamps on the hub clock). Together with the rank's own send/receive
+//! times this yields an NTP-style clock sample per round trip (see
+//! [`crate::clock`]); a dedicated `CLOCK_PING`/`CLOCK_PONG` burst during
+//! rendezvous seeds the estimate before the first step. Wire activity is
+//! traced onto per-rank [`Track::Net`] tracks (spans for round trips,
+//! instants for NACKs and retransmits) and the hub's rounds onto
+//! [`Track::Hub`] — none of which alters payload bytes, so trained bits
+//! are identical with tracing on or off.
+//!
 //! # Fault semantics
 //!
 //! * `leave()` sends a `LEAVE` frame; the hub shrinks the membership and
@@ -52,13 +68,14 @@
 //!   loop aborts rendezvous after its own deadline and tells every
 //!   already-connected rank.
 
+use crate::clock::{ClockEstimator, ClockSample};
 use crate::collectives::{
     ring_allreduce_wire_bytes, ClusterIntrospect, ClusterOptions, Collective, Reduction,
 };
 use crate::error::ClusterError;
 use crate::traffic::TrafficCounter;
 use grace_telemetry::metrics::{self, Counter, HistogramHandle};
-use grace_telemetry::{trace, Track};
+use grace_telemetry::{since_epoch_ns, trace, Track};
 use grace_tensor::pack::crc32;
 use parking_lot::Mutex;
 use std::io::{self, Read, Write};
@@ -98,6 +115,16 @@ pub const KIND_R_BARRIER: u8 = 11;
 pub const KIND_NACK: u8 = 12;
 /// Hub → client: structured failure (code + context rank + detail).
 pub const KIND_ERROR: u8 = 13;
+/// Client → hub, rendezvous only: clock-sync probe (`t0 u64`, the sender's
+/// nanoseconds since its telemetry epoch).
+pub const KIND_CLOCK_PING: u8 = 14;
+/// Hub → client: clock-sync reply (`t0 u64` echoed, `h1 u64` request
+/// arrival and `h2 u64` response send, both on the hub clock).
+pub const KIND_CLOCK_PONG: u8 = 15;
+
+/// Pings exchanged per rank during rendezvous to seed the clock-offset
+/// estimate before the first collective.
+const CLOCK_PINGS: usize = 4;
 
 const ERR_PROTOCOL: u8 = 1;
 const ERR_ROOT_DROPPED: u8 = 2;
@@ -335,9 +362,14 @@ pub struct FramedStream {
     /// CRC is computed, forcing the receiver down the NACK path.
     corrupt_next: bool,
     stats: NetStats,
+    /// Timeline track wire events land on: the owning rank's
+    /// [`Track::Net`] lane, or [`Track::Hub`] until a peer is identified.
+    track: Track,
     c_frames: Counter,
     c_bytes: Counter,
     c_retries: Counter,
+    c_nacks: Counter,
+    c_resend_bytes: Counter,
 }
 
 impl FramedStream {
@@ -347,10 +379,19 @@ impl FramedStream {
             last_sent: Vec::new(),
             corrupt_next: false,
             stats: NetStats::default(),
+            track: Track::Hub,
             c_frames: metrics::counter("comm.net.frames"),
             c_bytes: metrics::counter("comm.net.wire_bytes"),
             c_retries: metrics::counter("comm.net.frame_retries"),
+            c_nacks: metrics::counter("net.nack_total"),
+            c_resend_bytes: metrics::counter("net.retransmit_bytes_total"),
         }
+    }
+
+    /// Points this stream's wire events at a timeline track (the peer
+    /// rank's [`Track::Net`] lane once the peer is known).
+    pub fn set_track(&mut self, track: Track) {
+        self.track = track;
     }
 
     /// Wraps a connected TCP stream.
@@ -410,6 +451,11 @@ impl FramedStream {
             let idx = 4 + (wire.len() - 8) / 2;
             wire[idx] ^= 0x10;
         }
+        trace::instant_arg(
+            "net.frame.send",
+            self.track,
+            Some(("bytes", wire.len() as u64)),
+        );
         self.send_raw(&wire)
     }
 
@@ -434,6 +480,8 @@ impl FramedStream {
             if crc32(&buf) != u32::from_le_bytes(crc_buf) {
                 self.stats.nacks_sent += 1;
                 self.c_retries.add(1);
+                self.c_nacks.add(1);
+                trace::instant_arg("net.nack", self.track, Some(("bytes", len as u64)));
                 self.write_frame(KIND_NACK, &[])?;
                 continue;
             }
@@ -448,9 +496,16 @@ impl FramedStream {
                 }
                 self.stats.resends += 1;
                 let copy = self.last_sent.clone();
+                self.c_resend_bytes.add(copy.len() as u64);
+                trace::instant_arg("net.resend", self.track, Some(("bytes", copy.len() as u64)));
                 self.send_raw(&copy)?;
                 continue;
             }
+            trace::instant_arg(
+                "net.frame.recv",
+                self.track,
+                Some(("bytes", buf.len() as u64)),
+            );
             return Ok((kind, buf));
         }
         Err(io::Error::new(
@@ -511,6 +566,67 @@ impl<'a> Reader<'a> {
         self.at = self.buf.len();
         s
     }
+}
+
+/// Compact trace context leading every collective request body: the
+/// sender's collective sequence number, the training step it belongs to,
+/// and the origin rank. Fixed 20 bytes on the wire (`seq u64 ‖ step u64 ‖
+/// origin u32`, LE), encoded and decoded without heap allocation so the
+/// disabled-tracing fast path stays alloc-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Collective sequence number (the op index on the origin rank).
+    pub seq: u64,
+    /// Training step the collective belongs to (0 before the first step).
+    pub step: u64,
+    /// Rank that sent the frame.
+    pub origin: u32,
+}
+
+impl TraceCtx {
+    /// Encoded size on the wire.
+    pub const WIRE_BYTES: usize = 20;
+
+    /// Fixed-size wire image; no allocation.
+    pub fn to_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        out[..8].copy_from_slice(&self.seq.to_le_bytes());
+        out[8..16].copy_from_slice(&self.step.to_le_bytes());
+        out[16..].copy_from_slice(&self.origin.to_le_bytes());
+        out
+    }
+
+    /// Decodes a fixed-size wire image; no allocation.
+    pub fn from_bytes(b: &[u8; Self::WIRE_BYTES]) -> TraceCtx {
+        TraceCtx {
+            seq: u64::from_le_bytes(b[..8].try_into().expect("8 bytes")),
+            step: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+            origin: u32::from_le_bytes(b[16..].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// Consumes a [`TraceCtx`] from the front of a request body.
+fn read_ctx(r: &mut Reader) -> io::Result<TraceCtx> {
+    let b = r.take(TraceCtx::WIRE_BYTES)?;
+    Ok(TraceCtx::from_bytes(
+        b.try_into().expect("exact-size slice"),
+    ))
+}
+
+/// Builds the header every collective response starts with: the live
+/// count, the hub's send timestamp, and each rank's request-arrival stamp
+/// for this round (0 for ranks that sent nothing) — everything a client
+/// needs for an NTP-style clock sample plus fleet-wide arrival skew.
+fn round_header(live: u32, arrivals: &[u64]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16 + arrivals.len() * 8);
+    put_u32(&mut body, live);
+    put_u64(&mut body, since_epoch_ns(Instant::now()));
+    put_u32(&mut body, arrivals.len() as u32);
+    for &a in arrivals {
+        put_u64(&mut body, a);
+    }
+    body
 }
 
 fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
@@ -606,7 +722,9 @@ impl HubServer {
     /// Returns [`ClusterError::Transport`] on rendezvous failure or an SPMD
     /// protocol violation; rank deaths are not errors (survivors continue).
     pub fn serve(self) -> Result<(), ClusterError> {
+        let timer = trace::StageTimer::start();
         let mut streams = self.rendezvous()?;
+        timer.finish("hub.rendezvous", Track::Hub);
         for s in streams.iter_mut() {
             let _ = s.set_read_timeout(self.options.timeout);
             let mut body = Vec::with_capacity(8);
@@ -691,6 +809,28 @@ impl HubServer {
         if slots[rank].is_some() {
             return Err(format!("duplicate rank {rank}"));
         }
+        framed.set_track(Track::Net(rank));
+        // Serve the rendezvous clock-sync burst: the client pipelines
+        // exactly CLOCK_PINGS probes right behind its HELLO; answer each
+        // with the two hub-side stamps the NTP midpoint needs.
+        for _ in 0..CLOCK_PINGS {
+            let (kind, body) = framed
+                .read_frame()
+                .map_err(|e| format!("clock ping: {e}"))?;
+            let h1 = since_epoch_ns(Instant::now());
+            if kind != KIND_CLOCK_PING {
+                return Err(format!("expected CLOCK_PING, got kind {kind}"));
+            }
+            let mut r = Reader::new(&body);
+            let t0 = r.u64().map_err(|e| e.to_string())?;
+            let mut pong = Vec::with_capacity(24);
+            put_u64(&mut pong, t0);
+            put_u64(&mut pong, h1);
+            put_u64(&mut pong, since_epoch_ns(Instant::now()));
+            framed
+                .write_frame(KIND_CLOCK_PONG, &pong)
+                .map_err(|e| format!("clock pong: {e}"))?;
+        }
         Ok(rank)
     }
 
@@ -701,15 +841,26 @@ impl HubServer {
         let world = self.world;
         let mut alive = vec![true; world];
         let mut hub_op = 0u64;
+        let mut arrivals = vec![0u64; world];
         loop {
             let mut reqs: Vec<Option<(u8, Vec<u8>)>> = (0..world).map(|_| None).collect();
+            arrivals.fill(0);
             for rank in 0..world {
                 if !alive[rank] {
                     continue;
                 }
                 match streams[rank].read_frame() {
                     Ok((KIND_LEAVE, _)) => alive[rank] = false,
-                    Ok(req) => reqs[rank] = Some(req),
+                    Ok(req) => {
+                        // Hub-side observation time of this rank's request.
+                        // Reads happen in rank order, so a stalled earlier
+                        // rank inflates later stamps; the clock filter's
+                        // min-RTT rule discards such samples, and exact
+                        // convoy attribution uses client-side span starts
+                        // on the merged timeline instead.
+                        arrivals[rank] = since_epoch_ns(Instant::now());
+                        reqs[rank] = Some(req);
+                    }
                     // EOF (killed process), timeout (wedged rank) or a
                     // persistently corrupt stream: an implicit leave. The
                     // survivors' shrunk membership is the signal.
@@ -723,7 +874,7 @@ impl HubServer {
                 }
                 return Ok(());
             }
-            let round = self.answer_round(streams, &mut alive, &reqs, hub_op);
+            let round = self.answer_round(streams, &mut alive, &reqs, hub_op, &arrivals);
             hub_op += 1;
             match round {
                 Ok(()) => {}
@@ -748,15 +899,20 @@ impl HubServer {
         alive: &mut [bool],
         reqs: &[Option<(u8, Vec<u8>)>],
         hub_op: u64,
+        arrivals: &[u64],
     ) -> Result<(), String> {
         let world = self.world;
+        let timer = trace::StageTimer::start();
         let kind = reqs
             .iter()
             .flatten()
             .map(|(k, _)| *k)
             .next()
             .expect("at least one request");
-        // SPMD lockstep: every live rank must have issued the same op.
+        // SPMD lockstep: every live rank must have issued the same op, and
+        // each frame's trace context must agree with the stream it rode in
+        // on. The step stamp feeds the hub's aggregate span.
+        let mut step = 0u64;
         for (rank, req) in reqs.iter().enumerate() {
             if let Some((k, body)) = req {
                 if *k != kind {
@@ -765,8 +921,16 @@ impl HubServer {
                     ));
                 }
                 let mut r = Reader::new(body);
-                let op = r.u64().map_err(|e| e.to_string())?;
-                let _ = op; // per-rank op counters may trail the hub's after drops
+                let ctx = read_ctx(&mut r).map_err(|e| e.to_string())?;
+                if ctx.origin as usize != rank {
+                    return Err(format!(
+                        "origin mismatch at hub op {hub_op}: rank {rank}'s stream carried a \
+                         frame from rank {}",
+                        ctx.origin
+                    ));
+                }
+                // Per-rank seq counters may trail the hub's after drops.
+                step = step.max(ctx.step);
             }
         }
         let live = alive.iter().filter(|a| **a).count() as u32;
@@ -778,7 +942,7 @@ impl HubServer {
                 for req in reqs.iter() {
                     let Some((_, body)) = req else { continue };
                     let mut r = Reader::new(body);
-                    let _ = r.u64().map_err(|e| e.to_string())?;
+                    let _ = read_ctx(&mut r).map_err(|e| e.to_string())?;
                     let data = bytes_to_f32s(r.rest()).map_err(|e| e.to_string())?;
                     contributors += 1;
                     match &mut acc {
@@ -798,8 +962,8 @@ impl HubServer {
                     }
                 }
                 let sum = acc.expect("at least one contributor");
-                let mut body = Vec::with_capacity(8 + sum.len() * 4);
-                put_u32(&mut body, live);
+                let mut body = round_header(live, arrivals);
+                body.reserve(4 + sum.len() * 4);
                 put_u32(&mut body, contributors);
                 body.extend_from_slice(&f32s_to_bytes(&sum));
                 for (rank, req) in reqs.iter().enumerate() {
@@ -810,14 +974,13 @@ impl HubServer {
                 self.write_responses(streams, alive, KIND_R_ALLREDUCE, &mut responses);
             }
             KIND_ALLGATHER => {
-                let mut body = Vec::new();
-                put_u32(&mut body, live);
+                let mut body = round_header(live, arrivals);
                 put_u32(&mut body, world as u32);
                 for req in reqs.iter() {
                     match req {
                         Some((_, b)) => {
                             let mut r = Reader::new(b);
-                            let _ = r.u64().map_err(|e| e.to_string())?;
+                            let _ = read_ctx(&mut r).map_err(|e| e.to_string())?;
                             let payload = r.rest();
                             body.push(1);
                             put_u32(&mut body, payload.len() as u32);
@@ -839,7 +1002,7 @@ impl HubServer {
                 for (rank, req) in reqs.iter().enumerate() {
                     let Some((_, b)) = req else { continue };
                     let mut r = Reader::new(b);
-                    let _ = r.u64().map_err(|e| e.to_string())?;
+                    let _ = read_ctx(&mut r).map_err(|e| e.to_string())?;
                     let this_root = r.u32().map_err(|e| e.to_string())? as usize;
                     match root {
                         None => root = Some(this_root),
@@ -855,8 +1018,8 @@ impl HubServer {
                 let root = root.expect("at least one request");
                 match payload {
                     Some(data) => {
-                        let mut body = Vec::with_capacity(4 + data.len());
-                        put_u32(&mut body, live);
+                        let mut body = round_header(live, arrivals);
+                        body.reserve(data.len());
                         body.extend_from_slice(&data);
                         for (rank, req) in reqs.iter().enumerate() {
                             if req.is_some() {
@@ -880,8 +1043,7 @@ impl HubServer {
                 }
             }
             KIND_BARRIER => {
-                let mut body = Vec::with_capacity(4);
-                put_u32(&mut body, live);
+                let body = round_header(live, arrivals);
                 for (rank, req) in reqs.iter().enumerate() {
                     if req.is_some() {
                         responses[rank] = Some(body.clone());
@@ -891,6 +1053,13 @@ impl HubServer {
             }
             other => return Err(format!("unexpected request kind {other}")),
         }
+        let name = match kind {
+            KIND_ALLREDUCE => "hub.allreduce",
+            KIND_ALLGATHER => "hub.allgather",
+            KIND_BROADCAST => "hub.broadcast",
+            _ => "hub.barrier",
+        };
+        timer.finish_with2(name, Track::Hub, ("step", step), ("op", hub_op));
         Ok(())
     }
 
@@ -984,6 +1153,13 @@ pub struct SocketCluster {
     barrier_ns: AtomicU64,
     barrier_hist: HistogramHandle,
     timeout: Option<Duration>,
+    /// Current training step, stamped into every frame's [`TraceCtx`].
+    step: AtomicU64,
+    /// Min-RTT clock filter fed by rendezvous pings and every round trip.
+    clock: Mutex<ClockEstimator>,
+    /// Latest per-rank request-arrival stamps (hub clock) from a response
+    /// round header; empty until the first collective completes.
+    arrivals: Mutex<Vec<u64>>,
 }
 
 impl SocketCluster {
@@ -1011,6 +1187,7 @@ impl SocketCluster {
         };
         metrics::counter("comm.net.connects").add(1);
         let mut framed = FramedStream::new(stream);
+        framed.set_track(Track::Net(rank));
         framed
             .set_read_timeout(Some(cfg.connect_timeout))
             .map_err(|e| transport(rank, 0, format!("set timeout: {e}")))?;
@@ -1020,6 +1197,45 @@ impl SocketCluster {
         framed
             .write_frame(KIND_HELLO, &hello)
             .map_err(|e| transport(rank, 0, format!("hello: {e}")))?;
+        // Rendezvous clock sync: a short ping burst right behind HELLO
+        // seeds the hub-offset estimate before the first collective.
+        let mut clock = ClockEstimator::new();
+        for _ in 0..CLOCK_PINGS {
+            let t0 = since_epoch_ns(Instant::now());
+            let mut ping = Vec::with_capacity(8);
+            put_u64(&mut ping, t0);
+            framed
+                .write_frame(KIND_CLOCK_PING, &ping)
+                .map_err(|e| transport(rank, 0, format!("clock ping: {e}")))?;
+            match framed.read_frame() {
+                Ok((KIND_CLOCK_PONG, body)) => {
+                    let t3 = since_epoch_ns(Instant::now());
+                    let mut r = Reader::new(&body);
+                    let echo = r.u64().map_err(|e| transport(rank, 0, e.to_string()))?;
+                    let h1 = r.u64().map_err(|e| transport(rank, 0, e.to_string()))?;
+                    let h2 = r.u64().map_err(|e| transport(rank, 0, e.to_string()))?;
+                    if echo == t0 {
+                        clock.fold(ClockSample { t0, h1, h2, t3 });
+                    }
+                }
+                Ok((KIND_ERROR, body)) => return Err(decode_error(rank, 0, &body)),
+                Ok((kind, _)) => {
+                    return Err(transport(
+                        rank,
+                        0,
+                        format!("expected CLOCK_PONG, got kind {kind}"),
+                    ))
+                }
+                Err(e) if is_timeout(&e) => {
+                    return Err(ClusterError::Timeout {
+                        rank,
+                        op: 0,
+                        waited: cfg.connect_timeout,
+                    })
+                }
+                Err(e) => return Err(transport(rank, 0, format!("clock sync: {e}"))),
+            }
+        }
         match framed.read_frame() {
             Ok((KIND_WELCOME, body)) => {
                 let mut r = Reader::new(&body);
@@ -1046,6 +1262,9 @@ impl SocketCluster {
                     barrier_ns: AtomicU64::new(0),
                     barrier_hist: metrics::histogram("comm.barrier_wait_ns"),
                     timeout: cfg.options.timeout,
+                    step: AtomicU64::new(0),
+                    clock: Mutex::new(clock),
+                    arrivals: Mutex::new(Vec::new()),
                 })
             }
             Ok((KIND_ERROR, body)) => Err(decode_error(rank, 0, &body)),
@@ -1084,29 +1303,102 @@ impl SocketCluster {
         self.ops.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// One request/response round trip; the blocked time is this rank's
-    /// barrier wait.
-    fn roundtrip(&self, op: u64, kind: u8, body: &[u8]) -> Result<(u8, Vec<u8>), ClusterError> {
-        let _span = trace::span("net.roundtrip", Track::Lane(self.rank));
-        let mut stream = self.stream.lock();
-        stream
-            .write_frame(kind, body)
-            .map_err(|e| transport(self.rank, op, format!("send: {e}")))?;
-        let t0 = Instant::now();
-        let result = stream.read_frame();
-        let ns = t0.elapsed().as_nanos() as u64;
-        self.barrier_ns.fetch_add(ns, Ordering::Relaxed);
-        self.barrier_hist.record(ns);
-        match result {
-            Ok((KIND_ERROR, body)) => Err(decode_error(self.rank, op, &body)),
-            Ok(pair) => Ok(pair),
-            Err(e) if is_timeout(&e) => Err(ClusterError::Timeout {
-                rank: self.rank,
-                op,
-                waited: self.timeout.unwrap_or_default(),
-            }),
-            Err(e) => Err(transport(self.rank, op, format!("recv: {e}"))),
+    /// The [`TraceCtx`] stamped onto an outgoing request for op `seq`.
+    fn ctx(&self, seq: u64) -> TraceCtx {
+        TraceCtx {
+            seq,
+            step: self.step.load(Ordering::Relaxed),
+            origin: self.rank as u32,
         }
+    }
+
+    /// One request/response round trip; the blocked time is this rank's
+    /// barrier wait. The response's round header (live count, hub send
+    /// time, arrival stamps) is absorbed here — callers see only the
+    /// kind-specific remainder.
+    fn roundtrip(&self, op: u64, kind: u8, body: &[u8]) -> Result<(u8, Vec<u8>), ClusterError> {
+        let step = self.step.load(Ordering::Relaxed);
+        let timer = trace::StageTimer::start();
+        let mut stream = self.stream.lock();
+        let t0 = since_epoch_ns(Instant::now());
+        let sent = stream
+            .write_frame(kind, body)
+            .map_err(|e| transport(self.rank, op, format!("send: {e}")));
+        let out = sent.and_then(|()| {
+            let wait = Instant::now();
+            let result = stream.read_frame();
+            let t3 = since_epoch_ns(Instant::now());
+            let ns = wait.elapsed().as_nanos() as u64;
+            self.barrier_ns.fetch_add(ns, Ordering::Relaxed);
+            self.barrier_hist.record(ns);
+            drop(stream);
+            match result {
+                Ok((KIND_ERROR, body)) => Err(decode_error(self.rank, op, &body)),
+                Ok((kind, body)) => {
+                    let body = self.absorb_round_header(op, body, t0, t3)?;
+                    Ok((kind, body))
+                }
+                Err(e) if is_timeout(&e) => Err(ClusterError::Timeout {
+                    rank: self.rank,
+                    op,
+                    waited: self.timeout.unwrap_or_default(),
+                }),
+                Err(e) => Err(transport(self.rank, op, format!("recv: {e}"))),
+            }
+        });
+        timer.finish_with2(
+            "net.roundtrip",
+            Track::Net(self.rank),
+            ("step", step),
+            ("op", op),
+        );
+        out
+    }
+
+    /// Strips the round header off a collective response: updates the live
+    /// count, remembers the per-rank arrival stamps, and folds one clock
+    /// sample from (local send, hub arrival, hub send, local receive).
+    fn absorb_round_header(
+        &self,
+        op: u64,
+        mut body: Vec<u8>,
+        t0: u64,
+        t3: u64,
+    ) -> Result<Vec<u8>, ClusterError> {
+        let consumed = {
+            let mut r = Reader::new(&body);
+            let live = r
+                .u32()
+                .map_err(|e| transport(self.rank, op, e.to_string()))?;
+            let h_send = r
+                .u64()
+                .map_err(|e| transport(self.rank, op, e.to_string()))?;
+            let n = r
+                .u32()
+                .map_err(|e| transport(self.rank, op, e.to_string()))? as usize;
+            let mut arrivals = self.arrivals.lock();
+            arrivals.clear();
+            for _ in 0..n {
+                arrivals.push(
+                    r.u64()
+                        .map_err(|e| transport(self.rank, op, e.to_string()))?,
+                );
+            }
+            if let Some(&h1) = arrivals.get(self.rank) {
+                if h1 != 0 && h_send >= h1 {
+                    self.clock.lock().fold(ClockSample {
+                        t0,
+                        h1,
+                        h2: h_send,
+                        t3,
+                    });
+                }
+            }
+            self.update_live(live);
+            r.at
+        };
+        body.drain(..consumed);
+        Ok(body)
     }
 
     fn enter(&self) -> Result<u64, ClusterError> {
@@ -1182,8 +1474,8 @@ impl Collective for SocketCluster {
             self.rank,
             ring_allreduce_wire_bytes(self.live_workers(), data.len()),
         );
-        let mut body = Vec::with_capacity(8 + data.len() * 4);
-        put_u64(&mut body, op);
+        let mut body = Vec::with_capacity(TraceCtx::WIRE_BYTES + data.len() * 4);
+        body.extend_from_slice(&self.ctx(op).to_bytes());
         body.extend_from_slice(&f32s_to_bytes(&data));
         let (kind, resp) = self.roundtrip(op, KIND_ALLREDUCE, &body)?;
         if kind != KIND_R_ALLREDUCE {
@@ -1194,22 +1486,18 @@ impl Collective for SocketCluster {
             ));
         }
         let mut r = Reader::new(&resp);
-        let live = r
-            .u32()
-            .map_err(|e| transport(self.rank, op, e.to_string()))?;
         let contributors =
             r.u32()
                 .map_err(|e| transport(self.rank, op, e.to_string()))? as usize;
         let sum = bytes_to_f32s(r.rest()).map_err(|e| transport(self.rank, op, e.to_string()))?;
-        self.update_live(live);
         Ok(Reduction { sum, contributors })
     }
 
     fn try_allgather_bytes(&self, data: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>, ClusterError> {
         let op = self.enter()?;
         self.traffic.record(self.rank, data.len() as u64);
-        let mut body = Vec::with_capacity(8 + data.len());
-        put_u64(&mut body, op);
+        let mut body = Vec::with_capacity(TraceCtx::WIRE_BYTES + data.len());
+        body.extend_from_slice(&self.ctx(op).to_bytes());
         body.extend_from_slice(&data);
         let (kind, resp) = self.roundtrip(op, KIND_ALLGATHER, &body)?;
         if kind != KIND_R_ALLGATHER {
@@ -1220,9 +1508,6 @@ impl Collective for SocketCluster {
             ));
         }
         let mut r = Reader::new(&resp);
-        let live = r
-            .u32()
-            .map_err(|e| transport(self.rank, op, e.to_string()))?;
         let world = r
             .u32()
             .map_err(|e| transport(self.rank, op, e.to_string()))? as usize;
@@ -1244,7 +1529,6 @@ impl Collective for SocketCluster {
                 slots.push(None);
             }
         }
-        self.update_live(live);
         Ok(slots)
     }
 
@@ -1254,8 +1538,8 @@ impl Collective for SocketCluster {
         if self.rank == root {
             self.traffic.record(self.rank, data.len() as u64);
         }
-        let mut body = Vec::with_capacity(12 + data.len());
-        put_u64(&mut body, op);
+        let mut body = Vec::with_capacity(TraceCtx::WIRE_BYTES + 4 + data.len());
+        body.extend_from_slice(&self.ctx(op).to_bytes());
         put_u32(&mut body, root as u32);
         if self.rank == root {
             body.extend_from_slice(&data);
@@ -1268,19 +1552,13 @@ impl Collective for SocketCluster {
                 format!("bad response kind {kind}"),
             ));
         }
-        let mut r = Reader::new(&resp);
-        let live = r
-            .u32()
-            .map_err(|e| transport(self.rank, op, e.to_string()))?;
-        self.update_live(live);
-        Ok(r.rest().to_vec())
+        Ok(resp)
     }
 
     fn try_barrier(&self) -> Result<(), ClusterError> {
         let op = self.enter()?;
-        let mut body = Vec::with_capacity(8);
-        put_u64(&mut body, op);
-        let (kind, resp) = self.roundtrip(op, KIND_BARRIER, &body)?;
+        let body = self.ctx(op).to_bytes();
+        let (kind, _resp) = self.roundtrip(op, KIND_BARRIER, &body)?;
         if kind != KIND_R_BARRIER {
             return Err(transport(
                 self.rank,
@@ -1288,11 +1566,6 @@ impl Collective for SocketCluster {
                 format!("bad response kind {kind}"),
             ));
         }
-        let mut r = Reader::new(&resp);
-        let live = r
-            .u32()
-            .map_err(|e| transport(self.rank, op, e.to_string()))?;
-        self.update_live(live);
         Ok(())
     }
 
@@ -1331,6 +1604,23 @@ impl ClusterIntrospect for SocketCluster {
 
     fn sent_bytes(&self) -> u64 {
         self.traffic.bytes_sent(self.rank)
+    }
+
+    fn note_step(&self, step: u64) {
+        self.step.store(step, Ordering::Relaxed);
+    }
+
+    fn clock_sync(&self) -> Option<(i64, u64)> {
+        self.clock.lock().estimate()
+    }
+
+    fn wire_arrivals_into(&self, out: &mut [u64]) -> bool {
+        let arrivals = self.arrivals.lock();
+        if arrivals.len() != out.len() {
+            return false;
+        }
+        out.copy_from_slice(&arrivals);
+        true
     }
 }
 

@@ -45,6 +45,11 @@ pub const ENV_RANK: &str = "GRACE_RANK";
 pub const ENV_WORLD: &str = "GRACE_WORLD";
 /// Rendezvous endpoint (`tcp://host:port` or `uds:///path`).
 pub const ENV_RENDEZVOUS: &str = "GRACE_RENDEZVOUS";
+/// Directory for per-rank trace exports. When set (and tracing is enabled),
+/// [`run_socket_rank`] writes `rank<k>.trace.json` there on exit, stamped
+/// with this rank's hub-clock offset so `grace-analyze merge` can rebase
+/// every rank onto one timeline.
+pub const ENV_TRACE_DIR: &str = "GRACE_TRACE_DIR";
 
 /// One rank's result from a multi-process run.
 #[derive(Debug)]
@@ -97,6 +102,33 @@ pub fn net_config_from_env() -> Result<NetConfig, String> {
     Ok(NetConfig::new(rank, world, endpoint))
 }
 
+/// Writes this rank's trace to `$GRACE_TRACE_DIR/rank<k>.trace.json`,
+/// stamped with the rank's hub-clock offset estimate so the merge tool can
+/// rebase the timeline. Quiet no-op when tracing is off or the launcher
+/// did not ask for collection.
+fn export_rank_trace<C: grace_comm::ClusterIntrospect>(
+    comm: &FaultyCollective<C>,
+    rank: usize,
+    world: usize,
+) {
+    let Ok(dir) = std::env::var(ENV_TRACE_DIR) else {
+        return;
+    };
+    if dir.is_empty() || !grace_telemetry::enabled(grace_telemetry::Level::Trace) {
+        return;
+    }
+    let (clock_offset_ns, clock_rtt_ns) = comm.inner().clock_sync().unwrap_or((0, 0));
+    grace_telemetry::set_trace_header(Some(grace_telemetry::TraceHeader {
+        rank: Some(rank),
+        world,
+        clock_offset_ns,
+        clock_rtt_ns,
+    }));
+    if let Err(e) = grace_telemetry::export::export_run_to(&dir, &format!("rank{rank}")) {
+        eprintln!("[grace-core] cannot export trace to {dir}: {e}");
+    }
+}
+
 fn plan_and_options(cfg: &TrainConfig) -> (Arc<grace_comm::FaultPlan>, ClusterOptions) {
     match &cfg.fault {
         Some(fc) => (
@@ -139,11 +171,21 @@ pub fn run_socket_rank(
     let cluster = SocketCluster::connect(&net_cfg)?;
     let stats = FaultStats::new(net_cfg.world);
     let comm = FaultyCollective::new(cluster, plan, stats);
-    let out = worker_loop(cfg, task, &make_worker, &comm);
+    // Only rank 0 serves the fleet /metrics endpoint — every child gets the
+    // same GRACE_METRICS_ADDR from the launcher, and one listener per port
+    // is plenty (rank 0 is also where the health gauges live).
+    let metrics_server = if net_cfg.rank == 0 {
+        start_metrics_server(cfg)
+    } else {
+        None
+    };
+    let out = worker_loop(cfg, task, &make_worker, &comm, true);
     if out.is_err() {
         comm.leave();
     }
     grace_telemetry::trace::flush_thread();
+    export_rank_trace(&comm, net_cfg.rank, net_cfg.world);
+    drop(metrics_server);
     let out = out?;
     Ok(RankResult {
         rank: net_cfg.rank,
@@ -179,7 +221,7 @@ pub fn run_socket_local(
     let metrics_server = start_metrics_server(cfg);
     let results = net::run_socket_local(n, options, endpoint, |cluster| {
         let comm = FaultyCollective::new(cluster, Arc::clone(&plan), stats.clone());
-        let out = worker_loop(cfg, task, &make_worker, &comm);
+        let out = worker_loop(cfg, task, &make_worker, &comm, false);
         if out.is_err() {
             comm.leave();
         }

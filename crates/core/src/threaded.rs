@@ -105,7 +105,7 @@ where
     let metrics_server = start_metrics_server(cfg);
     let results = ThreadedCluster::run_with(n, options, |handle| {
         let comm = FaultyCollective::new(handle, Arc::clone(&plan), stats.clone());
-        let out = worker_loop(cfg, task, &make_worker, &comm);
+        let out = worker_loop(cfg, task, &make_worker, &comm, false);
         if out.is_err() {
             // Dead or wedged: withdraw from the barrier so survivors keep
             // making progress instead of timing out behind us.
@@ -141,11 +141,17 @@ pub(crate) struct WorkerOut {
 /// One rank's full training loop over any introspectable collective — the
 /// threaded deposit board and the socket transport run this code unchanged,
 /// which is what keeps the backends bit-identical.
+///
+/// `per_rank_steps` makes *every* rank emit its own step markers (socket
+/// processes each own a trace file, so each needs its own timeline); the
+/// threaded board keeps the historical rank-0-only markers so per-process
+/// critical-path windows stay unambiguous.
 pub(crate) fn worker_loop<F, C>(
     cfg: &TrainConfig,
     task: &dyn Task,
     make_worker: &F,
     comm: &FaultyCollective<C>,
+    per_rank_steps: bool,
 ) -> Result<WorkerOut, ClusterError>
 where
     F: Fn(
@@ -200,6 +206,24 @@ where
     let mut waits_now = vec![0u64; n];
     let mut waits_prev = vec![0u64; n];
     let mut wait_deltas = vec![0u64; n];
+    let mut wire_arrivals = vec![0u64; n];
+    // Fleet-health gauges, resolved once: per-rank wire-arrival lag behind
+    // the round's first arrival (hub clock), published from rank 0 when the
+    // transport exposes arrival stamps (sockets do).
+    let arrival_gauges: Vec<grace_telemetry::Gauge> = if monitor.is_some() {
+        (0..n)
+            .map(|k| grace_telemetry::metrics::gauge(&format!("health.rank{k}.arrival_lag_ns")))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let wait_gauges: Vec<grace_telemetry::Gauge> = if monitor.is_some() {
+        (0..n)
+            .map(|k| grace_telemetry::metrics::gauge(&format!("health.rank{k}.barrier_wait_ns")))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let mut bytes_prev = 0u64;
     let uncompressed = 4.0 * net.param_count() as f64;
     let mut global_step = 0u64;
@@ -208,6 +232,9 @@ where
             schedule.apply(opt.as_mut(), epoch, base_lr);
         }
         for step in 0..spe {
+            // Stamp this step onto every wire frame the transport sends
+            // until the next call (no-op on shared-memory transports).
+            comm.inner().note_step(global_step);
             let idx = worker_batch_indices(
                 task.train_len(),
                 rank,
@@ -253,7 +280,7 @@ where
                 aggregated.push((name, agg));
             }
             aggregated.sort_by_key(|(name, _)| forward_index[name.as_str()]);
-            if rank == 0 {
+            if per_rank_steps || rank == 0 {
                 grace_telemetry::trace::instant_arg(
                     "step",
                     Track::Step,
@@ -268,9 +295,31 @@ where
                     *delta = now.saturating_sub(*prev);
                 }
                 waits_prev.copy_from_slice(&waits_now);
+                for (gauge, &delta) in wait_gauges.iter().zip(&wait_deltas) {
+                    gauge.set(delta as f64);
+                }
                 let bytes_now = board.sent_bytes();
                 let step_bytes = bytes_now.saturating_sub(bytes_prev);
                 bytes_prev = bytes_now;
+                // Straggler skew: prefer the transport's aligned wire-
+                // arrival stamps (the spread of when the hub saw each
+                // rank's latest request, all on one clock) over the
+                // rank-0-only barrier-wait deltas.
+                let skew = if board.wire_arrivals_into(&mut wire_arrivals) {
+                    let first = wire_arrivals
+                        .iter()
+                        .copied()
+                        .filter(|&a| a != 0)
+                        .min()
+                        .unwrap_or(0);
+                    let last = wire_arrivals.iter().copied().max().unwrap_or(0);
+                    for (gauge, &a) in arrival_gauges.iter().zip(&wire_arrivals) {
+                        gauge.set(a.saturating_sub(first) as f64);
+                    }
+                    last.saturating_sub(first) as f64 / 1e9
+                } else {
+                    HealthMonitor::barrier_skew_seconds(&wait_deltas)
+                };
                 let obs = StepObservation {
                     grad_norm: gradient_l2(&aggregated),
                     residual_norm: lane.residual_norm(),
@@ -281,7 +330,7 @@ where
                     },
                     // No per-step overlap accounting in this mode.
                     overlap_ratio: None,
-                    straggler_skew_seconds: Some(HealthMonitor::barrier_skew_seconds(&wait_deltas)),
+                    straggler_skew_seconds: Some(skew),
                 };
                 mon.observe_step(global_step, &obs);
             }

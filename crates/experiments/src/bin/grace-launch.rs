@@ -19,8 +19,14 @@
 //!
 //! ```text
 //! grace-launch [--ranks N] [--compressor ID|baseline|all] [--epochs E]
-//!              [--uds] [--no-verify]
+//!              [--uds] [--no-verify] [--trace DIR]
 //! ```
+//!
+//! `--trace DIR` turns on cross-rank tracing: every child runs with
+//! `GRACE_TELEMETRY=trace` and exports `DIR/<compressor>/rank<k>.trace.json`
+//! (stamped with its hub-clock offset), the parent exports the hub's own
+//! timeline as `DIR/<compressor>/hub.trace.json`, and
+//! `grace-analyze merge DIR/<compressor>` rebases them onto one clock.
 
 use grace_comm::net::{Endpoint, HubServer};
 use grace_comm::ClusterOptions;
@@ -35,6 +41,7 @@ use grace_nn::data::ClassificationDataset;
 use grace_nn::models;
 use grace_nn::network::Network;
 use grace_nn::optim::{Momentum, Optimizer};
+use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::Duration;
 
@@ -126,6 +133,7 @@ struct Args {
     epochs: usize,
     uds: bool,
     verify: bool,
+    trace_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -135,6 +143,7 @@ fn parse_args() -> Args {
         epochs: 2,
         uds: false,
         verify: true,
+        trace_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -145,6 +154,7 @@ fn parse_args() -> Args {
             "--epochs" => args.epochs = value("--epochs").parse().expect("--epochs"),
             "--uds" => args.uds = true,
             "--no-verify" => args.verify = false,
+            "--trace" => args.trace_dir = Some(PathBuf::from(value("--trace"))),
             other => panic!("unknown argument '{other}'"),
         }
     }
@@ -153,8 +163,9 @@ fn parse_args() -> Args {
 }
 
 /// Spawns `world` child ranks against a fresh hub and returns the agreed
-/// checksum line parts `(checksum, quality)`.
-fn launch_once(args: &Args, compressor_id: &str) -> (u32, f64) {
+/// checksum line parts `(checksum, quality)`. When `trace_dir` is set the
+/// children export per-rank traces there and the parent adds the hub's.
+fn launch_once(args: &Args, compressor_id: &str, trace_dir: Option<&Path>) -> (u32, f64) {
     let endpoint = if args.uds {
         #[cfg(unix)]
         {
@@ -176,14 +187,18 @@ fn launch_once(args: &Args, compressor_id: &str) -> (u32, f64) {
     let exe = std::env::current_exe().expect("current_exe");
     let children: Vec<_> = (0..args.ranks)
         .map(|rank| {
-            Command::new(&exe)
-                .env(ENV_RANK, rank.to_string())
+            let mut cmd = Command::new(&exe);
+            cmd.env(ENV_RANK, rank.to_string())
                 .env(ENV_WORLD, args.ranks.to_string())
                 .env(ENV_RENDEZVOUS, endpoint.to_string())
                 .env(ENV_COMPRESSOR, compressor_id)
                 .env(ENV_EPOCHS, args.epochs.to_string())
-                .stdout(Stdio::piped())
-                .spawn()
+                .stdout(Stdio::piped());
+            if let Some(dir) = trace_dir {
+                cmd.env("GRACE_TELEMETRY", "trace")
+                    .env(process::ENV_TRACE_DIR, dir);
+            }
+            cmd.spawn()
                 .unwrap_or_else(|e| panic!("spawn rank {rank}: {e}"))
         })
         .collect();
@@ -219,7 +234,27 @@ fn launch_once(args: &Args, compressor_id: &str) -> (u32, f64) {
         }
     }
     let _ = hub.join();
+    if let Some(dir) = trace_dir {
+        export_hub_trace(dir, args.ranks);
+    }
     agreed.expect("at least one rank")
+}
+
+/// Exports the parent's (hub's) trace as `dir/hub.trace.json` and drains
+/// the sink so the next compressor's run starts from an empty timeline.
+/// The hub *is* the reference clock, so its header offset is zero.
+fn export_hub_trace(dir: &Path, world: usize) {
+    grace_telemetry::set_trace_header(Some(grace_telemetry::TraceHeader {
+        rank: None,
+        world,
+        clock_offset_ns: 0,
+        clock_rtt_ns: 0,
+    }));
+    match grace_telemetry::export::export_run_to(dir, "hub") {
+        Ok(paths) => println!("  hub trace: {}", paths.trace.display()),
+        Err(e) => eprintln!("grace-launch: cannot export hub trace: {e}"),
+    }
+    let _ = grace_telemetry::trace::take_events();
 }
 
 fn verify_against_threaded(args: &Args, compressor_id: &str, socket_crc: u32) {
@@ -254,9 +289,15 @@ fn parent_main() -> i32 {
         if args.uds { "unix sockets" } else { "tcp" },
         if args.verify { "threaded" } else { "no" },
     );
+    if args.trace_dir.is_some() {
+        // The hub threads live in this process; give them a trace sink.
+        grace_telemetry::set_level(grace_telemetry::Level::Trace);
+    }
     println!("{:<26} {:>10} {:>10}", "method", "crc32", "quality");
     for id in &compressors {
-        let (crc, quality) = launch_once(&args, id);
+        // One directory per compressor run so rank files never collide.
+        let run_dir = args.trace_dir.as_ref().map(|d| d.join(id));
+        let (crc, quality) = launch_once(&args, id, run_dir.as_deref());
         if args.verify {
             verify_against_threaded(&args, id, crc);
         }

@@ -18,12 +18,46 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// The single Chrome-trace process id used for all tracks.
 const PID: u32 = 1;
 
 /// Where [`export_run`] writes its artefacts.
 pub const TELEMETRY_DIR: &str = "results/telemetry";
+
+/// Per-process header recorded alongside the trace so a merge tool can
+/// rebase this process's monotonic timeline onto the hub clock.
+///
+/// Serialised as a top-level `"grace"` object in the trace JSON — Perfetto
+/// and `chrome://tracing` ignore unknown top-level keys, so a headered
+/// trace still loads everywhere a plain one does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// This process's rank; `None` for the hub/launcher process.
+    pub rank: Option<usize>,
+    /// World size of the run.
+    pub world: usize,
+    /// Estimated `hub_clock - local_clock` in nanoseconds (NTP midpoint,
+    /// min-RTT sample). Adding this to a local timestamp yields hub time.
+    pub clock_offset_ns: i64,
+    /// Round-trip time of the winning offset sample, in nanoseconds — the
+    /// uncertainty bound on the offset.
+    pub clock_rtt_ns: u64,
+}
+
+static TRACE_HEADER: Mutex<Option<TraceHeader>> = Mutex::new(None);
+
+/// Installs the header stamped onto subsequent [`export_run_to`] calls in
+/// this process. `None` clears it (the default: headerless trace).
+pub fn set_trace_header(header: Option<TraceHeader>) {
+    *TRACE_HEADER.lock().unwrap_or_else(|e| e.into_inner()) = header;
+}
+
+/// The currently installed export header, if any.
+pub fn trace_header() -> Option<TraceHeader> {
+    *TRACE_HEADER.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
@@ -60,6 +94,15 @@ fn push_us(out: &mut String, ns: u64) {
 /// tid, so lane tracks appear in rank order below the stage tracks), then
 /// every event in recording order.
 pub fn trace_json_string(events: &[TraceEvent]) -> String {
+    trace_json_string_with_header(events, None)
+}
+
+/// [`trace_json_string`] plus an optional per-process `"grace"` header
+/// object carrying the rank identity and clock-offset estimate.
+pub fn trace_json_string_with_header(
+    events: &[TraceEvent],
+    header: Option<&TraceHeader>,
+) -> String {
     // Collect track names keyed by tid; BTreeMap gives stable ordering.
     let mut tracks: BTreeMap<u32, String> = BTreeMap::new();
     for ev in events {
@@ -112,11 +155,32 @@ pub fn trace_json_string(events: &[TraceEvent]) -> String {
         if let Some((key, val)) = ev.arg {
             out.push_str(",\"args\":{\"");
             escape_into(&mut out, key);
-            let _ = write!(out, "\":{val}}}");
+            let _ = write!(out, "\":{val}");
+            if let Some((key2, val2)) = ev.arg2 {
+                out.push_str(",\"");
+                escape_into(&mut out, key2);
+                let _ = write!(out, "\":{val2}");
+            }
+            out.push('}');
         }
         out.push('}');
     }
-    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out.push(']');
+    if let Some(h) = header {
+        out.push_str(",\"grace\":{\"rank\":");
+        match h.rank {
+            Some(r) => {
+                let _ = write!(out, "{r}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"world\":{},\"clock_offset_ns\":{},\"clock_rtt_ns\":{}}}",
+            h.world, h.clock_offset_ns, h.clock_rtt_ns
+        );
+    }
+    out.push_str(",\"displayTimeUnit\":\"ms\"}");
     out
 }
 
@@ -205,7 +269,11 @@ pub fn export_run_to(dir: impl AsRef<Path>, label: &str) -> io::Result<ExportPat
         trace: dir.join(format!("{stem}.trace.json")),
         metrics: dir.join(format!("{stem}.metrics.jsonl")),
     };
-    fs::write(&paths.trace, trace_json_string(&events))?;
+    let header = trace_header();
+    fs::write(
+        &paths.trace,
+        trace_json_string_with_header(&events, header.as_ref()),
+    )?;
     fs::write(&paths.metrics, metrics_jsonl_string(&snaps))?;
     Ok(paths)
 }
@@ -231,6 +299,7 @@ mod tests {
                 dur_ns: 2_250,
                 kind: EventKind::Span,
                 arg: Some(("bytes", 42)),
+                arg2: None,
             },
             TraceEvent {
                 name: "fault: drop",
@@ -239,6 +308,7 @@ mod tests {
                 dur_ns: 0,
                 kind: EventKind::Instant,
                 arg: None,
+                arg2: None,
             },
         ]
     }
@@ -276,6 +346,56 @@ mod tests {
             .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
             .unwrap();
         assert_eq!(instant.get("s").and_then(|s| s.as_str()), Some("t"));
+    }
+
+    #[test]
+    fn header_and_second_arg_render() {
+        let events = vec![TraceEvent {
+            name: "net.roundtrip",
+            track: Track::Net(2),
+            ts_ns: 9_000,
+            dur_ns: 1_000,
+            kind: EventKind::Span,
+            arg: Some(("step", 5)),
+            arg2: Some(("op", 3)),
+        }];
+        let header = TraceHeader {
+            rank: Some(2),
+            world: 4,
+            clock_offset_ns: -1_234,
+            clock_rtt_ns: 8_900,
+        };
+        let text = trace_json_string_with_header(&events, Some(&header));
+        let doc = json::parse(&text).expect("headered trace must parse");
+        let grace = doc.get("grace").expect("grace header present");
+        assert_eq!(grace.get("rank").unwrap().as_f64(), Some(2.0));
+        assert_eq!(grace.get("world").unwrap().as_f64(), Some(4.0));
+        assert_eq!(
+            grace.get("clock_offset_ns").unwrap().as_f64(),
+            Some(-1234.0)
+        );
+        assert_eq!(grace.get("clock_rtt_ns").unwrap().as_f64(), Some(8900.0));
+        let span = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        let args = span.get("args").unwrap();
+        assert_eq!(args.get("step").unwrap().as_f64(), Some(5.0));
+        assert_eq!(args.get("op").unwrap().as_f64(), Some(3.0));
+        // The hub writes rank:null.
+        let hub = TraceHeader {
+            rank: None,
+            world: 4,
+            clock_offset_ns: 0,
+            clock_rtt_ns: 0,
+        };
+        let text = trace_json_string_with_header(&[], Some(&hub));
+        let doc = json::parse(&text).unwrap();
+        assert!(doc.get("grace").unwrap().get("rank").unwrap().is_null());
     }
 
     #[test]

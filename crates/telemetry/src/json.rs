@@ -57,6 +57,11 @@ impl Value {
             _ => None,
         }
     }
+
+    /// True if this is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
 }
 
 /// Parses one complete JSON document; trailing non-whitespace is an error.

@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod serve;
 pub mod trace;
 
+pub use export::{set_trace_header, TraceHeader};
 pub use metrics::{Counter, Gauge, Histogram, HistogramHandle, MetricSnapshot};
 pub use trace::{Stage, StageTimer, Track};
 
@@ -148,6 +149,17 @@ pub fn since_epoch_ns(at: Instant) -> u64 {
     at.checked_duration_since(epoch())
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0)
+}
+
+/// Serialises tests that mutate the process-global level. `trace::tests`
+/// and `metrics::tests` both flip [`set_level`] inside the same test
+/// binary; a module-local mutex lets one module's test turn telemetry off
+/// mid-window of the other's (the historical flake in
+/// `scoped_thread_events_flush_on_exit`). One crate-wide gate closes that.
+#[cfg(test)]
+pub(crate) fn test_level_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]

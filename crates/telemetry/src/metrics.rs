@@ -399,8 +399,7 @@ mod tests {
     use crate::set_level;
 
     fn serial() -> MutexGuard<'static, ()> {
-        static GATE: Mutex<()> = Mutex::new(());
-        GATE.lock().unwrap_or_else(|e| e.into_inner())
+        crate::test_level_gate()
     }
 
     #[test]

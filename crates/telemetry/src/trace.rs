@@ -59,11 +59,22 @@ pub enum Track {
     /// index in the marker's `args`) so post-processors can segment the
     /// timeline per step.
     Step,
+    /// Hub-side wire activity (rendezvous, per-op aggregate rounds). Only
+    /// the process hosting the socket hub records here.
+    Hub,
+    /// Per-rank wire-level track: frame round trips, NACKs and retransmits
+    /// observed by rank `k`'s framed stream. Distinct from [`Track::Lane`]
+    /// so cross-rank merge tooling can separate network time from compute.
+    Net(usize),
 }
 
 /// First tid used for lane tracks; stage tracks sit below it so Perfetto
 /// sorts the pipeline overview above the per-lane detail.
 const LANE_TID_BASE: u32 = 16;
+
+/// First tid used for per-rank wire tracks; far above the lane range so the
+/// two per-rank families never collide for any realistic world size.
+const NET_TID_BASE: u32 = 4096;
 
 impl Track {
     /// Stable Chrome-trace thread id for this track.
@@ -76,7 +87,9 @@ impl Track {
             Track::Stage(Stage::Fault) => 5,
             Track::Bucket => 6,
             Track::Step => 7,
+            Track::Hub => 8,
             Track::Lane(rank) => LANE_TID_BASE + rank as u32,
+            Track::Net(rank) => NET_TID_BASE + rank as u32,
         }
     }
 
@@ -86,7 +99,9 @@ impl Track {
             Track::Stage(s) => s.label().to_string(),
             Track::Bucket => "buckets".to_string(),
             Track::Step => "steps".to_string(),
+            Track::Hub => "hub".to_string(),
             Track::Lane(rank) => format!("lane {rank}"),
+            Track::Net(rank) => format!("net {rank}"),
         }
     }
 }
@@ -116,6 +131,8 @@ pub struct TraceEvent {
     pub kind: EventKind,
     /// Optional small argument rendered into the event's `args`.
     pub arg: Option<(&'static str, u64)>,
+    /// Second optional argument (wire events carry `step` + `op`).
+    pub arg2: Option<(&'static str, u64)>,
 }
 
 /// Thread-local buffer size at which events are drained to the sink.
@@ -197,6 +214,17 @@ pub fn instant(name: &'static str, track: Track) {
 /// Records a point-in-time marker with one small argument.
 #[inline]
 pub fn instant_arg(name: &'static str, track: Track, arg: Option<(&'static str, u64)>) {
+    instant_args(name, track, arg, None);
+}
+
+/// Records a point-in-time marker with up to two small arguments.
+#[inline]
+pub fn instant_args(
+    name: &'static str,
+    track: Track,
+    arg: Option<(&'static str, u64)>,
+    arg2: Option<(&'static str, u64)>,
+) {
     if !enabled(Level::Trace) {
         return;
     }
@@ -207,6 +235,7 @@ pub fn instant_arg(name: &'static str, track: Track, arg: Option<(&'static str, 
         dur_ns: 0,
         kind: EventKind::Instant,
         arg,
+        arg2,
     });
 }
 
@@ -236,6 +265,7 @@ impl Drop for SpanGuard {
                 dur_ns: start.elapsed().as_nanos() as u64,
                 kind: EventKind::Span,
                 arg: None,
+                arg2: None,
             });
         }
     }
@@ -275,6 +305,7 @@ impl StageTimer {
                 dur_ns,
                 kind: EventKind::Span,
                 arg: None,
+                arg2: None,
             });
         }
         dur_ns
@@ -293,6 +324,33 @@ impl StageTimer {
                 dur_ns,
                 kind: EventKind::Span,
                 arg: Some((key, val)),
+                arg2: None,
+            });
+        }
+        dur_ns
+    }
+
+    /// Like [`finish`](Self::finish) with two small arguments — the wire
+    /// path uses this to stamp round-trip spans with `(step, op)` so a
+    /// cross-rank merge can line collectives up without string parsing.
+    #[inline]
+    pub fn finish_with2(
+        self,
+        name: &'static str,
+        track: Track,
+        arg: (&'static str, u64),
+        arg2: (&'static str, u64),
+    ) -> u64 {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        if enabled(Level::Trace) {
+            push(TraceEvent {
+                name,
+                track,
+                ts_ns: since_epoch_ns(self.start),
+                dur_ns,
+                kind: EventKind::Span,
+                arg: Some(arg),
+                arg2: Some(arg2),
             });
         }
         dur_ns
@@ -304,10 +362,10 @@ mod tests {
     use super::*;
     use crate::set_level;
 
-    /// Tests in this module mutate the global level; serialise them.
+    /// Tests in this module mutate the global level; serialise them against
+    /// every other level-flipping test in the crate, not just this module.
     fn serial() -> MutexGuard<'static, ()> {
-        static GATE: Mutex<()> = Mutex::new(());
-        GATE.lock().unwrap_or_else(|e| e.into_inner())
+        crate::test_level_gate()
     }
 
     #[test]
@@ -372,10 +430,26 @@ mod tests {
                 let _sp = span("lane-work", Track::Lane(3));
             });
         });
-        let events = take_events();
+        // `scope` returns once the closure finished, but the spawned
+        // thread's TLS teardown — where `ThreadBuf::drop` drains into the
+        // sink — can still be in flight for a moment. Poll instead of
+        // racing it, and filter by the unique name so unrelated events
+        // recorded elsewhere in the process can't disturb the count.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let lane = loop {
+            let lane: Vec<TraceEvent> = snapshot_events()
+                .into_iter()
+                .filter(|e| e.name == "lane-work")
+                .collect();
+            if !lane.is_empty() || std::time::Instant::now() >= deadline {
+                break lane;
+            }
+            std::thread::yield_now();
+        };
         set_level(Level::Off);
-        assert_eq!(events.len(), 1);
-        assert_eq!(events[0].track, Track::Lane(3));
+        clear();
+        assert_eq!(lane.len(), 1);
+        assert_eq!(lane[0].track, Track::Lane(3));
     }
 
     #[test]
@@ -390,14 +464,24 @@ mod tests {
         let mut tids: Vec<u32> = stages.iter().map(|s| Track::Stage(*s).tid()).collect();
         tids.push(Track::Bucket.tid());
         tids.push(Track::Step.tid());
+        tids.push(Track::Hub.tid());
         for lane in 0..8 {
             tids.push(Track::Lane(lane).tid());
         }
+        for rank in 0..8 {
+            tids.push(Track::Net(rank).tid());
+        }
         assert!(Track::Bucket.tid() < LANE_TID_BASE);
+        assert!(Track::Hub.tid() < LANE_TID_BASE);
+        // Wire tracks live far above the lane block so up to ~4080 lanes
+        // can never collide with them.
+        assert!(Track::Net(0).tid() >= NET_TID_BASE);
         let mut dedup = tids.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), tids.len(), "tids must be unique");
         assert_eq!(Track::Lane(0).label(), "lane 0");
+        assert_eq!(Track::Net(2).label(), "net 2");
+        assert_eq!(Track::Hub.label(), "hub");
     }
 }

@@ -82,8 +82,15 @@ fn main() {
         );
         if let Ok(text) = serve::scrape(addr, "/metrics") {
             if let Ok(samples) = parse_exposition(&text) {
+                // Presence is not enough: the registry pre-registers
+                // counters at 0 during setup, so a fast scrape can win the
+                // race against step 1. Wait until traffic has flowed.
                 let have = |n: &str| samples.iter().any(|s| s.name == n);
-                if REQUIRED.iter().all(|n| have(n)) {
+                let flowing = |n: &str| samples.iter().any(|s| s.name == n && s.value > 0.0);
+                if REQUIRED.iter().all(|n| have(n))
+                    && flowing("traffic_bytes_total")
+                    && flowing("traffic_messages_total")
+                {
                     break text;
                 }
             }

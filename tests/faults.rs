@@ -275,6 +275,46 @@ fn socket_frame_corruption_is_rejected_then_resynced() {
     );
 }
 
+/// Same chaos, observed through the wire-health metrics: corrupting a
+/// frame must increment `net.nack_total` and `net.retransmit_bytes_total`
+/// while the application payload still round-trips byte-clean — the
+/// counters are how a fleet dashboard sees retries the checksums hide.
+#[test]
+fn frame_corruption_increments_wire_counters_payload_stays_clean() {
+    use grace::comm::net::run_socket_local;
+    use grace::comm::{ClusterOptions, Collective};
+    use grace::telemetry::{metrics, set_level, Level};
+
+    let nacks = metrics::counter("net.nack_total");
+    let resend_bytes = metrics::counter("net.retransmit_bytes_total");
+    let (nacks_before, resend_before) = (nacks.get(), resend_bytes.get());
+    set_level(Level::Metrics);
+    let out = run_socket_local(2, ClusterOptions::default(), None, |c| {
+        if c.rank() == 0 {
+            c.inject_frame_corruption();
+        }
+        c.try_allgather_bytes(vec![0x5C; 256]).unwrap()
+    });
+    set_level(Level::Off);
+    for gathered in &out {
+        for slot in gathered {
+            assert_eq!(
+                slot.as_deref(),
+                Some(&[0x5C; 256][..]),
+                "payload must come through clean despite the frame chaos"
+            );
+        }
+    }
+    assert!(
+        nacks.get() > nacks_before,
+        "a corrupted frame must raise net.nack_total"
+    );
+    assert!(
+        resend_bytes.get() > resend_before,
+        "the verbatim retransmit must raise net.retransmit_bytes_total"
+    );
+}
+
 /// Connecting to a dead endpoint returns a typed transport error within the
 /// connect deadline — never a hang.
 #[test]

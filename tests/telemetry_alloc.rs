@@ -76,6 +76,47 @@ fn disabled_telemetry_hot_path_is_allocation_free() {
     );
 }
 
+/// Wire trace-context handling must be free when tracing is off: stamping
+/// a [`TraceCtx`] into its fixed 20-byte frame prefix and parsing it back
+/// are pure stack operations, and the per-frame instants the socket path
+/// emits (`net.frame.send` / `net.frame.recv`) vanish below the `Trace`
+/// level — so context propagation costs the disabled send/recv hot path
+/// nothing.
+#[test]
+fn disabled_tracing_wire_context_handling_is_allocation_free() {
+    use grace::comm::TraceCtx;
+
+    set_level(Level::Off);
+    // First-touch the trace machinery outside the measured window.
+    {
+        let _warm = trace::span("warmup", Track::Net(0));
+    }
+    trace::instant("warmup", Track::Hub);
+
+    let before = allocs_on_this_thread();
+    let mut acc = 0u64;
+    for i in 0..10_000u64 {
+        let ctx = TraceCtx {
+            seq: i,
+            step: i / 4,
+            origin: (i % 4) as u32,
+        };
+        let wire = ctx.to_bytes();
+        let back = TraceCtx::from_bytes(&wire);
+        acc = acc.wrapping_add(back.seq ^ back.step ^ u64::from(back.origin));
+        trace::instant_arg("net.frame.send", Track::Net(0), Some(("bytes", i)));
+        trace::instant_arg("net.frame.recv", Track::Net(0), Some(("bytes", i)));
+    }
+    let after = allocs_on_this_thread();
+    std::hint::black_box(acc);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-tracing context handling allocated {} times",
+        after - before
+    );
+}
+
 /// The health monitor's steady state must also be allocation-free: with the
 /// JSONL log disabled and no anomaly firing, `observe_step` is pure EWMA
 /// arithmetic over pre-resolved gauge handles — even while a metrics
