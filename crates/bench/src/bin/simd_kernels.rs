@@ -1,0 +1,349 @@
+//! Measures the vectorized codec kernels against frozen pre-SIMD reference
+//! implementations, and records the result to
+//! `results/bench_simd_kernels.json`.
+//!
+//! Each row times one codec hot loop two ways over the same pooled buffers:
+//!
+//! * `reference` — a frozen copy of the scalar implementation the kernel
+//!   replaced (per-element `partition_point` code-book search, the generic
+//!   bit-cursor pack/unpack loop, the float `max` fold, the comparator
+//!   top-k) — byte-for-byte what the codecs ran before the SIMD module;
+//! * `new` — the runtime-dispatched `grace_tensor::simd` kernel (or the
+//!   pooled selection built on it).
+//!
+//! The gated observable is `speedup = reference_ms / new_ms` — a ratio, so
+//! it divides out host speed; `grace-analyze --check-bench` pins it against
+//! the committed baseline in `crates/analyze/baselines/`. Outputs are
+//! asserted bit-identical between the two paths every iteration, so the
+//! binary doubles as a smoke test of the kernel contracts.
+//!
+//! Run: `cargo run --release -p grace-bench --bin simd_kernels`
+
+use grace_bench::gradient_of_bytes;
+use grace_tensor::{pack, select, simd};
+use std::time::Instant;
+
+const TENSOR_BYTES: usize = 1 << 20;
+const WARMUP: usize = 3;
+const ITERS: usize = 20;
+
+/// Frozen pre-SIMD reference implementations. These are deliberately *not*
+/// shared with the library: they pin what the codecs used to execute, so
+/// the speedup row keeps meaning even as the library paths evolve.
+mod reference {
+    /// The float `max` fold `Tensor::norm_inf` used to run.
+    pub fn norm_inf(xs: &[f32]) -> f32 {
+        xs.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Per-element `partition_point` code-book search with the midpoint tie
+    /// rule — the old `EightBit::nearest_code`.
+    fn nearest_code(table: &[f32], x: f32) -> u32 {
+        let idx = table.partition_point(|v| *v < x);
+        if idx == 0 {
+            0
+        } else if idx >= table.len() {
+            (table.len() - 1) as u32
+        } else {
+            let lo = table[idx - 1];
+            let hi = table[idx];
+            if (x - lo) <= (hi - x) {
+                (idx - 1) as u32
+            } else {
+                idx as u32
+            }
+        }
+    }
+
+    /// The old packed-quantizer encode: sign/magnitude per element, then
+    /// the generic bit-cursor pack loop at width 8.
+    pub fn encode_packed(table: &[f32], xs: &[f32], inv: f32, codes: &mut [u32], out: &mut [u8]) {
+        for (o, &v) in codes.iter_mut().zip(xs) {
+            let sign = u32::from(v < 0.0);
+            let mag = nearest_code(table, v.abs() * inv);
+            *o = (sign << 7) | mag;
+        }
+        out.fill(0);
+        let mut bitpos = 0usize;
+        for &v in codes.iter() {
+            let mut remaining = 8usize;
+            let mut val = v as u64;
+            while remaining > 0 {
+                let byte = bitpos / 8;
+                let offset = bitpos % 8;
+                let take = (8 - offset).min(remaining);
+                out[byte] |= ((val & ((1u64 << take) - 1)) as u8) << offset;
+                val >>= take;
+                bitpos += take;
+                remaining -= take;
+            }
+        }
+    }
+
+    /// The old decode: bit-cursor unpack at width 8, then the per-element
+    /// sign-branch table lookup.
+    pub fn decode_packed(
+        table: &[f32],
+        packed: &[u8],
+        codes: &mut [u32],
+        scale: f32,
+        out: &mut [f32],
+    ) {
+        let mut bitpos = 0usize;
+        for o in codes.iter_mut() {
+            let mut val: u64 = 0;
+            let mut got = 0usize;
+            while got < 8 {
+                let byte = bitpos / 8;
+                let offset = bitpos % 8;
+                let take = (8 - offset).min(8 - got);
+                let chunk = ((packed[byte] >> offset) as u64) & ((1u64 << take) - 1);
+                val |= chunk << got;
+                got += take;
+                bitpos += take;
+            }
+            *o = val as u32;
+        }
+        for (o, &code) in out.iter_mut().zip(codes.iter()) {
+            let sign = if code >> 7 == 1 { -1.0f32 } else { 1.0 };
+            *o = sign * table[(code & 0x7F) as usize] * scale;
+        }
+    }
+
+    /// The old comparator-driven top-k selection.
+    pub fn top_k_indices(values: &[f32], k: usize) -> Vec<u32> {
+        let d = values.len();
+        if k >= d {
+            return (0..d as u32).collect();
+        }
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<u32> = (0..d as u32).collect();
+        order.select_nth_unstable_by(k - 1, |&a, &b| {
+            let (x, y) = (values[a as usize].abs(), values[b as usize].abs());
+            y.partial_cmp(&x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut out: Vec<u32> = order[..k].to_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// The plain indexed gather loop.
+    pub fn gather(src: &[f32], indices: &[u32], out: &mut [f32]) {
+        for (o, &i) in out.iter_mut().zip(indices) {
+            *o = src[i as usize];
+        }
+    }
+}
+
+fn time_ms(mut body: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        body();
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        body();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / ITERS as f64
+}
+
+struct Row {
+    name: &'static str,
+    reference_ms: f64,
+    new_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.new_ms.max(1e-9)
+    }
+}
+
+/// The EightBit logarithmic code-book (reconstructed here so the bench does
+/// not reach into codec internals).
+fn codebook() -> Vec<f32> {
+    let mut table = vec![0.0f32];
+    for e in 0..7 {
+        for m in 0..16 {
+            table.push((2.0f32.powi(e - 7) * (1.0 + m as f32 / 16.0)).min(1.0));
+        }
+    }
+    while table.len() < 128 {
+        let k = table.len() - 113;
+        table.push(0.5 + (k as f32 + 1.0) / 32.0);
+    }
+    table.truncate(128);
+    table.sort_by(|a, b| a.partial_cmp(b).expect("finite table"));
+    table
+}
+
+fn main() {
+    let g = gradient_of_bytes(TENSOR_BYTES, 17);
+    let xs = g.as_slice();
+    let n = xs.len();
+    let table = codebook();
+    let scale = f32::from_bits(simd::abs_max_bits(xs));
+    let inv = 1.0 / scale;
+    let mut rows = Vec::new();
+
+    // norm_inf: float max fold vs the integer abs-bits max reduction.
+    {
+        let reference_ms = time_ms(|| {
+            std::hint::black_box(reference::norm_inf(std::hint::black_box(xs)));
+        });
+        let new_ms = time_ms(|| {
+            std::hint::black_box(simd::abs_max_bits(std::hint::black_box(xs)));
+        });
+        assert_eq!(
+            f32::from_bits(simd::abs_max_bits(xs)),
+            reference::norm_inf(xs)
+        );
+        rows.push(Row {
+            name: "norm_inf",
+            reference_ms,
+            new_ms,
+        });
+    }
+
+    // Packed-quantizer encode: the headline row (≥4× acceptance floor).
+    {
+        let mut codes = vec![0u32; n];
+        let mut packed = vec![0u8; pack::packed_len(n, 8)];
+        let reference_ms = time_ms(|| {
+            reference::encode_packed(&table, xs, inv, &mut codes, &mut packed);
+            std::hint::black_box(&packed);
+        });
+        let expect_packed = packed.clone();
+        let expect_codes = codes.clone();
+        let new_ms = time_ms(|| {
+            simd::quantize_sign_mag(&table, xs, inv, &mut codes);
+            simd::narrow_to_bytes(&codes, &mut packed);
+            std::hint::black_box(&packed);
+        });
+        assert_eq!(codes, expect_codes, "encode codes diverged");
+        assert_eq!(packed, expect_packed, "encode bytes diverged");
+        rows.push(Row {
+            name: "quantize_encode",
+            reference_ms,
+            new_ms,
+        });
+    }
+
+    // Packed-quantizer decode.
+    {
+        let mut codes = vec![0u32; n];
+        simd::quantize_sign_mag(&table, xs, inv, &mut codes);
+        let mut packed = vec![0u8; pack::packed_len(n, 8)];
+        simd::narrow_to_bytes(&codes, &mut packed);
+        let mut scratch = vec![0u32; n];
+        let mut out = vec![0f32; n];
+        let reference_ms = time_ms(|| {
+            reference::decode_packed(&table, &packed, &mut scratch, scale, &mut out);
+            std::hint::black_box(&out);
+        });
+        let expect: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        let new_ms = time_ms(|| {
+            simd::widen_from_bytes(&packed, &mut scratch);
+            simd::dequant_sign_mag(&table, &scratch, scale, &mut out);
+            std::hint::black_box(&out);
+        });
+        let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expect, "decode diverged");
+        rows.push(Row {
+            name: "dequant_decode",
+            reference_ms,
+            new_ms,
+        });
+    }
+
+    // Top-k selection (1% ratio, the paper's default).
+    {
+        let k = n / 100;
+        let mut scratch = Vec::new();
+        let reference_ms = time_ms(|| {
+            std::hint::black_box(reference::top_k_indices(xs, k));
+        });
+        let new_ms = time_ms(|| {
+            std::hint::black_box(select::top_k_indices_with(xs, k, &mut scratch));
+        });
+        assert_eq!(
+            select::top_k_indices_with(xs, k, &mut scratch),
+            reference::top_k_indices(xs, k),
+            "top-k selection diverged"
+        );
+        rows.push(Row {
+            name: "top_k",
+            reference_ms,
+            new_ms,
+        });
+    }
+
+    // Sparse gather at the same 1% selection. The selection is small
+    // (~2.6k indices), so each timed body repeats the gather to lift the
+    // measurement well clear of timer noise.
+    {
+        const GATHER_REPS: usize = 256;
+        let idx = select::top_k_indices(xs, n / 100);
+        let mut out = vec![0f32; idx.len()];
+        let reference_ms = time_ms(|| {
+            for _ in 0..GATHER_REPS {
+                reference::gather(xs, &idx, &mut out);
+                std::hint::black_box(&out);
+            }
+        });
+        let expect = out.clone();
+        let new_ms = time_ms(|| {
+            for _ in 0..GATHER_REPS {
+                simd::gather_f32(xs, &idx, &mut out);
+                std::hint::black_box(&out);
+            }
+        });
+        assert_eq!(out, expect, "gather diverged");
+        rows.push(Row {
+            name: "gather",
+            reference_ms,
+            new_ms,
+        });
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|nn| nn.get())
+        .unwrap_or(1);
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        println!(
+            "{:>16}  reference {:8.4} ms  new {:8.4} ms  speedup {:6.2}x",
+            r.name,
+            r.reference_ms,
+            r.new_ms,
+            r.speedup()
+        );
+        json_rows.push(format!(
+            "    {{\"codec\": \"{}\", \"reference_ms\": {:.4}, \"new_ms\": {:.4}, \
+             \"speedup\": {:.4}}}",
+            r.name,
+            r.reference_ms,
+            r.new_ms,
+            r.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"simd_kernels\",\n  \"elements\": {n},\n  \
+         \"level\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"iters\": {ITERS},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        simd::level(),
+        json_rows.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("bench_simd_kernels.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!(
+        "[written] {} (level = {}, host_cpus = {host_cpus})",
+        path.display(),
+        simd::level()
+    );
+}

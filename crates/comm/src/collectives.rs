@@ -46,6 +46,85 @@ pub fn ring_allreduce_wire_bytes(n: usize, elems: usize) -> u64 {
     }
 }
 
+/// Gathered per-rank payloads backed by one contiguous pooled buffer.
+///
+/// [`Collective::try_allgather_frames`] fills one of these instead of
+/// returning fresh per-rank `Vec<u8>`s: present ranks' payloads live as
+/// sub-ranges of `body`, so steady-state gathers reuse the same backing
+/// allocation and callers borrow `&[u8]` slices straight out of it — the
+/// shape zero-copy payload decoding ([`grace-core`'s `PayloadReader`])
+/// wants on the receive side.
+#[derive(Debug, Default)]
+pub struct GatherFrames {
+    body: Vec<u8>,
+    slots: Vec<Option<std::ops::Range<usize>>>,
+}
+
+impl GatherFrames {
+    /// Empty frames; the backing buffer grows on first gather and is
+    /// reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rank slots filled by the last gather.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Borrows rank `rank`'s payload; `None` for a departed rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the last gather's slot range.
+    pub fn slot(&self, rank: usize) -> Option<&[u8]> {
+        self.slots[rank].clone().map(|r| &self.body[r])
+    }
+
+    /// Clears slots and body, keeping both allocations.
+    pub fn clear(&mut self) {
+        self.body.clear();
+        self.slots.clear();
+    }
+
+    /// Refills from owned per-rank payloads — the bridge the default
+    /// [`Collective::try_allgather_frames`] uses: bodies are appended into
+    /// the pooled backing buffer, so once warm the copy is a memcpy with no
+    /// allocation.
+    pub fn fill_from_owned(&mut self, slots: &[Option<Vec<u8>>]) {
+        self.clear();
+        for s in slots {
+            match s {
+                Some(bytes) => {
+                    let start = self.body.len();
+                    self.body.extend_from_slice(bytes);
+                    self.slots.push(Some(start..self.body.len()));
+                }
+                None => self.slots.push(None),
+            }
+        }
+    }
+
+    /// Adopts `body` wholesale as the backing buffer. Transport overrides
+    /// that receive one verified response frame push slot ranges first
+    /// ([`push_range`](Self::push_range)), then hand the frame body over —
+    /// no per-slot copy ever happens. Ranges must lie within `body`; they
+    /// are trusted here and bounds-checked on access.
+    pub fn adopt_body(&mut self, body: Vec<u8>) {
+        self.body = body;
+    }
+
+    /// Appends a present slot covering `range` of the adopted body.
+    pub fn push_range(&mut self, range: std::ops::Range<usize>) {
+        self.slots.push(Some(range));
+    }
+
+    /// Appends an absent slot (a departed rank).
+    pub fn push_absent(&mut self) {
+        self.slots.push(None);
+    }
+}
+
 /// An all-reduce result plus how many workers actually contributed — the
 /// denominator for mean-style rescaling under degraded membership.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +184,24 @@ pub trait Collective {
     /// Fallible all-gather: `None` marks ranks that have left the cluster.
     fn try_allgather_bytes(&self, data: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>, ClusterError> {
         Ok(self.allgather_bytes(data).into_iter().map(Some).collect())
+    }
+
+    /// Fallible all-gather into a pooled [`GatherFrames`]: each present
+    /// rank's payload lands as a sub-range of one contiguous backing buffer
+    /// the caller borrows from, instead of a fresh `Vec<u8>` per rank.
+    ///
+    /// The default bridges through [`Collective::try_allgather_bytes`]
+    /// (pooled copy, no steady-state allocation once warm); transports that
+    /// receive the whole gather as a single verified frame (sockets)
+    /// override it to adopt the frame body directly — zero per-slot copies.
+    fn try_allgather_frames(
+        &self,
+        data: Vec<u8>,
+        frames: &mut GatherFrames,
+    ) -> Result<(), ClusterError> {
+        let slots = self.try_allgather_bytes(data)?;
+        frames.fill_from_owned(&slots);
+        Ok(())
     }
 
     /// Fallible broadcast.

@@ -28,7 +28,7 @@
 //!   all-reduce buffers carry no framing, so a corruption scheduled on a
 //!   non-byte op is deferred to the worker's next byte op.
 
-use crate::collectives::{Collective, Reduction};
+use crate::collectives::{Collective, GatherFrames, Reduction};
 use crate::error::ClusterError;
 use grace_telemetry::metrics::{self, Counter};
 use grace_telemetry::{trace, Stage, Track};
@@ -438,6 +438,16 @@ impl<C: Collective> Collective for FaultyCollective<C> {
         self.enter_op()?;
         self.corrupt_outgoing(&mut data);
         self.inner.try_allgather_bytes(data)
+    }
+
+    fn try_allgather_frames(
+        &self,
+        mut data: Vec<u8>,
+        frames: &mut GatherFrames,
+    ) -> Result<(), ClusterError> {
+        self.enter_op()?;
+        self.corrupt_outgoing(&mut data);
+        self.inner.try_allgather_frames(data, frames)
     }
 
     fn try_broadcast_bytes(&self, root: usize, mut data: Vec<u8>) -> Result<Vec<u8>, ClusterError> {

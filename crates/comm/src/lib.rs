@@ -34,8 +34,8 @@ pub mod traffic;
 
 pub use clock::{ClockEstimator, ClockSample};
 pub use collectives::{
-    ring_allreduce_wire_bytes, ClusterIntrospect, ClusterOptions, Collective, Reduction,
-    SingleWorker, ThreadedCluster, WorkerHandle,
+    ring_allreduce_wire_bytes, ClusterIntrospect, ClusterOptions, Collective, GatherFrames,
+    Reduction, SingleWorker, ThreadedCluster, WorkerHandle,
 };
 pub use error::ClusterError;
 pub use fault::{

@@ -70,7 +70,8 @@
 
 use crate::clock::{ClockEstimator, ClockSample};
 use crate::collectives::{
-    ring_allreduce_wire_bytes, ClusterIntrospect, ClusterOptions, Collective, Reduction,
+    ring_allreduce_wire_bytes, ClusterIntrospect, ClusterOptions, Collective, GatherFrames,
+    Reduction,
 };
 use crate::error::ClusterError;
 use crate::traffic::TrafficCounter;
@@ -1355,6 +1356,27 @@ impl SocketCluster {
         out
     }
 
+    /// Ships one all-gather request and returns `(op, response body)` with
+    /// the round header absorbed — the shared front half of
+    /// [`Collective::try_allgather_bytes`] and the zero-copy
+    /// [`Collective::try_allgather_frames`].
+    fn allgather_roundtrip(&self, data: Vec<u8>) -> Result<(u64, Vec<u8>), ClusterError> {
+        let op = self.enter()?;
+        self.traffic.record(self.rank, data.len() as u64);
+        let mut body = Vec::with_capacity(TraceCtx::WIRE_BYTES + data.len());
+        body.extend_from_slice(&self.ctx(op).to_bytes());
+        body.extend_from_slice(&data);
+        let (kind, resp) = self.roundtrip(op, KIND_ALLGATHER, &body)?;
+        if kind != KIND_R_ALLGATHER {
+            return Err(transport(
+                self.rank,
+                op,
+                format!("bad response kind {kind}"),
+            ));
+        }
+        Ok((op, resp))
+    }
+
     /// Strips the round header off a collective response: updates the live
     /// count, remembers the per-rank arrival stamps, and folds one clock
     /// sample from (local send, hub arrival, hub send, local receive).
@@ -1494,19 +1516,7 @@ impl Collective for SocketCluster {
     }
 
     fn try_allgather_bytes(&self, data: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>, ClusterError> {
-        let op = self.enter()?;
-        self.traffic.record(self.rank, data.len() as u64);
-        let mut body = Vec::with_capacity(TraceCtx::WIRE_BYTES + data.len());
-        body.extend_from_slice(&self.ctx(op).to_bytes());
-        body.extend_from_slice(&data);
-        let (kind, resp) = self.roundtrip(op, KIND_ALLGATHER, &body)?;
-        if kind != KIND_R_ALLGATHER {
-            return Err(transport(
-                self.rank,
-                op,
-                format!("bad response kind {kind}"),
-            ));
-        }
+        let (op, resp) = self.allgather_roundtrip(data)?;
         let mut r = Reader::new(&resp);
         let world = r
             .u32()
@@ -1530,6 +1540,44 @@ impl Collective for SocketCluster {
             }
         }
         Ok(slots)
+    }
+
+    /// Zero-copy all-gather: the CRC-verified response frame body becomes
+    /// the backing buffer and each present rank's payload is recorded as a
+    /// sub-range of it — the per-slot `to_vec()` of the owned path never
+    /// happens.
+    fn try_allgather_frames(
+        &self,
+        data: Vec<u8>,
+        frames: &mut GatherFrames,
+    ) -> Result<(), ClusterError> {
+        let (op, resp) = self.allgather_roundtrip(data)?;
+        frames.clear();
+        {
+            let mut r = Reader::new(&resp);
+            let world =
+                r.u32()
+                    .map_err(|e| transport(self.rank, op, e.to_string()))? as usize;
+            for _ in 0..world {
+                let present = r
+                    .take(1)
+                    .map_err(|e| transport(self.rank, op, e.to_string()))?[0];
+                if present == 1 {
+                    let len = r
+                        .u32()
+                        .map_err(|e| transport(self.rank, op, e.to_string()))?
+                        as usize;
+                    let start = r.at;
+                    r.take(len)
+                        .map_err(|e| transport(self.rank, op, e.to_string()))?;
+                    frames.push_range(start..start + len);
+                } else {
+                    frames.push_absent();
+                }
+            }
+        }
+        frames.adopt_body(resp);
+        Ok(())
     }
 
     fn try_broadcast_bytes(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, ClusterError> {

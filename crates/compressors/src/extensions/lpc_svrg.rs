@@ -1,6 +1,6 @@
 //! LPC-SVRG's low-precision quantizer (Yu, Wu & Huang, AISTATS'19).
 
-use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload};
+use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload, PayloadList};
 use grace_tensor::rng::substream;
 use grace_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -92,7 +92,7 @@ impl Compressor for LpcSvrg {
 impl HomomorphicAggregate for LpcSvrg {
     fn fold_encoded(
         &mut self,
-        payloads: &[Payload],
+        payloads: PayloadList<'_>,
         ctx: &Context,
         acc: &mut [f32],
         first: bool,
@@ -102,7 +102,7 @@ impl HomomorphicAggregate for LpcSvrg {
         // in codebook space, each worker shipping its own δ in the context.
         let delta = ctx.meta[0];
         let half = 1i64 << (self.w - 1);
-        payloads[0].unpack_into(&mut scratch.codes);
+        payloads.get(0).unpack_into(&mut scratch.codes);
         assert_eq!(scratch.codes.len(), acc.len(), "code count mismatch");
         if first {
             for (a, &code) in acc.iter_mut().zip(&scratch.codes) {

@@ -2,7 +2,7 @@
 
 use grace_core::{Compressor, Context, Payload};
 use grace_tensor::rng::substream;
-use grace_tensor::select::{gather, top_k_indices};
+use grace_tensor::select::{gather, top_k_indices_with};
 use grace_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -24,6 +24,8 @@ pub struct QsparseLocal {
     s: u32,
     level_bits: u32,
     rng: StdRng,
+    /// Pooled selection scratch, reused across same-size compress calls.
+    scratch: Vec<u32>,
 }
 
 impl QsparseLocal {
@@ -41,6 +43,7 @@ impl QsparseLocal {
             s,
             level_bits: 32 - s.leading_zeros(),
             rng: substream(seed, 0x95a5e),
+            scratch: Vec::new(),
         }
     }
 
@@ -58,7 +61,7 @@ impl Compressor for QsparseLocal {
     fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
         let d = tensor.len();
         let k = ((d as f64 * self.ratio).ceil() as usize).clamp(1, d.max(1));
-        let indices = top_k_indices(tensor.as_slice(), k);
+        let indices = top_k_indices_with(tensor.as_slice(), k, &mut self.scratch);
         let values = gather(tensor, &indices);
         // QSGD over the selected values only.
         let norm = values.iter().map(|v| v * v).sum::<f32>().sqrt();

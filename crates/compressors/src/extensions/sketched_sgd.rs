@@ -14,6 +14,9 @@ pub struct SketchedSgd {
     rows: usize,
     cols: usize,
     ratio: f64,
+    /// Pooled selection scratch for the heavy-hitter top-k, reused across
+    /// same-size decompress calls.
+    scratch: Vec<u32>,
 }
 
 impl SketchedSgd {
@@ -26,7 +29,12 @@ impl SketchedSgd {
     pub fn new(rows: usize, cols: usize, ratio: f64) -> Self {
         assert!(rows > 0 && cols > 0, "sketch dimensions must be positive");
         assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
-        SketchedSgd { rows, cols, ratio }
+        SketchedSgd {
+            rows,
+            cols,
+            ratio,
+            scratch: Vec::new(),
+        }
     }
 
     /// Sketch dimensions `(rows, cols)`.
@@ -70,7 +78,7 @@ impl Compressor for SketchedSgd {
         let k = ((d as f64 * self.ratio).ceil() as usize).clamp(1, d);
         // Estimate every coordinate from the sketch, keep the top-k.
         let estimates: Vec<f32> = (0..d).map(|i| sketch.estimate(i)).collect();
-        let idx = grace_tensor::select::top_k_indices(&estimates, k);
+        let idx = grace_tensor::select::top_k_indices_with(&estimates, k, &mut self.scratch);
         let mut out = Tensor::zeros(ctx.shape.clone());
         for &i in &idx {
             out[i as usize] = estimates[i as usize];

@@ -1,6 +1,6 @@
 //! 3LC (Lim, Andersen & Kaminsky, MLSys'19).
 
-use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload};
+use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload, PayloadList};
 use grace_tensor::Tensor;
 
 /// 3LC: 3-value quantization with a sparsity multiplier plus aggressive
@@ -152,17 +152,14 @@ impl HomomorphicAggregate for ThreeLc {
     /// code), so `x + 0.0 == x` bitwise everywhere a run lands.
     fn fold_encoded(
         &mut self,
-        payloads: &[Payload],
+        payloads: PayloadList<'_>,
         ctx: &Context,
         acc: &mut [f32],
         first: bool,
         _scratch: &mut FoldScratch,
     ) {
         let m = ctx.meta[0];
-        let bytes = match &payloads[0] {
-            Payload::Bytes(b) => b,
-            other => panic!("expected a byte payload, got {other:?}"),
-        };
+        let bytes = payloads.get(0).as_bytes();
         // Trit code 1 decoded verbatim — `(t - 1.0) * m` with `t = 1` —
         // written with a variable so clippy's eq_op lint accepts the
         // deliberately unsimplified expression.

@@ -1,6 +1,6 @@
 //! SketchML (Jiang et al., SIGMOD'18).
 
-use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload};
+use grace_core::{Compressor, Context, FoldScratch, HomomorphicAggregate, Payload, PayloadList};
 use grace_tensor::sketch::{bucket_of, GkSketch};
 use grace_tensor::Tensor;
 
@@ -120,15 +120,15 @@ impl HomomorphicAggregate for SketchMl {
     /// `Tensor::nonzero` rules out) and the accumulator never holds `-0.0`.
     fn fold_encoded(
         &mut self,
-        payloads: &[Payload],
+        payloads: PayloadList<'_>,
         ctx: &Context,
         acc: &mut [f32],
         first: bool,
         scratch: &mut FoldScratch,
     ) {
         let boundaries = &ctx.meta;
-        payloads[0].unpack_into(&mut scratch.codes);
-        payloads[1].unpack_into(&mut scratch.aux);
+        payloads.get(0).unpack_into(&mut scratch.codes);
+        payloads.get(1).unpack_into(&mut scratch.aux);
         if first {
             acc.fill(0.0);
         }

@@ -1,7 +1,9 @@
 //! 8-bit quantization (Dettmers, ICLR'16).
 
-use grace_core::{CommStrategy, Compressor, Context, FoldScratch, HomomorphicAggregate, Payload};
-use grace_tensor::Tensor;
+use grace_core::{
+    CommStrategy, Compressor, Context, FoldScratch, HomomorphicAggregate, Payload, PayloadList,
+};
+use grace_tensor::{simd, Tensor};
 
 /// Number of magnitude code points (7 bits; the 8th bit is the sign).
 const MAGNITUDES: usize = 128;
@@ -18,6 +20,9 @@ const MAGNITUDES: usize = 128;
 #[derive(Debug, Clone)]
 pub struct EightBit {
     table: Vec<f32>,
+    /// Pooled code buffer: sized by the first compress/decompress, reused
+    /// (never reallocated) on every later same-size call.
+    codes: Vec<u32>,
 }
 
 impl EightBit {
@@ -46,9 +51,16 @@ impl EightBit {
             let last = *table.last().expect("non-empty");
             table.push((last + 1.0) / 2.0);
         }
-        EightBit { table }
+        EightBit {
+            table,
+            codes: Vec::new(),
+        }
     }
 
+    /// Reference encode for one normalized magnitude — the semantics the
+    /// vectorized [`simd::quantize_sign_mag`] kernel must reproduce (kept
+    /// as the oracle the tests compare against).
+    #[cfg(test)]
     fn nearest_code(&self, x: f32) -> u32 {
         // Binary search for the nearest code-word (the find_bins operation).
         let idx = self.table.partition_point(|v| *v < x);
@@ -67,11 +79,12 @@ impl EightBit {
         }
     }
 
-    /// The single decode expression, shared verbatim by `decompress` and the
-    /// homomorphic fold so the two can never diverge bitwise. Note the
-    /// `-1.0 * 0.0 * scale` case decodes to `-0.0` — the fold must *assign*
-    /// worker 0's values, never add them onto a zeroed accumulator.
-    #[inline]
+    /// Reference decode expression — the semantics `decompress` and the
+    /// homomorphic fold share via [`simd::dequant_sign_mag`], kept as the
+    /// oracle the tests compare against. Note the `-1.0 * 0.0 * scale` case
+    /// decodes to `-0.0` — the fold must *assign* worker 0's values, never
+    /// add them onto a zeroed accumulator.
+    #[cfg(test)]
     fn decode_code(&self, code: u32, scale: f32) -> f32 {
         let sign = if code >> 7 == 1 { -1.0 } else { 1.0 };
         sign * self.table[(code & 0x7F) as usize] * scale
@@ -96,28 +109,21 @@ impl Compressor for EightBit {
     fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
         let scale = tensor.norm_inf();
         let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
-        let codes: Vec<u32> = tensor
-            .as_slice()
-            .iter()
-            .map(|&v| {
-                let sign = u32::from(v < 0.0);
-                let mag = self.nearest_code(v.abs() * inv);
-                (sign << 7) | mag
-            })
-            .collect();
+        let xs = tensor.as_slice();
+        self.codes.clear();
+        self.codes.resize(xs.len(), 0);
+        simd::quantize_sign_mag(&self.table, xs, inv, &mut self.codes);
         (
-            vec![Payload::packed(&codes, 8)],
+            vec![Payload::packed(&self.codes, 8)],
             Context::with_meta(tensor.shape().clone(), vec![scale]),
         )
     }
 
     fn decompress(&mut self, payloads: &[Payload], ctx: &Context) -> Tensor {
         let scale = ctx.meta[0];
-        let data: Vec<f32> = payloads[0]
-            .unpack()
-            .into_iter()
-            .map(|code| self.decode_code(code, scale))
-            .collect();
+        payloads[0].unpack_into(&mut self.codes);
+        let mut data = vec![0.0f32; self.codes.len()];
+        simd::dequant_sign_mag(&self.table, &self.codes, scale, &mut data);
         Tensor::new(data, ctx.shape.clone())
     }
 
@@ -129,23 +135,19 @@ impl Compressor for EightBit {
 impl HomomorphicAggregate for EightBit {
     fn fold_encoded(
         &mut self,
-        payloads: &[Payload],
+        payloads: PayloadList<'_>,
         ctx: &Context,
         acc: &mut [f32],
         first: bool,
         scratch: &mut FoldScratch,
     ) {
         let scale = ctx.meta[0];
-        payloads[0].unpack_into(&mut scratch.codes);
+        payloads.get(0).unpack_into(&mut scratch.codes);
         assert_eq!(scratch.codes.len(), acc.len(), "code count mismatch");
         if first {
-            for (a, &code) in acc.iter_mut().zip(&scratch.codes) {
-                *a = self.decode_code(code, scale);
-            }
+            simd::dequant_sign_mag(&self.table, &scratch.codes, scale, acc);
         } else {
-            for (a, &code) in acc.iter_mut().zip(&scratch.codes) {
-                *a += self.decode_code(code, scale);
-            }
+            simd::dequant_sign_mag_add(&self.table, &scratch.codes, scale, acc);
         }
     }
 }
@@ -209,6 +211,28 @@ mod tests {
         let g = Tensor::from_vec(vec![0.0; 16]);
         let (out, _, _) = roundtrip(&mut q, &g);
         assert_eq!(out.norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn vectorized_codec_matches_reference_encode_decode() {
+        let mut q = EightBit::new();
+        let g = gradient(777, 5);
+        let scale = g.norm_inf();
+        let inv = 1.0 / scale;
+        let (payloads, ctx) = q.compress(&g, "g");
+        let codes = payloads[0].unpack();
+        for (i, (&v, &code)) in g.as_slice().iter().zip(&codes).enumerate() {
+            let want = (u32::from(v < 0.0) << 7) | q.nearest_code(v.abs() * inv);
+            assert_eq!(code, want, "encode diverged at {i}");
+        }
+        let out = q.decompress(&payloads, &ctx);
+        for (i, (&d, &code)) in out.as_slice().iter().zip(&codes).enumerate() {
+            assert_eq!(
+                d.to_bits(),
+                q.decode_code(code, scale).to_bits(),
+                "decode diverged at {i}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use super::{ratio_to_k, sparse_decompress, sparse_payloads};
 use grace_core::{Compressor, Context, Payload};
-use grace_tensor::select::{gather, top_k_indices};
+use grace_tensor::select::{gather, top_k_indices_with};
 use grace_tensor::Tensor;
 
 /// Top-k: transmits the `k = ⌈ratio·d⌉` elements of largest magnitude, as
@@ -11,6 +11,9 @@ use grace_tensor::Tensor;
 #[derive(Debug, Clone)]
 pub struct TopK {
     ratio: f64,
+    /// Pooled selection scratch: sized on the first compress, reused (no
+    /// reallocation) on every later same-size call.
+    scratch: Vec<u32>,
 }
 
 impl TopK {
@@ -21,7 +24,10 @@ impl TopK {
     /// Panics if the ratio is outside `(0, 1]`.
     pub fn new(ratio: f64) -> Self {
         assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
-        TopK { ratio }
+        TopK {
+            ratio,
+            scratch: Vec::new(),
+        }
     }
 
     /// The configured sparsity ratio.
@@ -37,7 +43,7 @@ impl Compressor for TopK {
 
     fn compress(&mut self, tensor: &Tensor, _name: &str) -> (Vec<Payload>, Context) {
         let k = ratio_to_k(self.ratio, tensor.len());
-        let indices = top_k_indices(tensor.as_slice(), k);
+        let indices = top_k_indices_with(tensor.as_slice(), k, &mut self.scratch);
         let values = gather(tensor, &indices);
         (
             sparse_payloads(values, indices),

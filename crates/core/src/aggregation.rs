@@ -47,7 +47,7 @@ use crate::exchange::EncodedTensor;
 use grace_tensor::Tensor;
 
 pub use crate::compressor::Context;
-pub use crate::payload::Payload;
+pub use crate::payload::{Payload, PayloadList};
 
 /// How the engine merges gathered contributions into the aggregated tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -168,13 +168,19 @@ impl FoldScratch {
 pub trait HomomorphicAggregate {
     /// Folds one worker's encoded contribution into `acc`.
     ///
+    /// The contribution arrives as a [`PayloadList`] so the same fold body
+    /// serves both owned payloads (in-process engine) and zero-copy frame
+    /// views (socket transport) — implementations read through
+    /// [`crate::payload::PayloadView`] accessors and never materialize a
+    /// `Vec<u8>` body.
+    ///
     /// # Panics
     ///
     /// Implementations may panic when `acc.len()` differs from the context
     /// shape or payloads are malformed.
     fn fold_encoded(
         &mut self,
-        payloads: &[Payload],
+        payloads: PayloadList<'_>,
         ctx: &Context,
         acc: &mut [f32],
         first: bool,
@@ -482,10 +488,66 @@ impl AggMerger {
             .expect("compressor does not support HomomorphicSum");
         let acc = out.as_mut_slice();
         for (w, part) in parts.iter().enumerate() {
-            h.fold_encoded(&part.payloads, &part.ctx, acc, w == 0, &mut self.scratch);
+            h.fold_encoded(
+                PayloadList::Owned(&part.payloads),
+                &part.ctx,
+                acc,
+                w == 0,
+                &mut self.scratch,
+            );
         }
         h.finish_mean(acc, parts.len());
         incast_bytes
+    }
+
+    /// Streaming variant of [`AggMerger::fold_homomorphic_into`] for
+    /// zero-copy frame views: the caller walks the gathered frames itself
+    /// (wire formats differ by transport), calling this once per surviving
+    /// contribution in rank order — `first` true for the first survivor —
+    /// then [`AggMerger::finish_fold`] with the survivor count. Per element
+    /// the arithmetic is identical to the owned fold (same `fold_encoded`
+    /// body, same rank order, same `1/n` scale), so both paths produce
+    /// bit-identical accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compressor does not advertise
+    /// [`HomomorphicAggregate`].
+    pub fn fold_part_into(
+        &mut self,
+        compressor: &mut dyn Compressor,
+        payloads: PayloadList<'_>,
+        ctx: &Context,
+        out: &mut Tensor,
+        first: bool,
+    ) {
+        if first {
+            out.reset_for(&ctx.shape);
+        }
+        let h = compressor
+            .homomorphic()
+            .expect("compressor does not support HomomorphicSum");
+        h.fold_encoded(payloads, ctx, out.as_mut_slice(), first, &mut self.scratch);
+    }
+
+    /// Completes a streaming fold started with
+    /// [`AggMerger::fold_part_into`]: turns the accumulated sum into the
+    /// mean over `contributors`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compressor does not advertise
+    /// [`HomomorphicAggregate`] or `contributors` is zero.
+    pub fn finish_fold(
+        &mut self,
+        compressor: &mut dyn Compressor,
+        out: &mut Tensor,
+        contributors: usize,
+    ) {
+        let h = compressor
+            .homomorphic()
+            .expect("compressor does not support HomomorphicSum");
+        h.finish_mean(out.as_mut_slice(), contributors);
     }
 }
 

@@ -149,6 +149,197 @@ pub fn total_bytes(payloads: &[Payload]) -> usize {
     payloads.iter().map(Payload::encoded_bytes).sum()
 }
 
+/// A zero-copy view of one payload, borrowing either an owned [`Payload`]'s
+/// buffers or a slice of a decoded frame body.
+///
+/// Wire-backed views (`F32Le`/`U32Le`) keep the little-endian bytes in
+/// place: a frame body carries no alignment guarantee, so a `&[f32]`
+/// reinterpretation would be unsound. Byte-backed variants (`Packed`,
+/// `Bytes`) are identical in both worlds — and those are exactly the
+/// variants the homomorphic folds consume, so the fold path never
+/// rematerializes a `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PayloadView<'a> {
+    /// Dense `f32` values borrowed from an owned payload.
+    F32(&'a [f32]),
+    /// Dense `f32` values as little-endian bytes in a frame body.
+    F32Le(&'a [u8]),
+    /// `u32` values borrowed from an owned payload.
+    U32(&'a [u32]),
+    /// `u32` values as little-endian bytes in a frame body.
+    U32Le(&'a [u8]),
+    /// `count` code-words bit-packed at `bits` bits each.
+    Packed {
+        /// Packed little-endian bit stream.
+        data: &'a [u8],
+        /// Bits per code-word (1..=32).
+        bits: u32,
+        /// Number of code-words.
+        count: u32,
+    },
+    /// Arbitrary encoded bytes.
+    Bytes(&'a [u8]),
+}
+
+impl<'a> PayloadView<'a> {
+    /// Views an owned payload without copying.
+    pub fn of(payload: &'a Payload) -> Self {
+        match payload {
+            Payload::F32(v) => PayloadView::F32(v),
+            Payload::U32(v) => PayloadView::U32(v),
+            Payload::Packed { data, bits, count } => PayloadView::Packed {
+                data,
+                bits: *bits,
+                count: *count,
+            },
+            Payload::Bytes(b) => PayloadView::Bytes(b),
+        }
+    }
+
+    /// Materializes the view into an owned [`Payload`].
+    pub fn to_payload(self) -> Payload {
+        match self {
+            PayloadView::F32(v) => Payload::F32(v.to_vec()),
+            PayloadView::F32Le(b) => Payload::F32(pack::bytes_to_f32s(b)),
+            PayloadView::U32(v) => Payload::U32(v.to_vec()),
+            PayloadView::U32Le(b) => Payload::U32(pack::bytes_to_u32s(b)),
+            PayloadView::Packed { data, bits, count } => Payload::Packed {
+                data: data.to_vec(),
+                bits,
+                count,
+            },
+            PayloadView::Bytes(b) => Payload::Bytes(b.to_vec()),
+        }
+    }
+
+    /// Exact transmitted size in bytes (same convention as
+    /// [`Payload::encoded_bytes`]).
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            PayloadView::F32(v) => v.len() * 4,
+            PayloadView::F32Le(b) => b.len(),
+            PayloadView::U32(v) => v.len() * 4,
+            PayloadView::U32Le(b) => b.len(),
+            PayloadView::Packed { data, .. } => data.len(),
+            PayloadView::Bytes(b) => b.len(),
+        }
+    }
+
+    /// Non-allocating unpack of a packed view into a pooled scratch vector
+    /// (mirrors [`Payload::unpack_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is not `Packed`.
+    pub fn unpack_into(&self, out: &mut Vec<u32>) {
+        match self {
+            PayloadView::Packed { data, bits, count } => {
+                pack::unpack_bits_into(data, *bits, *count as usize, out);
+            }
+            other => panic!("expected a packed payload, got {other:?}"),
+        }
+    }
+
+    /// Borrows the raw bytes of a `Bytes` view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is not `Bytes`.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        match self {
+            PayloadView::Bytes(b) => b,
+            other => panic!("expected a bytes payload, got {other:?}"),
+        }
+    }
+
+    /// Reads the dense `f32` values of an `F32`/`F32Le` view into a pooled
+    /// scratch vector (clears `out`, reuses its capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is not an `f32` payload.
+    pub fn read_f32s_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        match self {
+            PayloadView::F32(v) => out.extend_from_slice(v),
+            PayloadView::F32Le(b) => {
+                out.reserve(b.len() / 4);
+                out.extend(
+                    b.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                );
+            }
+            other => panic!("expected an f32 payload, got {other:?}"),
+        }
+    }
+
+    /// Reads the values of a `U32`/`U32Le` view into a pooled scratch
+    /// vector (clears `out`, reuses its capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is not a `u32` payload.
+    pub fn read_u32s_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        match self {
+            PayloadView::U32(v) => out.extend_from_slice(v),
+            PayloadView::U32Le(b) => {
+                out.reserve(b.len() / 4);
+                out.extend(
+                    b.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                );
+            }
+            other => panic!("expected a u32 payload, got {other:?}"),
+        }
+    }
+}
+
+/// A borrowed list of payloads handed to the homomorphic fold — either
+/// owned [`Payload`]s (the in-process engine) or zero-copy
+/// [`PayloadView`]s straight out of a decoded frame body (the socket
+/// transport). `Copy`, so passing it around costs nothing.
+#[derive(Debug, Clone, Copy)]
+pub enum PayloadList<'a> {
+    /// Owned payloads, viewed in place.
+    Owned(&'a [Payload]),
+    /// Zero-copy frame-body views.
+    Views(&'a [PayloadView<'a>]),
+}
+
+impl<'a> PayloadList<'a> {
+    /// Number of payloads in the list.
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadList::Owned(p) => p.len(),
+            PayloadList::Views(v) => v.len(),
+        }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Views the `i`-th payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> PayloadView<'a> {
+        match self {
+            PayloadList::Owned(p) => PayloadView::of(&p[i]),
+            PayloadList::Views(v) => v[i],
+        }
+    }
+}
+
+impl<'a> From<&'a [Payload]> for PayloadList<'a> {
+    fn from(payloads: &'a [Payload]) -> Self {
+        PayloadList::Owned(payloads)
+    }
+}
+
 const TAG_F32: u8 = 0;
 const TAG_U32: u8 = 1;
 const TAG_PACKED: u8 = 2;
@@ -195,6 +386,126 @@ pub fn encode(payloads: &[Payload]) -> Vec<u8> {
     out
 }
 
+/// A streaming zero-copy parser over an encoded payload frame.
+///
+/// [`new_checked`](Self::new_checked) validates the frame envelope (length
+/// and CRC32 trailer) once; [`next_view`](Self::next_view) then yields each
+/// payload as a borrowed [`PayloadView`] without copying a single body
+/// byte. This is the single source of format truth: [`decode_checked`] is
+/// implemented on top of it by materializing every view.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    body: &'a [u8],
+    pos: usize,
+    remaining: u32,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Validates the frame envelope and positions the reader at the first
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PayloadError::ChecksumMismatch`] when the CRC32 trailer
+    /// disagrees with the received bytes, and [`PayloadError::Malformed`]
+    /// when the stream is too short to carry a frame.
+    pub fn new_checked(bytes: &'a [u8]) -> Result<Self, PayloadError> {
+        if bytes.len() < FRAME_OVERHEAD {
+            return Err(PayloadError::Malformed(format!(
+                "stream of {} bytes is shorter than the {FRAME_OVERHEAD}-byte frame",
+                bytes.len()
+            )));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let actual = pack::crc32(body);
+        if expected != actual {
+            return Err(PayloadError::ChecksumMismatch { expected, actual });
+        }
+        let mut reader = PayloadReader {
+            body,
+            pos: 0,
+            remaining: 0,
+        };
+        reader.remaining = reader.read_u32()?;
+        Ok(reader)
+    }
+
+    /// Number of payloads not yet yielded.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PayloadError> {
+        if self.pos + n > self.body.len() {
+            return Err(PayloadError::Malformed(format!(
+                "truncated stream: need {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, PayloadError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Yields the next payload as a zero-copy view, or `Ok(None)` once the
+    /// advertised payload count is exhausted (at which point the stream
+    /// must also be fully consumed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PayloadError::Malformed`] on truncation, an unknown tag,
+    /// or trailing bytes after the final payload.
+    #[allow(clippy::should_implement_trait)] // Iterator can't return borrows tied to &mut self errors this way
+    pub fn next_view(&mut self) -> Result<Option<PayloadView<'a>>, PayloadError> {
+        if self.remaining == 0 {
+            if self.pos != self.body.len() {
+                return Err(PayloadError::Malformed(
+                    "trailing bytes in payload stream".to_string(),
+                ));
+            }
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let tag = self.take(1)?[0];
+        let view = match tag {
+            TAG_F32 => {
+                let len = self.read_u32()? as usize;
+                PayloadView::F32Le(self.take(len * 4)?)
+            }
+            TAG_U32 => {
+                let len = self.read_u32()? as usize;
+                PayloadView::U32Le(self.take(len * 4)?)
+            }
+            TAG_PACKED => {
+                let bits = self.read_u32()?;
+                let count = self.read_u32()?;
+                let len = self.read_u32()? as usize;
+                PayloadView::Packed {
+                    data: self.take(len)?,
+                    bits,
+                    count,
+                }
+            }
+            TAG_BYTES => {
+                let len = self.read_u32()? as usize;
+                PayloadView::Bytes(self.take(len)?)
+            }
+            other => {
+                return Err(PayloadError::Malformed(format!(
+                    "unknown payload tag {other}"
+                )));
+            }
+        };
+        Ok(Some(view))
+    }
+}
+
 /// Decodes a byte stream produced by [`encode`], verifying the CRC32
 /// trailer first.
 ///
@@ -204,72 +515,10 @@ pub fn encode(payloads: &[Payload]) -> Vec<u8> {
 /// with the received bytes (wire corruption), and
 /// [`PayloadError::Malformed`] when the stream structure is invalid.
 pub fn decode_checked(bytes: &[u8]) -> Result<Vec<Payload>, PayloadError> {
-    if bytes.len() < FRAME_OVERHEAD {
-        return Err(PayloadError::Malformed(format!(
-            "stream of {} bytes is shorter than the {FRAME_OVERHEAD}-byte frame",
-            bytes.len()
-        )));
-    }
-    let (body, trailer) = bytes.split_at(bytes.len() - 4);
-    let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
-    let actual = pack::crc32(body);
-    if expected != actual {
-        return Err(PayloadError::ChecksumMismatch { expected, actual });
-    }
-
-    let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> Result<&[u8], PayloadError> {
-        if *pos + n > body.len() {
-            return Err(PayloadError::Malformed(format!(
-                "truncated stream: need {n} bytes at offset {pos}"
-            )));
-        }
-        let s = &body[*pos..*pos + n];
-        *pos += n;
-        Ok(s)
-    };
-    let read_u32 = |pos: &mut usize| -> Result<u32, PayloadError> {
-        let s = take(pos, 4)?;
-        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
-    };
-    let n = read_u32(&mut pos)? as usize;
-    let mut out = Vec::with_capacity(n.min(1024));
-    for _ in 0..n {
-        let tag = take(&mut pos, 1)?[0];
-        match tag {
-            TAG_F32 => {
-                let len = read_u32(&mut pos)? as usize;
-                out.push(Payload::F32(pack::bytes_to_f32s(take(&mut pos, len * 4)?)));
-            }
-            TAG_U32 => {
-                let len = read_u32(&mut pos)? as usize;
-                out.push(Payload::U32(pack::bytes_to_u32s(take(&mut pos, len * 4)?)));
-            }
-            TAG_PACKED => {
-                let bits = read_u32(&mut pos)?;
-                let count = read_u32(&mut pos)?;
-                let len = read_u32(&mut pos)? as usize;
-                out.push(Payload::Packed {
-                    data: take(&mut pos, len)?.to_vec(),
-                    bits,
-                    count,
-                });
-            }
-            TAG_BYTES => {
-                let len = read_u32(&mut pos)? as usize;
-                out.push(Payload::Bytes(take(&mut pos, len)?.to_vec()));
-            }
-            other => {
-                return Err(PayloadError::Malformed(format!(
-                    "unknown payload tag {other}"
-                )));
-            }
-        }
-    }
-    if pos != body.len() {
-        return Err(PayloadError::Malformed(
-            "trailing bytes in payload stream".to_string(),
-        ));
+    let mut reader = PayloadReader::new_checked(bytes)?;
+    let mut out = Vec::with_capacity((reader.remaining() as usize).min(1024));
+    while let Some(view) = reader.next_view()? {
+        out.push(view.to_payload());
     }
     Ok(out)
 }
@@ -395,5 +644,106 @@ mod tests {
     fn accessors() {
         assert_eq!(Payload::F32(vec![1.0]).as_f32(), &[1.0]);
         assert_eq!(Payload::U32(vec![2]).as_u32(), &[2]);
+    }
+
+    #[test]
+    fn reader_views_roundtrip_without_copying_bodies() {
+        let list = vec![
+            Payload::F32(vec![1.5, -2.25, 0.0]),
+            Payload::U32(vec![7, 0, u32::MAX]),
+            Payload::packed(&[5, 2, 7, 0, 1], 3),
+            Payload::Bytes(vec![9, 8, 7]),
+        ];
+        let encoded = encode(&list);
+        let mut reader = PayloadReader::new_checked(&encoded).unwrap();
+        assert_eq!(reader.remaining(), 4);
+        let mut seen = Vec::new();
+        while let Some(view) = reader.next_view().unwrap() {
+            // Every view borrows from within the encoded frame.
+            let range = encoded.as_ptr_range();
+            let ptr = match view {
+                PayloadView::F32Le(b) | PayloadView::U32Le(b) | PayloadView::Bytes(b) => b.as_ptr(),
+                PayloadView::Packed { data, .. } => data.as_ptr(),
+                other => panic!("wire reader yielded an owned view {other:?}"),
+            };
+            assert!(range.contains(&ptr), "view does not borrow the frame");
+            seen.push(view.to_payload());
+        }
+        assert_eq!(seen, list);
+        assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_reports_same_errors_as_decode_checked() {
+        // CRC corruption caught at construction.
+        let mut bytes = encode(&[Payload::Bytes(vec![1, 2, 3])]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let by_reader = PayloadReader::new_checked(&bytes).err().unwrap();
+        let by_decode = decode_checked(&bytes).err().unwrap();
+        assert_eq!(by_reader, by_decode);
+        // Structural errors surface from next_view with identical messages.
+        let mut bytes = encode(&[Payload::Bytes(vec![1])]);
+        bytes[4] = 99; // unknown tag
+        let body_len = bytes.len() - 4;
+        let crc = grace_tensor::pack::crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        let mut reader = PayloadReader::new_checked(&bytes).unwrap();
+        assert_eq!(reader.next_view().err(), decode_checked(&bytes).err());
+    }
+
+    #[test]
+    fn view_of_owned_payload_borrows_and_unpacks() {
+        let packed = Payload::packed(&[3, 0, 2, 1], 2);
+        let view = PayloadView::of(&packed);
+        assert_eq!(view.encoded_bytes(), packed.encoded_bytes());
+        let mut scratch = Vec::new();
+        view.unpack_into(&mut scratch);
+        assert_eq!(scratch, vec![3, 0, 2, 1]);
+        assert_eq!(view.to_payload(), packed);
+
+        let f = Payload::F32(vec![1.0, -2.0]);
+        let mut fs = Vec::new();
+        PayloadView::of(&f).read_f32s_into(&mut fs);
+        assert_eq!(fs, vec![1.0, -2.0]);
+        let u = Payload::U32(vec![4, 5]);
+        let mut us = Vec::new();
+        PayloadView::of(&u).read_u32s_into(&mut us);
+        assert_eq!(us, vec![4, 5]);
+    }
+
+    #[test]
+    fn wire_views_read_into_scratch() {
+        let list = vec![Payload::F32(vec![0.5, -1.5]), Payload::U32(vec![10, 11])];
+        let encoded = encode(&list);
+        let mut reader = PayloadReader::new_checked(&encoded).unwrap();
+        let mut fs = Vec::new();
+        reader.next_view().unwrap().unwrap().read_f32s_into(&mut fs);
+        assert_eq!(fs, vec![0.5, -1.5]);
+        let mut us = Vec::new();
+        reader.next_view().unwrap().unwrap().read_u32s_into(&mut us);
+        assert_eq!(us, vec![10, 11]);
+    }
+
+    #[test]
+    fn payload_list_is_uniform_over_both_representations() {
+        let owned = vec![Payload::packed(&[1, 2, 3], 4), Payload::Bytes(vec![7])];
+        let views: Vec<PayloadView<'_>> = owned.iter().map(PayloadView::of).collect();
+        let a = PayloadList::Owned(&owned);
+        let b = PayloadList::Views(&views);
+        assert_eq!(a.len(), 2);
+        assert!(!b.is_empty());
+        for i in 0..2 {
+            assert_eq!(a.get(i), b.get(i));
+        }
+        let from: PayloadList<'_> = owned.as_slice().into();
+        assert_eq!(from.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a bytes payload")]
+    fn view_as_bytes_rejects_wrong_variant() {
+        let p = Payload::U32(vec![1]);
+        let _ = PayloadView::of(&p).as_bytes();
     }
 }

@@ -34,7 +34,7 @@ use crate::trainer::{
 };
 use grace_comm::{
     ClusterError, ClusterIntrospect, ClusterOptions, Collective, FaultStats, FaultSummary,
-    FaultyCollective, ThreadedCluster,
+    FaultyCollective, GatherFrames, ThreadedCluster,
 };
 use grace_nn::data::Task;
 use grace_nn::network::Network;
@@ -176,6 +176,9 @@ where
     // Per-rank gather-side merge under the configured aggregation plan
     // (serial fold — each rank merges its own gathered contributions).
     let mut merger = crate::AggMerger::new(cfg.agg_plan);
+    // Pooled gather buffer: every step's frames land as sub-ranges of one
+    // backing allocation the decode path borrows from.
+    let mut frames = GatherFrames::new();
     // Fusion plan over the streaming (reverse-layer) order. Boundaries
     // depend only on dense byte sizes, so every worker derives the same
     // plan and the per-tensor collective order stays rank-consistent.
@@ -276,7 +279,15 @@ where
             // ranks), then hand the optimizer forward-ordered gradients.
             let mut aggregated = Vec::with_capacity(stream.len());
             for (name, encoded, shape) in stream {
-                let agg = exchange_tensor(comm, strategy, &mut lane, &mut merger, encoded, shape)?;
+                let agg = exchange_tensor(
+                    comm,
+                    strategy,
+                    &mut lane,
+                    &mut merger,
+                    &mut frames,
+                    encoded,
+                    shape,
+                )?;
                 aggregated.push((name, agg));
             }
             aggregated.sort_by_key(|(name, _)| forward_index[name.as_str()]);
@@ -355,6 +366,7 @@ fn exchange_tensor<C: ClusterIntrospect>(
     strategy: CommStrategy,
     lane: &mut WorkerLane<'_>,
     merger: &mut crate::AggMerger,
+    frames: &mut GatherFrames,
     encoded: EncodedTensor,
     shape: grace_tensor::Shape,
 ) -> Result<Tensor, ClusterError> {
@@ -371,19 +383,29 @@ fn exchange_tensor<C: ClusterIntrospect>(
             Ok(lane.compressor_mut().decompress(&mean, &encoded.ctx))
         }
         CommStrategy::Allgather | CommStrategy::Broadcast => {
-            // Ship payloads + context scalars; decompress every worker's
-            // contribution; aggregate. Contributions that fail the CRC32
-            // check are dropped by every receiver identically (the sender
-            // corrupted the stream before deposit), and `Agg`'s mean over
-            // the surviving parts is the rescaled estimate.
+            // Ship payloads + context scalars; merge every worker's
+            // contribution out of the pooled gathered frames. Contributions
+            // that fail the CRC32 check are dropped by every receiver
+            // identically (the sender corrupted the stream before deposit),
+            // and `Agg`'s mean over the surviving parts is the rescaled
+            // estimate.
             let mut wire = encoded.payloads;
             wire.push(Payload::F32(encoded.ctx.meta.clone()));
             let op = comm.inner().ops_started();
             let rank = comm.rank();
-            let gathered = comm.try_allgather_bytes(payload::encode(&wire))?;
-            let mut parts: Vec<EncodedTensor> = Vec::with_capacity(gathered.len());
+            comm.try_allgather_frames(payload::encode(&wire), frames)?;
+            let plan = crate::effective_plan(merger.plan(), lane.compressor_mut());
+            if plan == crate::AggregationPlan::HomomorphicSum {
+                // Fold each frame's payloads straight into the accumulator
+                // through zero-copy views — no per-rank payload list is
+                // ever materialized.
+                return fold_gathered_views(comm, lane, merger, frames, shape, rank, op);
+            }
+            // Decoded plans: materialize per-rank payload lists, then run
+            // the method's decode + `Agg` under the requested plan.
+            let mut parts: Vec<EncodedTensor> = Vec::with_capacity(frames.n_slots());
             let mut last_error = None;
-            for bytes in gathered.iter().flatten() {
+            for bytes in (0..frames.n_slots()).filter_map(|r| frames.slot(r)) {
                 match payload::decode_checked(bytes) {
                     Ok(mut list) => {
                         let meta = list
@@ -416,6 +438,97 @@ fn exchange_tensor<C: ClusterIntrospect>(
             Ok(merger.merge_gathered(lane.compressor_mut(), &parts).0)
         }
     }
+}
+
+/// Upper bound on payloads per wire frame (compressor payloads plus the
+/// trailing meta payload) — sized for a stack array of views so the
+/// zero-copy fold allocates nothing per frame.
+const MAX_WIRE_PAYLOADS: usize = 8;
+
+/// Folds every CRC-surviving gathered frame straight into the accumulator
+/// through zero-copy [`crate::PayloadView`]s. Bit-identical to the owned
+/// [`crate::AggMerger::fold_homomorphic_into`]: same rank order, same
+/// per-element fold expressions, same `1/n` scale.
+fn fold_gathered_views<C: ClusterIntrospect>(
+    comm: &FaultyCollective<C>,
+    lane: &mut WorkerLane<'_>,
+    merger: &mut crate::AggMerger,
+    frames: &GatherFrames,
+    shape: grace_tensor::Shape,
+    rank: usize,
+    op: u64,
+) -> Result<Tensor, ClusterError> {
+    let mut out = Tensor::zeros(shape.clone());
+    let mut meta = Vec::new();
+    let mut contributors = 0usize;
+    let mut last_error = None;
+    for bytes in (0..frames.n_slots()).filter_map(|r| frames.slot(r)) {
+        match fold_one_frame(
+            lane,
+            merger,
+            bytes,
+            &shape,
+            &mut out,
+            &mut meta,
+            contributors == 0,
+        ) {
+            Ok(()) => contributors += 1,
+            Err(e) => {
+                comm.stats().record_detected(rank);
+                last_error = Some(e);
+            }
+        }
+    }
+    if contributors == 0 {
+        return Err(ClusterError::Corrupted {
+            rank,
+            op,
+            detail: last_error
+                .map(|e: crate::PayloadError| e.to_string())
+                .unwrap_or_else(|| "no live contributions".to_string()),
+        });
+    }
+    merger.finish_fold(lane.compressor_mut(), &mut out, contributors);
+    Ok(out)
+}
+
+/// Parses one gathered frame into stack-held views and folds it. Errors
+/// (CRC mismatch, structural damage) surface before any element is folded,
+/// so a rejected frame never contaminates the accumulator.
+fn fold_one_frame(
+    lane: &mut WorkerLane<'_>,
+    merger: &mut crate::AggMerger,
+    bytes: &[u8],
+    shape: &Shape,
+    out: &mut Tensor,
+    meta: &mut Vec<f32>,
+    first: bool,
+) -> Result<(), crate::PayloadError> {
+    let mut reader = crate::PayloadReader::new_checked(bytes)?;
+    let mut views = [crate::PayloadView::Bytes(&[]); MAX_WIRE_PAYLOADS];
+    let mut n = 0usize;
+    while let Some(view) = reader.next_view()? {
+        assert!(
+            n < MAX_WIRE_PAYLOADS,
+            "frame carries more than {MAX_WIRE_PAYLOADS} payloads"
+        );
+        views[n] = view;
+        n += 1;
+    }
+    assert!(n > 0, "wire format includes meta");
+    // The trailing payload is the sender's context scalars; hand the pooled
+    // scratch to the context and take it back after the fold.
+    views[n - 1].read_f32s_into(meta);
+    let ctx = Context::with_meta(shape.clone(), std::mem::take(meta));
+    merger.fold_part_into(
+        lane.compressor_mut(),
+        crate::PayloadList::Views(&views[..n - 1]),
+        &ctx,
+        out,
+        first,
+    );
+    *meta = ctx.meta;
+    Ok(())
 }
 
 /// Sanity helper: the wire size the threaded mode ships for one tensor,

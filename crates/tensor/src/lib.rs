@@ -12,6 +12,8 @@
 //!   the quantization compressors for byte-exact payloads;
 //! - [`linalg`]: the small dense linear algebra needed by low-rank
 //!   compressors (matmul, Gram–Schmidt orthonormalization);
+//! - [`simd`]: runtime-dispatched (SSE2/AVX2/scalar) kernels for the codec
+//!   hot paths, bit-identical across dispatch levels;
 //! - [`sketch`]: a Greenwald–Khanna quantile sketch (used by SketchML);
 //! - [`rng`]: seeded RNG construction so every experiment is reproducible.
 //!
@@ -31,6 +33,7 @@ pub mod pack;
 pub mod rng;
 pub mod select;
 pub mod shape;
+pub mod simd;
 pub mod sketch;
 pub mod stats;
 mod tensor;

@@ -25,9 +25,9 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
             }
             let brow = &b[p * n..(p + 1) * n];
             let crow = &mut c[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += aip * brow[j];
-            }
+            // Each output element accumulates exactly one mul + add per p,
+            // so the vectorized axpy is bit-identical to the scalar loop.
+            crate::simd::axpy(crow, aip, brow);
         }
     }
     c
@@ -51,9 +51,7 @@ pub fn matmul_transpose_a(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) ->
                 continue;
             }
             let crow = &mut c[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += av * brow[j];
-            }
+            crate::simd::axpy(crow, av, brow);
         }
     }
     c
@@ -72,6 +70,9 @@ pub fn matmul_transpose_b(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) ->
         let arow = &a[i * n..(i + 1) * n];
         for j in 0..k {
             let brow = &b[j * n..(j + 1) * n];
+            // Deliberately scalar: this is a sequential f32 reduction whose
+            // accumulation order is pinned by the PowerSGD payload golden;
+            // a lane tree would reassociate the sum and change the bits.
             let mut acc = 0.0f32;
             for p in 0..n {
                 acc += arow[p] * brow[p];

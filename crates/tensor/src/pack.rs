@@ -30,6 +30,104 @@ pub fn pack_bits(values: &[u32], bits: u32) -> Vec<u8> {
     assert!((1..=32).contains(&bits), "bit width must be in 1..=32");
     let total_bits = values.len() * bits as usize;
     let mut out = vec![0u8; total_bits.div_ceil(8)];
+    match bits {
+        // Byte-aligned and sub-byte power-of-two widths cover every wire
+        // format the compressors emit (sign bitmap, trit/2-bit, nibble,
+        // byte-code quantizers, raw index words); they bypass the
+        // bit-cursor loop entirely. Output is identical to
+        // [`pack_bits_generic`], which stays as the reference (and handles
+        // the odd widths).
+        1 => {
+            validate_fit(values, 1);
+            let mut chunks = values.chunks_exact(8);
+            for (o, c) in out.iter_mut().zip(chunks.by_ref()) {
+                *o = c
+                    .iter()
+                    .enumerate()
+                    .fold(0u8, |acc, (i, &v)| acc | ((v as u8) << i));
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let last = out.last_mut().expect("remainder implies a final byte");
+                for (i, &v) in rem.iter().enumerate() {
+                    *last |= (v as u8) << i;
+                }
+            }
+        }
+        2 => {
+            validate_fit(values, 2);
+            let mut chunks = values.chunks_exact(4);
+            for (o, c) in out.iter_mut().zip(chunks.by_ref()) {
+                *o = (c[0] as u8) | ((c[1] as u8) << 2) | ((c[2] as u8) << 4) | ((c[3] as u8) << 6);
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let last = out.last_mut().expect("remainder implies a final byte");
+                for (i, &v) in rem.iter().enumerate() {
+                    *last |= (v as u8) << (2 * i);
+                }
+            }
+        }
+        4 => {
+            validate_fit(values, 4);
+            let mut chunks = values.chunks_exact(2);
+            for (o, c) in out.iter_mut().zip(chunks.by_ref()) {
+                *o = (c[0] as u8) | ((c[1] as u8) << 4);
+            }
+            if let [v] = chunks.remainder() {
+                let last = out.last_mut().expect("remainder implies a final byte");
+                *last = *v as u8;
+            }
+        }
+        8 => {
+            validate_fit(values, 8);
+            crate::simd::narrow_to_bytes(values, &mut out);
+        }
+        16 => {
+            validate_fit(values, 16);
+            for (o, &v) in out.chunks_exact_mut(2).zip(values) {
+                o.copy_from_slice(&(v as u16).to_le_bytes());
+            }
+        }
+        32 => {
+            for (o, &v) in out.chunks_exact_mut(4).zip(values) {
+                o.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        _ => pack_bits_generic_into(values, bits, &mut out),
+    }
+    out
+}
+
+/// Validates that every value fits in `bits` bits with one branch-free
+/// OR-reduction; only on failure does it rescan to panic at the *first*
+/// offending value with the same message as the generic path.
+fn validate_fit(values: &[u32], bits: u32) {
+    let mask: u32 = if bits == 32 {
+        u32::MAX
+    } else {
+        (1 << bits) - 1
+    };
+    let all = values.iter().fold(0u32, |acc, &v| acc | v);
+    if all & !mask != 0 {
+        for &v in values {
+            assert!(v <= mask, "value {v} does not fit in {bits} bits");
+        }
+    }
+}
+
+/// The reference bit-cursor implementation of [`pack_bits`], kept for the
+/// odd widths and as the semantics oracle the fast paths are tested against.
+#[doc(hidden)]
+pub fn pack_bits_generic(values: &[u32], bits: u32) -> Vec<u8> {
+    assert!((1..=32).contains(&bits), "bit width must be in 1..=32");
+    let total_bits = values.len() * bits as usize;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    pack_bits_generic_into(values, bits, &mut out);
+    out
+}
+
+fn pack_bits_generic_into(values: &[u32], bits: u32, out: &mut [u8]) {
     let mask: u64 = if bits == 32 {
         u32::MAX as u64
     } else {
@@ -50,7 +148,6 @@ pub fn pack_bits(values: &[u32], bits: u32) -> Vec<u8> {
             remaining -= take;
         }
     }
-    out
 }
 
 /// Unpacks `count` code-words of width `bits` from a buffer produced by
@@ -83,6 +180,47 @@ pub fn unpack_bits_into(packed: &[u8], bits: u32, count: usize, out: &mut Vec<u3
     );
     out.clear();
     out.reserve(count);
+    match bits {
+        // Mirrors of the pack fast paths; identical output to the generic
+        // bit-cursor loop below.
+        1 => {
+            for i in 0..count {
+                out.push(u32::from((packed[i / 8] >> (i % 8)) & 1));
+            }
+        }
+        2 => {
+            for i in 0..count {
+                out.push(u32::from((packed[i / 4] >> (2 * (i % 4))) & 0b11));
+            }
+        }
+        4 => {
+            for i in 0..count {
+                out.push(u32::from((packed[i / 2] >> (4 * (i % 2))) & 0x0F));
+            }
+        }
+        8 => {
+            out.resize(count, 0);
+            crate::simd::widen_from_bytes(&packed[..count], out);
+        }
+        16 => {
+            for c in packed[..count * 2].chunks_exact(2) {
+                out.push(u32::from(u16::from_le_bytes([c[0], c[1]])));
+            }
+        }
+        32 => {
+            for c in packed[..count * 4].chunks_exact(4) {
+                out.push(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            }
+        }
+        _ => unpack_bits_generic_into(packed, bits, count, out),
+    }
+}
+
+/// The reference bit-cursor implementation of [`unpack_bits_into`], kept for
+/// the odd widths and as the semantics oracle for the fast paths. Assumes
+/// the caller already validated the width, buffer length, and cleared `out`.
+#[doc(hidden)]
+pub fn unpack_bits_generic_into(packed: &[u8], bits: u32, count: usize, out: &mut Vec<u32>) {
     let mut bitpos = 0usize;
     for _ in 0..count {
         let mut val: u64 = 0;
@@ -105,15 +243,38 @@ pub fn unpack_bits_into(packed: &[u8], bits: u32, count: usize, out: &mut Vec<u3
 /// Used by SignSGD-family compressors whose payload is exactly one bit per
 /// gradient element (§III-A).
 pub fn pack_signs(signs: &[bool]) -> Vec<u8> {
-    let words: Vec<u32> = signs.iter().map(|&s| s as u32).collect();
-    pack_bits(&words, 1)
+    let mut out = vec![0u8; signs.len().div_ceil(8)];
+    let mut chunks = signs.chunks_exact(8);
+    for (o, c) in out.iter_mut().zip(chunks.by_ref()) {
+        *o = c
+            .iter()
+            .enumerate()
+            .fold(0u8, |acc, (i, &s)| acc | ((s as u8) << i));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let last = out.last_mut().expect("remainder implies a final byte");
+        for (i, &s) in rem.iter().enumerate() {
+            *last |= (s as u8) << i;
+        }
+    }
+    out
 }
 
 /// Unpacks a sign bitmap produced by [`pack_signs`].
+///
+/// # Panics
+///
+/// Panics if the buffer is too short to contain `count` bits.
 pub fn unpack_signs(packed: &[u8], count: usize) -> Vec<bool> {
-    unpack_bits(packed, 1, count)
-        .into_iter()
-        .map(|v| v != 0)
+    let need = count.div_ceil(8);
+    assert!(
+        packed.len() >= need,
+        "packed buffer too short: have {} bytes, need {need}",
+        packed.len()
+    );
+    (0..count)
+        .map(|i| (packed[i / 8] >> (i % 8)) & 1 != 0)
         .collect()
 }
 
@@ -262,6 +423,43 @@ mod tests {
     #[should_panic(expected = "too short")]
     fn unpack_rejects_short_buffer() {
         let _ = unpack_bits(&[0u8], 8, 2);
+    }
+
+    #[test]
+    fn fast_paths_match_generic_reference() {
+        for bits in 1..=32u32 {
+            let max = if bits == 32 {
+                u32::MAX
+            } else {
+                (1 << bits) - 1
+            };
+            for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 100] {
+                let values: Vec<u32> = (0..len)
+                    .map(|i| (i as u32).wrapping_mul(0x9E37_79B9) & max)
+                    .collect();
+                let fast = pack_bits(&values, bits);
+                let reference = pack_bits_generic(&values, bits);
+                assert_eq!(fast, reference, "pack {bits}-bit len {len}");
+                let mut a = Vec::new();
+                unpack_bits_into(&fast, bits, len, &mut a);
+                let mut b = Vec::new();
+                unpack_bits_generic_into(&fast, bits, len, &mut b);
+                assert_eq!(a, b, "unpack {bits}-bit len {len}");
+                assert_eq!(a, values, "roundtrip {bits}-bit len {len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn fast_path_rejects_overflow_with_same_message() {
+        let _ = pack_bits(&[1, 2, 300, 4], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn unpack_signs_rejects_short_buffer() {
+        let _ = unpack_signs(&[0u8], 9);
     }
 
     #[test]

@@ -40,6 +40,24 @@ impl SparseSelection {
 ///
 /// Complexity is `O(d)` expected via `select_nth_unstable`, not `O(d log d)`.
 pub fn top_k_indices(values: &[f32], k: usize) -> Vec<u32> {
+    let mut scratch = Vec::new();
+    top_k_indices_with(values, k, &mut scratch)
+}
+
+/// [`top_k_indices`] with a caller-pooled scratch buffer.
+///
+/// The selection needs one `u32` per input element; steady-state callers
+/// (the per-bucket compress loop) keep the scratch on the compressor so the
+/// dominant `O(d)` allocation happens once, not per step. The returned
+/// index vector is still fresh — it is moved into the payload.
+///
+/// The selection key is the absolute-value *bit pattern* (sign bit cleared,
+/// compared as an integer), which orders finite floats exactly like `|v|`
+/// and lets the magnitude scan vectorize. The quickselect runs on the
+/// integer keys directly — no float comparator, no index permutation — and
+/// a final ascending sweep collects strictly-greater elements plus
+/// lowest-index ties, reproducing the stable selection contract.
+pub fn top_k_indices_with(values: &[f32], k: usize, scratch: &mut Vec<u32>) -> Vec<u32> {
     let d = values.len();
     if k >= d {
         return (0..d as u32).collect();
@@ -47,16 +65,24 @@ pub fn top_k_indices(values: &[f32], k: usize) -> Vec<u32> {
     if k == 0 {
         return Vec::new();
     }
-    let mut order: Vec<u32> = (0..d as u32).collect();
-    // Partition so the first k positions hold the k largest |values|.
-    order.select_nth_unstable_by(k - 1, |&a, &b| {
-        let (x, y) = (values[a as usize].abs(), values[b as usize].abs());
-        y.partial_cmp(&x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    let mut out: Vec<u32> = order[..k].to_vec();
-    out.sort_unstable();
+    scratch.clear();
+    scratch.resize(d, 0);
+    crate::simd::abs_bits_into(values, scratch);
+    // The k-th largest key is the (d-k)-th smallest. After partitioning,
+    // every key strictly above the pivot sits in the right partition.
+    let (_, &mut pivot, right) = scratch.select_nth_unstable(d - k);
+    let above = right.iter().filter(|&&b| b > pivot).count();
+    let mut ties = k - above;
+    let mut out = Vec::with_capacity(k);
+    for (i, &v) in values.iter().enumerate() {
+        let b = v.to_bits() & 0x7FFF_FFFF;
+        if b > pivot {
+            out.push(i as u32);
+        } else if b == pivot && ties > 0 {
+            out.push(i as u32);
+            ties -= 1;
+        }
+    }
     out
 }
 
@@ -93,8 +119,9 @@ pub fn random_k_indices<R: Rng + ?Sized>(rng: &mut R, d: usize, k: usize) -> Vec
 ///
 /// Panics if any index is out of bounds.
 pub fn gather(tensor: &Tensor, indices: &[u32]) -> Vec<f32> {
-    let data = tensor.as_slice();
-    indices.iter().map(|&i| data[i as usize]).collect()
+    let mut out = vec![0.0f32; indices.len()];
+    crate::simd::gather_f32(tensor.as_slice(), indices, &mut out);
+    out
 }
 
 /// Builds a [`SparseSelection`] from a tensor and selected indices.
@@ -200,6 +227,37 @@ mod tests {
                 assert!(v.abs() <= min_kept + 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn top_k_breaks_ties_towards_lower_indices() {
+        let g = vec![1.0, -1.0, 1.0, -1.0];
+        assert_eq!(top_k_indices(&g, 2), vec![0, 1]);
+        assert_eq!(top_k_indices(&g, 3), vec![0, 1, 2]);
+        // Mixed: one strictly larger element plus two-way ties at 1.0.
+        let g = vec![1.0, 2.0, -1.0, 1.0];
+        assert_eq!(top_k_indices(&g, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_with_reuses_scratch_and_matches() {
+        let mut rng = StdRng::seed_from_u64(11);
+        use rand::Rng;
+        let g: Vec<f32> = (0..300).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mut scratch = Vec::new();
+        for k in [1, 7, 50, 299] {
+            let pooled = top_k_indices_with(&g, k, &mut scratch);
+            assert_eq!(pooled, top_k_indices(&g, k), "k = {k}");
+        }
+        assert!(scratch.capacity() >= g.len());
+    }
+
+    #[test]
+    fn top_k_handles_negative_zero_and_denormals() {
+        let g = vec![-0.0, 1.0e-42, 0.0, -1.0e-42, 2.0e-42];
+        // |2e-42| > |1e-42| == |-1e-42| > |±0|, ties to lower index.
+        assert_eq!(top_k_indices(&g, 2), vec![1, 4]);
+        assert_eq!(top_k_indices(&g, 3), vec![1, 3, 4]);
     }
 
     #[test]

@@ -1,0 +1,1145 @@
+//! Runtime-dispatched SIMD kernels for the codec hot paths.
+//!
+//! Every compressor funnels through a handful of primitive loops: the ‖g‖∞
+//! scan, code-book binary search, byte-width bit packing, sparse gather, and
+//! the axpy-shaped matmul rows of PowerSGD. This module provides those
+//! kernels with `core::arch` x86-64 bodies (SSE2 baseline, AVX2 when the CPU
+//! reports it) behind one runtime dispatch point, plus a portable scalar
+//! fallback used on other architectures and when `GRACE_FORCE_SCALAR` is set.
+//!
+//! # Bit identity
+//!
+//! The non-negotiable contract is that every vector path returns **bit
+//! identical** results to the scalar path on *all* inputs — including NaN,
+//! denormals and ±0 — so compressed payloads, pinned golden checksums and
+//! the cross-backend equivalence suites cannot observe which path ran. The
+//! kernels achieve this by construction:
+//!
+//! * integer and comparison kernels (`abs_bits`, packing, selection) are
+//!   exact in any evaluation order;
+//! * floating-point kernels vectorize across *independent output elements*
+//!   only — each lane performs the same `mul`/`add`/`sub`/`cmp` sequence as
+//!   one scalar iteration, and FMA is never used (fused rounding differs
+//!   from `mul` + `add`);
+//! * reductions that would need a lane-reassociated tree (`dot`, the f32
+//!   sum) are deliberately **not** vectorized here — their sequential
+//!   accumulation order is pinned by golden checksums;
+//! * the max-reduction in [`abs_max_bits`] operates on absolute-value *bit
+//!   patterns* (sign bit cleared, compared as integers), which is
+//!   associative and exact, so the lane-parallel tree equals the scalar
+//!   left fold bit-for-bit.
+//!
+//! Each kernel is also exposed as an `*_at(Level, …)` variant so the
+//! equivalence suite (and the bench harness) can pin a path explicitly and
+//! compare levels inside one process, independently of the cached dispatch
+//! decision.
+
+use std::sync::OnceLock;
+
+/// An instruction-set tier the dispatcher can select.
+///
+/// Ordered: a level is usable whenever the hardware level is `>=` it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Portable scalar Rust, the reference semantics.
+    Scalar,
+    /// SSE2 (the x86-64 baseline; always available there).
+    Sse2,
+    /// AVX2 with 256-bit integer ops and gathers.
+    Avx2,
+}
+
+impl Level {
+    /// Stable lowercase name (used in logs and bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Sse2 => "sse2",
+            Level::Avx2 => "avx2",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The best level this CPU supports, ignoring `GRACE_FORCE_SCALAR`.
+pub fn hw_level() -> Level {
+    static HW: OnceLock<Level> = OnceLock::new();
+    *HW.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                Level::Avx2
+            } else {
+                Level::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Level::Scalar
+        }
+    })
+}
+
+/// The level auto-dispatch uses: [`hw_level`] unless `GRACE_FORCE_SCALAR`
+/// is set to a non-empty value other than `0`, in which case `Scalar`.
+///
+/// Read once per process and cached; changing the environment variable
+/// afterwards has no effect.
+pub fn level() -> Level {
+    static ACTIVE: OnceLock<Level> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let forced =
+            std::env::var_os("GRACE_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != *"0");
+        if forced {
+            Level::Scalar
+        } else {
+            hw_level()
+        }
+    })
+}
+
+/// Every level the current CPU can execute, in ascending order.
+///
+/// Unlike [`level`] this ignores `GRACE_FORCE_SCALAR`, so the equivalence
+/// suite can cross-check vector bodies even in a forced-scalar run.
+pub fn available_levels() -> Vec<Level> {
+    let mut out = vec![Level::Scalar];
+    if hw_level() >= Level::Sse2 {
+        out.push(Level::Sse2);
+    }
+    if hw_level() >= Level::Avx2 {
+        out.push(Level::Avx2);
+    }
+    out
+}
+
+#[track_caller]
+fn checked(lvl: Level) -> Level {
+    assert!(
+        lvl <= hw_level(),
+        "SIMD level {lvl} not supported by this CPU (max {})",
+        hw_level()
+    );
+    lvl
+}
+
+/// Dispatches to a per-level body after validating hardware support. On
+/// non-x86-64 targets only the scalar arm is compiled.
+macro_rules! dispatch {
+    ($lvl:expr, scalar: $s:expr, sse2: $e2:expr, avx2: $a2:expr) => {{
+        let lvl = checked($lvl);
+        #[cfg(target_arch = "x86_64")]
+        {
+            match lvl {
+                // SAFETY: `checked` proved the CPU supports the feature the
+                // `#[target_feature]` body was compiled for.
+                Level::Avx2 => unsafe { $a2 },
+                Level::Sse2 => unsafe { $e2 },
+                Level::Scalar => $s,
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = lvl;
+            $s
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// abs-max (‖g‖∞ as a bit pattern)
+// ---------------------------------------------------------------------------
+
+/// Maximum absolute-value **bit pattern** over `xs` (0 for an empty slice).
+///
+/// For finite floats, clearing the sign bit makes the IEEE-754 encoding
+/// order-isomorphic to the magnitude order, so an integer max over the
+/// masked bits equals `fold(0.0, |m, v| m.max(v.abs()))` — and, unlike the
+/// float fold, it is exactly associative, so any lane tree gives the same
+/// answer. NaN patterns compare above +∞: a NaN input yields a NaN result
+/// rather than being skipped (callers already reject non-finite gradients).
+pub fn abs_max_bits(xs: &[f32]) -> u32 {
+    abs_max_bits_at(level(), xs)
+}
+
+/// [`abs_max_bits`] with an explicit dispatch level.
+pub fn abs_max_bits_at(lvl: Level, xs: &[f32]) -> u32 {
+    dispatch!(lvl,
+        scalar: scalar::abs_max_bits(xs),
+        sse2: x86::abs_max_bits_sse2(xs),
+        avx2: x86::abs_max_bits_avx2(xs))
+}
+
+/// Writes `xs[i].to_bits() & 0x7FFF_FFFF` into `out` (abs-value bit
+/// patterns, the integer key top-k selection sorts by).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn abs_bits_into(xs: &[f32], out: &mut [u32]) {
+    abs_bits_into_at(level(), xs, out);
+}
+
+/// [`abs_bits_into`] with an explicit dispatch level.
+pub fn abs_bits_into_at(lvl: Level, xs: &[f32], out: &mut [u32]) {
+    assert_eq!(xs.len(), out.len(), "abs_bits_into length mismatch");
+    dispatch!(lvl,
+        scalar: scalar::abs_bits_into(xs, out),
+        sse2: x86::abs_bits_into_sse2(xs, out),
+        avx2: x86::abs_bits_into_avx2(xs, out))
+}
+
+// ---------------------------------------------------------------------------
+// axpy (the inner row op of PowerSGD's matmuls and error-feedback updates)
+// ---------------------------------------------------------------------------
+
+/// `y[i] += a * x[i]`, elementwise.
+///
+/// Each output lane performs exactly one `mul` and one `add` (never FMA),
+/// so the vector paths are bit-identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    axpy_at(level(), y, a, x);
+}
+
+/// [`axpy`] with an explicit dispatch level.
+pub fn axpy_at(lvl: Level, y: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    dispatch!(lvl,
+        scalar: scalar::axpy(y, a, x),
+        sse2: x86::axpy_sse2(y, a, x),
+        avx2: x86::axpy_avx2(y, a, x))
+}
+
+// ---------------------------------------------------------------------------
+// byte-width packing (the 8-bit quantizer family's wire format)
+// ---------------------------------------------------------------------------
+
+/// Truncates each `u32` to its low byte: `out[i] = values[i] as u8`.
+///
+/// This is the width-8 fast path of `pack_bits`; the caller has already
+/// validated that every value fits. The kernel itself is total and
+/// truncating, exactly like the scalar cast.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn narrow_to_bytes(values: &[u32], out: &mut [u8]) {
+    narrow_to_bytes_at(level(), values, out);
+}
+
+/// [`narrow_to_bytes`] with an explicit dispatch level.
+pub fn narrow_to_bytes_at(lvl: Level, values: &[u32], out: &mut [u8]) {
+    assert_eq!(values.len(), out.len(), "narrow_to_bytes length mismatch");
+    dispatch!(lvl,
+        scalar: scalar::narrow_to_bytes(values, out),
+        sse2: x86::narrow_to_bytes_sse2(values, out),
+        avx2: x86::narrow_to_bytes_avx2(values, out))
+}
+
+/// Zero-extends each byte to a `u32`: `out[i] = bytes[i] as u32` (the
+/// width-8 unpack fast path).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn widen_from_bytes(bytes: &[u8], out: &mut [u32]) {
+    widen_from_bytes_at(level(), bytes, out);
+}
+
+/// [`widen_from_bytes`] with an explicit dispatch level.
+pub fn widen_from_bytes_at(lvl: Level, bytes: &[u8], out: &mut [u32]) {
+    assert_eq!(bytes.len(), out.len(), "widen_from_bytes length mismatch");
+    dispatch!(lvl,
+        scalar: scalar::widen_from_bytes(bytes, out),
+        sse2: x86::widen_from_bytes_sse2(bytes, out),
+        avx2: x86::widen_from_bytes_avx2(bytes, out))
+}
+
+// ---------------------------------------------------------------------------
+// code-book quantize / dequantize (8-bit sign + magnitude)
+// ---------------------------------------------------------------------------
+
+/// Quantizes each element against a sorted magnitude code-book:
+/// `out[i] = (xs[i] < 0.0) << 7 | nearest(|xs[i]| * inv)`, where `nearest`
+/// is the `partition_point(|v| v < x)` bin search with the
+/// `(x - lo) <= (hi - x)` midpoint tie rule — byte-for-byte the 8-bit
+/// quantizer's `find_bins`.
+///
+/// Both paths run the same fixed-shape branchless binary search (probe
+/// schedule depends only on `table.len()`), so they make identical float
+/// comparisons per element; the AVX2 body evaluates eight elements per
+/// probe via gathers.
+///
+/// # Panics
+///
+/// Panics if the output length differs from the input length, or if the
+/// code-book is empty or longer than 128 entries (the magnitude field is 7
+/// bits).
+pub fn quantize_sign_mag(table: &[f32], xs: &[f32], inv: f32, out: &mut [u32]) {
+    quantize_sign_mag_at(level(), table, xs, inv, out);
+}
+
+/// [`quantize_sign_mag`] with an explicit dispatch level.
+pub fn quantize_sign_mag_at(lvl: Level, table: &[f32], xs: &[f32], inv: f32, out: &mut [u32]) {
+    assert_eq!(xs.len(), out.len(), "quantize_sign_mag length mismatch");
+    assert!(
+        !table.is_empty() && table.len() <= 128,
+        "code-book must have 1..=128 entries, got {}",
+        table.len()
+    );
+    dispatch!(lvl,
+        scalar: scalar::quantize_sign_mag(table, xs, inv, out),
+        sse2: x86::quantize_sign_mag_sse2(table, xs, inv, out),
+        avx2: x86::quantize_sign_mag_avx2(table, xs, inv, out))
+}
+
+/// Decodes sign + 7-bit magnitude codes:
+/// `out[i] = sign(codes[i]) * table[codes[i] & 0x7F] * scale` with
+/// `sign = -1.0` exactly when `codes[i] >> 7 == 1`. The multiplication
+/// order matches the scalar decode expression, so `-0.0` cases survive.
+///
+/// # Panics
+///
+/// Panics if the output length differs from the code count, or if the
+/// code-book has fewer than 128 entries (every masked index must be valid).
+pub fn dequant_sign_mag(table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+    dequant_sign_mag_at(level(), table, codes, scale, out);
+}
+
+/// [`dequant_sign_mag`] with an explicit dispatch level.
+pub fn dequant_sign_mag_at(lvl: Level, table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len(), "dequant_sign_mag length mismatch");
+    assert!(
+        table.len() > 0x7F,
+        "code-book must have at least 128 entries, got {}",
+        table.len()
+    );
+    dispatch!(lvl,
+        scalar: scalar::dequant_sign_mag(table, codes, scale, out),
+        sse2: x86::dequant_sign_mag_sse2(table, codes, scale, out),
+        avx2: x86::dequant_sign_mag_avx2(table, codes, scale, out))
+}
+
+/// Accumulating variant of [`dequant_sign_mag`]:
+/// `out[i] += sign(codes[i]) * table[codes[i] & 0x7F] * scale` — the
+/// homomorphic fold's per-worker add, one `add` per element after the same
+/// decode product (never FMA).
+///
+/// # Panics
+///
+/// Same contract as [`dequant_sign_mag`].
+pub fn dequant_sign_mag_add(table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+    dequant_sign_mag_add_at(level(), table, codes, scale, out);
+}
+
+/// [`dequant_sign_mag_add`] with an explicit dispatch level.
+pub fn dequant_sign_mag_add_at(
+    lvl: Level,
+    table: &[f32],
+    codes: &[u32],
+    scale: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(codes.len(), out.len(), "dequant_sign_mag length mismatch");
+    assert!(
+        table.len() > 0x7F,
+        "code-book must have at least 128 entries, got {}",
+        table.len()
+    );
+    dispatch!(lvl,
+        scalar: scalar::dequant_sign_mag_add(table, codes, scale, out),
+        sse2: x86::dequant_sign_mag_add_sse2(table, codes, scale, out),
+        avx2: x86::dequant_sign_mag_add_avx2(table, codes, scale, out))
+}
+
+// ---------------------------------------------------------------------------
+// sparse gather
+// ---------------------------------------------------------------------------
+
+/// `out[j] = src[indices[j]]` (the sparsify gather).
+///
+/// The AVX2 body pre-validates every index with an integer max reduction
+/// and only then issues hardware gathers; invalid indices fall back to the
+/// scalar loop so the out-of-bounds panic is identical.
+///
+/// # Panics
+///
+/// Panics if the output length differs from the index count, or if an
+/// index is out of bounds for `src`.
+pub fn gather_f32(src: &[f32], indices: &[u32], out: &mut [f32]) {
+    gather_f32_at(level(), src, indices, out);
+}
+
+/// [`gather_f32`] with an explicit dispatch level.
+pub fn gather_f32_at(lvl: Level, src: &[f32], indices: &[u32], out: &mut [f32]) {
+    assert_eq!(indices.len(), out.len(), "gather_f32 length mismatch");
+    dispatch!(lvl,
+        scalar: scalar::gather_f32(src, indices, out),
+        sse2: x86::gather_f32_sse2(src, indices, out),
+        avx2: x86::gather_f32_avx2(src, indices, out))
+}
+
+/// Portable scalar bodies — the reference semantics every vector path must
+/// reproduce bit-for-bit.
+mod scalar {
+    const ABS_MASK: u32 = 0x7FFF_FFFF;
+
+    pub fn abs_max_bits(xs: &[f32]) -> u32 {
+        let mut m = 0u32;
+        for &v in xs {
+            m = m.max(v.to_bits() & ABS_MASK);
+        }
+        m
+    }
+
+    pub fn abs_bits_into(xs: &[f32], out: &mut [u32]) {
+        for (o, &v) in out.iter_mut().zip(xs) {
+            *o = v.to_bits() & ABS_MASK;
+        }
+    }
+
+    pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    }
+
+    pub fn narrow_to_bytes(values: &[u32], out: &mut [u8]) {
+        for (o, &v) in out.iter_mut().zip(values) {
+            *o = v as u8;
+        }
+    }
+
+    pub fn widen_from_bytes(bytes: &[u8], out: &mut [u32]) {
+        for (o, &b) in out.iter_mut().zip(bytes) {
+            *o = u32::from(b);
+        }
+    }
+
+    /// Branchless `table.partition_point(|v| *v < x)` for a sorted table.
+    /// The probe schedule depends only on `table.len()`, so the AVX2 body
+    /// can replay it lane-parallel with identical comparisons.
+    pub fn lower_bound(table: &[f32], x: f32) -> usize {
+        let mut base = 0usize;
+        let mut n = table.len();
+        while n > 1 {
+            let half = n / 2;
+            base += usize::from(table[base + half - 1] < x) * half;
+            n -= half;
+        }
+        base + usize::from(n == 1 && table[base] < x)
+    }
+
+    pub fn quantize_sign_mag(table: &[f32], xs: &[f32], inv: f32, out: &mut [u32]) {
+        let n = table.len();
+        for (o, &v) in out.iter_mut().zip(xs) {
+            let x = v.abs() * inv;
+            let idx = lower_bound(table, x);
+            let mag = if idx == 0 {
+                0
+            } else if idx >= n {
+                (n - 1) as u32
+            } else {
+                let lo = table[idx - 1];
+                let hi = table[idx];
+                if (x - lo) <= (hi - x) {
+                    (idx - 1) as u32
+                } else {
+                    idx as u32
+                }
+            };
+            *o = (u32::from(v < 0.0) << 7) | mag;
+        }
+    }
+
+    pub fn dequant_sign_mag(table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+        for (o, &code) in out.iter_mut().zip(codes) {
+            let sign = if code >> 7 == 1 { -1.0f32 } else { 1.0 };
+            *o = sign * table[(code & 0x7F) as usize] * scale;
+        }
+    }
+
+    pub fn dequant_sign_mag_add(table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+        for (o, &code) in out.iter_mut().zip(codes) {
+            let sign = if code >> 7 == 1 { -1.0f32 } else { 1.0 };
+            *o += sign * table[(code & 0x7F) as usize] * scale;
+        }
+    }
+
+    pub fn gather_f32(src: &[f32], indices: &[u32], out: &mut [f32]) {
+        for (o, &i) in out.iter_mut().zip(indices) {
+            *o = src[i as usize];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::scalar;
+    use std::arch::x86_64::*;
+
+    const ABS_MASK: i32 = 0x7FFF_FFFF;
+
+    // SSE2 has no gather instruction and no cheap 128-entry table probe, so
+    // the table-driven kernels delegate to the scalar body at that level
+    // (see the fallback matrix in DESIGN.md §16). The forwarders keep the
+    // dispatch macro uniform.
+    #[target_feature(enable = "sse2")]
+    pub fn quantize_sign_mag_sse2(table: &[f32], xs: &[f32], inv: f32, out: &mut [u32]) {
+        scalar::quantize_sign_mag(table, xs, inv, out);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn dequant_sign_mag_sse2(table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+        scalar::dequant_sign_mag(table, codes, scale, out);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn dequant_sign_mag_add_sse2(table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+        scalar::dequant_sign_mag_add(table, codes, scale, out);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn gather_f32_sse2(src: &[f32], indices: &[u32], out: &mut [f32]) {
+        scalar::gather_f32(src, indices, out);
+    }
+
+    /// SSE2 lacks `pmaxud`; abs bit patterns have the top bit clear, so the
+    /// signed compare is exact.
+    #[target_feature(enable = "sse2")]
+    fn max_abs_epi32(a: __m128i, b: __m128i) -> __m128i {
+        let gt = _mm_cmpgt_epi32(a, b);
+        _mm_or_si128(_mm_and_si128(gt, a), _mm_andnot_si128(gt, b))
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn abs_max_bits_sse2(xs: &[f32]) -> u32 {
+        let mask = _mm_set1_epi32(ABS_MASK);
+        let mut m = _mm_setzero_si128();
+        let mut chunks = xs.chunks_exact(4);
+        for c in chunks.by_ref() {
+            // SAFETY: `c` is 4 f32s = 16 readable bytes; loadu allows any
+            // alignment.
+            let v = unsafe { _mm_loadu_si128(c.as_ptr().cast()) };
+            m = max_abs_epi32(m, _mm_and_si128(v, mask));
+        }
+        m = max_abs_epi32(m, _mm_srli_si128::<8>(m));
+        m = max_abs_epi32(m, _mm_srli_si128::<4>(m));
+        let mut best = _mm_cvtsi128_si32(m) as u32;
+        best = best.max(scalar::abs_max_bits(chunks.remainder()));
+        best
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn abs_max_bits_avx2(xs: &[f32]) -> u32 {
+        let mask = _mm256_set1_epi32(ABS_MASK);
+        let mut m = _mm256_setzero_si256();
+        let mut chunks = xs.chunks_exact(8);
+        for c in chunks.by_ref() {
+            // SAFETY: `c` is 8 f32s = 32 readable bytes; loadu allows any
+            // alignment.
+            let v = unsafe { _mm256_loadu_si256(c.as_ptr().cast()) };
+            m = _mm256_max_epu32(m, _mm256_and_si256(v, mask));
+        }
+        let lo = _mm256_castsi256_si128(m);
+        let hi = _mm256_extracti128_si256::<1>(m);
+        let mut q = max_abs_epi32(lo, hi);
+        q = max_abs_epi32(q, _mm_srli_si128::<8>(q));
+        q = max_abs_epi32(q, _mm_srli_si128::<4>(q));
+        let mut best = _mm_cvtsi128_si32(q) as u32;
+        best = best.max(scalar::abs_max_bits(chunks.remainder()));
+        best
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn abs_bits_into_sse2(xs: &[f32], out: &mut [u32]) {
+        let mask = _mm_set1_epi32(ABS_MASK);
+        let n = xs.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: i + 4 <= n bounds both the 16-byte load and store;
+            // out.len() == xs.len() is asserted by the caller.
+            unsafe {
+                let v = _mm_loadu_si128(xs.as_ptr().add(i).cast());
+                _mm_storeu_si128(out.as_mut_ptr().add(i).cast(), _mm_and_si128(v, mask));
+            }
+            i += 4;
+        }
+        scalar::abs_bits_into(&xs[i..], &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn abs_bits_into_avx2(xs: &[f32], out: &mut [u32]) {
+        let mask = _mm256_set1_epi32(ABS_MASK);
+        let n = xs.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds both the 32-byte load and store.
+            unsafe {
+                let v = _mm256_loadu_si256(xs.as_ptr().add(i).cast());
+                _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), _mm256_and_si256(v, mask));
+            }
+            i += 8;
+        }
+        scalar::abs_bits_into(&xs[i..], &mut out[i..]);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn axpy_sse2(y: &mut [f32], a: f32, x: &[f32]) {
+        let av = _mm_set1_ps(a);
+        let n = y.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: i + 4 <= n == x.len() == y.len() bounds the loads and
+            // the store.
+            unsafe {
+                let xv = _mm_loadu_ps(x.as_ptr().add(i));
+                let yv = _mm_loadu_ps(y.as_ptr().add(i));
+                _mm_storeu_ps(y.as_mut_ptr().add(i), _mm_add_ps(yv, _mm_mul_ps(av, xv)));
+            }
+            i += 4;
+        }
+        scalar::axpy(&mut y[i..], a, &x[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn axpy_avx2(y: &mut [f32], a: f32, x: &[f32]) {
+        let av = _mm256_set1_ps(a);
+        let n = y.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n == x.len() == y.len() bounds the loads and
+            // the store.
+            unsafe {
+                let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                _mm256_storeu_ps(
+                    y.as_mut_ptr().add(i),
+                    _mm256_add_ps(yv, _mm256_mul_ps(av, xv)),
+                );
+            }
+            i += 8;
+        }
+        scalar::axpy(&mut y[i..], a, &x[i..]);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn narrow_to_bytes_sse2(values: &[u32], out: &mut [u8]) {
+        // Mask to the low byte first so the saturating packs reproduce the
+        // scalar truncating cast on out-of-range inputs too.
+        let mask = _mm_set1_epi32(0xFF);
+        let n = values.len();
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: i + 16 <= n bounds the four 16-byte loads and the
+            // 16-byte store (out.len() == values.len()).
+            unsafe {
+                let p = values.as_ptr().add(i);
+                let v0 = _mm_and_si128(_mm_loadu_si128(p.cast()), mask);
+                let v1 = _mm_and_si128(_mm_loadu_si128(p.add(4).cast()), mask);
+                let v2 = _mm_and_si128(_mm_loadu_si128(p.add(8).cast()), mask);
+                let v3 = _mm_and_si128(_mm_loadu_si128(p.add(12).cast()), mask);
+                let w = _mm_packus_epi16(_mm_packs_epi32(v0, v1), _mm_packs_epi32(v2, v3));
+                _mm_storeu_si128(out.as_mut_ptr().add(i).cast(), w);
+            }
+            i += 16;
+        }
+        scalar::narrow_to_bytes(&values[i..], &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn narrow_to_bytes_avx2(values: &[u32], out: &mut [u8]) {
+        let mask = _mm256_set1_epi32(0xFF);
+        // packs/packus interleave their operands per 128-bit lane; this
+        // permutation restores source order on the packed bytes.
+        let fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        let n = values.len();
+        let mut i = 0;
+        while i + 32 <= n {
+            // SAFETY: i + 32 <= n bounds the four 32-byte loads and the
+            // 32-byte store (out.len() == values.len()).
+            unsafe {
+                let p = values.as_ptr().add(i);
+                let v0 = _mm256_and_si256(_mm256_loadu_si256(p.cast()), mask);
+                let v1 = _mm256_and_si256(_mm256_loadu_si256(p.add(8).cast()), mask);
+                let v2 = _mm256_and_si256(_mm256_loadu_si256(p.add(16).cast()), mask);
+                let v3 = _mm256_and_si256(_mm256_loadu_si256(p.add(24).cast()), mask);
+                let w = _mm256_packus_epi16(_mm256_packs_epi32(v0, v1), _mm256_packs_epi32(v2, v3));
+                let w = _mm256_permutevar8x32_epi32(w, fix);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), w);
+            }
+            i += 32;
+        }
+        scalar::narrow_to_bytes(&values[i..], &mut out[i..]);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn widen_from_bytes_sse2(bytes: &[u8], out: &mut [u32]) {
+        let zero = _mm_setzero_si128();
+        let n = bytes.len();
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: i + 16 <= n bounds the 16-byte load and the four
+            // 16-byte stores (out.len() == bytes.len()).
+            unsafe {
+                let b = _mm_loadu_si128(bytes.as_ptr().add(i).cast());
+                let lo16 = _mm_unpacklo_epi8(b, zero);
+                let hi16 = _mm_unpackhi_epi8(b, zero);
+                let o = out.as_mut_ptr().add(i);
+                _mm_storeu_si128(o.cast(), _mm_unpacklo_epi16(lo16, zero));
+                _mm_storeu_si128(o.add(4).cast(), _mm_unpackhi_epi16(lo16, zero));
+                _mm_storeu_si128(o.add(8).cast(), _mm_unpacklo_epi16(hi16, zero));
+                _mm_storeu_si128(o.add(12).cast(), _mm_unpackhi_epi16(hi16, zero));
+            }
+            i += 16;
+        }
+        scalar::widen_from_bytes(&bytes[i..], &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn widen_from_bytes_avx2(bytes: &[u8], out: &mut [u32]) {
+        let n = bytes.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the 8-byte load and the 32-byte
+            // store (out.len() == bytes.len()).
+            unsafe {
+                let b = _mm_loadl_epi64(bytes.as_ptr().add(i).cast());
+                let w = _mm256_cvtepu8_epi32(b);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), w);
+            }
+            i += 8;
+        }
+        scalar::widen_from_bytes(&bytes[i..], &mut out[i..]);
+    }
+
+    /// Lane-parallel replay of the scalar branchless lower bound over an
+    /// arbitrary-size table: same probe schedule, same `<` comparisons,
+    /// one hardware gather per probe.
+    #[target_feature(enable = "avx2")]
+    fn quantize_sign_mag_avx2_generic(table: &[f32], xs: &[f32], inv: f32, out: &mut [u32]) {
+        let n = table.len();
+        let abs_mask = _mm256_set1_ps(f32::from_bits(0x7FFF_FFFF));
+        let invv = _mm256_set1_ps(inv);
+        let fzero = _mm256_setzero_ps();
+        let izero = _mm256_setzero_si256();
+        let ione = _mm256_set1_epi32(1);
+        let nm1 = _mm256_set1_epi32((n - 1) as i32);
+        let sign_bit = _mm256_set1_epi32(0x80);
+        let len = xs.len();
+        let mut i = 0;
+        while i + 8 <= len {
+            // SAFETY: i + 8 <= len bounds the 32-byte load; every gather
+            // index stays in 0..table.len() by the lower-bound invariant
+            // (base + rem <= table.len()) and the min/max clamps below.
+            unsafe {
+                let v = _mm256_loadu_ps(xs.as_ptr().add(i));
+                let x = _mm256_mul_ps(_mm256_and_ps(v, abs_mask), invv);
+                let mut base = izero;
+                let mut rem = n;
+                while rem > 1 {
+                    let half = rem / 2;
+                    let probe = _mm256_add_epi32(base, _mm256_set1_epi32((half - 1) as i32));
+                    let t = _mm256_i32gather_ps::<4>(table.as_ptr(), probe);
+                    let lt = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(t, x));
+                    base = _mm256_sub_epi32(
+                        base,
+                        _mm256_and_si256(lt, _mm256_set1_epi32(-(half as i32))),
+                    );
+                    rem -= half;
+                }
+                let t = _mm256_i32gather_ps::<4>(table.as_ptr(), base);
+                let lt = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(t, x));
+                // lt is 0 or -1 per lane; idx = base + (table[base] < x).
+                let idx = _mm256_sub_epi32(base, lt);
+                // Midpoint tie rule on the clamped neighbours.
+                let lo_idx = _mm256_sub_epi32(_mm256_max_epi32(idx, ione), ione);
+                let hi_idx = _mm256_min_epi32(idx, nm1);
+                let lo = _mm256_i32gather_ps::<4>(table.as_ptr(), lo_idx);
+                let hi = _mm256_i32gather_ps::<4>(table.as_ptr(), hi_idx);
+                let take_lo = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LE_OQ>(
+                    _mm256_sub_ps(x, lo),
+                    _mm256_sub_ps(hi, x),
+                ));
+                // take_lo is -1 to pick idx-1, 0 to keep idx.
+                let mut mag = _mm256_add_epi32(idx, take_lo);
+                // idx >= n  ->  n-1 ; idx == 0  ->  0 (the two are exclusive).
+                let ge_n = _mm256_cmpgt_epi32(idx, nm1);
+                mag = _mm256_blendv_epi8(mag, nm1, ge_n);
+                mag = _mm256_andnot_si256(_mm256_cmpeq_epi32(idx, izero), mag);
+                let neg = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(v, fzero));
+                let code = _mm256_or_si256(_mm256_and_si256(neg, sign_bit), mag);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), code);
+            }
+            i += 8;
+        }
+        scalar::quantize_sign_mag(table, &xs[i..], inv, &mut out[i..]);
+    }
+
+    /// The 128-entry specialization (the 8-bit quantizer's code-book size).
+    ///
+    /// The probe schedule for `n = 128` is fixed: strides 64, 32, 16, 8, 4,
+    /// 2, 1, then the final `rem == 1` probe. The first four probes have at
+    /// most 8 distinct candidate positions (`base` is a multiple of the
+    /// stride), so instead of gathering, the candidate table values are
+    /// pre-loaded once and each lane *selects* its probe with a cross-lane
+    /// permute keyed on `base >> log2(stride)`. The selected values are
+    /// exactly the table entries the scalar search reads, and every
+    /// comparison is the same `<` on the same operands, so bit identity is
+    /// preserved; only four of the eight search probes still need a
+    /// hardware gather, which roughly halves the latency-bound critical
+    /// path per vector.
+    #[target_feature(enable = "avx2")]
+    fn quantize_sign_mag_avx2_128(table: &[f32], xs: &[f32], inv: f32, out: &mut [u32]) {
+        debug_assert_eq!(table.len(), 128);
+        let abs_mask = _mm256_set1_ps(f32::from_bits(0x7FFF_FFFF));
+        let invv = _mm256_set1_ps(inv);
+        let fzero = _mm256_setzero_ps();
+        let izero = _mm256_setzero_si256();
+        let ione = _mm256_set1_epi32(1);
+        let nm1 = _mm256_set1_epi32(127);
+        let sign_bit = _mm256_set1_epi32(0x80);
+        // Probe candidates for the first four steps. Step 1 probes
+        // table[63] for every lane; step k probes base + stride - 1 where
+        // base ranges over multiples of 2*stride-ish positions listed here.
+        let cand1 = _mm256_set1_ps(table[63]);
+        let cand2 = _mm256_setr_ps(
+            table[31], table[95], table[31], table[95], table[31], table[95], table[31], table[95],
+        );
+        let cand3 = _mm256_setr_ps(
+            table[15], table[47], table[79], table[111], table[15], table[47], table[79],
+            table[111],
+        );
+        let cand4 = _mm256_setr_ps(
+            table[7], table[23], table[39], table[55], table[71], table[87], table[103], table[119],
+        );
+        let len = xs.len();
+        let mut i = 0;
+        while i + 8 <= len {
+            // SAFETY: i + 8 <= len bounds the 32-byte load and store; every
+            // gather index stays in 0..128 by the lower-bound invariant and
+            // the min/max clamps below.
+            unsafe {
+                let v = _mm256_loadu_ps(xs.as_ptr().add(i));
+                let x = _mm256_mul_ps(_mm256_and_ps(v, abs_mask), invv);
+                // Step 1: probe table[63]; base += 64 where table[63] < x.
+                let lt = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(cand1, x));
+                let mut base = _mm256_and_si256(lt, _mm256_set1_epi32(64));
+                // Step 2: probe table[base + 31]; base in {0, 64}.
+                let t = _mm256_permutevar8x32_ps(cand2, _mm256_srli_epi32::<6>(base));
+                let lt = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(t, x));
+                base = _mm256_sub_epi32(base, _mm256_and_si256(lt, _mm256_set1_epi32(-32)));
+                // Step 3: probe table[base + 15]; base in {0, 32, 64, 96}.
+                let t = _mm256_permutevar8x32_ps(cand3, _mm256_srli_epi32::<5>(base));
+                let lt = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(t, x));
+                base = _mm256_sub_epi32(base, _mm256_and_si256(lt, _mm256_set1_epi32(-16)));
+                // Step 4: probe table[base + 7]; base is a multiple of 16.
+                let t = _mm256_permutevar8x32_ps(cand4, _mm256_srli_epi32::<4>(base));
+                let lt = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(t, x));
+                base = _mm256_sub_epi32(base, _mm256_and_si256(lt, _mm256_set1_epi32(-8)));
+                // Steps 5-7: 16+ candidates, back to hardware gathers.
+                for (off, neg_half) in [(3, -4), (1, -2), (0, -1)] {
+                    let probe = _mm256_add_epi32(base, _mm256_set1_epi32(off));
+                    let t = _mm256_i32gather_ps::<4>(table.as_ptr(), probe);
+                    let lt = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(t, x));
+                    base =
+                        _mm256_sub_epi32(base, _mm256_and_si256(lt, _mm256_set1_epi32(neg_half)));
+                }
+                // Final rem == 1 probe: idx = base + (table[base] < x).
+                let t = _mm256_i32gather_ps::<4>(table.as_ptr(), base);
+                let lt = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(t, x));
+                let idx = _mm256_sub_epi32(base, lt);
+                // Midpoint tie rule on the clamped neighbours.
+                let lo_idx = _mm256_sub_epi32(_mm256_max_epi32(idx, ione), ione);
+                let hi_idx = _mm256_min_epi32(idx, nm1);
+                let lo = _mm256_i32gather_ps::<4>(table.as_ptr(), lo_idx);
+                let hi = _mm256_i32gather_ps::<4>(table.as_ptr(), hi_idx);
+                let take_lo = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LE_OQ>(
+                    _mm256_sub_ps(x, lo),
+                    _mm256_sub_ps(hi, x),
+                ));
+                let mut mag = _mm256_add_epi32(idx, take_lo);
+                let ge_n = _mm256_cmpgt_epi32(idx, nm1);
+                mag = _mm256_blendv_epi8(mag, nm1, ge_n);
+                mag = _mm256_andnot_si256(_mm256_cmpeq_epi32(idx, izero), mag);
+                let neg = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LT_OQ>(v, fzero));
+                let code = _mm256_or_si256(_mm256_and_si256(neg, sign_bit), mag);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), code);
+            }
+            i += 8;
+        }
+        scalar::quantize_sign_mag(table, &xs[i..], inv, &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn quantize_sign_mag_avx2(table: &[f32], xs: &[f32], inv: f32, out: &mut [u32]) {
+        if table.len() == 128 {
+            quantize_sign_mag_avx2_128(table, xs, inv, out);
+        } else {
+            quantize_sign_mag_avx2_generic(table, xs, inv, out);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn dequant_sign_mag_avx2(table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+        let mag_mask = _mm256_set1_epi32(0x7F);
+        let ione = _mm256_set1_epi32(1);
+        let plus = _mm256_set1_ps(1.0);
+        let minus = _mm256_set1_ps(-1.0);
+        let sc = _mm256_set1_ps(scale);
+        let n = codes.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the load and store; gather indices
+            // are masked to 0..=0x7F and the caller asserted
+            // table.len() > 0x7F.
+            unsafe {
+                let c = _mm256_loadu_si256(codes.as_ptr().add(i).cast());
+                let mag = _mm256_i32gather_ps::<4>(table.as_ptr(), _mm256_and_si256(c, mag_mask));
+                // sign = -1.0 exactly when code >> 7 == 1 (matches the
+                // scalar decode on arbitrary wide codes too).
+                let is_neg = _mm256_cmpeq_epi32(_mm256_srli_epi32::<7>(c), ione);
+                let sign = _mm256_blendv_ps(plus, minus, _mm256_castsi256_ps(is_neg));
+                let v = _mm256_mul_ps(_mm256_mul_ps(sign, mag), sc);
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), v);
+            }
+            i += 8;
+        }
+        scalar::dequant_sign_mag(table, &codes[i..], scale, &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn dequant_sign_mag_add_avx2(table: &[f32], codes: &[u32], scale: f32, out: &mut [f32]) {
+        let mag_mask = _mm256_set1_epi32(0x7F);
+        let ione = _mm256_set1_epi32(1);
+        let plus = _mm256_set1_ps(1.0);
+        let minus = _mm256_set1_ps(-1.0);
+        let sc = _mm256_set1_ps(scale);
+        let n = codes.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the loads and store; gather indices
+            // are masked to 0..=0x7F and the caller asserted
+            // table.len() > 0x7F.
+            unsafe {
+                let c = _mm256_loadu_si256(codes.as_ptr().add(i).cast());
+                let mag = _mm256_i32gather_ps::<4>(table.as_ptr(), _mm256_and_si256(c, mag_mask));
+                let is_neg = _mm256_cmpeq_epi32(_mm256_srli_epi32::<7>(c), ione);
+                let sign = _mm256_blendv_ps(plus, minus, _mm256_castsi256_ps(is_neg));
+                let v = _mm256_mul_ps(_mm256_mul_ps(sign, mag), sc);
+                let acc = _mm256_loadu_ps(out.as_ptr().add(i));
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_add_ps(acc, v));
+            }
+            i += 8;
+        }
+        scalar::dequant_sign_mag_add(table, &codes[i..], scale, &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn gather_f32_avx2(src: &[f32], indices: &[u32], out: &mut [f32]) {
+        // Validate every index up front with an exact integer reduction;
+        // hardware gathers have no bounds checks. Invalid input falls back
+        // to the scalar loop so the panic (message and offset) is identical.
+        let max = indices.iter().fold(0u32, |m, &i| m.max(i));
+        if (max as usize) >= src.len() || src.len() > i32::MAX as usize {
+            scalar::gather_f32(src, indices, out);
+            return;
+        }
+        let n = indices.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the index load and the store; all
+            // gather offsets were proven < src.len() above.
+            unsafe {
+                let idx = _mm256_loadu_si256(indices.as_ptr().add(i).cast());
+                let v = _mm256_i32gather_ps::<4>(src.as_ptr(), idx);
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), v);
+            }
+            i += 8;
+        }
+        scalar::gather_f32(src, &indices[i..], &mut out[i..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tricky_floats() -> Vec<f32> {
+        vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1.0e-42, // denormal
+            -1.0e-42,
+            f32::MAX,
+            f32::MIN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            0.5,
+            -2.75,
+            3.0e7,
+        ]
+    }
+
+    #[test]
+    fn levels_are_ordered_and_named() {
+        assert!(Level::Scalar < Level::Sse2 && Level::Sse2 < Level::Avx2);
+        assert_eq!(Level::Avx2.to_string(), "avx2");
+        let avail = available_levels();
+        assert_eq!(avail[0], Level::Scalar);
+        assert!(avail.contains(&hw_level()));
+        assert!(level() <= hw_level());
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_level_is_rejected() {
+        if hw_level() == Level::Avx2 {
+            panic!("not supported (no level above avx2 to request)");
+        }
+        let _ = abs_max_bits_at(Level::Avx2, &[1.0]);
+    }
+
+    #[test]
+    fn abs_max_matches_float_fold_on_finite_input() {
+        let xs = vec![0.25f32, -3.5, 2.0, -0.0, 1.0e-40];
+        let want = xs.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for lvl in available_levels() {
+            assert_eq!(f32::from_bits(abs_max_bits_at(lvl, &xs)), want, "{lvl}");
+        }
+        assert_eq!(abs_max_bits(&[]), 0);
+    }
+
+    #[test]
+    fn all_levels_agree_on_tricky_inputs() {
+        let mut xs = tricky_floats();
+        for rep in 0..4 {
+            xs.extend(tricky_floats().iter().map(|v| v * (rep as f32 + 0.5)));
+        }
+        for lvl in available_levels() {
+            assert_eq!(
+                abs_max_bits_at(lvl, &xs),
+                abs_max_bits_at(Level::Scalar, &xs),
+                "abs_max {lvl}"
+            );
+            let mut a = vec![0u32; xs.len()];
+            let mut b = vec![0u32; xs.len()];
+            abs_bits_into_at(lvl, &xs, &mut a);
+            abs_bits_into_at(Level::Scalar, &xs, &mut b);
+            assert_eq!(a, b, "abs_bits {lvl}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point() {
+        let table: Vec<f32> = (0..37).map(|i| i as f32 * 0.25).collect();
+        for x in [-1.0, 0.0, 0.1, 0.25, 4.0, 9.0, 100.0, f32::NAN] {
+            assert_eq!(
+                scalar::lower_bound(&table, x),
+                table.partition_point(|v| *v < x),
+                "x = {x}"
+            );
+        }
+        assert_eq!(scalar::lower_bound(&[], 1.0), 0);
+    }
+
+    #[test]
+    fn narrow_widen_roundtrip_all_levels() {
+        let values: Vec<u32> = (0..133).map(|i| (i * 7) % 256).collect();
+        for lvl in available_levels() {
+            let mut bytes = vec![0u8; values.len()];
+            narrow_to_bytes_at(lvl, &values, &mut bytes);
+            let mut back = vec![0u32; values.len()];
+            widen_from_bytes_at(lvl, &bytes, &mut back);
+            assert_eq!(back, values, "{lvl}");
+        }
+    }
+
+    #[test]
+    fn narrow_truncates_like_a_cast_on_all_levels() {
+        let values: Vec<u32> = (0..67).map(|i| i * 0x0101_0101 + 0x1234).collect();
+        let want: Vec<u8> = values.iter().map(|&v| v as u8).collect();
+        for lvl in available_levels() {
+            let mut got = vec![0u8; values.len()];
+            narrow_to_bytes_at(lvl, &values, &mut got);
+            assert_eq!(got, want, "{lvl}");
+        }
+    }
+
+    #[test]
+    fn axpy_levels_are_bit_identical() {
+        let x = tricky_floats();
+        let y0: Vec<f32> = x.iter().rev().copied().collect();
+        for lvl in available_levels() {
+            let mut y = y0.clone();
+            axpy_at(lvl, &mut y, 1.5, &x);
+            let mut want = y0.clone();
+            axpy_at(Level::Scalar, &mut want, 1.5, &x);
+            let got: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+            let exp: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, exp, "{lvl}");
+        }
+    }
+
+    #[test]
+    fn quantize_dequant_levels_agree() {
+        let table: Vec<f32> = (0..128).map(|i| i as f32 / 127.0).collect();
+        let xs = tricky_floats();
+        let mut want = vec![0u32; xs.len()];
+        quantize_sign_mag_at(Level::Scalar, &table, &xs, 1.0, &mut want);
+        for lvl in available_levels() {
+            let mut got = vec![0u32; xs.len()];
+            quantize_sign_mag_at(lvl, &table, &xs, 1.0, &mut got);
+            assert_eq!(got, want, "quantize {lvl}");
+            let mut dec = vec![0f32; xs.len()];
+            dequant_sign_mag_at(lvl, &table, &got, 2.0, &mut dec);
+            let mut dec_ref = vec![0f32; xs.len()];
+            dequant_sign_mag_at(Level::Scalar, &table, &want, 2.0, &mut dec_ref);
+            let got_bits: Vec<u32> = dec.iter().map(|v| v.to_bits()).collect();
+            let exp_bits: Vec<u32> = dec_ref.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, exp_bits, "dequant {lvl}");
+            let mut acc = dec.clone();
+            dequant_sign_mag_add_at(lvl, &table, &got, 0.5, &mut acc);
+            let mut acc_ref = dec_ref.clone();
+            dequant_sign_mag_add_at(Level::Scalar, &table, &want, 0.5, &mut acc_ref);
+            let got_bits: Vec<u32> = acc.iter().map(|v| v.to_bits()).collect();
+            let exp_bits: Vec<u32> = acc_ref.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, exp_bits, "dequant_add {lvl}");
+        }
+    }
+
+    #[test]
+    fn gather_levels_agree() {
+        let src: Vec<f32> = (0..97).map(|i| (i as f32).sin()).collect();
+        let idx: Vec<u32> = (0..41).map(|i| (i * 13) % 97).collect();
+        let mut want = vec![0f32; idx.len()];
+        gather_f32_at(Level::Scalar, &src, &idx, &mut want);
+        for lvl in available_levels() {
+            let mut got = vec![0f32; idx.len()];
+            gather_f32_at(lvl, &src, &idx, &mut got);
+            assert_eq!(got, want, "{lvl}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn gather_oob_panics_on_every_level() {
+        let src = [1.0f32, 2.0];
+        let mut out = vec![0f32; 1];
+        gather_f32_at(hw_level(), &src, &[5], &mut out);
+    }
+}

@@ -192,9 +192,7 @@ impl Tensor {
     /// Panics if the lengths differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.len(), other.len(), "tensor length mismatch in axpy");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        crate::simd::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Multiplies every element by `alpha`, in place.
@@ -268,8 +266,12 @@ impl Tensor {
     }
 
     /// ℓ∞ norm: largest absolute value (0 for an empty tensor).
+    ///
+    /// Computed as an integer max over absolute-value bit patterns, which is
+    /// exact (bit-identical to the float fold on finite data, including
+    /// `-0.0`) and vectorizes; see [`crate::simd::abs_max_bits`].
     pub fn norm_inf(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+        f32::from_bits(crate::simd::abs_max_bits(&self.data))
     }
 
     /// Sum of all elements.

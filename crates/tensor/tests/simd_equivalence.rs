@@ -1,0 +1,313 @@
+//! SIMD-vs-scalar bit-identity equivalence suite.
+//!
+//! Every kernel in `grace_tensor::simd` promises that its vector paths are
+//! **bit identical** to the portable scalar body on all inputs. This suite
+//! enforces that promise with seeded property tests that sweep:
+//!
+//! * every level the CPU can execute (via `available_levels()`, which
+//!   ignores `GRACE_FORCE_SCALAR` — so the CI forced-scalar run still
+//!   cross-checks the vector bodies);
+//! * unaligned lengths around every lane and block boundary (0, 1, lane−1,
+//!   lane, lane+1 for the 4/8/16/32-element kernel blocks) plus
+//!   MTU-straddling sizes (±1 around 375 f32s = 1500 bytes and around 1500
+//!   elements);
+//! * adversarial float bit patterns — NaN, ±∞, ±0, denormals, extreme
+//!   magnitudes — injected into otherwise-random IEEE-754 words;
+//! * all 32 bit-pack widths against the generic bit-cursor reference.
+//!
+//! Inputs are raw `u32` words reinterpreted with `from_bits`, so the float
+//! space is sampled uniformly over *encodings* (heavy on denormals and NaN
+//! payloads), not just over values. All comparisons are on bit patterns.
+
+use grace_tensor::pack::{
+    pack_bits, pack_bits_generic, packed_len, unpack_bits_generic_into, unpack_bits_into,
+};
+use grace_tensor::select::{top_k_indices, top_k_indices_with};
+use grace_tensor::simd::{self, available_levels, Level};
+use proptest::prelude::*;
+
+/// Lengths that straddle every vector-kernel boundary: the f32 lane counts
+/// (4 SSE2, 8 AVX2), the byte-kernel block sizes (16, 32), and MTU-sized
+/// frames (1500 bytes = 375 f32s, and 1500 elements).
+fn boundary_lengths() -> Vec<usize> {
+    let mut out = vec![0, 1];
+    for lane in [4usize, 8, 16, 32] {
+        out.extend([lane - 1, lane, lane + 1]);
+    }
+    out.extend([374, 375, 376, 1499, 1500, 1501]);
+    out
+}
+
+/// The largest boundary length; the word pools are generated at this size
+/// and sliced down.
+const MAX_LEN: usize = 1501;
+
+/// Adversarial IEEE-754 encodings: ±0, NaNs (quiet and payload-carrying),
+/// ±∞, the smallest/largest denormals, the smallest normal, and both
+/// extremes of the finite range.
+const TRICKY_BITS: [u32; 14] = [
+    0x0000_0000, // +0.0
+    0x8000_0000, // -0.0
+    0x7FC0_0000, // canonical quiet NaN
+    0xFFC0_0001, // negative NaN with payload
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+    0x0000_0001, // smallest positive denormal
+    0x8000_0001, // smallest negative denormal
+    0x007F_FFFF, // largest denormal
+    0x0080_0000, // f32::MIN_POSITIVE
+    0x7F7F_FFFF, // f32::MAX
+    0xFF7F_FFFF, // f32::MIN
+    0x3F80_0000, // 1.0
+    0xBF80_0000, // -1.0
+];
+
+/// Reinterprets a word slice as floats, splicing the tricky encodings in at
+/// a generated stride so every boundary length sees some of them.
+fn floats_with_tricky(words: &[u32], salt: usize) -> Vec<f32> {
+    let mut out: Vec<f32> = words.iter().map(|&w| f32::from_bits(w)).collect();
+    let n = out.len();
+    for (j, &bits) in TRICKY_BITS.iter().enumerate() {
+        if n > 0 {
+            out[(salt + j * 5) % n] = f32::from_bits(bits);
+        }
+    }
+    out
+}
+
+/// Bit patterns of a float slice (the only comparison this suite makes).
+fn bits_of(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// A sorted 128-entry non-negative finite code-book built from random words
+/// (sign and exponent MSB masked off keeps every entry finite and ≥ 0).
+fn codebook(words: &[u32]) -> Vec<f32> {
+    let mut table: Vec<f32> = words
+        .iter()
+        .take(128)
+        .map(|&w| f32::from_bits(w & 0x3FFF_FFFF))
+        .collect();
+    table.resize(128, 0.0);
+    table.sort_by(|a, b| a.partial_cmp(b).expect("masked entries are finite"));
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn abs_kernels_bit_identical_across_levels(
+        words in proptest::collection::vec(any::<u32>(), MAX_LEN),
+        salt in 0usize..1000,
+    ) {
+        let pool = floats_with_tricky(&words, salt);
+        for len in boundary_lengths() {
+            let xs = &pool[..len];
+            let want_max = simd::abs_max_bits_at(Level::Scalar, xs);
+            let mut want_bits = vec![0u32; len];
+            simd::abs_bits_into_at(Level::Scalar, xs, &mut want_bits);
+            for lvl in available_levels() {
+                prop_assert_eq!(
+                    simd::abs_max_bits_at(lvl, xs),
+                    want_max,
+                    "abs_max_bits {} len {}",
+                    lvl,
+                    len
+                );
+                let mut got = vec![0u32; len];
+                simd::abs_bits_into_at(lvl, xs, &mut got);
+                prop_assert_eq!(&got, &want_bits, "abs_bits_into {} len {}", lvl, len);
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_bit_identical_across_levels(
+        xw in proptest::collection::vec(any::<u32>(), MAX_LEN),
+        yw in proptest::collection::vec(any::<u32>(), MAX_LEN),
+        aw in any::<u32>(),
+        salt in 0usize..1000,
+    ) {
+        let x = floats_with_tricky(&xw, salt);
+        let y0 = floats_with_tricky(&yw, salt.wrapping_add(7));
+        let a = f32::from_bits(aw);
+        for len in boundary_lengths() {
+            let mut want = y0[..len].to_vec();
+            simd::axpy_at(Level::Scalar, &mut want, a, &x[..len]);
+            for lvl in available_levels() {
+                let mut got = y0[..len].to_vec();
+                simd::axpy_at(lvl, &mut got, a, &x[..len]);
+                prop_assert_eq!(
+                    bits_of(&got),
+                    bits_of(&want),
+                    "axpy {} len {} a {:#010x}",
+                    lvl,
+                    len,
+                    aw
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_dequant_bit_identical_across_levels(
+        tw in proptest::collection::vec(any::<u32>(), 128),
+        xw in proptest::collection::vec(any::<u32>(), MAX_LEN),
+        invw in any::<u32>(),
+        salt in 0usize..1000,
+        small_n in 1usize..=127,
+    ) {
+        let table = codebook(&tw);
+        let xs = floats_with_tricky(&xw, salt);
+        // Any encoding is a valid scale: the kernels must agree even when
+        // `inv` is NaN or infinite (the comparisons then all fail the same
+        // way in every lane).
+        let inv = f32::from_bits(invw);
+        for len in boundary_lengths() {
+            let mut want = vec![0u32; len];
+            simd::quantize_sign_mag_at(Level::Scalar, &table, &xs[..len], inv, &mut want);
+            let mut want_dec = vec![0f32; len];
+            simd::dequant_sign_mag_at(Level::Scalar, &table, &want, 1.75, &mut want_dec);
+            let mut want_acc = xs[..len].to_vec();
+            simd::dequant_sign_mag_add_at(Level::Scalar, &table, &want, -0.5, &mut want_acc);
+            for lvl in available_levels() {
+                let mut got = vec![0u32; len];
+                simd::quantize_sign_mag_at(lvl, &table, &xs[..len], inv, &mut got);
+                prop_assert_eq!(&got, &want, "quantize {} len {}", lvl, len);
+                let mut dec = vec![0f32; len];
+                simd::dequant_sign_mag_at(lvl, &table, &got, 1.75, &mut dec);
+                prop_assert_eq!(bits_of(&dec), bits_of(&want_dec), "dequant {} len {}", lvl, len);
+                let mut acc = xs[..len].to_vec();
+                simd::dequant_sign_mag_add_at(lvl, &table, &got, -0.5, &mut acc);
+                prop_assert_eq!(
+                    bits_of(&acc),
+                    bits_of(&want_acc),
+                    "dequant_add {} len {}",
+                    lvl,
+                    len
+                );
+            }
+        }
+        // The 128-entry code-book takes a specialized AVX2 path; any other
+        // size goes through the generic gather loop. Cover both.
+        let small = &table[..small_n];
+        for len in boundary_lengths() {
+            let mut want = vec![0u32; len];
+            simd::quantize_sign_mag_at(Level::Scalar, small, &xs[..len], inv, &mut want);
+            for lvl in available_levels() {
+                let mut got = vec![0u32; len];
+                simd::quantize_sign_mag_at(lvl, small, &xs[..len], inv, &mut got);
+                prop_assert_eq!(&got, &want, "quantize {} table {} len {}", lvl, small_n, len);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_narrow_widen_bit_identical_across_levels(
+        words in proptest::collection::vec(any::<u32>(), MAX_LEN),
+    ) {
+        for len in boundary_lengths() {
+            let vals = &words[..len];
+            let mut want = vec![0u8; len];
+            simd::narrow_to_bytes_at(Level::Scalar, vals, &mut want);
+            let mut want_wide = vec![0u32; len];
+            simd::widen_from_bytes_at(Level::Scalar, &want, &mut want_wide);
+            for lvl in available_levels() {
+                let mut got = vec![0u8; len];
+                simd::narrow_to_bytes_at(lvl, vals, &mut got);
+                prop_assert_eq!(&got, &want, "narrow {} len {}", lvl, len);
+                let mut wide = vec![0u32; len];
+                simd::widen_from_bytes_at(lvl, &got, &mut wide);
+                prop_assert_eq!(&wide, &want_wide, "widen {} len {}", lvl, len);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_bit_identical_across_levels(
+        srcw in proptest::collection::vec(any::<u32>(), 977),
+        idxw in proptest::collection::vec(any::<u32>(), MAX_LEN),
+        salt in 0usize..1000,
+    ) {
+        // NaN/denormal payloads in the source must survive the gather
+        // bit-exactly.
+        let src = floats_with_tricky(&srcw, salt);
+        let indices: Vec<u32> = idxw.iter().map(|&w| w % src.len() as u32).collect();
+        for len in boundary_lengths() {
+            let mut want = vec![0f32; len];
+            simd::gather_f32_at(Level::Scalar, &src, &indices[..len], &mut want);
+            for lvl in available_levels() {
+                let mut got = vec![0f32; len];
+                simd::gather_f32_at(lvl, &src, &indices[..len], &mut got);
+                prop_assert_eq!(bits_of(&got), bits_of(&want), "gather {} len {}", lvl, len);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_all_widths_match_generic_reference(
+        words in proptest::collection::vec(any::<u32>(), MAX_LEN),
+        bits in 1u32..=32,
+    ) {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        for len in boundary_lengths() {
+            let vals: Vec<u32> = words[..len].iter().map(|&w| w & mask).collect();
+            let fast = pack_bits(&vals, bits);
+            prop_assert_eq!(fast.len(), packed_len(len, bits));
+            prop_assert_eq!(
+                &fast,
+                &pack_bits_generic(&vals, bits),
+                "pack width {} len {}",
+                bits,
+                len
+            );
+            let mut unpacked = Vec::new();
+            unpack_bits_into(&fast, bits, len, &mut unpacked);
+            let mut reference = Vec::new();
+            unpack_bits_generic_into(&fast, bits, len, &mut reference);
+            prop_assert_eq!(&unpacked, &reference, "unpack width {} len {}", bits, len);
+            prop_assert_eq!(&unpacked, &vals, "roundtrip width {} len {}", bits, len);
+        }
+    }
+
+    #[test]
+    fn top_k_matches_stable_sort_oracle(
+        words in proptest::collection::vec(any::<u32>(), MAX_LEN),
+        k_frac in 0.0f64..=1.0,
+        salt in 0usize..1000,
+    ) {
+        // Oracle: stable sort of indices by descending abs-value bit
+        // pattern. Stability gives lowest-index tie-breaking; the integer
+        // key gives a total order that places NaN payloads above +inf —
+        // exactly the documented selection contract.
+        let pool = floats_with_tricky(&words, salt);
+        let mut scratch = Vec::new();
+        for len in boundary_lengths() {
+            let xs = &pool[..len];
+            let k = ((len as f64) * k_frac) as usize;
+            let mut order: Vec<u32> = (0..len as u32).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(xs[i as usize].to_bits() & 0x7FFF_FFFF));
+            let mut expect: Vec<u32> = order[..k.min(len)].to_vec();
+            expect.sort_unstable();
+            let got = top_k_indices_with(xs, k, &mut scratch);
+            prop_assert_eq!(&got, &expect, "top_k len {} k {}", len, k);
+            prop_assert_eq!(&got, &top_k_indices(xs, k), "pooled vs fresh len {}", len);
+        }
+    }
+}
+
+/// The dispatch controls themselves: the forced-scalar escape hatch must
+/// constrain `level()` without hiding the vector paths from
+/// `available_levels()`.
+#[test]
+fn dispatch_respects_force_scalar_contract() {
+    let avail = available_levels();
+    assert_eq!(avail[0], Level::Scalar);
+    assert!(avail.contains(&simd::hw_level()));
+    assert!(simd::level() <= simd::hw_level());
+    let forced = std::env::var_os("GRACE_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != *"0");
+    if forced {
+        assert_eq!(simd::level(), Level::Scalar, "GRACE_FORCE_SCALAR ignored");
+    }
+}

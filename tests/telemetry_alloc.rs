@@ -10,7 +10,7 @@
 use grace::core::aggregation::sharded_mean_into;
 use grace::core::{
     AggMerger, AggregationPlan, Compressor, Context, EncodedTensor, GradientExchange, HealthConfig,
-    HealthMonitor, Payload, PlanBuilder, StepObservation,
+    HealthMonitor, Payload, PayloadReader, PlanBuilder, StepObservation,
 };
 use grace::telemetry::trace::{self, StageTimer};
 use grace::telemetry::{metrics, set_level, Level, Stage, Track};
@@ -274,6 +274,93 @@ fn homomorphic_fold_steady_state_is_allocation_free() {
         "steady-state homomorphic fold allocated {} times",
         after - before
     );
+}
+
+/// The vectorized codec kernels must be allocation-free in steady state:
+/// every `grace::tensor::simd` entry point writes into caller-owned slices,
+/// so a full encode/decode round (norm scan → code-book quantize → byte
+/// pack → byte unpack → dequantize → error-feedback axpy) over pooled
+/// buffers touches no allocator — on whatever dispatch level is active,
+/// including `GRACE_FORCE_SCALAR=1`.
+#[test]
+fn vectorized_codec_kernels_steady_state_is_allocation_free() {
+    use grace::tensor::simd;
+
+    set_level(Level::Off);
+    let table: Vec<f32> = (0..128).map(|i| i as f32 / 127.0).collect();
+    let xs: Vec<f32> = (0..1024).map(|i| ((i as f32) * 0.37).sin()).collect();
+    let mut codes = vec![0u32; xs.len()];
+    let mut bytes = vec![0u8; xs.len()];
+    let mut wide = vec![0u32; xs.len()];
+    let mut dec = vec![0f32; xs.len()];
+    // Warm-up also resolves the cached dispatch decision (feature detection
+    // and the env-var read) outside the measured window.
+    simd::quantize_sign_mag(&table, &xs, 1.0, &mut codes);
+
+    let before = allocs_on_this_thread();
+    for _ in 0..1_000 {
+        let max = f32::from_bits(simd::abs_max_bits(&xs));
+        let inv = 1.0 / max.max(f32::MIN_POSITIVE);
+        simd::quantize_sign_mag(&table, &xs, inv, &mut codes);
+        simd::narrow_to_bytes(&codes, &mut bytes);
+        simd::widen_from_bytes(&bytes, &mut wide);
+        simd::dequant_sign_mag(&table, &wide, max, &mut dec);
+        simd::dequant_sign_mag_add(&table, &wide, -0.5, &mut dec);
+        simd::axpy(&mut dec, 0.25, &xs);
+    }
+    let after = allocs_on_this_thread();
+    std::hint::black_box(&dec);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state vectorized codec kernels allocated {} times",
+        after - before
+    );
+}
+
+/// Zero-copy frame decoding must be allocation-free in steady state: the
+/// [`PayloadReader`] validates the CRC envelope and yields borrowed
+/// [`grace::core::PayloadView`]s over the frame body, and the pooled
+/// `unpack_into` / `read_f32s_into` scratch buffers are sized by the first
+/// pass — so re-decoding the same wire frame (the per-round receive path)
+/// touches no allocator.
+#[test]
+fn zero_copy_decode_steady_state_is_allocation_free() {
+    set_level(Level::Off);
+    // A realistic wire frame: packed byte codes plus an f32 meta payload.
+    let values: Vec<u32> = (0..512).map(|i| (i * 7) % 256).collect();
+    let payloads = vec![
+        Payload::packed(&values, 8),
+        Payload::F32((0..16).map(|i| i as f32 * 0.5).collect()),
+    ];
+    let frame = grace::core::payload::encode(&payloads);
+    let mut codes: Vec<u32> = Vec::new();
+    let mut meta: Vec<f32> = Vec::new();
+
+    let decode_frame = |codes: &mut Vec<u32>, meta: &mut Vec<f32>| {
+        let mut r = PayloadReader::new_checked(&frame).expect("clean frame");
+        let first = r.next_view().expect("clean frame").expect("packed view");
+        first.unpack_into(codes);
+        let second = r.next_view().expect("clean frame").expect("meta view");
+        second.read_f32s_into(meta);
+        assert!(r.next_view().expect("clean frame").is_none());
+    };
+    // Warm-up sizes the pooled scratch.
+    decode_frame(&mut codes, &mut meta);
+
+    let before = allocs_on_this_thread();
+    for _ in 0..1_000 {
+        decode_frame(&mut codes, &mut meta);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state zero-copy decode allocated {} times",
+        after - before
+    );
+    assert_eq!(codes.len(), 512);
+    assert_eq!(meta.len(), 16);
 }
 
 /// Steady-state sharded merging must be allocation-free on the serial path
