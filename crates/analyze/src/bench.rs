@@ -29,6 +29,11 @@ fn gated_metrics(bench: &str) -> &'static [&'static str] {
         // Gated conservatively: wall-clock ratios wobble on loaded hosts,
         // but a per-frame allocation or syscall regression craters it.
         "trace_overhead" => &["tracing_throughput_ratio"],
+        // Fraction of recorder-off throughput retained with the always-on
+        // flight-recorder ring active (telemetry otherwise Off). The ring
+        // is lock-free and allocation-free at steady state, so a crater
+        // here means a lock or allocation crept into the record path.
+        "recorder_overhead" => &["recorder_throughput_ratio"],
         // `agg_cpu_speedup` is recorded but not gated: merge wall-clock on a
         // loaded CI host is too noisy; the deterministic byte ratio is the
         // claim worth pinning.

@@ -1,6 +1,6 @@
 //! Post-processing for GRACE telemetry artefacts.
 //!
-//! Three analyses, all offline (no serde — parsing goes through
+//! Four analyses, all offline (no serde — parsing goes through
 //! `grace-telemetry`'s validation-grade JSON parser):
 //!
 //! 1. **Critical-path attribution** ([`critical`]): reads a Chrome
@@ -20,7 +20,13 @@
 //!    and emits one fleet-wide Perfetto timeline plus a per-step convoy
 //!    report (which rank arrived last, exposed network vs codec time,
 //!    retransmit cost).
+//! 4. **Post-mortem bundle analysis** ([`postmortem`]): reads the
+//!    flight-recorder bundles a tripped run leaves behind, merges them onto
+//!    one timeline with the anomaly overlay, and reports what tripped,
+//!    where the critical path sat in the retained window, and how the
+//!    compression quality was trending when the run died.
 
 pub mod bench;
 pub mod critical;
 pub mod merge;
+pub mod postmortem;

@@ -10,7 +10,7 @@
 //! `2` usage or input error — so CI can gate directly on the process
 //! status.
 
-use grace_analyze::{bench, critical, merge};
+use grace_analyze::{bench, critical, merge, postmortem};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -21,8 +21,17 @@ const USAGE: &str = "usage:
   grace-analyze merge <dir> [--out merged.trace.json] [--per-step] [--require-steps N]
       Merge a traced grace-launch run's rank<k>.trace.json (+ hub) files
       onto the hub clock: writes one fleet-wide Perfetto timeline (default
-      <dir>/merged.trace.json) and prints the cross-rank step report.
+      <dir>/merged.trace.json) with any health.jsonl anomalies overlaid on
+      a dedicated fault track, and prints the cross-rank step report.
       Exits 1 when fewer than N steps were completed by every rank.
+
+  grace-analyze postmortem <dir> [--out merged.trace.json] [--require-steps N] [--last N]
+      Analyze a flight-recorder bundle directory
+      (rank<k>.{trace.json,metrics.jsonl,health.jsonl}): merges the ranks
+      onto one timeline with the anomaly overlay and prints what tripped,
+      the last N retained steps' critical path, and the quality trend.
+      Exits 2 on a malformed bundle, 1 when fewer than N complete steps
+      were retained.
 
   grace-analyze --check-bench <current.json> --baseline <baseline.json> [--tolerance 0.25]
       Diff a bench result against a committed baseline; exits 1 when a
@@ -92,16 +101,72 @@ fn run_merge(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let out = out.unwrap_or_else(|| dir.join("merged.trace.json"));
-    if let Err(e) = std::fs::write(&out, merge::merged_trace_json(&traces)) {
+    let health = merge::load_health_events(&dir);
+    if let Err(e) = std::fs::write(&out, merge::merged_trace_json_with_health(&traces, &health)) {
         return fail(&format!("cannot write {}: {e}", out.display()));
     }
     let report = merge::analyze(&traces);
     print!("{}", merge::render_report(&report, per_step));
+    if !health.is_empty() {
+        println!(
+            "overlaid {} anomaly event(s) on the health track",
+            health.len()
+        );
+    }
     println!("merged timeline: {}", out.display());
     if report.complete_steps.len() < require_steps {
         eprintln!(
             "grace-analyze: only {} complete step(s), required {require_steps}",
             report.complete_steps.len()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_postmortem(args: &[String]) -> ExitCode {
+    let mut dir = None;
+    let mut out = None;
+    let mut require_steps = 0usize;
+    let mut last = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(std::path::PathBuf::from(p)),
+                None => return fail("--out needs a path"),
+            },
+            "--require-steps" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => require_steps = n,
+                _ => return fail("--require-steps needs a count"),
+            },
+            "--last" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => last = n,
+                _ => return fail("--last needs a count"),
+            },
+            _ if dir.is_none() => dir = Some(std::path::PathBuf::from(a)),
+            _ => return fail(USAGE),
+        }
+    }
+    let Some(dir) = dir else {
+        return fail(USAGE);
+    };
+    let traces = match merge::load_dir(&dir) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("malformed bundle: {e}")),
+    };
+    let health = merge::load_health_events(&dir);
+    let out = out.unwrap_or_else(|| dir.join("merged.trace.json"));
+    if let Err(e) = std::fs::write(&out, merge::merged_trace_json_with_health(&traces, &health)) {
+        return fail(&format!("cannot write {}: {e}", out.display()));
+    }
+    let pm = postmortem::analyze(&traces, &health);
+    print!("{}", postmortem::render(&pm, last));
+    println!("merged timeline: {}", out.display());
+    if pm.report.complete_steps.len() < require_steps {
+        eprintln!(
+            "grace-analyze: bundle retained only {} complete step(s), required {require_steps}",
+            pm.report.complete_steps.len()
         );
         return ExitCode::from(1);
     }
@@ -155,6 +220,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("trace") => run_trace(&args[1..]),
         Some("merge") => run_merge(&args[1..]),
+        Some("postmortem") => run_postmortem(&args[1..]),
         Some("--check-bench" | "check-bench") => run_check_bench(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");

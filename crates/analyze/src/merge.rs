@@ -30,6 +30,10 @@ use std::path::Path;
 
 /// Step markers land on this track label (`Track::Step`).
 const STEPS_TRACK: &str = "steps";
+/// Merged-document track id for overlaid health-anomaly instants. Chosen
+/// outside every exporter-assigned tid (stages 1–5, buckets 6, steps 7,
+/// hub 8, lanes 16+, net 4096+) so the overlay gets its own named lane.
+pub const HEALTH_TID: u64 = 9;
 /// Per-rank wire tracks are labelled `net <rank>` (`Track::Net`).
 const NET_PREFIX: &str = "net ";
 /// Stage tracks counted as codec time when computing exposed network time.
@@ -63,7 +67,8 @@ pub enum ArgVal {
 }
 
 impl RawEvent {
-    fn arg_num(&self, key: &str) -> Option<f64> {
+    /// Numeric `args` value under `key`, when present.
+    pub fn arg_num(&self, key: &str) -> Option<f64> {
         self.args.iter().find_map(|(k, v)| match v {
             ArgVal::Num(n) if k == key => Some(*n),
             _ => None,
@@ -106,6 +111,16 @@ impl RankTrace {
     /// A source timestamp rebased onto the hub clock, in µs.
     pub fn rebase_us(&self, ts_us: f64) -> f64 {
         ts_us + self.clock_offset_ns as f64 / 1_000.0
+    }
+
+    /// step → rebased step-marker timestamp (µs), from the `steps` track.
+    fn step_marks(&self) -> BTreeMap<u64, f64> {
+        let tracks = self.track_names();
+        self.events
+            .iter()
+            .filter(|e| e.ph == "i" && tracks.get(&e.tid).copied() == Some(STEPS_TRACK))
+            .filter_map(|e| Some((e.arg_num("step")? as u64, self.rebase_us(e.ts_us))))
+            .collect()
     }
 
     /// tid → track label, from this file's `thread_name` metadata.
@@ -234,10 +249,99 @@ fn push_us(out: &mut String, us: f64) {
     let _ = write!(out, "{us:.3}");
 }
 
+/// One anomaly line lifted from a `health.jsonl` / `rank<k>.health.jsonl`
+/// sidecar (written by the run-health monitor and by post-mortem bundles).
+#[derive(Debug, Clone)]
+pub struct HealthEvent {
+    /// Rank that observed the anomaly (`None` for legacy lines without a
+    /// `rank` field and no rank-derivable filename).
+    pub rank: Option<usize>,
+    /// Step the anomaly fired on.
+    pub step: u64,
+    /// Anomaly kind label (`grad_spike`, `residual_growth`, …).
+    pub kind: String,
+    /// Observed signal value.
+    pub value: f64,
+    /// Threshold it breached.
+    pub threshold: f64,
+}
+
+/// Parses one health JSONL line; `fallback_rank` fills in when the line
+/// carries no `rank` field (pre-identity logs).
+pub fn parse_health_line(line: &str, fallback_rank: Option<usize>) -> Option<HealthEvent> {
+    let doc = json::parse(line.trim()).ok()?;
+    Some(HealthEvent {
+        rank: doc
+            .get("rank")
+            .and_then(Value::as_f64)
+            .map(|r| r as usize)
+            .or(fallback_rank),
+        step: doc.get("step").and_then(Value::as_f64)? as u64,
+        kind: doc.get("kind").and_then(Value::as_str)?.to_string(),
+        value: doc.get("value").and_then(Value::as_f64).unwrap_or(0.0),
+        threshold: doc.get("threshold").and_then(Value::as_f64).unwrap_or(0.0),
+    })
+}
+
+/// Loads every anomaly line from `dir`'s health sidecars
+/// (`rank<k>.health.jsonl` and plain `health.jsonl`). Missing sidecars are
+/// not an error — a healthy run has none.
+pub fn load_health_events(dir: &Path) -> Vec<HealthEvent> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut events = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name != "health.jsonl" && !(name.starts_with("rank") && name.ends_with(".health.jsonl"))
+        {
+            continue;
+        }
+        let fallback = name
+            .strip_prefix("rank")
+            .and_then(|s| s.strip_suffix(".health.jsonl"))
+            .and_then(|s| s.parse::<usize>().ok());
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        events.extend(
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .filter_map(|l| parse_health_line(l, fallback)),
+        );
+    }
+    events.sort_by_key(|e| e.step);
+    events
+}
+
 /// Renders the merged Perfetto document: every process's events rebased
 /// onto the hub clock, one pid per process, `process_name` metadata naming
 /// each lane.
 pub fn merged_trace_json(traces: &[RankTrace]) -> String {
+    merged_trace_json_with_health(traces, &[])
+}
+
+/// [`merged_trace_json`] plus an anomaly overlay: every [`HealthEvent`] is
+/// placed as an instant on a dedicated `health` track ([`HEALTH_TID`]) of
+/// the rank that observed it, at that rank's step-marker timestamp — so a
+/// `grad_spike` lines up visually with the spans that produced it.
+pub fn merged_trace_json_with_health(traces: &[RankTrace], health: &[HealthEvent]) -> String {
+    // Attribute each anomaly to its observing rank's process lane; events
+    // without a resolvable rank ride on the lowest-ranked timeline.
+    let fallback = traces.iter().position(|t| t.rank.is_some());
+    let mut per_trace: Vec<Vec<&HealthEvent>> = vec![Vec::new(); traces.len()];
+    for h in health {
+        let idx = traces
+            .iter()
+            .position(|t| t.rank.is_some() && t.rank == h.rank)
+            .or(fallback);
+        if let Some(i) = idx {
+            per_trace[i].push(h);
+        }
+    }
     let mut out =
         String::with_capacity(64 + traces.iter().map(|t| t.events.len()).sum::<usize>() * 96);
     out.push_str("{\"traceEvents\":[");
@@ -248,7 +352,7 @@ pub fn merged_trace_json(traces: &[RankTrace]) -> String {
         }
         first = false;
     };
-    for trace in traces {
+    for (trace, overlay) in traces.iter().zip(&per_trace) {
         let pid = trace.pid();
         sep(&mut out);
         let _ = write!(
@@ -297,6 +401,30 @@ pub fn merged_trace_json(traces: &[RankTrace]) -> String {
                 out.push('}');
             }
             out.push('}');
+        }
+        if !overlay.is_empty() {
+            let marks = trace.step_marks();
+            let last_mark = marks.values().copied().next_back().unwrap_or(0.0);
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{HEALTH_TID},\"name\":\"thread_name\",\"args\":{{\"name\":\"health\"}}}}"
+            );
+            for h in overlay {
+                let ts = marks.get(&h.step).copied().unwrap_or(last_mark);
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{HEALTH_TID},\"name\":\"anomaly: {}\",\"ts\":",
+                    h.kind
+                );
+                push_us(&mut out, ts);
+                let _ = write!(
+                    out,
+                    ",\"s\":\"t\",\"args\":{{\"step\":{},\"value\":{},\"threshold\":{}}}}}",
+                    h.step, h.value, h.threshold
+                );
+            }
         }
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");

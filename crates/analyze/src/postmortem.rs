@@ -1,0 +1,222 @@
+//! Post-mortem bundle analysis: the read side of the flight recorder.
+//!
+//! A tripped recorder leaves `rank<k>.{trace.json,metrics.jsonl,health.jsonl}`
+//! under one directory (see `grace_telemetry::recorder`). This module folds
+//! those files into a single answer to "what was the fleet doing when it
+//! died?":
+//!
+//! 1. the **trip** — which trigger fired (`recorder: anomaly trip`,
+//!    `fault: drop`, `recorder: cluster error`), on which rank, and when;
+//! 2. the **anomaly history** — the health sidecar lines, step-ordered,
+//!    with the last excursion called out;
+//! 3. the **critical path** over the retained window — which rank's
+//!    request reached the wire last, per step, via [`merge::analyze`];
+//! 4. the **quality trend** — the sampled per-bucket approximation error
+//!    (`quality.bucket<b>.approx_error_ppm` instants), compared between the
+//!    first and second half of the retained window, so a compressor drifting
+//!    out of tolerance right before the trip is visible in one line.
+//!
+//! The merged timeline itself comes from
+//! [`merge::merged_trace_json_with_health`], which overlays the anomalies on
+//! a dedicated track.
+
+use crate::merge::{HealthEvent, MergeReport, RankTrace};
+use std::fmt::Write as _;
+
+/// Everything the post-mortem report distils from one bundle directory.
+#[derive(Debug, Clone)]
+pub struct Postmortem {
+    /// Cross-rank merge analysis over the retained window.
+    pub report: MergeReport,
+    /// Anomaly lines from the bundle's health sidecars, step-ordered.
+    pub health: Vec<HealthEvent>,
+    /// Trigger instants, time-ordered: `(rank, reason, rebased µs)`.
+    pub triggers: Vec<(Option<usize>, String, f64)>,
+    /// Sampled per-bucket approximation error, time-ordered:
+    /// `(rebased µs, ppm)`.
+    pub quality_ppm: Vec<(f64, f64)>,
+}
+
+/// Trigger-instant names the recorder and fault layer emit.
+const TRIGGER_PREFIXES: [&str; 2] = ["recorder: ", "fault: "];
+
+/// Quality-sensor instant names: `quality.bucket<b>.approx_error_ppm`.
+const QUALITY_PREFIX: &str = "quality.bucket";
+const QUALITY_SUFFIX: &str = ".approx_error_ppm";
+
+/// Distils loaded (unrebased) bundle traces plus their health sidecars.
+pub fn analyze(traces: &[RankTrace], health: &[HealthEvent]) -> Postmortem {
+    let mut triggers = Vec::new();
+    let mut quality_ppm = Vec::new();
+    for trace in traces {
+        for ev in &trace.events {
+            if ev.ph != "i" {
+                continue;
+            }
+            if TRIGGER_PREFIXES.iter().any(|p| ev.name.starts_with(p)) {
+                triggers.push((trace.rank, ev.name.clone(), trace.rebase_us(ev.ts_us)));
+            } else if ev.name.starts_with(QUALITY_PREFIX) && ev.name.ends_with(QUALITY_SUFFIX) {
+                if let Some(ppm) = ev.arg_num("ppm") {
+                    quality_ppm.push((trace.rebase_us(ev.ts_us), ppm));
+                }
+            }
+        }
+    }
+    triggers.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+    quality_ppm.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Postmortem {
+        report: crate::merge::analyze(traces),
+        health: health.to_vec(),
+        triggers,
+        quality_ppm,
+    }
+}
+
+fn rank_label(rank: Option<usize>) -> String {
+    match rank {
+        Some(k) => format!("rank {k}"),
+        None => "hub".to_string(),
+    }
+}
+
+/// Mean of a slice; 0 when empty.
+fn mean(xs: &[(f64, f64)]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|(_, v)| v).sum::<f64>() / xs.len() as f64
+}
+
+/// Renders the post-mortem report; `last` bounds the per-step tail shown.
+pub fn render(pm: &Postmortem, last: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "post-mortem bundle: {} rank(s){}, {} retained step(s)",
+        pm.report.ranks,
+        if pm.report.has_hub { " + hub" } else { "" },
+        pm.report.complete_steps.len()
+    );
+    // 1. The trip. The first trigger instant is the root event — everything
+    // later (peer timeouts, cascade dumps) is consequence.
+    match pm.triggers.first() {
+        Some((rank, reason, ts_us)) => {
+            let _ = writeln!(
+                out,
+                "trip: \"{reason}\" on {} at {:.3} ms{}",
+                rank_label(*rank),
+                ts_us / 1e3,
+                if pm.triggers.len() > 1 {
+                    format!(" ({} follow-up trigger(s))", pm.triggers.len() - 1)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        None => {
+            let _ = writeln!(out, "trip: none recorded (on-demand dump)");
+        }
+    }
+    // 2. Anomaly history.
+    if let Some(h) = pm.health.last() {
+        let _ = writeln!(
+            out,
+            "last anomaly: {} at step {} on {} (value {:.4}, threshold {:.4}; {} total)",
+            h.kind,
+            h.step,
+            rank_label(h.rank),
+            h.value,
+            h.threshold,
+            pm.health.len()
+        );
+    } else {
+        let _ = writeln!(out, "anomalies: none logged");
+    }
+    // 3. Critical path over the retained window.
+    if let (Some(first), Some(last_step)) = (
+        pm.report.complete_steps.first(),
+        pm.report.complete_steps.last(),
+    ) {
+        let _ = writeln!(out, "retained window: steps {first}..={last_step}");
+    }
+    if !pm.report.convoys.is_empty() {
+        let tail = pm.report.convoys.len().saturating_sub(last);
+        for convoy in &pm.report.convoys[tail..] {
+            let _ = writeln!(
+                out,
+                "step {:>6}: last arrival rank {} (+{:.3} ms)",
+                convoy.step,
+                convoy.last_rank,
+                convoy.gap_us / 1e3
+            );
+        }
+    }
+    // 4. Quality trend: first vs second half of the retained window.
+    if pm.quality_ppm.len() >= 2 {
+        let mid = pm.quality_ppm.len() / 2;
+        let (early, late) = (mean(&pm.quality_ppm[..mid]), mean(&pm.quality_ppm[mid..]));
+        let trend = if late > early * 1.1 {
+            "rising"
+        } else if late < early * 0.9 {
+            "falling"
+        } else {
+            "steady"
+        };
+        let _ = writeln!(
+            out,
+            "quality: approx error {early:.0} → {late:.0} ppm ({trend}, {} sample(s))",
+            pm.quality_ppm.len()
+        );
+    } else {
+        let _ = writeln!(out, "quality: no sampled error in window");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::parse_rank_trace;
+
+    fn doc(rank: usize, events: &str) -> RankTrace {
+        parse_rank_trace(&format!(
+            "{{\"traceEvents\":[{events}],\"grace\":{{\"rank\":{rank},\"world\":2,\"clock_offset_ns\":0,\"clock_rtt_ns\":0}}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn trip_and_quality_trend_are_extracted() {
+        let r0 = doc(
+            0,
+            "{\"ph\":\"i\",\"tid\":5,\"name\":\"recorder: anomaly trip\",\"ts\":900.0,\"s\":\"t\"},\
+             {\"ph\":\"i\",\"tid\":6,\"name\":\"quality.bucket0.approx_error_ppm\",\"ts\":100.0,\"s\":\"t\",\"args\":{\"bucket\":0,\"ppm\":1000}},\
+             {\"ph\":\"i\",\"tid\":6,\"name\":\"quality.bucket0.approx_error_ppm\",\"ts\":800.0,\"s\":\"t\",\"args\":{\"bucket\":0,\"ppm\":4000}}",
+        );
+        let health = vec![HealthEvent {
+            rank: Some(0),
+            step: 7,
+            kind: "grad_spike".into(),
+            value: 12.0,
+            threshold: 4.0,
+        }];
+        let pm = analyze(&[r0], &health);
+        assert_eq!(pm.triggers.len(), 1);
+        assert_eq!(pm.triggers[0].1, "recorder: anomaly trip");
+        assert_eq!(pm.quality_ppm.len(), 2);
+        let text = render(&pm, 5);
+        assert!(text.contains("trip: \"recorder: anomaly trip\" on rank 0"));
+        assert!(text.contains("grad_spike at step 7"));
+        assert!(text.contains("rising"));
+    }
+
+    #[test]
+    fn on_demand_bundle_renders_without_trip() {
+        let r0 = doc(0, "");
+        let pm = analyze(&[r0], &[]);
+        let text = render(&pm, 5);
+        assert!(text.contains("trip: none recorded"));
+        assert!(text.contains("anomalies: none logged"));
+        assert!(text.contains("no sampled error"));
+    }
+}

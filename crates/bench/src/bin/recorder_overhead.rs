@@ -1,0 +1,87 @@
+//! Measures what the always-on flight-recorder ring costs the socket
+//! transport, and records the result to
+//! `results/bench_recorder_overhead.json`.
+//!
+//! Four in-process ranks run the same fixed allgather workload twice over
+//! the real localhost-TCP hub with telemetry `Off` (the production
+//! default): once with the recorder disabled and once with the ring
+//! retaining every wire instant and span. The gated observable is
+//!
+//! ```text
+//! recorder_throughput_ratio = wall_disabled / wall_recording
+//! ```
+//!
+//! — the fraction of recorder-off throughput the recording run retains.
+//! The ring is per-thread, lock-free on the producer side and
+//! allocation-free at steady state, so this should sit near 1.0; CI gates
+//! on a conservative floor so a lock or allocation creeping into the
+//! record path fails the build instead of taxing every production run.
+//!
+//! Run: `cargo run --release -p grace-bench --bin recorder_overhead`
+
+use grace_comm::net::run_socket_local;
+use grace_comm::{ClusterOptions, Collective};
+use grace_telemetry::{recorder, set_level, Level};
+use std::time::Instant;
+
+const WORKERS: usize = 4;
+const WARMUP: usize = 4;
+
+/// Slowest-rank mean wall-clock per allgather round, in milliseconds.
+fn measure(payload_bytes: usize, rounds: usize) -> f64 {
+    let results = run_socket_local(WORKERS, ClusterOptions::default(), None, |c| {
+        let payload = vec![0xA5_u8; payload_bytes];
+        for _ in 0..WARMUP {
+            std::hint::black_box(c.allgather_bytes(payload.clone()));
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let gathered = c.allgather_bytes(payload.clone());
+            assert_eq!(gathered.len(), WORKERS);
+            std::hint::black_box(gathered);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        c.leave();
+        wall
+    });
+    results
+        .iter()
+        .map(|w| w * 1e3 / rounds as f64)
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    set_level(Level::Off);
+    let cells = [("4KiB", 4 << 10, 96), ("256KiB", 256 << 10, 24)];
+    let mut rows = Vec::new();
+    for (label, bytes, rounds) in cells {
+        recorder::set_enabled(false);
+        let off_ms = measure(bytes, rounds);
+        recorder::set_enabled(true);
+        recorder::reset();
+        let on_ms = measure(bytes, rounds);
+        recorder::set_enabled(false);
+        let ratio = off_ms / on_ms;
+        println!(
+            "{label:>7}  disabled {off_ms:8.3} ms  recording {on_ms:8.3} ms  \
+             throughput ratio {ratio:.3}"
+        );
+        rows.push(format!(
+            "    {{\"codec\": \"{label}\", \"recorder_throughput_ratio\": {ratio:.4}, \
+             \"wall_off_ms\": {off_ms:.3}, \"wall_on_ms\": {on_ms:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"recorder_overhead\",\n  \"workers\": {WORKERS},\n  \
+         \"host_cpus\": {host_cpus},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("bench_recorder_overhead.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("[written] {} (host_cpus = {host_cpus})", path.display());
+}

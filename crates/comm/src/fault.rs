@@ -31,7 +31,7 @@
 use crate::collectives::{Collective, GatherFrames, Reduction};
 use crate::error::ClusterError;
 use grace_telemetry::metrics::{self, Counter};
-use grace_telemetry::{trace, Stage, Track};
+use grace_telemetry::{recorder, trace, Stage, Track};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -281,6 +281,9 @@ impl FaultStats {
             Track::Stage(Stage::Fault),
             Some(("rank", rank as u64)),
         );
+        // A planned fault instant is a flight-recorder trigger: snapshot
+        // the window leading up to it (latched — only the first fires).
+        recorder::trigger(name);
     }
 
     /// Records an injected straggler delay at `rank`.

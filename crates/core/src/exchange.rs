@@ -46,7 +46,9 @@ use crate::compressor::{CommStrategy, Compressor, Context};
 use crate::memory::Memory;
 use crate::payload::{self, Payload};
 use grace_comm::TrafficCounter;
-use grace_telemetry::{metrics, Histogram, HistogramHandle, Stage, StageTimer, Track};
+use grace_telemetry::{
+    enabled, metrics, recorder, trace, Histogram, HistogramHandle, Level, Stage, StageTimer, Track,
+};
 use grace_tensor::Tensor;
 
 const NS_PER_SEC: f64 = 1e9;
@@ -308,6 +310,103 @@ impl EngineMetrics {
     }
 }
 
+/// Every `QUALITY_SAMPLE_PERIOD`-th encode on a lane measures the
+/// compression approximation error from tensors the hot path already has
+/// in hand (the compensated gradient and its own-decode), so sampling
+/// never adds a decompress.
+const QUALITY_SAMPLE_PERIOD: u32 = 16;
+
+/// Fusion buckets get dedicated `quality.bucket{b}.*` series up to this
+/// many buckets; higher bucket indices clamp onto the last series.
+const QUALITY_BUCKETS: usize = 8;
+
+/// Static name tables so per-bucket quality events carry `&'static str`
+/// names (a [`grace_telemetry::trace::TraceEvent`] requirement — the
+/// flight recorder retains these instants without allocating).
+const QB_ERR: [&str; QUALITY_BUCKETS] = [
+    "quality.bucket0.approx_error_ppm",
+    "quality.bucket1.approx_error_ppm",
+    "quality.bucket2.approx_error_ppm",
+    "quality.bucket3.approx_error_ppm",
+    "quality.bucket4.approx_error_ppm",
+    "quality.bucket5.approx_error_ppm",
+    "quality.bucket6.approx_error_ppm",
+    "quality.bucket7.approx_error_ppm",
+];
+const QB_RATIO: [&str; QUALITY_BUCKETS] = [
+    "quality.bucket0.ratio_x100",
+    "quality.bucket1.ratio_x100",
+    "quality.bucket2.ratio_x100",
+    "quality.bucket3.ratio_x100",
+    "quality.bucket4.ratio_x100",
+    "quality.bucket5.ratio_x100",
+    "quality.bucket6.ratio_x100",
+    "quality.bucket7.ratio_x100",
+];
+
+/// Per-layer compression-quality sensors (the `quality.*` series): the
+/// signal set the ROADMAP's adaptive control plane consumes, and what the
+/// flight recorder retains as `buckets`-track instants so a post-mortem
+/// bundle shows the quality trend leading into a trip.
+///
+/// Pure observation — gauges gate on the telemetry level internally and
+/// the instants gate on trace/recorder state, so recording here can never
+/// perturb the update math (bit-equivalence holds with sensors on or off).
+pub(crate) struct QualitySensors {
+    /// Latest sampled per-bucket relative approximation error
+    /// ‖φ − Q⁻¹(Q(φ))‖/‖φ‖ in parts-per-million.
+    err: [metrics::Gauge; QUALITY_BUCKETS],
+    /// Latest effective per-bucket compression ratio ×100 (dense f32
+    /// bytes over wire bytes).
+    ratio: [metrics::Gauge; QUALITY_BUCKETS],
+    /// Fleet-mean stored-residual L2 norm (error-feedback pressure).
+    residual: metrics::Gauge,
+}
+
+impl QualitySensors {
+    pub(crate) fn resolve() -> Self {
+        QualitySensors {
+            err: std::array::from_fn(|b| metrics::gauge(QB_ERR[b])),
+            ratio: std::array::from_fn(|b| metrics::gauge(QB_RATIO[b])),
+            residual: metrics::gauge("quality.residual_norm"),
+        }
+    }
+
+    /// Records a sampled relative approximation error for `bucket`.
+    pub(crate) fn record_error(&self, bucket: usize, rel_err: f64) {
+        let b = bucket.min(QUALITY_BUCKETS - 1);
+        let ppm = (rel_err * 1e6).round();
+        self.err[b].set(ppm);
+        trace::instant_args(
+            QB_ERR[b],
+            Track::Bucket,
+            Some(("bucket", bucket as u64)),
+            Some(("ppm", ppm as u64)),
+        );
+    }
+
+    /// Records the effective compression ratio of one drained bucket.
+    pub(crate) fn record_ratio(&self, bucket: usize, elements: usize, wire_bytes: usize) {
+        if wire_bytes == 0 || elements == 0 {
+            return;
+        }
+        let b = bucket.min(QUALITY_BUCKETS - 1);
+        let r100 = (elements as u64 * 4).saturating_mul(100) / wire_bytes as u64;
+        self.ratio[b].set(r100 as f64);
+        trace::instant_args(
+            QB_RATIO[b],
+            Track::Bucket,
+            Some(("bucket", bucket as u64)),
+            Some(("ratio_x100", r100)),
+        );
+    }
+
+    /// Records the fleet's mean stored-residual norm.
+    pub(crate) fn record_residual(&self, norm: f64) {
+        self.residual.set(norm);
+    }
+}
+
 /// One worker's private compression lane: its compressor, its (optional)
 /// error-feedback memory, and its codec-time accumulator.
 ///
@@ -321,6 +420,17 @@ pub struct WorkerLane<'a> {
     /// Per-lane encode-time distribution in the global registry
     /// (`exchange.encode_ns.lane{rank}`) — straggler skew across lanes.
     encode_hist: HistogramHandle,
+    /// Encodes observed since lane construction (drives quality sampling).
+    sample_tick: u32,
+    /// Most recent sampled relative approximation error, pending pull by
+    /// the caller that knows which fusion bucket the tensor belongs to.
+    last_rel_err: Option<f64>,
+    /// Sampled relative error distribution (`quality.approx_error_ppm`).
+    err_hist: HistogramHandle,
+    /// Sampled per-layer residual norm ‖φ − Q⁻¹(Q(φ))‖ ×1e6
+    /// (`quality.layer_residual_x1e6`) — exactly the residual the memory
+    /// stores for that layer.
+    layer_residual_hist: HistogramHandle,
 }
 
 impl<'a> WorkerLane<'a> {
@@ -337,6 +447,10 @@ impl<'a> WorkerLane<'a> {
             memory,
             codec_ns: 0,
             encode_hist: metrics::histogram(&format!("exchange.encode_ns.lane{rank}")),
+            sample_tick: 0,
+            last_rel_err: None,
+            err_hist: metrics::histogram("quality.approx_error_ppm"),
+            layer_residual_hist: metrics::histogram("quality.layer_residual_x1e6"),
         }
     }
 
@@ -372,6 +486,45 @@ impl<'a> WorkerLane<'a> {
         self.encode_hist.record(ns);
     }
 
+    /// Quality sampling (paper §V: compression behaviour must be observed
+    /// per method and per layer to be tuned). Every
+    /// [`QUALITY_SAMPLE_PERIOD`]-th encode measures ‖φ − Q⁻¹(Q(φ))‖ from
+    /// the two tensors the encode path already produced — no extra
+    /// decompress, no allocation, read-only over both slices, so the
+    /// update math is untouched at every telemetry level.
+    fn sample_quality(&mut self, reference: &Tensor, decoded: &Tensor) {
+        self.sample_tick = self.sample_tick.wrapping_add(1);
+        if !self.sample_tick.is_multiple_of(QUALITY_SAMPLE_PERIOD) {
+            return;
+        }
+        if !enabled(Level::Metrics) && !recorder::active() {
+            return;
+        }
+        let mut err_sq = 0.0f64;
+        let mut ref_sq = 0.0f64;
+        for (&a, &b) in reference.as_slice().iter().zip(decoded.as_slice()) {
+            let e = f64::from(a) - f64::from(b);
+            err_sq += e * e;
+            ref_sq += f64::from(a) * f64::from(a);
+        }
+        let abs = err_sq.sqrt();
+        self.layer_residual_hist.record((abs * 1e6) as u64);
+        let rel = if ref_sq > 0.0 {
+            abs / ref_sq.sqrt()
+        } else {
+            0.0
+        };
+        self.err_hist.record((rel * 1e6) as u64);
+        self.last_rel_err = Some(rel);
+    }
+
+    /// Takes the most recent sampled relative approximation error. Callers
+    /// that know the tensor→bucket mapping pull this right after an encode
+    /// and attribute it to the covering fusion bucket.
+    pub(crate) fn take_quality_error(&mut self) -> Option<f64> {
+        self.last_rel_err.take()
+    }
+
     /// Algorithm 1 lines 5–7 for one tensor: compensate, compress, and — if
     /// the memory is active — decompress the lane's own payload and update
     /// the residual. Only compress/decompress are timed (compensate and the
@@ -389,6 +542,7 @@ impl<'a> WorkerLane<'a> {
                     let own = self.compressor.decompress(&payloads, &ctx);
                     ns += t1.finish("decode_own", lane);
                     mem.update(name, &compensated, &own);
+                    self.sample_quality(&compensated, &own);
                 }
                 self.observe(ns);
                 EncodedTensor { payloads, ctx }
@@ -416,6 +570,7 @@ impl<'a> WorkerLane<'a> {
                 let decoded = self.compressor.decompress(&payloads, &ctx);
                 let ns = t0.finish("encode_decode", lane);
                 mem.update(name, &compensated, &decoded);
+                self.sample_quality(&compensated, &decoded);
                 self.observe(ns);
                 (EncodedTensor { payloads, ctx }, decoded)
             }
@@ -424,6 +579,7 @@ impl<'a> WorkerLane<'a> {
                 let (payloads, ctx) = self.compressor.compress(tensor, name);
                 let decoded = self.compressor.decompress(&payloads, &ctx);
                 let ns = t0.finish("encode_decode", lane);
+                self.sample_quality(tensor, &decoded);
                 self.observe(ns);
                 (EncodedTensor { payloads, ctx }, decoded)
             }
@@ -522,6 +678,9 @@ struct LaneStager {
     bucket_ns: Vec<u64>,
     /// Payload bytes generated per bucket this step.
     bucket_bytes: Vec<u64>,
+    /// Largest sampled relative approximation error observed per bucket
+    /// this step (−1 when no encode in the bucket was sampled).
+    bucket_err: Vec<f64>,
     /// Wall window opened at the open bucket's first encode; spans the
     /// interleaved backprop on the `buckets` track when it closes.
     window: Option<StageTimer>,
@@ -540,6 +699,7 @@ impl LaneStager {
             submitted: 0,
             bucket_ns: Vec::new(),
             bucket_bytes: Vec::new(),
+            bucket_err: Vec::new(),
             window: None,
             codec_before: 0.0,
         }
@@ -566,6 +726,8 @@ impl LaneStager {
         self.bucket_ns.resize(plan.n_buckets(), 0);
         self.bucket_bytes.clear();
         self.bucket_bytes.resize(plan.n_buckets(), 0);
+        self.bucket_err.clear();
+        self.bucket_err.resize(plan.n_buckets(), -1.0);
         self.cursor = 0;
         self.submitted = 0;
         self.window = None;
@@ -616,6 +778,11 @@ impl LaneStager {
             };
             self.bucket_ns[b] += lane.codec_ns - before_ns;
             self.bucket_bytes[b] += bytes;
+            if let Some(e) = lane.take_quality_error() {
+                if e > self.bucket_err[b] {
+                    self.bucket_err[b] = e;
+                }
+            }
             self.cursor += 1;
             if self.cursor == plan.bucket_range(b).end {
                 if let Some(w) = self.window.take() {
@@ -677,6 +844,7 @@ pub struct GradientExchange<'a> {
     traffic: TrafficCounter,
     stage_hists: StageHistograms,
     metrics: EngineMetrics,
+    quality: QualitySensors,
     pipeline: PipelineState,
     merger: AggMerger,
     /// The plan the fleet's compressor actually runs under, resolved once
@@ -744,6 +912,7 @@ impl<'a> GradientExchange<'a> {
             traffic: TrafficCounter::new(n),
             stage_hists: StageHistograms::default(),
             metrics: EngineMetrics::resolve(),
+            quality: QualitySensors::resolve(),
             pipeline: PipelineState::default(),
             merger,
             effective: None,
@@ -937,17 +1106,25 @@ impl<'a> GradientExchange<'a> {
             seconds: f64,
             bytes: u64,
             elements: usize,
+            /// Largest sampled approximation error this step (−1: none).
+            quality: f64,
         }
         let encode_timer = StageTimer::start();
         let outs: Vec<LaneOut> = self.run_lanes(worker_grads, |lane, grads| {
             let before = lane.codec_seconds();
             let mut bytes = 0u64;
             let mut elements = 0usize;
+            let mut quality = -1.0f64;
             let mut encoded = Vec::with_capacity(grads.len());
             for (name, grad) in grads {
                 elements += grad.len();
                 let enc = lane.encode(&name, &grad);
                 bytes += enc.wire_bytes() as u64;
+                if let Some(e) = lane.take_quality_error() {
+                    if e > quality {
+                        quality = e;
+                    }
+                }
                 encoded.push((name, enc));
             }
             LaneOut {
@@ -955,6 +1132,7 @@ impl<'a> GradientExchange<'a> {
                 seconds: lane.codec_seconds() - before,
                 bytes,
                 elements,
+                quality,
             }
         });
 
@@ -962,6 +1140,7 @@ impl<'a> GradientExchange<'a> {
 
         let compress_seconds: Vec<f64> = outs.iter().map(|o| o.seconds).collect();
         let payload_bytes: Vec<u64> = outs.iter().map(|o| o.bytes).collect();
+        let quality_err = outs.iter().map(|o| o.quality).fold(-1.0f64, f64::max);
         let elements = outs[0].elements;
         for o in &outs {
             assert_eq!(
@@ -994,6 +1173,12 @@ impl<'a> GradientExchange<'a> {
             let agg = self.aggregate_group(group, &mut bucket, &mut acc);
             aggregated.push((name, agg));
         }
+        // One-shot exchanges drain everything as a single logical bucket.
+        if quality_err >= 0.0 {
+            self.quality.record_error(0, quality_err);
+        }
+        self.quality
+            .record_ratio(0, bucket.elements, bucket.wire_bytes);
 
         let report = ExchangeReport {
             buckets: vec![bucket],
@@ -1325,6 +1510,16 @@ impl<'a> GradientExchange<'a> {
                 let agg = self.aggregate_group(group, &mut bucket, &mut acc);
                 aggregated.push((plan.name(idx).to_string(), agg));
             }
+            let bucket_err = pipe
+                .stagers
+                .iter()
+                .map(|s| s.bucket_err[b])
+                .fold(-1.0f64, f64::max);
+            if bucket_err >= 0.0 {
+                self.quality.record_error(b, bucket_err);
+            }
+            self.quality
+                .record_ratio(b, bucket.elements, bucket.wire_bytes);
             buckets.push(bucket);
             pipe.in_flight = pipe.in_flight.saturating_sub(n as u64);
             self.metrics.in_flight.set(pipe.in_flight as f64);
@@ -1436,6 +1631,11 @@ impl<'a> GradientExchange<'a> {
         let raw = (report.elements() * 4) as u64;
         if let Some(ratio) = raw.saturating_mul(100).checked_div(wire) {
             self.metrics.ratio_x100.record(ratio);
+        }
+        // Error-feedback pressure: the adaptive control plane's third
+        // quality signal, next to per-bucket error and ratio.
+        if let Some(norm) = self.residual_norm() {
+            self.quality.record_residual(norm);
         }
     }
 

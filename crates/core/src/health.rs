@@ -25,7 +25,7 @@
 
 use crate::exchange::ExchangeReport;
 use grace_telemetry::metrics::{self, Counter, Gauge};
-use grace_telemetry::{trace, Stage, Track};
+use grace_telemetry::{recorder, trace, Stage, Track};
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -166,6 +166,9 @@ pub struct AnomalyEvent {
     pub value: f64,
     /// The threshold it breached.
     pub threshold: f64,
+    /// The rank whose monitor fired (0 for single-process runs) — without
+    /// it, collected multi-rank fleet logs are unattributable.
+    pub rank: usize,
 }
 
 /// One step's worth of health signals. Optional fields are skipped (their
@@ -270,6 +273,9 @@ pub struct HealthMonitor {
     g_straggler_skew: Gauge,
     g_tripped: Gauge,
     log: Option<std::fs::File>,
+    /// Identity stamped onto every fired event and JSONL line.
+    rank: usize,
+    run_tag: String,
 }
 
 impl std::fmt::Debug for HealthMonitor {
@@ -311,7 +317,18 @@ impl HealthMonitor {
             g_straggler_skew: metrics::gauge("health.straggler_skew_seconds"),
             g_tripped: metrics::gauge("health.tripped"),
             log: None,
+            rank: 0,
+            run_tag: String::new(),
         }
+    }
+
+    /// Stamps the monitor with the rank it runs on and the run tag, so
+    /// fired events and `health.jsonl` lines stay attributable after
+    /// multi-rank collection. Defaults to rank 0 with an empty tag.
+    pub fn with_identity(mut self, rank: usize, run_tag: &str) -> Self {
+        self.rank = rank;
+        self.run_tag = run_tag.to_string();
+        self
     }
 
     /// Events fired so far, in trip order (capped at an internal maximum).
@@ -483,13 +500,16 @@ impl HealthMonitor {
         }
     }
 
-    /// Emits one tripped anomaly everywhere it is observable.
+    /// Emits one tripped anomaly everywhere it is observable — including
+    /// the flight recorder, whose latched trigger drains a post-mortem
+    /// bundle the first time any signal trips.
     fn fire(&mut self, kind: AnomalyKind, value: f64, threshold: f64) {
         let event = AnomalyEvent {
             step: self.step,
             kind,
             value,
             threshold,
+            rank: self.rank,
         };
         self.anomalies_total.add(1);
         self.kind_counters[kind.index()].add(1);
@@ -502,6 +522,8 @@ impl HealthMonitor {
         if self.events.len() < MAX_EVENTS {
             self.events.push(event);
         }
+        recorder::note_anomaly(self.step, kind.label(), value, threshold);
+        recorder::trigger("recorder: anomaly trip");
     }
 
     fn append_log(&mut self, event: &AnomalyEvent) {
@@ -536,11 +558,13 @@ impl HealthMonitor {
                 "null".to_string()
             };
             let line = format!(
-                "{{\"step\":{},\"kind\":\"{}\",\"value\":{},\"threshold\":{}}}\n",
+                "{{\"step\":{},\"kind\":\"{}\",\"value\":{},\"threshold\":{},\"rank\":{},\"run_tag\":\"{}\"}}\n",
                 event.step,
                 event.kind.label(),
                 value,
-                threshold
+                threshold,
+                event.rank,
+                self.run_tag
             );
             let _ = file.write_all(line.as_bytes());
         }

@@ -18,7 +18,9 @@ use crate::memory::Memory;
 use crate::threaded::{run_threaded, worker_loop, ThreadedResult};
 use crate::trainer::{start_metrics_server, ExecBackend, TrainConfig};
 use grace_comm::net::{self, Endpoint, NetConfig, SocketCluster};
-use grace_comm::{ClusterError, ClusterOptions, Collective, FaultStats, FaultyCollective};
+use grace_comm::{
+    ClusterError, ClusterIntrospect, ClusterOptions, Collective, FaultStats, FaultyCollective,
+};
 use grace_nn::data::Task;
 use grace_nn::network::Network;
 use grace_nn::optim::Optimizer;
@@ -171,6 +173,17 @@ pub fn run_socket_rank(
     let cluster = SocketCluster::connect(&net_cfg)?;
     let stats = FaultStats::new(net_cfg.world);
     let comm = FaultyCollective::new(cluster, plan, stats);
+    // Stamp this rank's trace identity *before* training starts: a mid-run
+    // post-mortem dump (anomaly trip, fault, wedged peer) must already carry
+    // the hub-clock offset header, or the merge tool cannot rebase it.
+    let (clock_offset_ns, clock_rtt_ns) = comm.inner().clock_sync().unwrap_or((0, 0));
+    grace_telemetry::set_trace_header(Some(grace_telemetry::TraceHeader {
+        rank: Some(net_cfg.rank),
+        world: net_cfg.world,
+        clock_offset_ns,
+        clock_rtt_ns,
+    }));
+    grace_telemetry::recorder::configure(&cfg.run_tag("socket"), Some(net_cfg.rank));
     // Only rank 0 serves the fleet /metrics endpoint — every child gets the
     // same GRACE_METRICS_ADDR from the launcher, and one listener per port
     // is plenty (rank 0 is also where the health gauges live).
@@ -182,9 +195,20 @@ pub fn run_socket_rank(
     let out = worker_loop(cfg, task, &make_worker, &comm, true);
     if out.is_err() {
         comm.leave();
+        // A wedged or dropped rank is exactly what the flight recorder
+        // exists for: snapshot the last retained window before exiting.
+        grace_telemetry::recorder::trigger("recorder: cluster error");
     }
     grace_telemetry::trace::flush_thread();
     export_rank_trace(&comm, net_cfg.rank, net_cfg.world);
+    // On-demand post-mortem even for clean exits (`grace-launch
+    // --dump-on-exit`); a tripped recorder already wrote its bundle.
+    let dump_on_exit = std::env::var_os("GRACE_DUMP_ON_EXIT").is_some_and(|v| v == "1");
+    if dump_on_exit && !grace_telemetry::recorder::tripped() {
+        if let Err(e) = grace_telemetry::recorder::dump() {
+            eprintln!("[grace-core] dump-on-exit bundle failed: {e}");
+        }
+    }
     drop(metrics_server);
     let out = out?;
     Ok(RankResult {
@@ -219,11 +243,13 @@ pub fn run_socket_local(
     let stats = FaultStats::new(n);
     let (plan, options) = plan_and_options(cfg);
     let metrics_server = start_metrics_server(cfg);
+    grace_telemetry::recorder::configure(&cfg.run_tag("socket"), None);
     let results = net::run_socket_local(n, options, endpoint, |cluster| {
         let comm = FaultyCollective::new(cluster, Arc::clone(&plan), stats.clone());
         let out = worker_loop(cfg, task, &make_worker, &comm, false);
         if out.is_err() {
             comm.leave();
+            grace_telemetry::recorder::trigger("recorder: cluster error");
         }
         out
     });

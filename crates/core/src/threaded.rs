@@ -24,7 +24,7 @@
 
 use crate::bucket::PlanBuilder;
 use crate::compressor::{CommStrategy, Compressor, Context};
-use crate::exchange::{self, EncodedTensor, WorkerLane};
+use crate::exchange::{self, EncodedTensor, QualitySensors, WorkerLane};
 use crate::health::{HealthMonitor, StepObservation};
 use crate::memory::Memory;
 use crate::payload::{self, Payload};
@@ -39,7 +39,7 @@ use grace_comm::{
 use grace_nn::data::Task;
 use grace_nn::network::Network;
 use grace_nn::optim::Optimizer;
-use grace_telemetry::{StageTimer, Track};
+use grace_telemetry::{recorder, StageTimer, Track};
 use grace_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -87,6 +87,9 @@ where
     if let Some(level) = cfg.telemetry {
         grace_telemetry::set_level(level);
     }
+    // All worker threads share one process (and one flight-recorder ring
+    // pool); the bundle is tagged with the run, not a rank.
+    recorder::configure(&cfg.run_tag("threaded"), None);
     let n = cfg.n_workers;
     let stats = FaultStats::new(n);
     let (plan, options) = match &cfg.fault {
@@ -173,6 +176,10 @@ where
     // same compensate → compress → own-decode → memory-update sequence the
     // simulator's engine runs, so both modes stay bit-identical.
     let mut lane = WorkerLane::new(rank, compressor.as_mut(), Some(memory.as_mut()));
+    // Per-bucket compression-quality sensors (sampled approximation error,
+    // effective ratio), recorded at fusion-bucket boundaries. Replicas are
+    // bit-identical, so concurrent ranks publish the same gauge values.
+    let quality = QualitySensors::resolve();
     // Per-rank gather-side merge under the configured aggregation plan
     // (serial fold — each rank merges its own gathered contributions).
     let mut merger = crate::AggMerger::new(cfg.agg_plan);
@@ -201,8 +208,11 @@ where
     // The straggler signal reads the cluster's per-rank cumulative barrier
     // waits: a delayed rank waits *less* at barriers than its stalled
     // peers, so the per-step spread (max − min of deltas) exposes it.
+    let run_tag = cfg.run_tag(if per_rank_steps { "socket" } else { "threaded" });
     let mut monitor = if rank == 0 {
-        cfg.health.clone().map(HealthMonitor::new)
+        cfg.health
+            .clone()
+            .map(|hc| HealthMonitor::new(hc).with_identity(rank, &run_tag))
     } else {
         None
     };
@@ -257,6 +267,8 @@ where
             let mut stream: Vec<(String, EncodedTensor, Shape)> =
                 Vec::with_capacity(plan.n_tensors());
             let mut window: Option<StageTimer> = None;
+            let mut bucket_elems = 0usize;
+            let mut bucket_wire = 0usize;
             let _ = net.forward_backward_streaming(&x, &y, &mut |name, grad| {
                 let idx = stream.len();
                 debug_assert!(
@@ -267,11 +279,19 @@ where
                     window = Some(StageTimer::start());
                 }
                 let encoded = lane.encode(name, grad);
+                bucket_elems += grad.len();
+                bucket_wire += wire_bytes(&encoded.payloads, &encoded.ctx);
                 let b = plan.bucket_of(idx);
                 if idx + 1 == plan.bucket_range(b).end {
                     if let Some(w) = window.take() {
                         w.finish_with("bucket", Track::Bucket, "bucket", b as u64);
                     }
+                    if let Some(e) = lane.take_quality_error() {
+                        quality.record_error(b, e);
+                    }
+                    quality.record_ratio(b, bucket_elems, bucket_wire);
+                    bucket_elems = 0;
+                    bucket_wire = 0;
                 }
                 stream.push((name.to_string(), encoded, grad.shape().clone()));
             });
@@ -297,6 +317,16 @@ where
                     Track::Step,
                     Some(("step", global_step)),
                 );
+                // Flight recorder: fold this step's counter deltas into the
+                // ring and poll the on-demand dump request. One caller per
+                // process: rank 0 on the shared board, every rank when each
+                // rank is its own process.
+                recorder::observe_step(global_step);
+            }
+            if grace_telemetry::enabled(grace_telemetry::Level::Metrics) {
+                if let Some(norm) = lane.residual_norm() {
+                    quality.record_residual(norm);
+                }
             }
             if let Some(mon) = monitor.as_mut() {
                 let board = comm.inner();

@@ -451,7 +451,12 @@ pub fn run_simulated(
     // Live observability: endpoint lives for the whole run; the monitor is
     // fed once per step. Neither touches the update math.
     let metrics_server = start_metrics_server(cfg);
-    let mut monitor = cfg.health.clone().map(HealthMonitor::new);
+    let run_tag = cfg.run_tag("sim");
+    grace_telemetry::recorder::configure(&run_tag, None);
+    let mut monitor = cfg
+        .health
+        .clone()
+        .map(|hc| HealthMonitor::new(hc).with_identity(0, &run_tag));
 
     let spe = steps_per_epoch(task.train_len(), n, cfg.batch_per_worker);
     let eval_stride = (spe / cfg.evals_per_epoch).max(1);
@@ -605,6 +610,9 @@ pub fn run_simulated(
                 grace_telemetry::Track::Step,
                 Some(("step", global_step)),
             );
+            // Flight recorder: fold the step's counter deltas into the ring
+            // and poll the on-demand dump request.
+            grace_telemetry::recorder::observe_step(global_step);
             if let Some(mon) = monitor.as_mut() {
                 let obs = StepObservation::from_report(
                     &report,

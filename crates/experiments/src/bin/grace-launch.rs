@@ -20,6 +20,7 @@
 //! ```text
 //! grace-launch [--ranks N] [--compressor ID|baseline|all] [--epochs E]
 //!              [--uds] [--no-verify] [--trace DIR]
+//!              [--drop RANK@OP] [--dump-on-exit]
 //! ```
 //!
 //! `--trace DIR` turns on cross-rank tracing: every child runs with
@@ -27,6 +28,12 @@
 //! (stamped with its hub-clock offset), the parent exports the hub's own
 //! timeline as `DIR/<compressor>/hub.trace.json`, and
 //! `grace-analyze merge DIR/<compressor>` rebases them onto one clock.
+//!
+//! `--drop RANK@OP` seeds a mid-run drop fault (a post-mortem drill): the
+//! victim's flight recorder trips and leaves a bundle, the survivors
+//! degrade and finish, and threaded verification is skipped.
+//! `--dump-on-exit` makes every child write its bundle at exit even
+//! without a trigger; `grace-analyze postmortem` reads the result.
 
 use grace_comm::net::{Endpoint, HubServer};
 use grace_comm::ClusterOptions;
@@ -47,19 +54,41 @@ use std::time::Duration;
 
 const ENV_COMPRESSOR: &str = "GRACE_LAUNCH_COMPRESSOR";
 const ENV_EPOCHS: &str = "GRACE_LAUNCH_EPOCHS";
+const ENV_DROP: &str = "GRACE_LAUNCH_DROP";
 const SEED: u64 = 31;
 
 /// The fixed cross-process workload. Small on purpose: the point is the
 /// transport, and `--ranks 4 --compressor all` must stay CI-cheap.
-fn workload(world: usize, epochs: usize) -> (ClassificationDataset, TrainConfig) {
+/// `drop` seeds one mid-run drop fault (`(rank, op)`), identically in every
+/// process that derives the plan.
+fn workload(
+    world: usize,
+    epochs: usize,
+    drop: Option<(usize, u64)>,
+) -> (ClassificationDataset, TrainConfig) {
     let task = ClassificationDataset::synthetic(96, 8, 2, 0.3, SEED);
     let mut cfg = TrainConfig::new(world, 8, epochs, SEED);
     cfg.codec = CodecTiming::Free;
+    let plan = match drop {
+        Some((rank, op)) => grace_comm::FaultPlan::empty().with_drop(rank, op),
+        None => grace_comm::FaultPlan::empty(),
+    };
     cfg.fault = Some(grace_comm::FaultConfig {
-        plan: grace_comm::FaultPlan::empty(),
+        plan,
         timeout: Some(Duration::from_secs(60)),
     });
     (task, cfg)
+}
+
+/// Parses the `RANK@OP` form of `--drop` (also carried in [`ENV_DROP`]).
+fn parse_drop(s: &str) -> (usize, u64) {
+    let (rank, op) = s
+        .split_once('@')
+        .unwrap_or_else(|| panic!("--drop expects RANK@OP, got '{s}'"));
+    (
+        rank.parse().expect("--drop rank"),
+        op.parse().expect("--drop op"),
+    )
 }
 
 fn make_worker(
@@ -106,7 +135,8 @@ fn child_main() -> i32 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);
-    let (task, cfg) = workload(net_cfg.world, epochs);
+    let drop = std::env::var(ENV_DROP).ok().map(|s| parse_drop(&s));
+    let (task, cfg) = workload(net_cfg.world, epochs, drop);
     let world = net_cfg.world;
     let make = move |rank: usize| make_worker(&compressor_id, world, rank);
     match process::run_socket_rank(&cfg, &task, &make, &net_cfg) {
@@ -134,6 +164,12 @@ struct Args {
     uds: bool,
     verify: bool,
     trace_dir: Option<PathBuf>,
+    /// Seeded mid-run drop fault (`--drop RANK@OP`): that rank leaves the
+    /// cluster at collective `OP`, tripping its flight recorder.
+    drop: Option<(usize, u64)>,
+    /// Ask every child to write a post-mortem bundle at exit even without
+    /// a trigger (`GRACE_DUMP_ON_EXIT=1`).
+    dump_on_exit: bool,
 }
 
 fn parse_args() -> Args {
@@ -144,6 +180,8 @@ fn parse_args() -> Args {
         uds: false,
         verify: true,
         trace_dir: None,
+        drop: None,
+        dump_on_exit: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -155,10 +193,18 @@ fn parse_args() -> Args {
             "--uds" => args.uds = true,
             "--no-verify" => args.verify = false,
             "--trace" => args.trace_dir = Some(PathBuf::from(value("--trace"))),
+            "--drop" => args.drop = Some(parse_drop(&value("--drop"))),
+            "--dump-on-exit" => args.dump_on_exit = true,
             other => panic!("unknown argument '{other}'"),
         }
     }
     assert!(args.ranks > 0, "--ranks must be positive");
+    if let Some((rank, _)) = args.drop {
+        assert!(rank < args.ranks, "--drop rank out of range");
+        // A faulted run's parameters are legitimately different from the
+        // clean threaded replay; the drop flag is for post-mortem drills.
+        args.verify = false;
+    }
     args
 }
 
@@ -198,13 +244,30 @@ fn launch_once(args: &Args, compressor_id: &str, trace_dir: Option<&Path>) -> (u
                 cmd.env("GRACE_TELEMETRY", "trace")
                     .env(process::ENV_TRACE_DIR, dir);
             }
+            if let Some((r, op)) = args.drop {
+                cmd.env(ENV_DROP, format!("{r}@{op}"));
+            }
+            if args.dump_on_exit {
+                cmd.env("GRACE_DUMP_ON_EXIT", "1");
+            }
             cmd.spawn()
                 .unwrap_or_else(|e| panic!("spawn rank {rank}: {e}"))
         })
         .collect();
     let mut agreed: Option<(u32, f64)> = None;
+    let dropped = args.drop.map(|(r, _)| r);
     for (rank, child) in children.into_iter().enumerate() {
         let out = child.wait_with_output().expect("wait for child");
+        if Some(rank) == dropped {
+            // The seeded fault makes this rank exit non-zero by design; its
+            // post-mortem bundle is the artefact of interest, not a result
+            // line.
+            assert!(
+                !out.status.success(),
+                "rank {rank} was scheduled to drop but exited cleanly"
+            );
+            continue;
+        }
         assert!(
             out.status.success(),
             "rank {rank} exited with {:?}",
@@ -221,10 +284,12 @@ fn launch_once(args: &Args, compressor_id: &str, trace_dir: Option<&Path>) -> (u
         let checksum = u32::from_str_radix(parts[2], 16).expect("checksum hex");
         let quality: f64 = parts[3].parse().expect("quality");
         let live: usize = parts[4].parse().expect("live");
-        assert_eq!(
-            live, args.ranks,
-            "rank {rank} saw departures in a clean run"
-        );
+        if dropped.is_none() {
+            assert_eq!(
+                live, args.ranks,
+                "rank {rank} saw departures in a clean run"
+            );
+        }
         match agreed {
             None => agreed = Some((checksum, quality)),
             Some((c, _)) => assert_eq!(
@@ -258,7 +323,7 @@ fn export_hub_trace(dir: &Path, world: usize) {
 }
 
 fn verify_against_threaded(args: &Args, compressor_id: &str, socket_crc: u32) {
-    let (task, cfg) = workload(args.ranks, args.epochs);
+    let (task, cfg) = workload(args.ranks, args.epochs, None);
     let world = args.ranks;
     let threaded = run_threaded(&cfg, &task, |rank| make_worker(compressor_id, world, rank));
     let threaded_crc = param_checksum(&threaded.final_params);
@@ -303,11 +368,19 @@ fn parent_main() -> i32 {
         }
         println!("{id:<26} {:>10} {quality:>10.4}", format!("{crc:08x}"));
     }
-    println!(
-        "all {} methods bit-identical across {} OS-process ranks",
-        compressors.len(),
-        args.ranks
-    );
+    if args.drop.is_some() {
+        println!(
+            "all {} methods: survivors bit-identical across {} OS-process ranks (1 seeded drop)",
+            compressors.len(),
+            args.ranks
+        );
+    } else {
+        println!(
+            "all {} methods bit-identical across {} OS-process ranks",
+            compressors.len(),
+            args.ranks
+        );
+    }
     0
 }
 

@@ -237,7 +237,7 @@ pub struct ExportPaths {
     pub metrics: PathBuf,
 }
 
-fn sanitize(label: &str) -> String {
+pub(crate) fn sanitize(label: &str) -> String {
     let cleaned: String = label
         .chars()
         .map(|c| {

@@ -21,6 +21,9 @@
 //! 5. [`serve`] — an opt-in live metrics endpoint (`GRACE_METRICS_ADDR`)
 //!    exposing the registry in Prometheus text format plus a `/health`
 //!    JSON view, with zero hot-path cost.
+//! 6. [`recorder`] — the black-box flight recorder: a bounded, always-on
+//!    ring of the most recent events (independent of the level) that a
+//!    trigger drains into a post-mortem bundle under `postmortem/`.
 //!
 //! # Levels
 //!
@@ -58,6 +61,7 @@
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod serve;
 pub mod trace;
 

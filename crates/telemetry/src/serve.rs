@@ -238,7 +238,13 @@ pub fn health_json(snaps: &[MetricSnapshot]) -> String {
     }
     let mut out = String::from("{\"status\":\"");
     out.push_str(if tripped > 0.0 { "alert" } else { "ok" });
-    let _ = write!(out, "\",\"anomalies_total\":{anomalies},\"series\":{{");
+    let _ = write!(
+        out,
+        "\",\"recorder\":{{\"active\":{},\"tripped\":{}}}",
+        crate::recorder::active(),
+        crate::recorder::tripped()
+    );
+    let _ = write!(out, ",\"anomalies_total\":{anomalies},\"series\":{{");
     let mut first = true;
     for snap in snaps {
         if !snap.name().starts_with("health.") {

@@ -7,6 +7,12 @@
 //! disabled, [`span`] and [`instant`] are branch-out no-ops that never
 //! allocate; [`StageTimer`] still measures (structured reports need the
 //! duration at every level) but retains nothing.
+//!
+//! Independently of the level, every retained-or-not event is offered to
+//! the flight [`recorder`](crate::recorder): when it is active (the
+//! default), the most recent events additionally land in its bounded ring
+//! — also allocation-free — so a post-mortem bundle can be drained after
+//! a failure even when full tracing was off.
 
 use crate::{enabled, since_epoch_ns, Level};
 use std::cell::RefCell;
@@ -175,6 +181,24 @@ fn push(ev: TraceEvent) {
     });
 }
 
+/// Whether an event built now would be retained anywhere: the trace sink
+/// (under [`Level::Trace`]) or the flight recorder's ring.
+#[inline]
+fn should_retain() -> bool {
+    enabled(Level::Trace) || crate::recorder::active()
+}
+
+/// Routes one event to every active consumer: the per-thread trace buffer
+/// when tracing is enabled, and the flight recorder's ring when it is
+/// active (the recorder re-checks its own gate).
+#[inline]
+fn retain(ev: TraceEvent) {
+    if enabled(Level::Trace) {
+        push(ev);
+    }
+    crate::recorder::record(ev);
+}
+
 /// Drains this thread's buffer into the global sink. Call at step
 /// boundaries on long-lived threads; scoped lane threads flush on exit.
 pub fn flush_thread() {
@@ -225,10 +249,10 @@ pub fn instant_args(
     arg: Option<(&'static str, u64)>,
     arg2: Option<(&'static str, u64)>,
 ) {
-    if !enabled(Level::Trace) {
+    if !should_retain() {
         return;
     }
-    push(TraceEvent {
+    retain(TraceEvent {
         name,
         track,
         ts_ns: since_epoch_ns(Instant::now()),
@@ -243,7 +267,7 @@ pub fn instant_args(
 /// guard is inert: no clock read, no allocation.
 #[inline]
 pub fn span(name: &'static str, track: Track) -> SpanGuard {
-    let start = enabled(Level::Trace).then(Instant::now);
+    let start = should_retain().then(Instant::now);
     SpanGuard { name, track, start }
 }
 
@@ -258,7 +282,7 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            push(TraceEvent {
+            retain(TraceEvent {
                 name: self.name,
                 track: self.track,
                 ts_ns: since_epoch_ns(start),
@@ -297,8 +321,8 @@ impl StageTimer {
     #[inline]
     pub fn finish(self, name: &'static str, track: Track) -> u64 {
         let dur_ns = self.start.elapsed().as_nanos() as u64;
-        if enabled(Level::Trace) {
-            push(TraceEvent {
+        if should_retain() {
+            retain(TraceEvent {
                 name,
                 track,
                 ts_ns: since_epoch_ns(self.start),
@@ -316,8 +340,8 @@ impl StageTimer {
     #[inline]
     pub fn finish_with(self, name: &'static str, track: Track, key: &'static str, val: u64) -> u64 {
         let dur_ns = self.start.elapsed().as_nanos() as u64;
-        if enabled(Level::Trace) {
-            push(TraceEvent {
+        if should_retain() {
+            retain(TraceEvent {
                 name,
                 track,
                 ts_ns: since_epoch_ns(self.start),
@@ -342,8 +366,8 @@ impl StageTimer {
         arg2: (&'static str, u64),
     ) -> u64 {
         let dur_ns = self.start.elapsed().as_nanos() as u64;
-        if enabled(Level::Trace) {
-            push(TraceEvent {
+        if should_retain() {
+            retain(TraceEvent {
                 name,
                 track,
                 ts_ns: since_epoch_ns(self.start),

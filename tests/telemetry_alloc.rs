@@ -117,6 +117,53 @@ fn disabled_tracing_wire_context_handling_is_allocation_free() {
     );
 }
 
+/// The flight recorder's steady state must be allocation-free: with the
+/// ring active (the always-on default) and telemetry at `Metrics`, every
+/// span and instant lands in a pre-sized per-thread ring slot, watched
+/// counter deltas fold into ring instants over pre-resolved handles, and
+/// the periodic `GRACE_DUMP` poll reads an unset variable through a stack
+/// buffer — no trigger, no allocation, for as long as the run lives.
+#[test]
+fn flight_recorder_steady_state_is_allocation_free() {
+    use grace::telemetry::recorder;
+
+    set_level(Level::Metrics);
+    recorder::set_enabled(true);
+    assert!(recorder::active());
+    let wire = metrics::counter("traffic.bytes_total");
+    // Warm-up: acquires this thread's ring segment, resolves the counter
+    // watchlist, and first-touches the delta path.
+    {
+        let _warm = trace::span("recorder.warmup", Track::Lane(0));
+    }
+    trace::instant("recorder.warmup", Track::Stage(Stage::Encode));
+    wire.add(64);
+    recorder::observe_step(0);
+
+    let before = allocs_on_this_thread();
+    for step in 1..5_001u64 {
+        let _s = trace::span("recorder.hot", Track::Lane(0));
+        trace::instant_arg(
+            "recorder.hot",
+            Track::Stage(Stage::Comm),
+            Some(("rank", step)),
+        );
+        let t = StageTimer::start();
+        let ns = t.finish("recorder.hot", Track::Stage(Stage::Encode));
+        std::hint::black_box(ns);
+        wire.add(64);
+        recorder::observe_step(step);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state ring recording allocated {} times",
+        after - before
+    );
+    assert!(!recorder::tripped(), "steady state must not trip");
+}
+
 /// The health monitor's steady state must also be allocation-free: with the
 /// JSONL log disabled and no anomaly firing, `observe_step` is pure EWMA
 /// arithmetic over pre-resolved gauge handles — even while a metrics
